@@ -1,0 +1,141 @@
+//! Hand-rolled argument parsing (the offline dependency set has no CLI
+//! crate; the grammar is small enough that explicitness beats a framework).
+
+use std::collections::HashMap;
+
+/// Usage text printed on parse errors and `ftc help`.
+pub const USAGE: &str = "\
+ftc — fault tolerant service function chaining
+
+USAGE:
+  ftc run     --chain \"<spec>\" [--f N] [--workers N] [--packets N] [--loss P]
+  ftc compare --chain \"<spec>\" [--workers N] [--seconds S]
+  ftc sim     --chain \"<spec>\" --system <ftc|nf|ftmb|ftmb-snap>
+              [--f N] [--workers N] [--rate <Mpps|max>] [--packet-bytes B]
+  ftc drill   --chain \"<spec>\" [--f N]
+  ftc help
+
+CHAIN SPECS (Click-flavoured):
+  monitor(sharing=N) | gen(state=BYTES) | mazu_nat(ext=IP) | simple_nat(ext=IP)
+  ids(scan_threshold=N, signatures=A|B) | lb(backends=IP|IP) |
+  firewall(deny_src=CIDR, deny_ports=LO-HI, allow_src=CIDR) | passthrough
+  joined with `->`, e.g.:
+    \"firewall(deny_ports=23) -> monitor(sharing=2) -> mazu_nat(ext=203.0.113.1)\"
+
+EXAMPLES:
+  ftc run --chain \"monitor -> monitor\" --packets 1000
+  ftc compare --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
+  ftc sim --chain \"monitor(sharing=8)\" --system ftc --rate max
+  ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"";
+
+/// The selected subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Deploy and drive one FTC chain.
+    Run,
+    /// Compare FTC/NF/FTMB on the threaded runtime.
+    Compare,
+    /// Run a simulator experiment.
+    Sim,
+    /// Failover drill.
+    Drill,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Fetches a string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Fetches a numeric option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Fetches a float option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Fetches the mandatory `--chain` spec.
+    pub fn chain(&self) -> Result<&str, String> {
+        self.get("chain").ok_or_else(|| "--chain \"<spec>\" is required".into())
+    }
+}
+
+/// Parses `argv` (excluding the program name).
+pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = argv.iter();
+    let command = match it.next().map(|s| s.as_str()) {
+        Some("run") => Command::Run,
+        Some("compare") => Command::Compare,
+        Some("sim") => Command::Sim,
+        Some("drill") => Command::Drill,
+        Some("help") | Some("--help") | Some("-h") | None => Command::Help,
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+    };
+    let mut options = HashMap::new();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected `--option`, got `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{key} needs a value"));
+        };
+        if options.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("--{key} given twice"));
+        }
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let p = parse_args(&argv("run --chain monitor --packets 500")).unwrap();
+        assert_eq!(p.command, Command::Run);
+        assert_eq!(p.chain().unwrap(), "monitor");
+        assert_eq!(p.get_usize("packets", 100).unwrap(), 500);
+        assert_eq!(p.get_usize("f", 1).unwrap(), 1, "default applies");
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_args(&argv("explode")).is_err());
+        assert!(parse_args(&argv("run --chain")).is_err());
+        assert!(parse_args(&argv("run chain monitor")).is_err());
+        assert!(parse_args(&argv("run --f 1 --f 2")).is_err());
+        let p = parse_args(&argv("run --packets abc")).unwrap();
+        assert!(p.get_usize("packets", 1).is_err());
+        assert!(p.chain().is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Subcommand implementations.
+
+use crate::args::{Command, ParsedArgs, USAGE};
+use ftc::baselines::{FtmbChain, NfChain};
+use ftc::mbox::parse_chain;
+use ftc::prelude::*;
+use ftc::sim::{simulate, MbKind, SimConfig, SystemKind};
+use ftc::traffic::WorkloadConfig;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Runs the selected subcommand.
+pub fn dispatch(args: &ParsedArgs) -> Result<(), String> {
+    match args.command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Run => cmd_run(args),
+        Command::Compare => cmd_compare(args),
+        Command::Sim => cmd_sim(args),
+        Command::Drill => cmd_drill(args),
+    }
+}
+
+fn specs_of(args: &ParsedArgs) -> Result<Vec<MbSpec>, String> {
+    parse_chain(args.chain()?).map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let f = args.get_usize("f", 1)?;
+    let workers = args.get_usize("workers", 1)?;
+    let packets = args.get_usize("packets", 1000)?;
+    let loss = args.get_f64("loss", 0.0)?;
+
+    let mut cfg = ChainConfig::new(specs).with_f(f).with_workers(workers);
+    if loss > 0.0 {
+        cfg = cfg.with_link(LinkConfig::lossy(loss, loss / 2.0, 42));
+    }
+    let names: Vec<&str> = cfg.effective_middleboxes().iter().map(|s| s.name()).collect();
+    println!("deploying FTC chain: {} (f = {f}, workers = {workers})", names.join(" -> "));
+    let chain = FtcChain::deploy(cfg);
+
+    let mut wl = Workload::new(WorkloadConfig {
+        flows: 64,
+        frame_len: 256,
+        ..Default::default()
+    });
+    for _ in 0..packets {
+        chain.inject(wl.next_packet());
+    }
+    let got = chain.collect_egress(packets, Duration::from_secs(60));
+    std::thread::sleep(Duration::from_millis(50));
+    let m = &chain.metrics;
+    println!("released {}/{packets} packets", got.len());
+    println!(
+        "protocol: logs applied {}, parked {}, stale {}, propagating {}, filtered {}",
+        m.logs_applied.load(Ordering::Relaxed),
+        m.logs_parked.load(Ordering::Relaxed),
+        m.logs_stale.load(Ordering::Relaxed),
+        m.propagating.load(Ordering::Relaxed),
+        m.filtered.load(Ordering::Relaxed),
+    );
+    if let Some(b) = m.mean_piggyback_bytes() {
+        println!("mean piggyback log: {b:.1} B/writing packet");
+    }
+    for slot in &chain.replicas {
+        println!(
+            "  r{} [{}]: own keys {}, replicates {:?}",
+            slot.state.idx,
+            slot.state.mbox.name(),
+            slot.state.own_store.len(),
+            slot.state.replicated.keys().collect::<Vec<_>>(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let workers = args.get_usize("workers", 1)?;
+    let seconds = args.get_f64("seconds", 2.0)?;
+    let runner = TrafficRunner::new(WorkloadConfig {
+        flows: 128,
+        frame_len: 256,
+        ..Default::default()
+    });
+    let dur = Duration::from_secs_f64(seconds);
+
+    println!(
+        "{:<6} {:>12} {:>14} {:>14}",
+        "system", "pps", "mean lat", "p99 lat"
+    );
+    let measure = |name: &str, sys: &dyn ChainSystem| {
+        let tput = runner.closed_loop(sys, 64, dur);
+        let lat = runner.open_loop(sys, 2_000.0, dur);
+        println!(
+            "{name:<6} {:>12.0} {:>14.1?} {:>14.1?}",
+            tput.pps,
+            lat.latency.mean().unwrap_or_default(),
+            lat.latency.quantile(0.99).unwrap_or_default(),
+        );
+    };
+    let nf = NfChain::deploy(ChainConfig::new(specs.clone()).with_workers(workers));
+    measure("NF", &nf);
+    let ftc = FtcChain::deploy(ChainConfig::new(specs.clone()).with_f(1).with_workers(workers));
+    measure("FTC", &ftc);
+    let ftmb = FtmbChain::deploy(ChainConfig::new(specs).with_workers(workers), None);
+    measure("FTMB", &ftmb);
+    println!("(threaded runtime on this machine; paper-scale numbers: `cargo bench`)");
+    Ok(())
+}
+
+/// Maps runtime middlebox specs onto simulator kinds; the simulator models
+/// the Table-1 middleboxes, so the richer ones approximate to the nearest
+/// workload shape.
+fn sim_kind(spec: &MbSpec, workers: usize) -> MbKind {
+    match spec {
+        MbSpec::Monitor { sharing_level } => MbKind::Monitor {
+            sharing: (*sharing_level).min(workers.max(1)),
+        },
+        MbSpec::Gen { state_size } => MbKind::Gen { state: *state_size },
+        MbSpec::MazuNat { .. } => MbKind::MazuNat,
+        MbSpec::SimpleNat { .. } | MbSpec::LoadBalancer { .. } => MbKind::SimpleNat,
+        MbSpec::Ids { .. } => MbKind::Monitor { sharing: workers.max(1) },
+        MbSpec::Firewall { .. } => MbKind::Firewall,
+        MbSpec::Passthrough => MbKind::Passthrough,
+    }
+}
+
+fn cmd_sim(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let workers = args.get_usize("workers", 8)?;
+    let f = args.get_usize("f", 1)?;
+    let packet_bytes = args.get_usize("packet-bytes", 256)?;
+    let system = match args.get("system").unwrap_or("ftc") {
+        "ftc" => SystemKind::Ftc { f },
+        "nf" => SystemKind::Nf,
+        "ftmb" => SystemKind::Ftmb { snapshot: None },
+        "ftmb-snap" => SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) },
+        other => return Err(format!("unknown --system `{other}`")),
+    };
+    let mut chain: Vec<MbKind> = specs.iter().map(|s| sim_kind(s, workers)).collect();
+    if matches!(system, SystemKind::Ftc { .. }) {
+        while chain.len() < f + 1 {
+            chain.push(MbKind::Passthrough);
+        }
+    }
+
+    let cfg = match args.get("rate").unwrap_or("max") {
+        "max" => SimConfig::saturated(system, chain),
+        r => {
+            let mpps: f64 = r.parse().map_err(|_| format!("--rate expects Mpps or `max`, got `{r}`"))?;
+            SimConfig::at_rate(system, chain, mpps * 1e6)
+        }
+    }
+    .with_workers(workers)
+    .with_packet_bytes(packet_bytes);
+
+    let report = simulate(&cfg);
+    println!("system: {}", report.system);
+    println!("offered: {:.2} Mpps, achieved: {:.2} Mpps", report.offered_pps / 1e6, report.mpps());
+    if let Some(mean) = report.mean_latency() {
+        println!(
+            "latency: mean {:.1?}, median {:.1?}, p99 {:.1?} ({} samples)",
+            mean,
+            report.median_latency().unwrap_or_default(),
+            report.p99_latency().unwrap_or_default(),
+            report.latency.len(),
+        );
+    }
+    if report.trailer_bytes > 0.0 {
+        println!("mean piggyback trailer: {:.0} B/hop", report.trailer_bytes);
+    }
+    Ok(())
+}
+
+fn cmd_drill(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let f = args.get_usize("f", 1)?;
+    let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(f));
+    let n = chain.len();
+    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+
+    let mut wl = Workload::new(WorkloadConfig::default());
+    for _ in 0..200 {
+        orch.chain.inject(wl.next_packet());
+    }
+    let warmed = orch.chain.collect_egress(200, Duration::from_secs(30)).len();
+    println!("warmed up with {warmed}/200 packets");
+    std::thread::sleep(Duration::from_millis(100));
+
+    for idx in 0..n {
+        print!("killing r{idx}… ");
+        orch.chain.kill(idx);
+        match orch.recover(idx, ftc::net::RegionId(0)) {
+            Ok(r) => println!(
+                "recovered in {:.1?} (init {:.1?}, state {:.1?} / {} B, reroute {:.1?})",
+                r.total(), r.initialization, r.state_recovery, r.bytes_transferred, r.rerouting
+            ),
+            Err(e) => return Err(format!("recovery of r{idx} failed: {e}")),
+        }
+        for _ in 0..50 {
+            orch.chain.inject(wl.next_packet());
+        }
+        let got = orch.chain.collect_egress(50, Duration::from_secs(30)).len();
+        println!("  post-recovery traffic: {got}/50 released");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("drill complete: all {n} positions failed and recovered");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run_cmd(s: &str) -> Result<(), String> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        dispatch(&parse_args(&argv).unwrap())
+    }
+
+    #[test]
+    fn sim_command_works_end_to_end() {
+        run_cmd("sim --chain monitor(sharing=2) --system ftc --rate 1").unwrap();
+        run_cmd("sim --chain monitor --system nf --rate max").unwrap();
+    }
+
+    #[test]
+    fn sim_rejects_bad_system() {
+        let err = run_cmd("sim --chain monitor --system warp").unwrap_err();
+        assert!(err.contains("unknown --system"));
+    }
+
+    #[test]
+    fn run_command_small_chain() {
+        run_cmd("run --chain monitor->monitor --packets 50").unwrap();
+    }
+
+    #[test]
+    fn bad_chain_spec_reported() {
+        let err = run_cmd("run --chain warpdrive").unwrap_err();
+        assert!(err.contains("unknown middlebox"));
+    }
+
+    #[test]
+    fn kind_mapping_covers_all_specs() {
+        let specs = parse_chain(
+            "monitor -> gen -> mazu_nat(ext=1.1.1.1) -> simple_nat(ext=1.1.1.2) \
+             -> ids -> lb(backends=1.1.1.3) -> firewall -> passthrough",
+        )
+        .unwrap();
+        for s in &specs {
+            let _ = sim_kind(s, 8);
+        }
+    }
+}

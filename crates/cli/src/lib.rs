@@ -1,0 +1,41 @@
+//! Implementation of the `ftc` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `ftc run` — deploy an FTC chain from a chain-spec string, push
+//!   synthetic traffic through it, and print protocol counters.
+//! * `ftc compare` — run the same chain under FTC, NF and FTMB on the
+//!   threaded runtime and print throughput/latency side by side.
+//! * `ftc sim` — run a calibrated-simulator experiment.
+//! * `ftc drill` — kill and recover every replica position in turn.
+//!
+//! Chains are written in the Click-flavoured spec language of
+//! [`ftc::mbox::spec_lang`], e.g.
+//! `"firewall(deny_ports=23) -> monitor(sharing=2) -> mazu_nat(ext=203.0.113.1)"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// Entry point shared by the binary and tests. Returns the process exit
+/// code.
+pub fn run(argv: &[String]) -> i32 {
+    match parse_args(argv) {
+        Ok(parsed) => match commands::dispatch(&parsed) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            2
+        }
+    }
+}

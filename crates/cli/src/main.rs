@@ -1,0 +1,6 @@
+//! The `ftc` command-line binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ftc_cli::run(&argv));
+}

@@ -1,0 +1,448 @@
+//! The chain egress element (paper §5.1).
+//!
+//! The buffer "holds a packet until the state updates associated with all
+//! middleboxes of the chain have been replicated" and "forwards state
+//! updates to the forwarder for middleboxes with replicas at the beginning
+//! of the chain". Concretely: a packet arriving at the buffer still carries
+//! the piggyback logs of the *wrapped* middleboxes (the last `f`); the
+//! buffer extracts those logs, sends them to the forwarder (to ride
+//! incoming packets around the ring), and withholds the packet until later
+//! commit vectors dominate its logs' dependency vectors.
+
+use crate::config::RingMath;
+use crate::control::{InPort, OutPort};
+use crate::metrics::ChainMetrics;
+use bytes::BytesMut;
+use crossbeam::channel::Sender;
+use ftc_net::server::AliveToken;
+use ftc_packet::piggyback::{DepVector, PiggybackLog, PiggybackMessage};
+use ftc_packet::Packet;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum logs per feedback message.
+const MAX_FEEDBACK_LOGS: usize = 32;
+
+struct HeldPacket {
+    pkt: Packet,
+    /// `(mbox, deps)` pairs that must be committed before release.
+    reqs: Vec<(usize, DepVector)>,
+}
+
+struct BufInner {
+    held: VecDeque<HeldPacket>,
+    /// Merged commit `MAX` per wrapped middlebox.
+    commits: HashMap<usize, Vec<u64>>,
+    /// Wrapped logs not yet confirmed committed — kept for periodic resend
+    /// so in-flight loss (including replica failure) self-heals; replicas
+    /// deduplicate via the stale rule.
+    uncommitted: Vec<PiggybackLog>,
+    /// Logs to ship to the forwarder on the next flush.
+    fresh: Vec<PiggybackLog>,
+}
+
+/// Shared buffer state.
+pub struct BufferState {
+    ring: RingMath,
+    inner: Mutex<BufInner>,
+    egress: Sender<Packet>,
+    feedback: Arc<OutPort>,
+    metrics: Arc<ChainMetrics>,
+}
+
+impl BufferState {
+    /// Creates buffer state. Released packets go to `egress`; feedback
+    /// messages go out through `feedback` (a reliable link to the
+    /// forwarder).
+    pub fn new(
+        ring: RingMath,
+        egress: Sender<Packet>,
+        feedback: Arc<OutPort>,
+        metrics: Arc<ChainMetrics>,
+    ) -> Arc<BufferState> {
+        Arc::new(BufferState {
+            ring,
+            inner: Mutex::new(BufInner {
+                held: VecDeque::new(),
+                commits: HashMap::new(),
+                uncommitted: Vec::new(),
+                fresh: Vec::new(),
+            }),
+            egress,
+            feedback,
+            metrics,
+        })
+    }
+
+    /// Number of packets currently withheld.
+    pub fn held_len(&self) -> usize {
+        self.inner.lock().held.len()
+    }
+
+    /// Number of wrapped logs awaiting commit confirmation.
+    pub fn uncommitted_len(&self) -> usize {
+        self.inner.lock().uncommitted.len()
+    }
+
+    /// Processes one frame arriving from the last replica.
+    pub fn handle_frame(&self, frame: BytesMut) {
+        let t0 = Instant::now();
+        let Ok(mut pkt) = Packet::from_frame(frame) else {
+            return;
+        };
+        let msg = match pkt.detach_piggyback() {
+            Ok(Some(m)) => m,
+            Ok(None) => PiggybackMessage::default(),
+            Err(_) => return,
+        };
+        let mut inner = self.inner.lock();
+
+        // 1. Merge commit vectors.
+        for c in &msg.commits {
+            let entry = inner.commits.entry(c.mbox.0 as usize).or_default();
+            if c.max.len() > entry.len() {
+                entry.resize(c.max.len(), 0);
+            }
+            for (i, &v) in c.max.iter().enumerate() {
+                if v > entry[i] {
+                    entry[i] = v;
+                }
+            }
+        }
+
+        // 2. Extract wrapped logs: they become release requirements for this
+        //    packet and feedback for the forwarder.
+        let is_propagating = msg.is_propagating();
+        let mut reqs = Vec::new();
+        for log in msg.logs {
+            let m = log.mbox.0 as usize;
+            if !log.deps.is_empty() {
+                reqs.push((m, log.deps.clone()));
+            }
+            inner.fresh.push(log.clone());
+            inner.uncommitted.push(log);
+        }
+
+        // 3. Hold or release this packet.
+        if !is_propagating {
+            if reqs.is_empty() {
+                // Fully replicated (or read-only): release immediately.
+                drop(inner);
+                self.metrics.t_buffer.record(t0.elapsed());
+                self.release(pkt);
+                let mut inner = self.inner.lock();
+                self.sweep(&mut inner);
+                self.flush_feedback(&mut inner);
+                return;
+            }
+            inner.held.push_back(HeldPacket { pkt, reqs });
+            self.metrics
+                .held
+                .store(inner.held.len() as u64, Ordering::Relaxed);
+        }
+
+        // 4. Release whatever the merged commits now cover, prune, flush.
+        self.sweep(&mut inner);
+        self.flush_feedback(&mut inner);
+        self.metrics.t_buffer.record(t0.elapsed());
+    }
+
+    /// Re-sends uncommitted logs (timer path) so that logs lost in flight —
+    /// e.g. during a failure — eventually replicate; also polls the
+    /// feedback link for ACK/NACK processing.
+    pub fn tick(&self) {
+        let mut inner = self.inner.lock();
+        self.sweep(&mut inner);
+        if !inner.uncommitted.is_empty() {
+            // Resend *everything* uncommitted: completion order at the last
+            // replica can diverge arbitrarily from commit order, so any
+            // fixed-size prefix could miss the gap log and livelock the
+            // ring. Replicas drop duplicates via the stale rule.
+            inner.fresh = inner.uncommitted.clone();
+            while !inner.fresh.is_empty() {
+                self.flush_feedback(&mut inner);
+            }
+        }
+        drop(inner);
+        self.feedback.poll();
+    }
+
+    fn committed(commits: &HashMap<usize, Vec<u64>>, m: usize, deps: &DepVector) -> bool {
+        commits
+            .get(&m)
+            .is_some_and(|max| deps.committed_under(max))
+    }
+
+    /// Releases held packets whose requirements are met and prunes the
+    /// uncommitted set.
+    fn sweep(&self, inner: &mut BufInner) {
+        loop {
+            let releasable = inner
+                .held
+                .iter()
+                .position(|h| {
+                    h.reqs
+                        .iter()
+                        .all(|(m, deps)| Self::committed(&inner.commits, *m, deps))
+                });
+            match releasable {
+                Some(i) => {
+                    let h = inner.held.remove(i).expect("indexed");
+                    self.release(h.pkt);
+                }
+                None => break,
+            }
+        }
+        self.metrics
+            .held
+            .store(inner.held.len() as u64, Ordering::Relaxed);
+        let commits = std::mem::take(&mut inner.commits);
+        inner
+            .uncommitted
+            .retain(|log| !Self::committed(&commits, log.mbox.0 as usize, &log.deps));
+        inner.commits = commits;
+    }
+
+    fn flush_feedback(&self, inner: &mut BufInner) {
+        if inner.fresh.is_empty() {
+            return;
+        }
+        let take = inner.fresh.len().min(MAX_FEEDBACK_LOGS);
+        let logs: Vec<PiggybackLog> = inner.fresh.drain(..take).collect();
+        let msg = PiggybackMessage { flags: 0, logs, commits: vec![] };
+        let mut b = BytesMut::new();
+        msg.encode(&mut b);
+        self.feedback.send(b);
+    }
+
+    fn release(&self, pkt: Packet) {
+        self.metrics.released.fetch_add(1, Ordering::Relaxed);
+        let _ = self.egress.send(pkt);
+    }
+
+    /// Diagnostics: the dependency entries of uncommitted logs.
+    #[doc(hidden)]
+    pub fn debug_uncommitted(&self) -> Vec<(u16, Vec<(u16, u64)>)> {
+        self.inner
+            .lock()
+            .uncommitted
+            .iter()
+            .map(|l| (l.mbox.0, l.deps.entries().to_vec()))
+            .collect()
+    }
+
+    /// Diagnostics: merged commit vectors.
+    #[doc(hidden)]
+    pub fn debug_commits(&self) -> Vec<(usize, Vec<u64>)> {
+        let inner = self.inner.lock();
+        inner.commits.iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    /// The ring this buffer serves (used by diagnostics).
+    pub fn ring(&self) -> RingMath {
+        self.ring
+    }
+}
+
+/// Spawns the buffer threads onto the last server.
+pub fn spawn_buffer(
+    server: &mut ftc_net::Server,
+    state: Arc<BufferState>,
+    in_port: Arc<InPort>,
+    resend_period: Duration,
+) {
+    let st = Arc::clone(&state);
+    server.spawn("buffer", move |alive: AliveToken| {
+        let mut last_tick = Instant::now();
+        while alive.is_alive() {
+            if let Some(frame) = in_port.recv_timeout(Duration::from_millis(1)) {
+                st.handle_frame(frame);
+            }
+            if last_tick.elapsed() >= resend_period {
+                st.tick();
+                last_tick = Instant::now();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+    use ftc_net::{reliable_pair, LinkConfig};
+    use ftc_packet::builder::UdpPacketBuilder;
+    use ftc_packet::piggyback::{CommitVector, MboxId};
+
+    struct Rig {
+        buf: Arc<BufferState>,
+        egress: crossbeam::channel::Receiver<Packet>,
+        feedback_rx: InPort,
+        metrics: Arc<ChainMetrics>,
+    }
+
+    fn rig(n: usize, f: usize) -> Rig {
+        let (etx, erx) = channel::unbounded();
+        let (ftx, frx) = reliable_pair(LinkConfig::ideal());
+        let metrics = Arc::new(ChainMetrics::default());
+        let buf = BufferState::new(
+            RingMath { n, f },
+            etx,
+            Arc::new(OutPort::new(Some(ftx))),
+            Arc::clone(&metrics),
+        );
+        Rig {
+            buf,
+            egress: erx,
+            feedback_rx: InPort::new(Some(frx)),
+            metrics,
+        }
+    }
+
+    fn frame_with(msg: &PiggybackMessage) -> BytesMut {
+        let mut pkt = UdpPacketBuilder::new().build();
+        pkt.attach_piggyback(msg).unwrap();
+        pkt.into_bytes()
+    }
+
+    fn log(m: u16, part: u16, seq: u64) -> PiggybackLog {
+        PiggybackLog {
+            mbox: MboxId(m),
+            deps: DepVector::from_entries(vec![(part, seq)]).unwrap(),
+            writes: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_packet_released_immediately() {
+        let r = rig(3, 1);
+        r.buf.handle_frame(frame_with(&PiggybackMessage::default()));
+        assert!(r.egress.recv_timeout(Duration::from_millis(100)).is_ok());
+        assert_eq!(r.buf.held_len(), 0);
+        assert_eq!(r.metrics.released.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wrapped_log_holds_until_commit() {
+        let r = rig(3, 1);
+        // Packet carrying m2's log (wrapped in a 3-chain with f=1).
+        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        r.buf.handle_frame(frame_with(&msg));
+        assert_eq!(r.buf.held_len(), 1);
+        assert!(r.egress.try_recv().is_err());
+        assert_eq!(r.buf.uncommitted_len(), 1);
+
+        // A later packet carries m2's commit vector covering seq 0.
+        let msg2 = PiggybackMessage {
+            flags: 0,
+            logs: vec![],
+            commits: vec![CommitVector { mbox: MboxId(2), max: vec![1] }],
+        };
+        r.buf.handle_frame(frame_with(&msg2));
+        // Both packets now out (second had no requirements).
+        assert_eq!(r.buf.held_len(), 0);
+        assert_eq!(r.metrics.released.load(Ordering::Relaxed), 2);
+        assert_eq!(r.buf.uncommitted_len(), 0, "committed logs pruned");
+    }
+
+    #[test]
+    fn insufficient_commit_keeps_holding() {
+        let r = rig(3, 1);
+        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 5)], commits: vec![] };
+        r.buf.handle_frame(frame_with(&msg));
+        let weak = PiggybackMessage {
+            flags: 0,
+            logs: vec![],
+            commits: vec![CommitVector { mbox: MboxId(2), max: vec![5] }], // needs > 5
+        };
+        r.buf.handle_frame(frame_with(&weak));
+        assert_eq!(r.buf.held_len(), 1, "MAX[p]=5 does not commit seq 5");
+    }
+
+    #[test]
+    fn wrapped_logs_go_to_feedback() {
+        let r = rig(3, 1);
+        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        r.buf.handle_frame(frame_with(&msg));
+        let f = r
+            .feedback_rx
+            .recv_timeout(Duration::from_millis(100))
+            .expect("feedback sent");
+        let (fb, _) = PiggybackMessage::decode_trailing(&f).unwrap().unwrap();
+        assert_eq!(fb.logs.len(), 1);
+        assert_eq!(fb.logs[0].mbox, MboxId(2));
+    }
+
+    #[test]
+    fn tick_resends_uncommitted() {
+        let r = rig(3, 1);
+        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        r.buf.handle_frame(frame_with(&msg));
+        // Drain the initial feedback.
+        let _ = r.feedback_rx.recv_timeout(Duration::from_millis(100));
+        // Simulate loss: the log never committed; tick must resend.
+        r.buf.tick();
+        let f = r
+            .feedback_rx
+            .recv_timeout(Duration::from_millis(100))
+            .expect("resend");
+        let (fb, _) = PiggybackMessage::decode_trailing(&f).unwrap().unwrap();
+        assert_eq!(fb.logs.len(), 1);
+    }
+
+    #[test]
+    fn propagating_packets_are_consumed_not_released() {
+        let r = rig(3, 1);
+        let msg = PiggybackMessage {
+            flags: ftc_packet::piggyback::flags::PROPAGATING,
+            logs: vec![],
+            commits: vec![CommitVector { mbox: MboxId(2), max: vec![3] }],
+        };
+        let prop = ftc_packet::packet::propagating_packet(
+            ftc_packet::ether::MacAddr::from_index(1),
+            ftc_packet::ether::MacAddr::from_index(2),
+            &msg,
+        );
+        r.buf.handle_frame(prop.into_bytes());
+        assert!(r.egress.try_recv().is_err(), "propagating packets never egress");
+        // But their commits took effect.
+        let held = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 2)], commits: vec![] };
+        r.buf.handle_frame(frame_with(&held));
+        assert_eq!(r.buf.held_len(), 0, "already-committed log releases instantly");
+    }
+
+    #[test]
+    fn release_order_is_fifo_among_ready() {
+        let r = rig(2, 1);
+        // Hold two packets needing m1 seq 0 and seq 1.
+        let m1 = PiggybackMessage { flags: 0, logs: vec![log(1, 0, 0)], commits: vec![] };
+        let m2 = PiggybackMessage { flags: 0, logs: vec![log(1, 0, 1)], commits: vec![] };
+        let mut p1 = UdpPacketBuilder::new().ident(1).build();
+        p1.attach_piggyback(&m1).unwrap();
+        let mut p2 = UdpPacketBuilder::new().ident(2).build();
+        p2.attach_piggyback(&m2).unwrap();
+        r.buf.handle_frame(p1.into_bytes());
+        r.buf.handle_frame(p2.into_bytes());
+        assert_eq!(r.buf.held_len(), 2);
+        // Commit both at once via a propagating packet (so the carrier
+        // itself is not released ahead of the held packets).
+        let commit = PiggybackMessage {
+            flags: ftc_packet::piggyback::flags::PROPAGATING,
+            logs: vec![],
+            commits: vec![CommitVector { mbox: MboxId(1), max: vec![2] }],
+        };
+        let prop = ftc_packet::packet::propagating_packet(
+            ftc_packet::ether::MacAddr::from_index(1),
+            ftc_packet::ether::MacAddr::from_index(2),
+            &commit,
+        );
+        r.buf.handle_frame(prop.into_bytes());
+        let a = r.egress.recv_timeout(Duration::from_millis(100)).unwrap();
+        let b = r.egress.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(a.ipv4().unwrap().ident(), 1);
+        assert_eq!(b.ipv4().unwrap().ident(), 2);
+    }
+}

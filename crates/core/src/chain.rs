@@ -1,0 +1,550 @@
+//! Deploying and wiring a running FTC chain.
+//!
+//! One server per middlebox (paper §3.2: no dedicated replica servers). The
+//! forwarder shares the first server; the buffer shares the last. Servers
+//! are joined by reliable sequenced links; the buffer→forwarder feedback
+//! closes the logical ring.
+
+use crate::buffer::{spawn_buffer, BufferState};
+use crate::config::ChainConfig;
+use crate::control::{CtrlClient, InPort, OutPort};
+use crate::forwarder::{spawn_forwarder, ForwarderState};
+use crate::metrics::ChainMetrics;
+use crate::replica::{spawn_replica, ReplicaState};
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, Sender};
+use ftc_net::nic::Nic;
+use ftc_net::rpc::rpc_pair;
+use ftc_net::topology::{RegionId, Topology};
+use ftc_net::{reliable_pair, LinkConfig, Server};
+use ftc_packet::Packet;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Anything that accepts packets at one end and releases them at the other
+/// — implemented by [`FtcChain`] and by the baseline systems (NF, FTMB) so
+/// the traffic harness can drive them interchangeably.
+pub trait ChainSystem: Send + Sync {
+    /// Injects an external packet at the ingress.
+    fn inject_pkt(&self, pkt: Packet);
+    /// Receives the next released packet, waiting up to `timeout`.
+    fn egress_pkt(&self, timeout: Duration) -> Option<Packet>;
+    /// Human-readable system name ("FTC", "NF", "FTMB", …).
+    fn system_name(&self) -> &'static str;
+}
+
+impl ChainSystem for FtcChain {
+    fn inject_pkt(&self, pkt: Packet) {
+        self.inject(pkt);
+    }
+
+    fn egress_pkt(&self, timeout: Duration) -> Option<Packet> {
+        self.egress_timeout(timeout)
+    }
+
+    fn system_name(&self) -> &'static str {
+        "FTC"
+    }
+}
+
+/// A deployed replica and its attachments.
+pub struct ReplicaSlot {
+    /// Shared data-plane state.
+    pub state: Arc<ReplicaState>,
+    /// Control-plane client (zero network delay; derive with
+    /// [`ftc_net::rpc::RpcClient::with_delay`] for WAN callers).
+    pub ctrl: CtrlClient,
+    /// Incoming data link (swappable for rerouting).
+    pub in_port: Arc<InPort>,
+    /// Outgoing data link (swappable for rerouting).
+    pub out_port: Arc<OutPort>,
+    /// The replica's NIC (the forwarder dispatches into slot 0's NIC).
+    pub nic: Arc<Nic>,
+    /// Region this replica is deployed in.
+    pub region: RegionId,
+}
+
+/// Handles to interact with a running chain.
+pub struct ChainHandles {
+    /// Send external packets here.
+    pub ingress: Arc<Mutex<Sender<BytesMut>>>,
+    /// Released packets appear here.
+    pub egress: Receiver<Packet>,
+}
+
+/// A running FTC chain.
+pub struct FtcChain {
+    /// Configuration (with the effective, possibly padded, middlebox list).
+    pub cfg: Arc<ChainConfig>,
+    /// Chain-wide metrics.
+    pub metrics: Arc<ChainMetrics>,
+    /// One server per replica, by position. `None` after a kill until the
+    /// orchestrator respawns the position.
+    pub servers: Vec<Option<Server>>,
+    /// Replica attachments by position.
+    pub replicas: Vec<ReplicaSlot>,
+    /// Ingress side (swapped when the first server is respawned).
+    pub ingress: Arc<Mutex<Sender<BytesMut>>>,
+    egress_rx: Receiver<Packet>,
+    egress_tx: Sender<Packet>,
+    /// The forwarder (soft state, respawned with server 0).
+    pub forwarder: Arc<ForwarderState>,
+    /// The buffer (soft state, respawned with server n-1).
+    pub buffer: Arc<BufferState>,
+    /// Feedback in-port at the forwarder side (swappable).
+    pub feedback_in: Arc<InPort>,
+    /// Cloud topology (single region by default).
+    pub topology: Topology,
+}
+
+impl FtcChain {
+    /// Deploys a chain in a single region.
+    pub fn deploy(cfg: ChainConfig) -> FtcChain {
+        let n = cfg.effective_middleboxes().len();
+        Self::deploy_in(cfg, Topology::single(), vec![RegionId(0); n])
+    }
+
+    /// Deploys a chain across `regions` of `topology` (one entry per
+    /// effective middlebox). Inter-replica link latency gains the
+    /// inter-region one-way delay.
+    pub fn deploy_in(cfg: ChainConfig, topology: Topology, regions: Vec<RegionId>) -> FtcChain {
+        cfg.validate();
+        let cfg = Arc::new(cfg);
+        let specs = cfg.effective_middleboxes();
+        let n = specs.len();
+        assert_eq!(regions.len(), n, "one region per effective middlebox");
+        let metrics = Arc::new(ChainMetrics::default());
+
+        // Per-position parts.
+        let mut servers = Vec::with_capacity(n);
+        let mut slots: Vec<ReplicaSlot> = Vec::with_capacity(n);
+
+        // Data links between consecutive replicas, r_{n-1}→buffer, and the
+        // buffer→forwarder feedback link.
+        let mut in_ports: Vec<Arc<InPort>> = Vec::with_capacity(n);
+        let mut out_ports: Vec<Arc<OutPort>> = Vec::with_capacity(n);
+        in_ports.push(Arc::new(InPort::new(None))); // r0 is fed by the forwarder directly
+        for i in 0..n - 1 {
+            let link = Self::link_between(&cfg, &topology, regions[i], regions[i + 1], i as u64);
+            let (tx, rx) = reliable_pair(link);
+            out_ports.push(Arc::new(OutPort::new(Some(tx))));
+            in_ports.push(Arc::new(InPort::new(Some(rx))));
+        }
+        // r_{n-1} → buffer (same server: ideal link).
+        let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
+        out_ports.push(Arc::new(OutPort::new(Some(tail_tx))));
+        let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
+        // buffer → forwarder feedback.
+        let fb_link = Self::link_between(&cfg, &topology, regions[n - 1], regions[0], 7777);
+        let (fb_tx, fb_rx) = reliable_pair(fb_link);
+        let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
+        let feedback_in = Arc::new(InPort::new(Some(fb_rx)));
+
+        // Ingress / egress.
+        let (ingress_tx, ingress_rx) = channel::unbounded::<BytesMut>();
+        let ingress = Arc::new(Mutex::new(ingress_tx));
+        let (egress_tx, egress_rx) = channel::unbounded::<Packet>();
+
+        let forwarder = ForwarderState::new(Arc::clone(&metrics));
+        let buffer = BufferState::new(
+            cfg.ring(),
+            egress_tx.clone(),
+            Arc::clone(&feedback_out),
+            Arc::clone(&metrics),
+        );
+
+        for (i, spec) in specs.iter().enumerate() {
+            let mut server = Server::new(format!("server{i}"), regions[i]);
+            let state = ReplicaState::new(
+                i,
+                Arc::clone(&cfg),
+                spec.build(),
+                Arc::clone(&out_ports[i]),
+                Arc::clone(&metrics),
+            );
+            let (nic, queues) = Self::make_nic(&cfg);
+            let (ctrl_client, ctrl_server) = rpc_pair(Duration::ZERO);
+            spawn_replica(
+                &mut server,
+                Arc::clone(&state),
+                Arc::clone(&in_ports[i]),
+                Arc::clone(&nic),
+                queues,
+                ctrl_server,
+            );
+            if i == 0 {
+                spawn_forwarder(
+                    &mut server,
+                    Arc::clone(&forwarder),
+                    ingress_rx.clone(),
+                    Arc::clone(&feedback_in),
+                    Arc::clone(&nic),
+                    cfg.propagate_timeout,
+                );
+            }
+            if i == n - 1 {
+                spawn_buffer(
+                    &mut server,
+                    Arc::clone(&buffer),
+                    Arc::clone(&buffer_in),
+                    cfg.resend_period,
+                );
+            }
+            servers.push(Some(server));
+            slots.push(ReplicaSlot {
+                state,
+                ctrl: ctrl_client,
+                in_port: Arc::clone(&in_ports[i]),
+                out_port: Arc::clone(&out_ports[i]),
+                nic,
+                region: regions[i],
+            });
+        }
+
+        FtcChain {
+            cfg,
+            metrics,
+            servers,
+            replicas: slots,
+            ingress,
+            egress_rx,
+            egress_tx,
+            forwarder,
+            buffer,
+            feedback_in,
+            topology,
+        }
+    }
+
+    fn link_between(
+        cfg: &ChainConfig,
+        topo: &Topology,
+        a: RegionId,
+        b: RegionId,
+        seed_salt: u64,
+    ) -> LinkConfig {
+        let mut link = cfg.link.clone();
+        link.latency += topo.one_way(a, b);
+        link.seed = link.seed.wrapping_add(seed_salt).wrapping_mul(0x9e3779b9);
+        link
+    }
+
+    fn make_nic(cfg: &ChainConfig) -> (Arc<Nic>, Vec<Receiver<BytesMut>>) {
+        let mut nic = Nic::new(cfg.workers, cfg.nic_queue_depth);
+        let queues = (0..cfg.workers).map(|w| nic.take_queue(w)).collect();
+        (Arc::new(nic), queues)
+    }
+
+    /// Number of replicas (effective chain length).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True if the chain has no replicas (never the case after deploy).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Injects an external packet at the chain ingress.
+    pub fn inject(&self, pkt: Packet) {
+        let _ = self.ingress.lock().send(pkt.into_bytes());
+    }
+
+    /// Receives the next released packet, waiting up to `timeout`.
+    pub fn egress_timeout(&self, timeout: Duration) -> Option<Packet> {
+        self.egress_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains all currently released packets.
+    pub fn drain_egress(&self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(p) = self.egress_rx.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Fail-stops the server at `idx` (the replica, plus the forwarder or
+    /// buffer if co-located). State on the server is lost.
+    pub fn kill(&mut self, idx: usize) {
+        if let Some(mut s) = self.servers[idx].take() {
+            s.kill();
+            s.join();
+        }
+    }
+
+    /// True if the server at `idx` is alive.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.servers[idx].as_ref().is_some_and(|s| s.is_alive())
+    }
+
+    /// Rebuilds the replica at position `idx` on a fresh server in `region`
+    /// with *already recovered* state, and rewires the data plane around
+    /// it. This is the mechanical part of recovery; the orchestrator drives
+    /// state fetch (see [`crate::recovery`]) and sequencing.
+    ///
+    /// Returns the new slot's control client.
+    pub fn respawn(&mut self, idx: usize, region: RegionId, state: Arc<ReplicaState>) -> CtrlClient {
+        let n = self.len();
+        let mut server = Server::new(format!("server{idx}r"), region);
+
+        // Fresh NIC + control plane. The NIC is sized from the *replica's*
+        // config, which may carry a different worker count than the rest of
+        // the chain (vertical scaling, §4.3).
+        let (nic, queues) = Self::make_nic(&state.cfg);
+        let (ctrl_client, ctrl_server) = rpc_pair(Duration::ZERO);
+
+        // Wire: predecessor → new replica.
+        let in_port = Arc::new(InPort::new(None));
+        if idx > 0 {
+            let link = Self::link_between(
+                &self.cfg,
+                &self.topology,
+                self.replicas[idx - 1].region,
+                region,
+                idx as u64,
+            );
+            let (tx, rx) = reliable_pair(link);
+            in_port.install(rx);
+            self.replicas[idx - 1].out_port.install(tx);
+        }
+
+        // Wire: new replica → successor (or buffer).
+        let out_port = state.out.clone();
+        if idx < n - 1 {
+            let link = Self::link_between(
+                &self.cfg,
+                &self.topology,
+                region,
+                self.replicas[idx + 1].region,
+                idx as u64 + 1,
+            );
+            let (tx, rx) = reliable_pair(link);
+            out_port.install(tx);
+            self.replicas[idx + 1].in_port.install(rx);
+        } else {
+            // New last server: respawn the buffer alongside.
+            let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
+            out_port.install(tail_tx);
+            let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
+            let fb_link = Self::link_between(
+                &self.cfg,
+                &self.topology,
+                region,
+                self.replicas[0].region,
+                7777,
+            );
+            let (fb_tx, fb_rx) = reliable_pair(fb_link);
+            let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
+            self.feedback_in.install(fb_rx);
+            let buffer = BufferState::new(
+                self.cfg.ring(),
+                self.egress_tx.clone(),
+                feedback_out,
+                Arc::clone(&self.metrics),
+            );
+            spawn_buffer(
+                &mut server,
+                Arc::clone(&buffer),
+                buffer_in,
+                self.cfg.resend_period,
+            );
+            self.buffer = buffer;
+            // Feedback queued at the forwarder references the dead
+            // replica's transaction history; the replacement reissues those
+            // sequence numbers with fresh content.
+            self.forwarder.clear_pending();
+        }
+
+        if idx == 0 {
+            // New first server: respawn the forwarder (soft state, §5.2).
+            let (ingress_tx, ingress_rx) = channel::unbounded::<BytesMut>();
+            *self.ingress.lock() = ingress_tx;
+            let forwarder = ForwarderState::new(Arc::clone(&self.metrics));
+            spawn_forwarder(
+                &mut server,
+                Arc::clone(&forwarder),
+                ingress_rx,
+                Arc::clone(&self.feedback_in),
+                Arc::clone(&nic),
+                self.cfg.propagate_timeout,
+            );
+            self.forwarder = forwarder;
+        }
+
+        spawn_replica(
+            &mut server,
+            Arc::clone(&state),
+            Arc::clone(&in_port),
+            Arc::clone(&nic),
+            queues,
+            ctrl_server,
+        );
+
+        self.servers[idx] = Some(server);
+        self.replicas[idx] = ReplicaSlot {
+            state,
+            ctrl: ctrl_client.clone(),
+            in_port,
+            out_port,
+            nic,
+            region,
+        };
+        ctrl_client
+    }
+
+    /// Convenience for tests: wait until the chain has released `count`
+    /// packets or `deadline` passes; returns the released packets.
+    pub fn collect_egress(&self, count: usize, deadline: Duration) -> Vec<Packet> {
+        let start = std::time::Instant::now();
+        let mut out = Vec::new();
+        while out.len() < count && start.elapsed() < deadline {
+            if let Some(p) = self.egress_timeout(Duration::from_millis(5)) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+impl Drop for FtcChain {
+    fn drop(&mut self) {
+        for s in self.servers.iter_mut().flatten() {
+            s.kill();
+        }
+        for s in self.servers.iter_mut().flatten() {
+            s.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_mbox::MbSpec;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn monitor_chain(n: usize, f: usize) -> FtcChain {
+        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        FtcChain::deploy(ChainConfig::new(specs).with_f(f))
+    }
+
+    fn pkt(i: u16) -> Packet {
+        UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 1000 + i)
+            .dst(Ipv4Addr::new(10, 9, 9, 9), 80)
+            .ident(i)
+            .build()
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let chain = monitor_chain(3, 1);
+        for i in 0..20 {
+            chain.inject(pkt(i));
+        }
+        let got = chain.collect_egress(20, Duration::from_secs(10));
+        assert_eq!(got.len(), 20, "all packets must be released");
+        // Every replica counted every packet in its own store.
+        for slot in &chain.replicas {
+            assert_eq!(
+                slot.state.own_store.peek_u64(b"mon:packets:g0"),
+                Some(20),
+                "replica {} processed all packets",
+                slot.state.idx
+            );
+        }
+    }
+
+    #[test]
+    fn state_is_replicated_f_plus_1_times() {
+        let chain = monitor_chain(3, 1);
+        for i in 0..10 {
+            chain.inject(pkt(i));
+        }
+        let got = chain.collect_egress(10, Duration::from_secs(10));
+        assert_eq!(got.len(), 10);
+        // Give the ring a moment to commit the wrapped logs.
+        std::thread::sleep(Duration::from_millis(50));
+        // m0 replicated at r1; m1 at r2; m2 at r0 (ring).
+        for i in 0..3 {
+            let succ = (i + 1) % 3;
+            let copy = &chain.replicas[succ].state.replicated[&i];
+            assert_eq!(
+                copy.store.peek_u64(b"mon:packets:g0"),
+                Some(10),
+                "m{i}'s state must be replicated at r{succ}"
+            );
+        }
+    }
+
+    #[test]
+    fn released_packets_preserve_payload() {
+        let chain = monitor_chain(2, 1);
+        let sent = pkt(42);
+        let sent_bytes = sent.bytes().to_vec();
+        chain.inject(sent);
+        let got = chain.collect_egress(1, Duration::from_secs(5));
+        assert_eq!(got.len(), 1);
+        // Monitor does not modify packets: bytes identical, no trailer.
+        assert_eq!(got[0].bytes(), &sent_bytes[..]);
+        assert!(!got[0].has_piggyback());
+    }
+
+    #[test]
+    fn lossy_links_do_not_lose_packets() {
+        let specs = vec![
+            MbSpec::Monitor { sharing_level: 1 },
+            MbSpec::Monitor { sharing_level: 1 },
+            MbSpec::Monitor { sharing_level: 1 },
+        ];
+        let cfg = ChainConfig::new(specs)
+            .with_f(1)
+            .with_link(LinkConfig::lossy(0.05, 0.05, 1234));
+        let chain = FtcChain::deploy(cfg);
+        for i in 0..50 {
+            chain.inject(pkt(i));
+        }
+        let got = chain.collect_egress(50, Duration::from_secs(20));
+        assert_eq!(got.len(), 50, "reliable links must mask loss");
+        for slot in &chain.replicas {
+            assert_eq!(slot.state.own_store.peek_u64(b"mon:packets:g0"), Some(50));
+        }
+    }
+
+    #[test]
+    fn multithreaded_chain_counts_correctly() {
+        let specs = vec![
+            MbSpec::Monitor { sharing_level: 4 },
+            MbSpec::Monitor { sharing_level: 4 },
+        ];
+        let cfg = ChainConfig::new(specs).with_f(1).with_workers(4);
+        let chain = FtcChain::deploy(cfg);
+        let n = 200;
+        for i in 0..n {
+            chain.inject(pkt(i));
+        }
+        let got = chain.collect_egress(n as usize, Duration::from_secs(20));
+        assert_eq!(got.len(), n as usize);
+        for slot in &chain.replicas {
+            assert_eq!(
+                slot.state.own_store.peek_u64(b"mon:packets:g0"),
+                Some(u64::from(n)),
+                "shared counter must see every packet exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn f0_runs_without_replication() {
+        let chain = monitor_chain(2, 0);
+        for i in 0..5 {
+            chain.inject(pkt(i));
+        }
+        let got = chain.collect_egress(5, Duration::from_secs(5));
+        assert_eq!(got.len(), 5);
+        assert_eq!(chain.metrics.logs_applied.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+}

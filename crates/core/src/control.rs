@@ -1,0 +1,194 @@
+//! Control-plane surface of a replica and swappable data-plane ports.
+
+use ftc_net::link::Disconnected;
+use ftc_net::reliable::{ReliableReceiver, ReliableSender};
+use ftc_net::rpc::{RpcClient, RpcServer};
+use ftc_stm::StoreSnapshot;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Control requests served by a replica's control thread.
+#[derive(Debug)]
+pub enum CtrlReq {
+    /// Liveness probe (heartbeat).
+    Ping,
+    /// Fetch the state of middlebox `mbox` for recovery. Serving this
+    /// request *pauses* the replica's packet processing — "the replica that
+    /// is the source for state recovery discards any out-of-order packets
+    /// that have not been applied to its state store and will no longer
+    /// admit packets in flight" (§4.1) — until [`CtrlReq::Resume`] arrives
+    /// after rerouting.
+    FetchState {
+        /// Middlebox (position) whose store is requested.
+        mbox: usize,
+    },
+    /// Resume packet processing after recovery rerouting completed.
+    Resume,
+}
+
+/// Control responses.
+#[derive(Debug)]
+pub enum CtrlResp {
+    /// Reply to [`CtrlReq::Ping`].
+    Pong,
+    /// Reply to [`CtrlReq::FetchState`].
+    State {
+        /// Deep copy of the store.
+        snapshot: StoreSnapshot,
+        /// The `MAX` dependency vector (or the head's sequence vector).
+        max: Vec<u64>,
+    },
+    /// The replica does not replicate that middlebox.
+    NotHere,
+    /// Acknowledgement of [`CtrlReq::Resume`].
+    Resumed,
+}
+
+/// Client handle to a replica's control plane.
+pub type CtrlClient = RpcClient<CtrlReq, CtrlResp>;
+/// Server side of a replica's control plane.
+pub type CtrlServer = RpcServer<CtrlReq, CtrlResp>;
+
+/// A swappable outgoing reliable-link slot.
+///
+/// Data-plane threads send through whatever sender is currently installed;
+/// the orchestrator installs a fresh sender when rerouting around a failed
+/// successor. An empty slot (mid-recovery) drops frames — exactly the
+/// packet loss a rewired physical network would exhibit, and recovered the
+/// same way (end-to-end retransmission / buffer resend).
+pub struct OutPort {
+    slot: Mutex<Option<ReliableSender>>,
+}
+
+impl OutPort {
+    /// Creates a port, optionally pre-wired.
+    pub fn new(sender: Option<ReliableSender>) -> OutPort {
+        OutPort {
+            slot: Mutex::new(sender),
+        }
+    }
+
+    /// Sends a frame through the current link, if any.
+    pub fn send(&self, frame: bytes::BytesMut) {
+        let mut slot = self.slot.lock();
+        if let Some(tx) = slot.as_mut() {
+            if tx.send(frame).is_err() {
+                // Successor is gone; drop until rerouted.
+                *slot = None;
+            }
+        }
+    }
+
+    /// Runs the sender's retransmission/ACK processing.
+    pub fn poll(&self) {
+        let mut slot = self.slot.lock();
+        if let Some(tx) = slot.as_mut() {
+            if tx.poll().is_err() {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Installs a new link (rerouting).
+    pub fn install(&self, sender: ReliableSender) {
+        *self.slot.lock() = Some(sender);
+    }
+
+    /// True if a live link is installed.
+    pub fn is_wired(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+/// A swappable incoming reliable-link slot.
+pub struct InPort {
+    slot: Mutex<Option<ReliableReceiver>>,
+}
+
+impl InPort {
+    /// Creates a port, optionally pre-wired.
+    pub fn new(receiver: Option<ReliableReceiver>) -> InPort {
+        InPort {
+            slot: Mutex::new(receiver),
+        }
+    }
+
+    /// Receives the next in-order frame, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<bytes::BytesMut> {
+        let mut slot = self.slot.lock();
+        match slot.as_mut() {
+            Some(rx) => match rx.recv_timeout(timeout) {
+                Ok(f) => f,
+                Err(Disconnected) => {
+                    *slot = None;
+                    None
+                }
+            },
+            None => {
+                // Unwired (predecessor died): don't spin.
+                drop(slot);
+                std::thread::sleep(timeout.min(Duration::from_millis(1)));
+                None
+            }
+        }
+    }
+
+    /// Installs a new link (rerouting).
+    pub fn install(&self, receiver: ReliableReceiver) {
+        *self.slot.lock() = Some(receiver);
+    }
+
+    /// True if a live link is installed.
+    pub fn is_wired(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use ftc_net::{reliable_pair, LinkConfig};
+
+    #[test]
+    fn ports_relay_frames() {
+        let (tx, rx) = reliable_pair(LinkConfig::ideal());
+        let out = OutPort::new(Some(tx));
+        let inp = InPort::new(Some(rx));
+        out.send(BytesMut::from(&b"hello"[..]));
+        let f = inp.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(&f[..], b"hello");
+    }
+
+    #[test]
+    fn unwired_ports_drop_and_dont_block() {
+        let out = OutPort::new(None);
+        out.send(BytesMut::from(&b"x"[..])); // silently dropped
+        assert!(!out.is_wired());
+        let inp = InPort::new(None);
+        let t0 = std::time::Instant::now();
+        assert!(inp.recv_timeout(Duration::from_millis(2)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(1), "must back off");
+    }
+
+    #[test]
+    fn install_swaps_links() {
+        let out = OutPort::new(None);
+        let inp = InPort::new(None);
+        let (tx, rx) = reliable_pair(LinkConfig::ideal());
+        out.install(tx);
+        inp.install(rx);
+        out.send(BytesMut::from(&b"rewired"[..]));
+        let f = inp.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(&f[..], b"rewired");
+    }
+
+    #[test]
+    fn dead_peer_unwires_sender() {
+        let (tx, rx) = reliable_pair(LinkConfig::ideal());
+        let out = OutPort::new(Some(tx));
+        drop(rx);
+        out.send(BytesMut::from(&b"x"[..]));
+        assert!(!out.is_wired(), "send to dead peer unwires the port");
+    }
+}

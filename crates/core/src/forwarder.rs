@@ -1,0 +1,238 @@
+//! The chain ingress element (paper §5.1).
+//!
+//! The forwarder "receives incoming packets from the outside world and
+//! piggyback messages from the buffer" and "adds state updates from the
+//! buffer to incoming packets before forwarding the packets to the first
+//! middlebox". During idle periods it emits *propagating packets* so held
+//! state keeps flowing.
+
+use crate::metrics::ChainMetrics;
+use bytes::BytesMut;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use ftc_net::nic::Nic;
+use ftc_net::server::AliveToken;
+use ftc_packet::ether::MacAddr;
+use ftc_packet::piggyback::{PiggybackLog, PiggybackMessage};
+use ftc_packet::{packet, Packet};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum feedback logs attached to a single packet; the rest wait for the
+/// next packet (bounds trailer growth).
+pub const MAX_LOGS_PER_PACKET: usize = 32;
+
+/// Shared forwarder state.
+pub struct ForwarderState {
+    /// Feedback piggyback logs awaiting a carrier packet.
+    pending: Mutex<VecDeque<PiggybackLog>>,
+    metrics: Arc<ChainMetrics>,
+}
+
+impl ForwarderState {
+    /// Creates forwarder state.
+    pub fn new(metrics: Arc<ChainMetrics>) -> Arc<ForwarderState> {
+        Arc::new(ForwarderState {
+            pending: Mutex::new(VecDeque::new()),
+            metrics,
+        })
+    }
+
+    /// Ingests a feedback message from the buffer.
+    pub fn ingest_feedback(&self, frame: &[u8]) {
+        if let Ok(Some((msg, _))) = PiggybackMessage::decode_trailing(frame) {
+            let mut pending = self.pending.lock();
+            pending.extend(msg.logs);
+        }
+    }
+
+    /// Number of feedback logs waiting for a carrier.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Discards pending feedback logs. Called when the buffer is respawned
+    /// after a last-server failure: the old logs belong to transactions of
+    /// the dead replica whose packets were never released, and their
+    /// sequence numbers will be reissued by the replacement — mixing the
+    /// two histories would race stale content against fresh content.
+    pub fn clear_pending(&self) {
+        self.pending.lock().clear();
+    }
+
+    /// Builds the piggyback message for the next carrier packet.
+    fn next_message(&self, propagating: bool) -> PiggybackMessage {
+        let mut pending = self.pending.lock();
+        let take = pending.len().min(MAX_LOGS_PER_PACKET);
+        let logs: Vec<PiggybackLog> = pending.drain(..take).collect();
+        PiggybackMessage {
+            flags: if propagating {
+                ftc_packet::piggyback::flags::PROPAGATING
+            } else {
+                0
+            },
+            logs,
+            commits: Vec::new(),
+        }
+    }
+
+    /// Processes one external packet: attach pending feedback and dispatch
+    /// into the first replica's NIC.
+    pub fn handle_ingress(&self, frame: BytesMut, nic: &Nic) {
+        let t0 = Instant::now();
+        let Ok(mut pkt) = Packet::from_frame(frame) else {
+            return; // not IPv4: drop at ingress
+        };
+        let msg = self.next_message(false);
+        if pkt.attach_piggyback(&msg).is_err() {
+            return;
+        }
+        self.metrics.injected.fetch_add(1, Ordering::Relaxed);
+        self.metrics.t_forwarder.record(t0.elapsed());
+        nic.dispatch(pkt.into_bytes());
+    }
+
+    /// Emits a propagating packet if feedback is pending (idle-timer path).
+    pub fn emit_propagating(&self, nic: &Nic) -> bool {
+        if self.pending.lock().is_empty() {
+            return false;
+        }
+        let msg = self.next_message(true);
+        let prop = packet::propagating_packet(
+            MacAddr::from_index(0xF0),
+            MacAddr::from_index(0xF1),
+            &msg,
+        );
+        self.metrics.propagating.fetch_add(1, Ordering::Relaxed);
+        nic.dispatch(prop.into_bytes());
+        true
+    }
+}
+
+/// Spawns the forwarder threads onto the first server.
+///
+/// `ingress` carries external traffic; `feedback` carries encoded piggyback
+/// messages from the buffer; both feed `nic` (the first replica's NIC).
+pub fn spawn_forwarder(
+    server: &mut ftc_net::Server,
+    state: Arc<ForwarderState>,
+    ingress: Receiver<BytesMut>,
+    feedback: Arc<crate::control::InPort>,
+    nic: Arc<Nic>,
+    propagate_timeout: Duration,
+) {
+    {
+        let state = Arc::clone(&state);
+        let nic = Arc::clone(&nic);
+        server.spawn("forwarder", move |alive: AliveToken| {
+            while alive.is_alive() {
+                match ingress.recv_timeout(propagate_timeout) {
+                    Ok(frame) => state.handle_ingress(frame, &nic),
+                    Err(RecvTimeoutError::Timeout) => {
+                        // §5.1: "upon the timeout, the forwarder sends a
+                        // propagating packet carrying a piggyback message it
+                        // has received from the buffer."
+                        state.emit_propagating(&nic);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+    }
+    {
+        let state = Arc::clone(&state);
+        server.spawn("forwarder-feedback", move |alive: AliveToken| {
+            while alive.is_alive() {
+                if let Some(frame) = feedback.recv_timeout(Duration::from_millis(1)) {
+                    state.ingest_feedback(&frame);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use ftc_packet::piggyback::{DepVector, MboxId};
+
+    fn feedback_frame(n_logs: usize) -> BytesMut {
+        let logs = (0..n_logs)
+            .map(|i| PiggybackLog {
+                mbox: MboxId(7),
+                deps: DepVector::from_entries(vec![(0, i as u64)]).unwrap(),
+                writes: vec![],
+            })
+            .collect();
+        let msg = PiggybackMessage { flags: 0, logs, commits: vec![] };
+        let mut b = BytesMut::new();
+        msg.encode(&mut b);
+        b
+    }
+
+    fn take_one(nic_rx: &crossbeam::channel::Receiver<BytesMut>) -> (Packet, PiggybackMessage) {
+        let frame = nic_rx.recv_timeout(Duration::from_millis(100)).unwrap();
+        let mut pkt = Packet::from_frame(frame).unwrap();
+        let msg = pkt.detach_piggyback().unwrap().unwrap_or_default();
+        (pkt, msg)
+    }
+
+    #[test]
+    fn ingress_attaches_pending_feedback() {
+        let metrics = Arc::new(ChainMetrics::default());
+        let fwd = ForwarderState::new(metrics);
+        let mut nic = Nic::new(1, 64);
+        let rx = nic.take_queue(0);
+        fwd.ingest_feedback(&feedback_frame(3));
+        assert_eq!(fwd.pending_len(), 3);
+        fwd.handle_ingress(UdpPacketBuilder::new().build().into_bytes(), &nic);
+        let (_, msg) = take_one(&rx);
+        assert_eq!(msg.logs.len(), 3);
+        assert!(!msg.is_propagating());
+        assert_eq!(fwd.pending_len(), 0);
+    }
+
+    #[test]
+    fn feedback_overflow_spreads_across_packets() {
+        let metrics = Arc::new(ChainMetrics::default());
+        let fwd = ForwarderState::new(metrics);
+        let mut nic = Nic::new(1, 64);
+        let rx = nic.take_queue(0);
+        fwd.ingest_feedback(&feedback_frame(MAX_LOGS_PER_PACKET + 5));
+        fwd.handle_ingress(UdpPacketBuilder::new().build().into_bytes(), &nic);
+        let (_, m1) = take_one(&rx);
+        assert_eq!(m1.logs.len(), MAX_LOGS_PER_PACKET);
+        fwd.handle_ingress(UdpPacketBuilder::new().build().into_bytes(), &nic);
+        let (_, m2) = take_one(&rx);
+        assert_eq!(m2.logs.len(), 5);
+    }
+
+    #[test]
+    fn idle_propagating_packet_carries_feedback() {
+        let metrics = Arc::new(ChainMetrics::default());
+        let fwd = ForwarderState::new(Arc::clone(&metrics));
+        let mut nic = Nic::new(1, 64);
+        let rx = nic.take_queue(0);
+        assert!(!fwd.emit_propagating(&nic), "nothing pending: no packet");
+        fwd.ingest_feedback(&feedback_frame(2));
+        assert!(fwd.emit_propagating(&nic));
+        let (_, msg) = take_one(&rx);
+        assert!(msg.is_propagating());
+        assert_eq!(msg.logs.len(), 2);
+        assert_eq!(metrics.propagating.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn garbage_ingress_dropped() {
+        let metrics = Arc::new(ChainMetrics::default());
+        let fwd = ForwarderState::new(Arc::clone(&metrics));
+        let mut nic = Nic::new(1, 64);
+        let rx = nic.take_queue(0);
+        fwd.handle_ingress(BytesMut::from(&b"junk"[..]), &nic);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(metrics.injected.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! FTC — fault tolerant service function chaining (the paper's protocol).
+//!
+//! This crate implements the complete data plane of the paper:
+//!
+//! * [`config`] — chain configuration and the logical-ring arithmetic of
+//!   replication groups (§5: "viewing a chain as a logical ring, the
+//!   replication group of a middlebox consists of a replica and its `f`
+//!   succeeding replicas").
+//! * [`replica`] — the per-server runtime: multi-queue RSS dispatch, worker
+//!   threads running packet transactions at the *head*, the apply rule for
+//!   replicated piggyback logs, tail stripping and commit vectors, parked
+//!   packets for out-of-order logs, and propagating packets for filtered
+//!   traffic.
+//! * [`forwarder`] / [`buffer`] — the chain's ingress and egress elements
+//!   (§5.1): the forwarder piggybacks tail-of-chain state onto incoming
+//!   packets (and emits propagating packets on idle); the buffer withholds
+//!   packets until commit vectors prove `f+1` replication, and feeds the
+//!   wrapped state updates back to the forwarder.
+//! * [`chain`] — builds and wires a running chain over `ftc-net` servers
+//!   and reliable links, exposing inject/egress endpoints, failure
+//!   injection, and per-replica control handles.
+//! * [`control`] — the control-plane RPC surface (heartbeats, state fetch)
+//!   and the swappable link ports used for rerouting during recovery.
+//! * [`recovery`] — replica-side state transfer: fetching stores and `MAX`
+//!   vectors from group members per the paper's source-selection rule.
+//! * [`metrics`] — counters and timing breakdowns (Table 2).
+//! * [`testkit`] — a deterministic single-threaded harness over the same
+//!   protocol objects, for schedule-exploring property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod chain;
+pub mod config;
+pub mod control;
+pub mod forwarder;
+pub mod metrics;
+pub mod recovery;
+pub mod replica;
+pub mod testkit;
+
+pub use chain::{ChainHandles, ChainSystem, FtcChain};
+pub use config::{ChainConfig, RingMath};
+pub use metrics::ChainMetrics;

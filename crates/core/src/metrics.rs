@@ -1,0 +1,114 @@
+//! Chain-wide counters and per-packet timing breakdowns (paper Table 2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A nanosecond accumulator with a sample count, for mean breakdowns.
+#[derive(Debug, Default)]
+pub struct TimingCell {
+    total_ns: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl TimingCell {
+    /// Records one sample.
+    pub fn record(&self, d: Duration) {
+        self.total_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean duration across samples, if any.
+    pub fn mean(&self) -> Option<Duration> {
+        let n = self.samples.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            self.total_ns.load(Ordering::Relaxed) / n,
+        ))
+    }
+
+    /// Number of samples.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters shared across a chain's threads.
+#[derive(Debug, Default)]
+pub struct ChainMetrics {
+    /// Packets accepted at the forwarder.
+    pub injected: AtomicU64,
+    /// Packets released by the buffer.
+    pub released: AtomicU64,
+    /// Data packets filtered by a middlebox (Action::Drop).
+    pub filtered: AtomicU64,
+    /// Propagating packets emitted (forwarder idle + filtered packets).
+    pub propagating: AtomicU64,
+    /// Packets currently withheld by the buffer.
+    pub held: AtomicU64,
+    /// Piggyback logs applied at replicas.
+    pub logs_applied: AtomicU64,
+    /// Piggyback logs parked waiting for dependencies.
+    pub logs_parked: AtomicU64,
+    /// Duplicate (stale) logs discarded.
+    pub logs_stale: AtomicU64,
+    /// Total piggyback trailer bytes attached at heads.
+    pub piggyback_bytes: AtomicU64,
+    /// Packets that carried a piggyback trailer out of a head.
+    pub piggyback_count: AtomicU64,
+    /// Frames whose trailer pushed them past the configured MTU (§7.2:
+    /// deploy jumbo frames when this is non-zero).
+    pub oversize_frames: AtomicU64,
+
+    /// Table-2 breakdown: middlebox packet-transaction execution.
+    pub t_transaction: TimingCell,
+    /// Table-2 breakdown: constructing/copying piggybacked state.
+    pub t_piggyback: TimingCell,
+    /// Table-2 breakdown: applying replicated logs.
+    pub t_apply: TimingCell,
+    /// Table-2 breakdown: forwarder per-packet work.
+    pub t_forwarder: TimingCell,
+    /// Table-2 breakdown: buffer per-packet work.
+    pub t_buffer: TimingCell,
+}
+
+impl ChainMetrics {
+    /// Convenience: loads a counter.
+    pub fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Mean piggyback trailer size in bytes.
+    pub fn mean_piggyback_bytes(&self) -> Option<f64> {
+        let n = self.piggyback_count.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        Some(self.piggyback_bytes.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_cell_mean() {
+        let c = TimingCell::default();
+        assert_eq!(c.mean(), None);
+        c.record(Duration::from_micros(10));
+        c.record(Duration::from_micros(30));
+        assert_eq!(c.mean(), Some(Duration::from_micros(20)));
+        assert_eq!(c.samples(), 2);
+    }
+
+    #[test]
+    fn piggyback_mean() {
+        let m = ChainMetrics::default();
+        assert_eq!(m.mean_piggyback_bytes(), None);
+        m.piggyback_bytes.store(300, Ordering::Relaxed);
+        m.piggyback_count.store(4, Ordering::Relaxed);
+        assert_eq!(m.mean_piggyback_bytes(), Some(75.0));
+    }
+}

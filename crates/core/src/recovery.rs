@@ -1,0 +1,243 @@
+//! Replica state recovery (paper §4.1, §5.2).
+//!
+//! A replacement replica repairs `f + 1` replication groups. For the group
+//! it heads (its own middlebox), the freshest surviving copy is at its
+//! *successors* — the log propagation invariant guarantees each successor
+//! holds the same or prior state, so the closest alive successor is used.
+//! For the groups it participates in as a mid/tail member, state is fetched
+//! from the closest alive *predecessor* within the group.
+
+use crate::config::RingMath;
+use crate::control::{CtrlReq, CtrlResp};
+use crate::replica::ReplicaState;
+use ftc_stm::StoreSnapshot;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why recovery failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No alive group member could serve the state for `mbox`.
+    NoSource {
+        /// The middlebox whose state could not be recovered.
+        mbox: usize,
+    },
+    /// A source answered, but with an unexpected response.
+    BadResponse {
+        /// The middlebox being recovered.
+        mbox: usize,
+    },
+}
+
+impl core::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoveryError::NoSource { mbox } => {
+                write!(f, "no alive replica could serve state for middlebox {mbox}")
+            }
+            RecoveryError::BadResponse { mbox } => {
+                write!(f, "malformed state response for middlebox {mbox}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// How the recovery driver reaches other replicas: given `(replica, mbox)`,
+/// fetch that replica's copy of `mbox`'s state, or `None` if the replica is
+/// dead/unreachable. Implemented by the orchestrator over control RPCs.
+pub trait StateFetcher {
+    /// Attempts the fetch; `None` means the source is unavailable.
+    fn fetch(&self, replica: usize, mbox: usize) -> Option<(StoreSnapshot, Vec<u64>)>;
+}
+
+impl<F> StateFetcher for F
+where
+    F: Fn(usize, usize) -> Option<(StoreSnapshot, Vec<u64>)>,
+{
+    fn fetch(&self, replica: usize, mbox: usize) -> Option<(StoreSnapshot, Vec<u64>)> {
+        self(replica, mbox)
+    }
+}
+
+/// Source-selection order for recovering middlebox `m`'s state at replica
+/// `idx` (paper §4.1/§5.2): successors (closest first) when `idx` heads the
+/// group, predecessors within the group (closest first) otherwise.
+pub fn source_order(ring: RingMath, idx: usize, m: usize) -> Vec<usize> {
+    if m == idx {
+        // Our own middlebox: the immediate successor has the freshest copy.
+        (1..=ring.f).map(|k| (idx + k) % ring.n).collect()
+    } else {
+        // A group we participate in: walk back towards the head.
+        let mut order = Vec::new();
+        let mut r = (idx + ring.n - 1) % ring.n;
+        loop {
+            order.push(r);
+            if r == m {
+                break;
+            }
+            r = (r + ring.n - 1) % ring.n;
+        }
+        order
+    }
+}
+
+/// Recovers all of a replacement replica's state through `fetcher`.
+///
+/// Restores the own store (head role) from the closest alive successor and
+/// every replicated group from the closest alive predecessor. Returns the
+/// total bytes transferred (the recovery-time experiments report this).
+pub fn recover_replica_state(
+    state: &Arc<ReplicaState>,
+    fetcher: &dyn StateFetcher,
+) -> Result<usize, RecoveryError> {
+    let ring = state.ring;
+    let idx = state.idx;
+    let mut transferred = 0usize;
+
+    // Own (head) store — only recoverable if anyone replicates it.
+    if ring.f > 0 {
+        let (snap, max) = fetch_from_any(fetcher, ring, idx, idx)?;
+        transferred += snap.byte_size();
+        state.restore_own(&snap, &max);
+    }
+
+    // Replicated groups.
+    for m in ring.replicated_by(idx) {
+        let (snap, max) = fetch_from_any(fetcher, ring, idx, m)?;
+        transferred += snap.byte_size();
+        state.restore_replicated(m, &snap, max);
+    }
+    Ok(transferred)
+}
+
+fn fetch_from_any(
+    fetcher: &dyn StateFetcher,
+    ring: RingMath,
+    idx: usize,
+    m: usize,
+) -> Result<(StoreSnapshot, Vec<u64>), RecoveryError> {
+    for src in source_order(ring, idx, m) {
+        if src == idx {
+            continue;
+        }
+        if let Some(got) = fetcher.fetch(src, m) {
+            return Ok(got);
+        }
+    }
+    Err(RecoveryError::NoSource { mbox: m })
+}
+
+/// Convenience: a [`StateFetcher`] over chain control clients with optional
+/// per-source network delay. Dead replicas yield `None`.
+pub struct RpcFetcher<'a> {
+    /// Control clients by replica position (already delay-adjusted).
+    pub clients: Vec<Option<crate::control::CtrlClient>>,
+    /// RPC timeout per fetch.
+    pub timeout: Duration,
+    /// Marker for the borrow of the chain (clients are cloned handles).
+    pub _phantom: std::marker::PhantomData<&'a ()>,
+}
+
+impl StateFetcher for RpcFetcher<'_> {
+    fn fetch(&self, replica: usize, mbox: usize) -> Option<(StoreSnapshot, Vec<u64>)> {
+        let client = self.clients.get(replica)?.as_ref()?;
+        match client.call(CtrlReq::FetchState { mbox }, self.timeout) {
+            Ok(CtrlResp::State { snapshot, max }) => Some((snapshot, max)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChainConfig;
+    use crate::control::OutPort;
+    use crate::metrics::ChainMetrics;
+    use ftc_mbox::MbSpec;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn source_order_own_mbox_prefers_immediate_successor() {
+        let ring = RingMath { n: 5, f: 2 };
+        assert_eq!(source_order(ring, 1, 1), vec![2, 3]);
+        assert_eq!(source_order(ring, 4, 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn source_order_replicated_prefers_immediate_predecessor() {
+        let ring = RingMath { n: 5, f: 2 };
+        // r3 recovering m1 (group {1,2,3}): predecessor r2, then head r1.
+        assert_eq!(source_order(ring, 3, 1), vec![2, 1]);
+        // r0 recovering m3 (group {3,4,0}): r4, then r3.
+        assert_eq!(source_order(ring, 0, 3), vec![4, 3]);
+    }
+
+    fn mk_state(idx: usize, n: usize, f: usize) -> Arc<ReplicaState> {
+        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        let cfg = Arc::new(ChainConfig::new(specs).with_f(f));
+        ReplicaState::new(
+            idx,
+            Arc::clone(&cfg),
+            MbSpec::Monitor { sharing_level: 1 }.build(),
+            Arc::new(OutPort::new(None)),
+            Arc::new(ChainMetrics::default()),
+        )
+    }
+
+    #[test]
+    fn recover_uses_fallback_when_primary_source_dead() {
+        // n=4, f=2. New r1 recovers m1 from successors {2,3}; pretend r2 is
+        // dead so r3 serves, and record who got asked.
+        let asked = Mutex::new(Vec::new());
+        let donor = mk_state(3, 4, 2);
+        // Give the donor some own-store state so snapshots are non-trivial.
+        // (r3's replicated stores include m1 and m2.)
+        let kpart = donor.replicated[&1].store.partition_of(b"k");
+        donor.replicated[&1].store.apply_writes(
+            &ftc_stm::DepVector::from_entries(vec![(kpart, 0)]).unwrap(),
+            &[ftc_stm::StateWrite {
+                key: bytes::Bytes::from_static(b"k"),
+                value: bytes::Bytes::from_static(b"v"),
+                partition: kpart,
+            }],
+        );
+        let snapshots: HashMap<(usize, usize), (StoreSnapshot, Vec<u64>)> = {
+            let mut m = HashMap::new();
+            m.insert((3, 1), (donor.replicated[&1].store.snapshot(), donor.replicated[&1].max.vector()));
+            m.insert((0, 3), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
+            m.insert((0, 0), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
+            m.insert((3, 0), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
+            m
+        };
+        let fetcher = |replica: usize, mbox: usize| {
+            asked.lock().unwrap().push((replica, mbox));
+            if replica == 2 {
+                return None; // dead
+            }
+            snapshots.get(&(replica, mbox)).cloned()
+        };
+        let new_r1 = mk_state(1, 4, 2);
+        let moved = recover_replica_state(&new_r1, &fetcher).unwrap();
+        assert!(moved > 0);
+        // Own mbox m1: asked r2 (dead) then r3.
+        let log = asked.lock().unwrap().clone();
+        assert!(log.contains(&(2, 1)) && log.contains(&(3, 1)));
+        assert_eq!(
+            new_r1.own_store.peek(b"k"),
+            Some(bytes::Bytes::from_static(b"v")),
+            "own store restored from the fallback successor"
+        );
+    }
+
+    #[test]
+    fn recover_fails_cleanly_when_all_sources_dead() {
+        let new_r1 = mk_state(1, 3, 1);
+        let fetcher = |_: usize, _: usize| None;
+        let err = recover_replica_state(&new_r1, &fetcher).unwrap_err();
+        assert!(matches!(err, RecoveryError::NoSource { .. }));
+    }
+}

@@ -1,0 +1,345 @@
+//! A deterministic, single-threaded chain harness for protocol testing.
+//!
+//! The production runtime ([`crate::chain::FtcChain`]) runs replicas on
+//! real threads, which makes interleavings uncontrollable. [`SyncChain`]
+//! wires the *same* protocol state objects ([`crate::replica::ReplicaState`],
+//! [`crate::forwarder::ForwarderState`], [`crate::buffer::BufferState`])
+//! with synchronous stepping instead of threads, so property-based tests
+//! can drive arbitrary schedules — "step replica 2, then the buffer, then
+//! replica 0 twice…" — and check protocol invariants under every explored
+//! interleaving, deterministically.
+
+use crate::buffer::BufferState;
+use crate::config::ChainConfig;
+use crate::control::{InPort, OutPort};
+use crate::forwarder::ForwarderState;
+use crate::metrics::ChainMetrics;
+use crate::replica::ReplicaState;
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver};
+use ftc_net::nic::Nic;
+use ftc_net::{reliable_pair, LinkConfig};
+use ftc_packet::Packet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Components that can be stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Move frames from replica `i`'s in-port through its NIC and process
+    /// one queued frame.
+    Replica(usize),
+    /// Deliver pending feedback to the forwarder.
+    ForwarderFeedback,
+    /// Fire the forwarder's idle timer (propagating packet).
+    ForwarderTimer,
+    /// Process one frame at the buffer.
+    Buffer,
+    /// Fire the buffer's resend timer.
+    BufferTimer,
+}
+
+/// A synchronous, deterministic FTC chain.
+pub struct SyncChain {
+    /// The chain's replicas (single worker each).
+    pub replicas: Vec<Arc<ReplicaState>>,
+    /// Chain-wide metrics (shared with the components).
+    pub metrics: Arc<ChainMetrics>,
+    forwarder: Arc<ForwarderState>,
+    buffer: Arc<BufferState>,
+    nics: Vec<Arc<Nic>>,
+    worker_queues: Vec<Receiver<BytesMut>>,
+    in_ports: Vec<Arc<InPort>>,
+    buffer_in: Arc<InPort>,
+    feedback_in: Arc<InPort>,
+    egress: Receiver<Packet>,
+}
+
+impl SyncChain {
+    /// Builds a synchronous chain for `cfg` (worker count forced to 1; all
+    /// links ideal — loss/reorder schedules are expressed through `Step`
+    /// ordering instead).
+    pub fn new(mut cfg: ChainConfig) -> SyncChain {
+        cfg.workers = 1;
+        cfg.link = LinkConfig::ideal();
+        cfg.validate();
+        let cfg = Arc::new(cfg);
+        let specs = cfg.effective_middleboxes();
+        let n = specs.len();
+        let metrics = Arc::new(ChainMetrics::default());
+
+        let mut in_ports: Vec<Arc<InPort>> = Vec::with_capacity(n);
+        let mut out_ports: Vec<Arc<OutPort>> = Vec::with_capacity(n);
+        in_ports.push(Arc::new(InPort::new(None)));
+        for _ in 0..n - 1 {
+            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            out_ports.push(Arc::new(OutPort::new(Some(tx))));
+            in_ports.push(Arc::new(InPort::new(Some(rx))));
+        }
+        let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
+        out_ports.push(Arc::new(OutPort::new(Some(tail_tx))));
+        let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
+        let (fb_tx, fb_rx) = reliable_pair(LinkConfig::ideal());
+        let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
+        let feedback_in = Arc::new(InPort::new(Some(fb_rx)));
+
+        let (egress_tx, egress_rx) = channel::unbounded();
+        let forwarder = ForwarderState::new(Arc::clone(&metrics));
+        let buffer = BufferState::new(
+            cfg.ring(),
+            egress_tx,
+            feedback_out,
+            Arc::clone(&metrics),
+        );
+
+        let mut replicas = Vec::with_capacity(n);
+        let mut nics = Vec::with_capacity(n);
+        let mut worker_queues = Vec::with_capacity(n);
+        for (i, spec) in specs.iter().enumerate() {
+            let state = ReplicaState::new(
+                i,
+                Arc::clone(&cfg),
+                spec.build(),
+                Arc::clone(&out_ports[i]),
+                Arc::clone(&metrics),
+            );
+            let mut nic = Nic::new(1, cfg.nic_queue_depth);
+            worker_queues.push(nic.take_queue(0));
+            nics.push(Arc::new(nic));
+            replicas.push(state);
+        }
+
+        SyncChain {
+            replicas,
+            metrics,
+            forwarder,
+            buffer,
+            nics,
+            worker_queues,
+            in_ports,
+            buffer_in,
+            feedback_in,
+            egress: egress_rx,
+        }
+    }
+
+    /// Injects a packet at the forwarder (processed immediately into the
+    /// first replica's NIC queue, like the ingress thread would).
+    pub fn inject(&self, pkt: Packet) {
+        self.forwarder.handle_ingress(pkt.into_bytes(), &self.nics[0]);
+    }
+
+    /// Executes one scheduling step. Returns true if any work happened.
+    pub fn step(&self, step: Step) -> bool {
+        match step {
+            Step::Replica(i) => {
+                let i = i % self.replicas.len();
+                let mut progressed = false;
+                // Link → NIC (one frame).
+                if let Some(frame) = self.in_ports[i].recv_timeout(Duration::ZERO) {
+                    self.nics[i].dispatch(frame);
+                    progressed = true;
+                }
+                // NIC queue → protocol (one frame).
+                if let Ok(frame) = self.worker_queues[i].try_recv() {
+                    self.replicas[i].handle_frame(0, frame);
+                    progressed = true;
+                }
+                progressed
+            }
+            Step::ForwarderFeedback => {
+                match self.feedback_in.recv_timeout(Duration::ZERO) {
+                    Some(frame) => {
+                        self.forwarder.ingest_feedback(&frame);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Step::ForwarderTimer => self.forwarder.emit_propagating(&self.nics[0]),
+            Step::Buffer => match self.buffer_in.recv_timeout(Duration::ZERO) {
+                Some(frame) => {
+                    self.buffer.handle_frame(frame);
+                    true
+                }
+                None => false,
+            },
+            Step::BufferTimer => {
+                self.buffer.tick();
+                true
+            }
+        }
+    }
+
+    /// Round-robin steps everything until nothing progresses and all
+    /// injected packets are accounted for, or `max_rounds` is exhausted.
+    /// Timer steps fire once per idle round, mirroring the real timers.
+    pub fn run_to_quiescence(&self, max_rounds: usize) {
+        let n = self.replicas.len();
+        for _ in 0..max_rounds {
+            let mut progressed = false;
+            for i in 0..n {
+                while self.step(Step::Replica(i)) {
+                    progressed = true;
+                }
+            }
+            progressed |= self.step(Step::Buffer);
+            while self.step(Step::Buffer) {}
+            progressed |= self.step(Step::ForwarderFeedback);
+            while self.step(Step::ForwarderFeedback) {}
+            if !progressed {
+                // Idle: fire the timers once; if that creates no new work
+                // either, the chain is quiescent.
+                self.step(Step::BufferTimer);
+                let timer_work = self.step(Step::ForwarderTimer);
+                let more = self.step(Step::Buffer) || self.step(Step::Replica(0));
+                if !timer_work && !more {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Deterministically fail-stops replica `idx` and rebuilds it via the
+    /// §4.1/§5.2 recovery procedure, fetching state synchronously from the
+    /// surviving group members. In-flight frames queued at the dead replica
+    /// are discarded (fail-stop loses them); the wrapped-log resend path
+    /// re-replicates whatever the buffer still owes.
+    pub fn fail_and_recover(&mut self, idx: usize) {
+        use crate::recovery::recover_replica_state;
+        let n = self.replicas.len();
+        let cfg = Arc::clone(&self.replicas[idx].cfg);
+        let spec = cfg.effective_middleboxes()[idx].clone();
+
+        // Fail-stop: drop queued frames at the victim.
+        while self.worker_queues[idx].try_recv().is_ok() {}
+        while self.in_ports[idx].recv_timeout(Duration::ZERO).is_some() {}
+
+        // Fresh replacement.
+        let state = ReplicaState::new(
+            idx,
+            cfg,
+            spec.build(),
+            Arc::new(OutPort::new(None)),
+            Arc::clone(&self.metrics),
+        );
+
+        // Synchronous state fetch from live replicas, following the same
+        // source-selection rule the orchestrator uses.
+        let replicas = &self.replicas;
+        let fetcher = |src: usize, mbox: usize| {
+            let r = &replicas[src];
+            r.discard_parked();
+            if mbox == src {
+                Some((r.own_store.snapshot(), r.own_store.seq_vector()))
+            } else {
+                r.replicated
+                    .get(&mbox)
+                    .map(|g| (g.store.snapshot(), g.max.vector()))
+            }
+        };
+        recover_replica_state(&state, &fetcher).expect("sync recovery");
+
+        // Rewire: predecessor → new replica → successor (or buffer).
+        let in_port = Arc::new(InPort::new(None));
+        if idx > 0 {
+            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            in_port.install(rx);
+            self.replicas[idx - 1].out.install(tx);
+        }
+        if idx < n - 1 {
+            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            state.out.install(tx);
+            self.in_ports[idx + 1].install(rx);
+        } else {
+            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            state.out.install(tx);
+            self.buffer_in.install(rx);
+        }
+        let mut nic = Nic::new(1, state.cfg.nic_queue_depth);
+        self.worker_queues[idx] = nic.take_queue(0);
+        self.nics[idx] = Arc::new(nic);
+        self.in_ports[idx] = in_port;
+        self.replicas[idx] = state;
+    }
+
+    /// Drains all released packets.
+    pub fn drain_egress(&self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(p) = self.egress.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Packets currently withheld by the buffer.
+    pub fn held(&self) -> usize {
+        self.buffer.held_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_mbox::MbSpec;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn pkt(i: u16) -> Packet {
+        UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(10, 2, 0, 1), 1000 + i)
+            .dst(Ipv4Addr::new(10, 3, 0, 1), 80)
+            .ident(i)
+            .build()
+    }
+
+    #[test]
+    fn sync_chain_releases_everything_round_robin() {
+        let chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        for i in 0..10 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        let got = chain.drain_egress();
+        assert_eq!(got.len(), 10);
+        assert_eq!(chain.held(), 0);
+        for r in &chain.replicas {
+            assert_eq!(r.own_store.peek_u64(b"mon:packets:g0"), Some(10));
+        }
+        // Full ring replication at quiescence.
+        for i in 0..3 {
+            let succ = (i + 1) % 3;
+            assert_eq!(
+                chain.replicas[succ].replicated[&i].store.peek_u64(b"mon:packets:g0"),
+                Some(10)
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_schedule_starving_one_replica_still_converges() {
+        let chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        for i in 0..5 {
+            chain.inject(pkt(i));
+        }
+        // Step only replica 0 for a while (1 and 2 starve)…
+        for _ in 0..50 {
+            chain.step(Step::Replica(0));
+        }
+        assert!(chain.drain_egress().is_empty(), "nothing can release yet");
+        // …then let everything run.
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.drain_egress().len(), 5);
+    }
+
+    #[test]
+    fn f0_chain_needs_no_feedback() {
+        let chain = SyncChain::new(
+            ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 2]).with_f(0),
+        );
+        chain.inject(pkt(1));
+        chain.run_to_quiescence(100);
+        assert_eq!(chain.drain_egress().len(), 1);
+        assert_eq!(chain.metrics.logs_applied.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+}

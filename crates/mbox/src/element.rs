@@ -1,0 +1,330 @@
+//! A lightweight Click-style element graph.
+//!
+//! The paper's middleboxes are "implemented in Click [34]", the modular
+//! router whose configurations are graphs of small packet-processing
+//! *elements*. This module provides the same composition style for the
+//! stateless plumbing around our transactional middleboxes: elements push
+//! packets to numbered output ports; a [`Pipeline`] chains elements through
+//! port 0.
+
+use bytes::Bytes;
+use ftc_packet::{checksum, ether, Packet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A packet-processing element with numbered output ports.
+pub trait Element: Send {
+    /// Element name (Click-style, e.g. `CheckIPHeader`).
+    fn name(&self) -> &str;
+
+    /// Processes `pkt`, emitting zero or more packets via `out(port, pkt)`.
+    fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet));
+}
+
+/// A linear chain of elements: each element's port 0 feeds the next; output
+/// on any other port is discarded (like wiring it to Click's `Discard`).
+#[derive(Default)]
+pub struct Pipeline {
+    elements: Vec<Box<dyn Element>>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline (a wire).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Appends an element.
+    pub fn then(mut self, e: impl Element + 'static) -> Pipeline {
+        self.elements.push(Box::new(e));
+        self
+    }
+
+    /// Pushes a packet through the pipeline; surviving packets reach `sink`.
+    pub fn push(&mut self, pkt: Packet, sink: &mut dyn FnMut(Packet)) {
+        Self::push_from(&mut self.elements, 0, pkt, sink);
+    }
+
+    fn push_from(
+        elements: &mut [Box<dyn Element>],
+        idx: usize,
+        pkt: Packet,
+        sink: &mut dyn FnMut(Packet),
+    ) {
+        let Some((first, rest)) = elements[idx..].split_first_mut() else {
+            sink(pkt);
+            return;
+        };
+        let mut emitted: Vec<Packet> = Vec::new();
+        first.push(pkt, &mut |port, p| {
+            if port == 0 {
+                emitted.push(p);
+            }
+        });
+        if rest.is_empty() {
+            for p in emitted {
+                sink(p);
+            }
+        } else {
+            for p in emitted {
+                Self::push_from(elements, idx + 1, p, sink);
+            }
+        }
+    }
+}
+
+/// Counts packets and bytes passing through (Click `Counter`).
+pub struct Counter {
+    /// Packets seen.
+    pub packets: Arc<AtomicU64>,
+    /// Bytes seen.
+    pub bytes: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter; clone the returned atomics to observe it.
+    pub fn new() -> Counter {
+        Counter {
+            packets: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Element for Counter {
+    fn name(&self) -> &str {
+        "Counter"
+    }
+
+    fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(pkt.wire_len() as u64, Ordering::Relaxed);
+        out(0, pkt);
+    }
+}
+
+/// Verifies the IPv4 header; invalid packets exit on port 1
+/// (Click `CheckIPHeader`).
+#[derive(Debug, Default)]
+pub struct CheckIpHeader;
+
+impl Element for CheckIpHeader {
+    fn name(&self) -> &str {
+        "CheckIPHeader"
+    }
+
+    fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        let ok = pkt
+            .ipv4()
+            .and_then(|v| v.verify_checksum())
+            .is_ok();
+        out(if ok { 0 } else { 1 }, pkt);
+    }
+}
+
+/// Decrements the IPv4 TTL, emitting expired packets on port 1
+/// (Click `DecIPTTL`).
+#[derive(Debug, Default)]
+pub struct DecIpTtl;
+
+impl Element for DecIpTtl {
+    fn name(&self) -> &str {
+        "DecIPTTL"
+    }
+
+    fn push(&mut self, mut pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        let l3 = pkt.l3_mut();
+        if l3.len() < 20 || l3[8] <= 1 {
+            out(1, pkt);
+            return;
+        }
+        let old_word = u16::from_be_bytes([l3[8], l3[9]]);
+        l3[8] -= 1;
+        let new_word = u16::from_be_bytes([l3[8], l3[9]]);
+        let hc = u16::from_be_bytes([l3[10], l3[11]]);
+        let fixed = checksum::update(hc, old_word, new_word);
+        l3[10..12].copy_from_slice(&fixed.to_be_bytes());
+        out(0, pkt);
+    }
+}
+
+/// Classifies by IP protocol: TCP → port 0, UDP → port 1, other → port 2
+/// (a fixed-pattern Click `IPClassifier`).
+#[derive(Debug, Default)]
+pub struct ProtoClassifier;
+
+impl Element for ProtoClassifier {
+    fn name(&self) -> &str {
+        "IPClassifier"
+    }
+
+    fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        let proto = pkt.ipv4().map(|v| v.protocol()).unwrap_or(255);
+        let port = match proto {
+            ftc_packet::ip::PROTO_TCP => 0,
+            ftc_packet::ip::PROTO_UDP => 1,
+            _ => 2,
+        };
+        out(port, pkt);
+    }
+}
+
+/// Swaps source and destination MAC addresses (Click `EtherMirror`), used
+/// when bouncing packets back towards a traffic source.
+#[derive(Debug, Default)]
+pub struct EtherMirror;
+
+impl Element for EtherMirror {
+    fn name(&self) -> &str {
+        "EtherMirror"
+    }
+
+    fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        let eth = pkt.eth();
+        let (src, dst) = (eth.src(), eth.dst());
+        let mut data = pkt.into_bytes();
+        let _ = ether::emit(&mut data, dst, src, ether::ETHERTYPE_IPV4);
+        out(0, Packet::from_frame_unchecked(data));
+    }
+}
+
+/// Writes a fixed byte pattern over the UDP payload (Click `StoreData`
+/// flavoured); useful to build recognizable test traffic.
+pub struct PayloadStamp {
+    /// The stamp written at the start of the payload.
+    pub stamp: Bytes,
+}
+
+impl Element for PayloadStamp {
+    fn name(&self) -> &str {
+        "PayloadStamp"
+    }
+
+    fn push(&mut self, mut pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
+        if let Ok(l4) = pkt.l4_mut() {
+            if l4.len() >= 8 + self.stamp.len() {
+                l4[8..8 + self.stamp.len()].copy_from_slice(&self.stamp);
+            }
+        }
+        out(0, pkt);
+    }
+}
+
+/// Drops everything (Click `Discard`).
+#[derive(Debug, Default)]
+pub struct Discard;
+
+impl Element for Discard {
+    fn name(&self) -> &str {
+        "Discard"
+    }
+
+    fn push(&mut self, _pkt: Packet, _out: &mut dyn FnMut(usize, Packet)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
+
+    fn collect(pipeline: &mut Pipeline, pkt: Packet) -> Vec<Packet> {
+        let mut got = Vec::new();
+        pipeline.push(pkt, &mut |p| got.push(p));
+        got
+    }
+
+    #[test]
+    fn empty_pipeline_is_a_wire() {
+        let mut p = Pipeline::new();
+        let out = collect(&mut p, UdpPacketBuilder::new().build());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        let packets = Arc::clone(&c.packets);
+        let bytes = Arc::clone(&c.bytes);
+        let mut p = Pipeline::new().then(c);
+        let pkt = UdpPacketBuilder::new().frame_len(128).build();
+        collect(&mut p, pkt.clone());
+        collect(&mut p, pkt);
+        assert_eq!(packets.load(Ordering::Relaxed), 2);
+        assert_eq!(bytes.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn check_ip_header_filters_corrupt() {
+        let mut p = Pipeline::new().then(CheckIpHeader);
+        let good = UdpPacketBuilder::new().build();
+        assert_eq!(collect(&mut p, good).len(), 1);
+        let mut bad = UdpPacketBuilder::new().build();
+        bad.l3_mut()[15] ^= 0xff; // corrupt src ip without fixing checksum
+        assert_eq!(collect(&mut p, bad).len(), 0, "diverted to port 1 = dropped");
+    }
+
+    #[test]
+    fn dec_ttl_decrements_and_expires() {
+        let mut p = Pipeline::new().then(DecIpTtl);
+        let pkt = UdpPacketBuilder::new().build();
+        let before = pkt.ipv4().unwrap().ttl();
+        let out = collect(&mut p, pkt);
+        assert_eq!(out[0].ipv4().unwrap().ttl(), before - 1);
+        out[0].ipv4().unwrap().verify_checksum().unwrap();
+
+        // TTL 1 expires.
+        let mut dying = UdpPacketBuilder::new().build();
+        {
+            let l3 = dying.l3_mut();
+            let old = u16::from_be_bytes([l3[8], l3[9]]);
+            l3[8] = 1;
+            let new = u16::from_be_bytes([l3[8], l3[9]]);
+            let hc = u16::from_be_bytes([l3[10], l3[11]]);
+            let fixed = checksum::update(hc, old, new);
+            l3[10..12].copy_from_slice(&fixed.to_be_bytes());
+        }
+        assert_eq!(collect(&mut p, dying).len(), 0);
+    }
+
+    #[test]
+    fn classifier_routes_by_protocol() {
+        let mut cls = ProtoClassifier;
+        let mut ports = Vec::new();
+        cls.push(TcpPacketBuilder::new().build(), &mut |port, _| ports.push(port));
+        cls.push(UdpPacketBuilder::new().build(), &mut |port, _| ports.push(port));
+        assert_eq!(ports, vec![0, 1]);
+    }
+
+    #[test]
+    fn ether_mirror_swaps_macs() {
+        let pkt = UdpPacketBuilder::new().build();
+        let (src, dst) = (pkt.eth().src(), pkt.eth().dst());
+        let mut m = EtherMirror;
+        let mut out = Vec::new();
+        m.push(pkt, &mut |_, p| out.push(p));
+        assert_eq!(out[0].eth().src(), dst);
+        assert_eq!(out[0].eth().dst(), src);
+    }
+
+    #[test]
+    fn discard_ends_pipeline() {
+        let mut p = Pipeline::new().then(Counter::new()).then(Discard);
+        assert_eq!(collect(&mut p, UdpPacketBuilder::new().build()).len(), 0);
+    }
+
+    #[test]
+    fn payload_stamp_writes_payload() {
+        let mut p = Pipeline::new().then(PayloadStamp {
+            stamp: Bytes::from_static(b"HELLO"),
+        });
+        let out = collect(&mut p, UdpPacketBuilder::new().payload_len(32).build());
+        let l4 = out[0].l4().unwrap();
+        assert_eq!(&l4[8..13], b"HELLO");
+    }
+}

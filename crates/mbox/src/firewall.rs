@@ -1,0 +1,232 @@
+//! A stateless firewall (Table 1: "Firewall — stateless").
+
+use crate::middlebox::{Action, Middlebox, ProcCtx};
+use ftc_packet::Packet;
+use ftc_stm::{Txn, TxnError};
+use std::net::Ipv4Addr;
+use std::ops::RangeInclusive;
+
+/// Permit or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirewallAction {
+    /// Let the packet through.
+    Permit,
+    /// Filter the packet.
+    Deny,
+}
+
+/// An IPv4 prefix match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cidr {
+    addr: u32,
+    mask: u32,
+}
+
+impl Cidr {
+    /// Builds a prefix like `Cidr::new("10.0.0.0", 8)`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Cidr {
+        assert!(prefix_len <= 32);
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        };
+        Cidr {
+            addr: u32::from(addr) & mask,
+            mask,
+        }
+    }
+
+    /// Matches every address.
+    pub fn any() -> Cidr {
+        Cidr { addr: 0, mask: 0 }
+    }
+
+    /// True if `ip` falls in this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & self.mask == self.addr
+    }
+}
+
+/// One match rule; first matching rule wins.
+#[derive(Debug, Clone)]
+pub struct FirewallRule {
+    /// Source prefix.
+    pub src: Cidr,
+    /// Destination prefix.
+    pub dst: Cidr,
+    /// Protocol to match (None = any).
+    pub protocol: Option<u8>,
+    /// Destination port range (None = any).
+    pub dst_ports: Option<RangeInclusive<u16>>,
+    /// What to do on match.
+    pub action: FirewallAction,
+}
+
+impl FirewallRule {
+    /// A deny-all-from-prefix rule.
+    pub fn deny_src(src: Cidr) -> FirewallRule {
+        FirewallRule {
+            src,
+            dst: Cidr::any(),
+            protocol: None,
+            dst_ports: None,
+            action: FirewallAction::Deny,
+        }
+    }
+
+    /// A deny rule for a destination port range.
+    pub fn deny_dst_ports(ports: RangeInclusive<u16>) -> FirewallRule {
+        FirewallRule {
+            src: Cidr::any(),
+            dst: Cidr::any(),
+            protocol: None,
+            dst_ports: Some(ports),
+            action: FirewallAction::Deny,
+        }
+    }
+}
+
+/// A stateless packet-filtering firewall. Unmatched packets are permitted.
+#[derive(Debug, Default)]
+pub struct Firewall {
+    rules: Vec<FirewallRule>,
+}
+
+impl Firewall {
+    /// Creates a firewall with the given rules.
+    pub fn new(rules: Vec<FirewallRule>) -> Firewall {
+        Firewall { rules }
+    }
+
+    /// Evaluates the rules for a flow.
+    pub fn evaluate(&self, key: &ftc_packet::FlowKey) -> FirewallAction {
+        for r in &self.rules {
+            if !r.src.contains(key.src_ip) || !r.dst.contains(key.dst_ip) {
+                continue;
+            }
+            if let Some(p) = r.protocol {
+                if p != key.protocol {
+                    continue;
+                }
+            }
+            if let Some(ports) = &r.dst_ports {
+                if !ports.contains(&key.dst_port) {
+                    continue;
+                }
+            }
+            return r.action;
+        }
+        FirewallAction::Permit
+    }
+}
+
+impl Middlebox for Firewall {
+    fn name(&self) -> &str {
+        "Firewall"
+    }
+
+    fn process(
+        &self,
+        pkt: &mut Packet,
+        _txn: &mut Txn<'_>,
+        _ctx: ProcCtx,
+    ) -> Result<Action, TxnError> {
+        let Ok(key) = pkt.flow_key() else {
+            // Unparseable L4: drop defensively.
+            return Ok(Action::Drop);
+        };
+        Ok(match self.evaluate(&key) {
+            FirewallAction::Permit => Action::Forward,
+            FirewallAction::Deny => Action::Drop,
+        })
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middlebox::ProcCtx;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use ftc_stm::StateStore;
+
+    fn run(fw: &Firewall, src: Ipv4Addr, dst: Ipv4Addr, dst_port: u16) -> Action {
+        let store = StateStore::new(4);
+        let mut pkt = UdpPacketBuilder::new().src(src, 1000).dst(dst, dst_port).build();
+        let out = store.transaction(|txn| fw.process(&mut pkt, txn, ProcCtx::single()));
+        assert!(out.log.is_none(), "stateless firewall must not write state");
+        out.value
+    }
+
+    #[test]
+    fn default_permit() {
+        let fw = Firewall::new(vec![]);
+        assert_eq!(
+            run(&fw, Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 80),
+            Action::Forward
+        );
+    }
+
+    #[test]
+    fn deny_by_source_prefix() {
+        let fw = Firewall::new(vec![FirewallRule::deny_src(Cidr::new(
+            Ipv4Addr::new(10, 66, 0, 0),
+            16,
+        ))]);
+        assert_eq!(
+            run(&fw, Ipv4Addr::new(10, 66, 9, 9), Ipv4Addr::new(8, 8, 8, 8), 80),
+            Action::Drop
+        );
+        assert_eq!(
+            run(&fw, Ipv4Addr::new(10, 67, 9, 9), Ipv4Addr::new(8, 8, 8, 8), 80),
+            Action::Forward
+        );
+    }
+
+    #[test]
+    fn deny_by_port_range() {
+        let fw = Firewall::new(vec![FirewallRule::deny_dst_ports(137..=139)]);
+        assert_eq!(
+            run(&fw, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 138),
+            Action::Drop
+        );
+        assert_eq!(
+            run(&fw, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 140),
+            Action::Forward
+        );
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let permit_then_deny = Firewall::new(vec![
+            FirewallRule {
+                src: Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+                dst: Cidr::any(),
+                protocol: None,
+                dst_ports: None,
+                action: FirewallAction::Permit,
+            },
+            FirewallRule::deny_src(Cidr::any()),
+        ]);
+        assert_eq!(
+            run(&permit_then_deny, Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80),
+            Action::Forward
+        );
+        assert_eq!(
+            run(&permit_then_deny, Ipv4Addr::new(11, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80),
+            Action::Drop
+        );
+    }
+
+    #[test]
+    fn cidr_edges() {
+        assert!(Cidr::any().contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let host = Cidr::new(Ipv4Addr::new(9, 9, 9, 9), 32);
+        assert!(host.contains(Ipv4Addr::new(9, 9, 9, 9)));
+        assert!(!host.contains(Ipv4Addr::new(9, 9, 9, 8)));
+    }
+}

@@ -1,0 +1,201 @@
+//! The middlebox abstraction: transactional packet processing.
+
+use crate::firewall::FirewallRule;
+use ftc_packet::Packet;
+use ftc_stm::{Txn, TxnError};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// What to do with a packet after processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Forward the packet to the next hop.
+    Forward,
+    /// Drop (filter) the packet. Under FTC, the runtime emits a propagating
+    /// packet to carry the transaction's piggyback log onward (paper §5.1).
+    Drop,
+}
+
+/// Per-invocation context handed to middleboxes.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcCtx {
+    /// Index of the worker thread running this transaction.
+    pub worker: usize,
+    /// Total worker threads of this middlebox instance.
+    pub workers: usize,
+}
+
+impl ProcCtx {
+    /// Context for single-threaded processing.
+    pub fn single() -> ProcCtx {
+        ProcCtx { worker: 0, workers: 1 }
+    }
+}
+
+/// A data-plane function processing packets inside FTC packet transactions.
+///
+/// All state accesses go through the [`Txn`] — this is the paper's
+/// requirement that "for an existing middlebox to use FTC, its source code
+/// must be modified to call our API for state reads and writes" (§4.1).
+///
+/// `process` may be re-executed if the transaction is wounded, so packet
+/// mutations must be deterministic functions of the packet and the state
+/// read in the *current* execution (all our middleboxes satisfy this: they
+/// rewrite headers based on the mapping they just read or created).
+pub trait Middlebox: Send + Sync {
+    /// Short human-readable name.
+    fn name(&self) -> &str;
+
+    /// Processes one packet inside transaction `txn`.
+    fn process(&self, pkt: &mut Packet, txn: &mut Txn<'_>, ctx: ProcCtx)
+        -> Result<Action, TxnError>;
+
+    /// Whether the middlebox keeps dynamic state (stateless middleboxes
+    /// never produce piggyback logs).
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+/// A cloneable, buildable description of a middlebox.
+///
+/// Failure recovery must "instantiate a new middlebox instance" at the
+/// failure position (paper §4.1/§5.2), so chains are configured with specs
+/// rather than live instances; the orchestrator calls [`MbSpec::build`]
+/// again when respawning.
+#[derive(Debug, Clone)]
+pub enum MbSpec {
+    /// The commercial-NAT core (read-heavy, writes per flow).
+    MazuNat {
+        /// External address used for rewritten flows.
+        external_ip: Ipv4Addr,
+    },
+    /// Basic NAT functionality.
+    SimpleNat {
+        /// External address used for rewritten flows.
+        external_ip: Ipv4Addr,
+    },
+    /// Packet counter (read/write-heavy).
+    Monitor {
+        /// Number of worker threads sharing one counter (paper §7.1).
+        sharing_level: usize,
+    },
+    /// Synthetic write-heavy state generator.
+    Gen {
+        /// Bytes of state written per packet (paper Fig. 5).
+        state_size: usize,
+    },
+    /// Intrusion detection: port-scan blocking + signature alerts.
+    Ids {
+        /// Distinct destination ports a source may contact before it is
+        /// flagged as a scanner.
+        scan_threshold: usize,
+        /// Payload byte patterns that trigger an alert and a drop.
+        signatures: Vec<Vec<u8>>,
+    },
+    /// Stateless packet filter.
+    Firewall {
+        /// Match rules, first match wins; default permit.
+        rules: Vec<FirewallRule>,
+    },
+    /// Connection-persistent L4 load balancer.
+    LoadBalancer {
+        /// Backend addresses.
+        backends: Vec<Ipv4Addr>,
+    },
+    /// Forwards everything untouched (useful as a pure-replica stage).
+    Passthrough,
+}
+
+impl MbSpec {
+    /// Instantiates the middlebox.
+    pub fn build(&self) -> Arc<dyn Middlebox> {
+        match self {
+            MbSpec::MazuNat { external_ip } => Arc::new(crate::nat::MazuNat::new(*external_ip)),
+            MbSpec::SimpleNat { external_ip } => Arc::new(crate::nat::SimpleNat::new(*external_ip)),
+            MbSpec::Monitor { sharing_level } => Arc::new(crate::monitor::Monitor::new(*sharing_level)),
+            MbSpec::Gen { state_size } => Arc::new(crate::gen::Gen::new(*state_size)),
+            MbSpec::Ids { scan_threshold, signatures } => {
+                Arc::new(crate::ids::Ids::new(*scan_threshold, signatures.clone()))
+            }
+            MbSpec::Firewall { rules } => Arc::new(crate::firewall::Firewall::new(rules.clone())),
+            MbSpec::LoadBalancer { backends } => {
+                Arc::new(crate::lb::LoadBalancer::new(backends.clone()))
+            }
+            MbSpec::Passthrough => Arc::new(Passthrough),
+        }
+    }
+
+    /// Short name for logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MbSpec::MazuNat { .. } => "MazuNAT",
+            MbSpec::SimpleNat { .. } => "SimpleNAT",
+            MbSpec::Monitor { .. } => "Monitor",
+            MbSpec::Gen { .. } => "Gen",
+            MbSpec::Ids { .. } => "IDS",
+            MbSpec::Firewall { .. } => "Firewall",
+            MbSpec::LoadBalancer { .. } => "LoadBalancer",
+            MbSpec::Passthrough => "Passthrough",
+        }
+    }
+}
+
+/// A stateless middlebox that forwards everything.
+#[derive(Debug, Default)]
+pub struct Passthrough;
+
+impl Middlebox for Passthrough {
+    fn name(&self) -> &str {
+        "Passthrough"
+    }
+
+    fn process(
+        &self,
+        _pkt: &mut Packet,
+        _txn: &mut Txn<'_>,
+        _ctx: ProcCtx,
+    ) -> Result<Action, TxnError> {
+        Ok(Action::Forward)
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use ftc_stm::StateStore;
+
+    #[test]
+    fn passthrough_forwards_without_log() {
+        let store = StateStore::new(8);
+        let mb = MbSpec::Passthrough.build();
+        let mut pkt = UdpPacketBuilder::new().build();
+        let out = store.transaction(|txn| mb.process(&mut pkt, txn, ProcCtx::single()));
+        assert_eq!(out.value, Action::Forward);
+        assert!(out.log.is_none());
+        assert!(!mb.is_stateful());
+    }
+
+    #[test]
+    fn specs_build_all_middleboxes() {
+        let specs = [
+            MbSpec::MazuNat { external_ip: Ipv4Addr::new(1, 1, 1, 1) },
+            MbSpec::SimpleNat { external_ip: Ipv4Addr::new(1, 1, 1, 1) },
+            MbSpec::Monitor { sharing_level: 2 },
+            MbSpec::Gen { state_size: 64 },
+            MbSpec::Firewall { rules: vec![] },
+            MbSpec::Ids { scan_threshold: 10, signatures: vec![] },
+            MbSpec::LoadBalancer { backends: vec![Ipv4Addr::new(10, 1, 0, 1)] },
+            MbSpec::Passthrough,
+        ];
+        for spec in &specs {
+            let mb = spec.build();
+            assert_eq!(mb.name(), spec.name());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! SimpleNAT: basic source NAT with a transactional flow table.
+
+use super::{allocator_key, forward_key, reverse_key, rewrite_dst, rewrite_src, NatMapping,
+            PORT_BASE, PORT_SPAN};
+use crate::middlebox::{Action, Middlebox, ProcCtx};
+use ftc_packet::Packet;
+use ftc_stm::{Txn, TxnError};
+use std::net::Ipv4Addr;
+
+const TAG: &str = "snat";
+
+/// Basic NAT: rewrites outbound flows to an external address with an
+/// allocated port; rewrites inbound packets back using the reverse mapping.
+///
+/// State access pattern (paper Table 1): reads per packet, writes per flow.
+#[derive(Debug)]
+pub struct SimpleNat {
+    external_ip: Ipv4Addr,
+}
+
+impl SimpleNat {
+    /// Creates a NAT translating to `external_ip`.
+    pub fn new(external_ip: Ipv4Addr) -> SimpleNat {
+        SimpleNat { external_ip }
+    }
+
+    /// The external address.
+    pub fn external_ip(&self) -> Ipv4Addr {
+        self.external_ip
+    }
+
+    fn handle_outbound(
+        &self,
+        pkt: &mut Packet,
+        txn: &mut Txn<'_>,
+        key: &ftc_packet::FlowKey,
+    ) -> Result<Action, TxnError> {
+        let fkey = forward_key(TAG, key);
+        let ext_port = match txn.read(&fkey)? {
+            Some(v) => match NatMapping::decode(&v) {
+                Some(m) => m.ext_port,
+                None => return Ok(Action::Drop),
+            },
+            None => {
+                // New flow: allocate an external port and install both
+                // directions of the mapping (write per flow).
+                let alloc = allocator_key(TAG, key.protocol);
+                let n = txn.read_u64(&alloc)?.unwrap_or(0);
+                txn.write_u64(alloc, n + 1)?;
+                let ext_port = PORT_BASE + (n % u64::from(PORT_SPAN)) as u16;
+                let mapping = NatMapping {
+                    int_ip: key.src_ip,
+                    int_port: key.src_port,
+                    ext_port,
+                    protocol: key.protocol,
+                };
+                txn.write(fkey, mapping.encode())?;
+                txn.write(reverse_key(TAG, key.protocol, ext_port), mapping.encode())?;
+                ext_port
+            }
+        };
+        if rewrite_src(pkt, self.external_ip, ext_port).is_err() {
+            return Ok(Action::Drop);
+        }
+        Ok(Action::Forward)
+    }
+
+    fn handle_inbound(
+        &self,
+        pkt: &mut Packet,
+        txn: &mut Txn<'_>,
+        key: &ftc_packet::FlowKey,
+    ) -> Result<Action, TxnError> {
+        let rkey = reverse_key(TAG, key.protocol, key.dst_port);
+        match txn.read(&rkey)? {
+            Some(v) => match NatMapping::decode(&v) {
+                Some(m) => {
+                    if rewrite_dst(pkt, m.int_ip, m.int_port).is_err() {
+                        return Ok(Action::Drop);
+                    }
+                    Ok(Action::Forward)
+                }
+                None => Ok(Action::Drop),
+            },
+            // No mapping: unsolicited inbound traffic is dropped.
+            None => Ok(Action::Drop),
+        }
+    }
+}
+
+impl Middlebox for SimpleNat {
+    fn name(&self) -> &str {
+        "SimpleNAT"
+    }
+
+    fn process(
+        &self,
+        pkt: &mut Packet,
+        txn: &mut Txn<'_>,
+        _ctx: ProcCtx,
+    ) -> Result<Action, TxnError> {
+        let Ok(key) = pkt.flow_key() else {
+            return Ok(Action::Drop);
+        };
+        if key.protocol != ftc_packet::ip::PROTO_TCP && key.protocol != ftc_packet::ip::PROTO_UDP {
+            // Non-port protocols pass untranslated (mirrors common NAT
+            // behaviour for e.g. ICMP echo in our simplified model).
+            return Ok(Action::Forward);
+        }
+        if key.dst_ip == self.external_ip {
+            self.handle_inbound(pkt, txn, &key)
+        } else {
+            self.handle_outbound(pkt, txn, &key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_packet::builder::UdpPacketBuilder;
+    use ftc_stm::StateStore;
+
+    const EXT: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+    fn outbound(src_port: u16) -> Packet {
+        UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(192, 168, 0, 10), src_port)
+            .dst(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .build()
+    }
+
+    fn run(store: &StateStore, nat: &SimpleNat, pkt: &mut Packet) -> (Action, bool) {
+        let out = store.transaction(|txn| nat.process(pkt, txn, ProcCtx::single()));
+        (out.value, out.log.is_some())
+    }
+
+    #[test]
+    fn outbound_flow_gets_translated() {
+        let store = StateStore::new(32);
+        let nat = SimpleNat::new(EXT);
+        let mut pkt = outbound(5000);
+        let (action, wrote) = run(&store, &nat, &mut pkt);
+        assert_eq!(action, Action::Forward);
+        assert!(wrote, "first packet installs the mapping");
+        let key = pkt.flow_key().unwrap();
+        assert_eq!(key.src_ip, EXT);
+        assert_eq!(key.src_port, PORT_BASE);
+        pkt.ipv4().unwrap().verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn subsequent_packets_reuse_mapping_read_only() {
+        let store = StateStore::new(32);
+        let nat = SimpleNat::new(EXT);
+        let mut first = outbound(5000);
+        run(&store, &nat, &mut first);
+        let mut second = outbound(5000);
+        let (action, wrote) = run(&store, &nat, &mut second);
+        assert_eq!(action, Action::Forward);
+        assert!(!wrote, "established flows are read-only (paper: read-heavy)");
+        assert_eq!(second.flow_key().unwrap().src_port, PORT_BASE);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let store = StateStore::new(32);
+        let nat = SimpleNat::new(EXT);
+        let mut a = outbound(5000);
+        let mut b = outbound(5001);
+        run(&store, &nat, &mut a);
+        run(&store, &nat, &mut b);
+        let pa = a.flow_key().unwrap().src_port;
+        let pb = b.flow_key().unwrap().src_port;
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn inbound_reverses_translation() {
+        let store = StateStore::new(32);
+        let nat = SimpleNat::new(EXT);
+        let mut out = outbound(5000);
+        run(&store, &nat, &mut out);
+        let ext_port = out.flow_key().unwrap().src_port;
+
+        // Reply from the server towards the external address.
+        let mut reply = UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .dst(EXT, ext_port)
+            .build();
+        let (action, wrote) = run(&store, &nat, &mut reply);
+        assert_eq!(action, Action::Forward);
+        assert!(!wrote);
+        let key = reply.flow_key().unwrap();
+        assert_eq!(key.dst_ip, Ipv4Addr::new(192, 168, 0, 10));
+        assert_eq!(key.dst_port, 5000);
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let store = StateStore::new(32);
+        let nat = SimpleNat::new(EXT);
+        let mut stray = UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .dst(EXT, 4444)
+            .build();
+        let (action, _) = run(&store, &nat, &mut stray);
+        assert_eq!(action, Action::Drop);
+    }
+
+    #[test]
+    fn connection_persistence_under_concurrency() {
+        // Many threads translating the same new flow must agree on one
+        // mapping — the paper's example of why NAT threads "must coordinate
+        // to provide this property" (§3.2).
+        use std::sync::Arc;
+        let store = Arc::new(StateStore::new(32));
+        let nat = Arc::new(SimpleNat::new(EXT));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let nat = Arc::clone(&nat);
+            handles.push(std::thread::spawn(move || {
+                let mut ports = Vec::new();
+                for _ in 0..50 {
+                    let mut pkt = outbound(7777);
+                    store.transaction(|txn| nat.process(&mut pkt, txn, ProcCtx::single()));
+                    ports.push(pkt.flow_key().unwrap().src_port);
+                }
+                ports
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.dedup();
+        assert_eq!(all.len(), 1, "every packet of the flow must map to one port");
+    }
+}

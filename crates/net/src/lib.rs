@@ -1,0 +1,35 @@
+//! The threaded network substrate FTC runs on.
+//!
+//! The paper's testbed is a rack of servers joined by 10/40 GbE links. This
+//! crate reproduces that environment in-process so the *protocol* behaves
+//! identically while running on a single machine:
+//!
+//! * [`link`] — unidirectional byte-frame links with configurable latency,
+//!   jitter, loss, reordering and bandwidth; built on crossbeam channels.
+//! * [`reliable`] — the sequenced, NACK-based reliable delivery layer the
+//!   paper assumes between replicas ("FTC uses sequence numbers, similar to
+//!   TCP, to handle out-of-order deliveries and packet drops", §4.1).
+//! * [`nic`] — a multi-queue NIC model with receive-side scaling by
+//!   symmetric flow hash, so both directions of a flow reach the same
+//!   worker thread (§2).
+//! * [`server`] — fail-stop servers: named thread groups with a shared
+//!   liveness token; killing a server stops its threads and drops its state.
+//! * [`topology`] — named regions with an RTT matrix, reproducing the
+//!   multi-region SAVI cloud used in the recovery evaluation (§7.5).
+//! * [`rpc`] — a minimal request/response channel with injected WAN delay,
+//!   used by the control plane (state fetch, heartbeats).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod nic;
+pub mod reliable;
+pub mod rpc;
+pub mod server;
+pub mod topology;
+
+pub use link::{duplex, simplex, LinkConfig, LinkRx, LinkTx};
+pub use reliable::{reliable_pair, ReliableReceiver, ReliableSender};
+pub use server::{AliveToken, Server};
+pub use topology::{RegionId, Topology};

@@ -1,0 +1,424 @@
+//! Impaired point-to-point links.
+//!
+//! A link delivers byte frames with configurable propagation latency,
+//! jitter, random loss, reordering and serialization delay (bandwidth).
+//! Impairments are applied at the sender; the receiver releases frames no
+//! earlier than their computed delivery time, which is what makes jitter
+//! produce genuine reordering.
+
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a link's impairments.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Fixed one-way propagation delay.
+    pub latency: Duration,
+    /// Uniform random extra delay in `[0, jitter]`.
+    pub jitter: Duration,
+    /// Probability a frame is silently dropped.
+    pub loss: f64,
+    /// Probability a frame is delayed an extra jitter interval, causing it
+    /// to arrive after its successors (reordering).
+    pub reorder: f64,
+    /// Link bandwidth in bits/s; serialization delay = len / bandwidth.
+    /// `None` models an infinitely fast link.
+    pub bandwidth_bps: Option<u64>,
+    /// RNG seed so impairments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            reorder: 0.0,
+            bandwidth_bps: None,
+            seed: 0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal link: zero latency, no impairments.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// A lossy, reordering link for stress tests.
+    pub fn lossy(loss: f64, reorder: f64, seed: u64) -> Self {
+        LinkConfig {
+            latency: Duration::from_micros(5),
+            jitter: Duration::from_micros(20),
+            loss,
+            reorder,
+            bandwidth_bps: None,
+            seed,
+        }
+    }
+
+    /// A WAN link with the given round-trip time (one-way = rtt/2).
+    pub fn wan(rtt: Duration) -> Self {
+        LinkConfig {
+            latency: rtt / 2,
+            ..Default::default()
+        }
+    }
+}
+
+struct TimedFrame {
+    deliver_at: Instant,
+    payload: BytesMut,
+}
+
+struct TxState {
+    rng: StdRng,
+    /// The time the link is busy serializing previously sent frames.
+    busy_until: Instant,
+}
+
+/// Sending half of a link. Cloneable: multiple producers share the wire.
+pub struct LinkTx {
+    tx: Sender<TimedFrame>,
+    cfg: LinkConfig,
+    state: Arc<Mutex<TxState>>,
+}
+
+impl Clone for LinkTx {
+    fn clone(&self) -> Self {
+        LinkTx {
+            tx: self.tx.clone(),
+            cfg: self.cfg.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// Error returned when the peer has gone away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl core::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "link peer disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl LinkTx {
+    /// Sends a frame, applying the configured impairments. A frame eaten by
+    /// loss still returns `Ok` (the sender cannot tell — that is the point).
+    pub fn send(&self, payload: BytesMut) -> Result<(), Disconnected> {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if self.cfg.loss > 0.0 && st.rng.gen_bool(self.cfg.loss) {
+            return Ok(());
+        }
+        let mut delay = self.cfg.latency;
+        if self.cfg.jitter > Duration::ZERO {
+            delay += self.cfg.jitter.mul_f64(st.rng.gen::<f64>());
+        }
+        if self.cfg.reorder > 0.0 && st.rng.gen_bool(self.cfg.reorder) {
+            delay += self.cfg.jitter.max(Duration::from_micros(50)) * 2;
+        }
+        if let Some(bps) = self.cfg.bandwidth_bps {
+            let ser = Duration::from_secs_f64(payload.len() as f64 * 8.0 / bps as f64);
+            let start = st.busy_until.max(now);
+            st.busy_until = start + ser;
+            delay += st.busy_until.saturating_duration_since(now);
+        }
+        drop(st);
+        self.tx
+            .send(TimedFrame {
+                deliver_at: now + delay,
+                payload,
+            })
+            .map_err(|_| Disconnected)
+    }
+
+    /// Number of frames queued on the wire (flight + receiver backlog).
+    pub fn in_flight(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// Receiving half of a link.
+///
+/// Frames are released in *delivery-time* order (not send order), which is
+/// how sender-side jitter turns into genuine on-the-wire reordering.
+pub struct LinkRx {
+    rx: Receiver<TimedFrame>,
+    /// Frames popped from the channel, ordered by delivery time.
+    heap: std::collections::BinaryHeap<HeapFrame>,
+    disconnected: bool,
+}
+
+struct HeapFrame(TimedFrame);
+
+impl PartialEq for HeapFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.deliver_at == other.0.deliver_at
+    }
+}
+impl Eq for HeapFrame {}
+impl PartialOrd for HeapFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by delivery time.
+        other.0.deliver_at.cmp(&self.0.deliver_at)
+    }
+}
+
+impl LinkRx {
+    /// Receives the next due frame, waiting up to `timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<BytesMut>, Disconnected> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Drain everything currently on the channel into the heap so the
+            // earliest-due frame wins regardless of send order.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(f) => self.heap.push(HeapFrame(f)),
+                    Err(channel::TryRecvError::Empty) => break,
+                    Err(channel::TryRecvError::Disconnected) => {
+                        self.disconnected = true;
+                        break;
+                    }
+                }
+            }
+            let now = Instant::now();
+            if let Some(earliest) = self.heap.peek() {
+                let due = earliest.0.deliver_at;
+                if due <= now {
+                    let f = self.heap.pop().expect("peeked");
+                    return Ok(Some(f.0.payload));
+                }
+                if due > deadline {
+                    return Ok(None);
+                }
+                // Wait until the frame is due, but wake early if something
+                // new arrives (it might be due even earlier).
+                match self.rx.recv_deadline(due) {
+                    Ok(f) => self.heap.push(HeapFrame(f)),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.disconnected = true;
+                        std::thread::sleep(due.saturating_duration_since(Instant::now()));
+                    }
+                }
+                continue;
+            }
+            if self.disconnected {
+                return Err(Disconnected);
+            }
+            match self.rx.recv_deadline(deadline) {
+                Ok(f) => self.heap.push(HeapFrame(f)),
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.disconnected = true;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive of a due frame.
+    pub fn try_recv(&mut self) -> Result<Option<BytesMut>, Disconnected> {
+        self.recv_timeout(Duration::ZERO)
+    }
+}
+
+/// Creates a unidirectional link.
+pub fn simplex(cfg: LinkConfig) -> (LinkTx, LinkRx) {
+    let (tx, rx) = channel::unbounded();
+    (
+        LinkTx {
+            tx,
+            state: Arc::new(Mutex::new(TxState {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                busy_until: Instant::now(),
+            })),
+            cfg,
+        },
+        LinkRx {
+            rx,
+            heap: std::collections::BinaryHeap::new(),
+            disconnected: false,
+        },
+    )
+}
+
+/// One side of a bidirectional link.
+pub struct Endpoint {
+    /// Transmit half towards the peer.
+    pub tx: LinkTx,
+    /// Receive half from the peer.
+    pub rx: LinkRx,
+}
+
+/// Creates a bidirectional link (a pair of independent simplex links with
+/// the same configuration but decorrelated RNG seeds).
+pub fn duplex(cfg: LinkConfig) -> (Endpoint, Endpoint) {
+    let mut back = cfg.clone();
+    back.seed = cfg.seed.wrapping_add(0x9e3779b97f4a7c15);
+    let (atx, brx) = simplex(cfg);
+    let (btx, arx) = simplex(back);
+    (Endpoint { tx: atx, rx: arx }, Endpoint { tx: btx, rx: brx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(i: u8) -> BytesMut {
+        BytesMut::from(&[i][..])
+    }
+
+    #[test]
+    fn ideal_link_delivers_in_order() {
+        let (tx, mut rx) = simplex(LinkConfig::ideal());
+        for i in 0..10 {
+            tx.send(frame(i)).unwrap();
+        }
+        for i in 0..10 {
+            let f = rx.recv_timeout(Duration::from_millis(100)).unwrap().unwrap();
+            assert_eq!(f[0], i);
+        }
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        let t0 = Instant::now();
+        tx.send(frame(1)).unwrap();
+        let f = rx.recv_timeout(Duration::from_millis(200)).unwrap().unwrap();
+        assert_eq!(f[0], 1);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn timeout_returns_none_and_keeps_frame() {
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        tx.send(frame(7)).unwrap();
+        // Too short: frame not yet due, must not be lost.
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+        let f = rx.recv_timeout(Duration::from_millis(200)).unwrap().unwrap();
+        assert_eq!(f[0], 7);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let cfg = LinkConfig {
+            loss: 1.0,
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        for i in 0..20 {
+            tx.send(frame(i)).unwrap();
+        }
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_loss_drops_some() {
+        let cfg = LinkConfig {
+            loss: 0.5,
+            seed: 42,
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        let n = 200;
+        for i in 0..n {
+            tx.send(frame(i as u8)).unwrap();
+        }
+        let mut got = 0;
+        while rx
+            .recv_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_some()
+        {
+            got += 1;
+        }
+        assert!(got > n / 5 && got < n, "got {got} of {n}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        // 1 Mbit/s, 1250-byte frames => 10 ms each.
+        let cfg = LinkConfig {
+            bandwidth_bps: Some(1_000_000),
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            tx.send(BytesMut::zeroed(1250)).unwrap();
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_millis(500)).unwrap().unwrap();
+        }
+        let el = t0.elapsed();
+        assert!(el >= Duration::from_millis(29), "elapsed {el:?}");
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = simplex(LinkConfig::ideal());
+        drop(rx);
+        assert_eq!(tx.send(frame(0)), Err(Disconnected));
+        let (tx, mut rx) = simplex(LinkConfig::ideal());
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(Disconnected));
+    }
+
+    #[test]
+    fn duplex_is_bidirectional() {
+        let (mut a, mut b) = duplex(LinkConfig::ideal());
+        a.tx.send(frame(1)).unwrap();
+        b.tx.send(frame(2)).unwrap();
+        assert_eq!(b.rx.recv_timeout(Duration::from_millis(50)).unwrap().unwrap()[0], 1);
+        assert_eq!(a.rx.recv_timeout(Duration::from_millis(50)).unwrap().unwrap()[0], 2);
+    }
+
+    #[test]
+    fn jitter_reorders_eventually() {
+        let cfg = LinkConfig {
+            jitter: Duration::from_micros(300),
+            reorder: 0.3,
+            seed: 7,
+            ..Default::default()
+        };
+        let (tx, mut rx) = simplex(cfg);
+        let n = 100u8;
+        for i in 0..n {
+            tx.send(frame(i)).unwrap();
+            std::thread::sleep(Duration::from_micros(30));
+        }
+        let mut order = Vec::new();
+        while let Some(f) = rx.recv_timeout(Duration::from_millis(20)).unwrap() {
+            order.push(f[0]);
+        }
+        assert_eq!(order.len(), n as usize);
+        let sorted: Vec<u8> = (0..n).collect();
+        assert_ne!(order, sorted, "expected at least one reordering");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fail-stop servers: named groups of threads with a shared liveness token.
+//!
+//! The paper models failures as fail-stop (§2): "failures are detectable,
+//! and failed components are not restored". [`Server::kill`] flips the
+//! liveness token; every loop in the server's threads polls it and exits,
+//! dropping channels (so peers observe disconnects) and state (so the
+//! failure genuinely loses the server's stores).
+
+use crate::topology::RegionId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared liveness flag for all threads of a server.
+#[derive(Debug, Clone)]
+pub struct AliveToken(Arc<AtomicBool>);
+
+impl AliveToken {
+    /// Creates a live token.
+    pub fn new() -> Self {
+        AliveToken(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// True until the server is killed.
+    pub fn is_alive(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Marks the server dead.
+    pub fn kill(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Default for AliveToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A simulated physical server hosting middlebox/replica threads.
+pub struct Server {
+    name: String,
+    region: RegionId,
+    alive: AliveToken,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Creates a server in `region`.
+    pub fn new(name: impl Into<String>, region: RegionId) -> Server {
+        Server {
+            name: name.into(),
+            region,
+            alive: AliveToken::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// The server's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region the server is deployed in.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The liveness token to hand to thread loops.
+    pub fn alive_token(&self) -> AliveToken {
+        self.alive.clone()
+    }
+
+    /// True until killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive.is_alive()
+    }
+
+    /// Spawns a named thread owned by this server. The closure receives the
+    /// liveness token and must return promptly once it reads `false`.
+    pub fn spawn(&mut self, label: &str, f: impl FnOnce(AliveToken) + Send + 'static) {
+        let token = self.alive.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}/{}", self.name, label))
+            .spawn(move || f(token))
+            .expect("spawn thread");
+        self.threads.push(handle);
+    }
+
+    /// Fail-stops the server: threads observe the dead token and exit. Does
+    /// not block; use [`Server::join`] to wait for full termination.
+    pub fn kill(&self) {
+        self.alive.kill();
+    }
+
+    /// Waits for all server threads to exit.
+    pub fn join(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.kill();
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn threads_stop_on_kill() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let mut s = Server::new("s1", RegionId(0));
+        for _ in 0..3 {
+            let c = Arc::clone(&counter);
+            s.spawn("worker", move |alive| {
+                while alive.is_alive() {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(s.is_alive());
+        s.kill();
+        s.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert!(!s.is_alive());
+    }
+
+    #[test]
+    fn drop_kills_and_joins() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let mut s = Server::new("s2", RegionId(1));
+            let c = Arc::clone(&counter);
+            s.spawn("w", move |alive| {
+                while alive.is_alive() {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-region topology with an RTT matrix (the SAVI cloud of §7.5).
+
+use std::time::Duration;
+
+/// Index of a region (datacenter) in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub usize);
+
+/// A set of named regions and the round-trip times between them.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    names: Vec<String>,
+    /// rtt[a][b] — symmetric, zero diagonal.
+    rtt: Vec<Vec<Duration>>,
+    /// Multiplier applied to every delay, so tests can shrink WAN latencies
+    /// without changing their ratios.
+    scale: f64,
+}
+
+impl Topology {
+    /// A single-region (rack-local) topology.
+    pub fn single() -> Topology {
+        Topology {
+            names: vec!["local".into()],
+            rtt: vec![vec![Duration::ZERO]],
+            scale: 1.0,
+        }
+    }
+
+    /// Builds a topology from region names and a symmetric RTT matrix.
+    pub fn new(names: Vec<String>, rtt: Vec<Vec<Duration>>) -> Topology {
+        assert_eq!(names.len(), rtt.len());
+        for (i, row) in rtt.iter().enumerate() {
+            assert_eq!(row.len(), names.len(), "matrix must be square");
+            assert_eq!(row[i], Duration::ZERO, "diagonal must be zero");
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, rtt[j][i], "matrix must be symmetric");
+            }
+        }
+        Topology {
+            names,
+            rtt,
+            scale: 1.0,
+        }
+    }
+
+    /// A topology modelled on the paper's distributed cloud: several
+    /// Canadian regions with wide-area RTTs in the tens of milliseconds.
+    pub fn savi_like() -> Topology {
+        let ms = Duration::from_millis;
+        Topology::new(
+            vec![
+                "core".into(),      // hosts the orchestrator
+                "neighbor".into(),  // close to core
+                "remote".into(),    // across the country
+                "far".into(),
+            ],
+            vec![
+                vec![ms(0), ms(4), ms(48), ms(62)],
+                vec![ms(4), ms(0), ms(44), ms(58)],
+                vec![ms(48), ms(44), ms(0), ms(22)],
+                vec![ms(62), ms(58), ms(22), ms(0)],
+            ],
+        )
+    }
+
+    /// Scales every delay (e.g. `0.1` to run WAN experiments 10× faster).
+    pub fn scaled(mut self, scale: f64) -> Topology {
+        assert!(scale >= 0.0);
+        self.scale = scale;
+        self
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Region name.
+    pub fn name(&self, r: RegionId) -> &str {
+        &self.names[r.0]
+    }
+
+    /// Scaled round-trip time between two regions.
+    pub fn rtt(&self, a: RegionId, b: RegionId) -> Duration {
+        self.rtt[a.0][b.0].mul_f64(self.scale)
+    }
+
+    /// Scaled one-way delay between two regions.
+    pub fn one_way(&self, a: RegionId, b: RegionId) -> Duration {
+        self.rtt(a, b) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_region_is_free() {
+        let t = Topology::single();
+        assert_eq!(t.rtt(RegionId(0), RegionId(0)), Duration::ZERO);
+        assert_eq!(t.regions(), 1);
+    }
+
+    #[test]
+    fn savi_like_is_symmetric_and_scaled() {
+        let t = Topology::savi_like();
+        let a = RegionId(0);
+        let r = RegionId(2);
+        assert_eq!(t.rtt(a, r), t.rtt(r, a));
+        assert_eq!(t.rtt(a, r), Duration::from_millis(48));
+        let fast = t.clone().scaled(0.25);
+        assert_eq!(fast.rtt(a, r), Duration::from_millis(12));
+        assert_eq!(fast.one_way(a, r), Duration::from_millis(6));
+        assert_eq!(fast.name(r), "remote");
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        Topology::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Duration::ZERO, Duration::from_millis(1)],
+                vec![Duration::from_millis(2), Duration::ZERO],
+            ],
+        );
+    }
+}

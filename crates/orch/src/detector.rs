@@ -1,0 +1,108 @@
+//! Heartbeat failure detection.
+//!
+//! Failures are fail-stop (paper §2): a dead replica's control thread is
+//! gone, so its RPC channel disconnects or times out. The orchestrator's
+//! monitor pings every replica each interval and reports the positions that
+//! miss `missed_threshold` consecutive heartbeats.
+
+use ftc_core::chain::FtcChain;
+use ftc_core::control::{CtrlReq, CtrlResp};
+use std::time::Duration;
+
+/// Pings every replica once; returns the positions that failed to answer.
+pub fn detect_failures(chain: &FtcChain, timeout: Duration) -> Vec<usize> {
+    let mut dead = Vec::new();
+    for (i, slot) in chain.replicas.iter().enumerate() {
+        match slot.ctrl.call(CtrlReq::Ping, timeout) {
+            Ok(CtrlResp::Pong) => {}
+            _ => dead.push(i),
+        }
+    }
+    dead
+}
+
+/// A stateful detector that requires several consecutive misses before
+/// declaring a failure, avoiding false positives under load.
+#[derive(Debug)]
+pub struct FailureDetector {
+    misses: Vec<u32>,
+    threshold: u32,
+    timeout: Duration,
+}
+
+impl FailureDetector {
+    /// Creates a detector for a chain of `n` replicas.
+    pub fn new(n: usize, threshold: u32, timeout: Duration) -> FailureDetector {
+        assert!(threshold >= 1);
+        FailureDetector {
+            misses: vec![0; n],
+            threshold,
+            timeout,
+        }
+    }
+
+    /// Runs one heartbeat round; returns newly confirmed failures.
+    pub fn round(&mut self, chain: &FtcChain) -> Vec<usize> {
+        let mut confirmed = Vec::new();
+        for (i, slot) in chain.replicas.iter().enumerate() {
+            let alive = matches!(
+                slot.ctrl.call(CtrlReq::Ping, self.timeout),
+                Ok(CtrlResp::Pong)
+            );
+            if alive {
+                self.misses[i] = 0;
+            } else {
+                self.misses[i] += 1;
+                if self.misses[i] == self.threshold {
+                    confirmed.push(i);
+                }
+            }
+        }
+        confirmed
+    }
+
+    /// Resets the miss counter for a recovered position.
+    pub fn mark_recovered(&mut self, idx: usize) {
+        self.misses[idx] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::config::ChainConfig;
+    use ftc_mbox::MbSpec;
+
+    fn chain(n: usize) -> FtcChain {
+        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        FtcChain::deploy(ChainConfig::new(specs).with_f(1))
+    }
+
+    #[test]
+    fn healthy_chain_reports_nothing() {
+        let c = chain(3);
+        assert!(detect_failures(&c, Duration::from_millis(200)).is_empty());
+    }
+
+    #[test]
+    fn killed_replica_is_detected() {
+        let mut c = chain(3);
+        c.kill(1);
+        let dead = detect_failures(&c, Duration::from_millis(200));
+        assert_eq!(dead, vec![1]);
+    }
+
+    #[test]
+    fn detector_requires_consecutive_misses() {
+        let mut c = chain(2);
+        let mut det = FailureDetector::new(2, 3, Duration::from_millis(100));
+        assert!(det.round(&c).is_empty());
+        c.kill(0);
+        assert!(det.round(&c).is_empty(), "miss 1 of 3");
+        assert!(det.round(&c).is_empty(), "miss 2 of 3");
+        assert_eq!(det.round(&c), vec![0], "confirmed at threshold");
+        assert!(det.round(&c).is_empty(), "reported once, not repeatedly");
+        det.mark_recovered(0);
+        assert_eq!(det.misses[0], 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The Internet checksum (RFC 1071) and incremental-update helpers (RFC 1624).
+
+/// Computes the one's-complement sum of `data`, folding carries.
+///
+/// The returned value is the 16-bit one's-complement sum *before* the final
+/// complement; callers usually want [`checksum`].
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold(sum)
+}
+
+/// Computes the Internet checksum of `data` (the complement of the folded
+/// one's-complement sum).
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Combines partial one's-complement sums (e.g. pseudo-header + payload).
+pub fn combine(sums: &[u16]) -> u16 {
+    let total: u32 = sums.iter().map(|&s| u32::from(s)).sum();
+    fold(total)
+}
+
+/// Incrementally updates a checksum after a 16-bit word changed from `old`
+/// to `new` (RFC 1624, eqn. 3: `HC' = ~(~HC + ~m + m')`).
+pub fn update(hc: u16, old: u16, new: u16) -> u16 {
+    let sum = u32::from(!hc) + u32::from(!old) + u32::from(new);
+    !fold(sum)
+}
+
+/// Incrementally updates a checksum after a 32-bit value changed (e.g. an
+/// IPv4 address rewritten by a NAT).
+pub fn update_u32(hc: u16, old: u32, new: u32) -> u16 {
+    let hc = update(hc, (old >> 16) as u16, (new >> 16) as u16);
+    update(hc, old as u16, new as u16)
+}
+
+fn fold(mut sum: u32) -> u16 {
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// One's-complement sum of the IPv4 pseudo-header used by TCP/UDP checksums.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, l4_len: u16) -> u16 {
+    let mut sum = 0u32;
+    sum += u32::from(u16::from_be_bytes([src[0], src[1]]));
+    sum += u32::from(u16::from_be_bytes([src[2], src[3]]));
+    sum += u32::from(u16::from_be_bytes([dst[0], dst[1]]));
+    sum += u32::from(u16::from_be_bytes([dst[2], dst[3]]));
+    sum += u32::from(protocol);
+    sum += u32::from(l4_len);
+    fold(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xab]), 0xab00);
+    }
+
+    #[test]
+    fn empty_is_zero_sum() {
+        assert_eq!(ones_complement_sum(&[]), 0);
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verifies_to_zero_when_embedded() {
+        // A buffer whose checksum field is filled with checksum(..) must sum
+        // to 0xffff (i.e. checksum() over the whole buffer returns 0).
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        data.extend_from_slice(&[0x00, 0x00]); // checksum placeholder
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = c as u8;
+        assert_eq!(checksum(&data), 0);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0u8; 20];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let before = checksum(&data);
+        // change word at offset 4..6
+        let old = u16::from_be_bytes([data[4], data[5]]);
+        let new = 0xbeef;
+        data[4] = (new >> 8) as u8;
+        data[5] = new as u8;
+        let after_full = checksum(&data);
+        let after_incr = update(before, old, new);
+        assert_eq!(after_full, after_incr);
+    }
+
+    #[test]
+    fn incremental_u32_matches_recompute() {
+        let mut data = vec![0u8; 32];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(101).wrapping_add(3);
+        }
+        let before = checksum(&data);
+        let old = u32::from_be_bytes([data[8], data[9], data[10], data[11]]);
+        let new = 0xc0a80a01u32; // 192.168.10.1
+        data[8..12].copy_from_slice(&new.to_be_bytes());
+        assert_eq!(checksum(&data), update_u32(before, old, new));
+    }
+
+    #[test]
+    fn combine_is_order_independent() {
+        let a = ones_complement_sum(&[1, 2, 3, 4]);
+        let b = ones_complement_sum(&[9, 9, 9, 9, 9, 9]);
+        assert_eq!(combine(&[a, b]), combine(&[b, a]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Ethernet II frame header.
+
+use crate::{WireError, WireResult};
+
+/// Length of an Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Returns true if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Builds a locally-administered unicast address from a small integer,
+    /// convenient for synthesizing distinct endpoints in tests.
+    pub fn from_index(i: u64) -> MacAddr {
+        let b = i.to_be_bytes();
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let a = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            a[0], a[1], a[2], a[3], a[4], a[5]
+        )
+    }
+}
+
+/// An immutable view of an Ethernet II header over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> EthernetView<'a> {
+    /// Parses an Ethernet header at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireResult<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EthernetView { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> u16 {
+        u16::from_be_bytes([self.buf[12], self.buf[13]])
+    }
+}
+
+/// Writes an Ethernet II header into the first [`HEADER_LEN`] bytes of `buf`.
+pub fn emit(buf: &mut [u8], src: MacAddr, dst: MacAddr, ethertype: u16) -> WireResult<()> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    buf[0..6].copy_from_slice(&dst.0);
+    buf[6..12].copy_from_slice(&src.0);
+    buf[12..14].copy_from_slice(&ethertype.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; HEADER_LEN];
+        let src = MacAddr::from_index(1);
+        let dst = MacAddr::from_index(2);
+        emit(&mut buf, src, dst, ETHERTYPE_IPV4).unwrap();
+        let v = EthernetView::new(&buf).unwrap();
+        assert_eq!(v.src(), src);
+        assert_eq!(v.dst(), dst);
+        assert_eq!(v.ethertype(), ETHERTYPE_IPV4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(EthernetView::new(&[0u8; 13]).unwrap_err(), WireError::Truncated);
+        let mut small = [0u8; 13];
+        assert!(emit(&mut small, MacAddr::default(), MacAddr::default(), 0).is_err());
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::from_index(7).is_broadcast());
+        assert!(!MacAddr::from_index(7).is_multicast());
+        assert_eq!(MacAddr::from_index(3).to_string(), "02:00:00:00:00:03");
+    }
+}

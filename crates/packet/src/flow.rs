@@ -1,0 +1,172 @@
+//! Flow identification: 5-tuples and receive-side-scaling hashes.
+
+use crate::ip::{Ipv4View, PROTO_TCP, PROTO_UDP};
+use crate::l4::{TcpView, UdpView};
+use crate::{WireError, WireResult};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A transport-level flow identifier (the classic 5-tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source port (0 for protocols without ports).
+    pub src_port: u16,
+    /// Destination port (0 for protocols without ports).
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Extracts a flow key from an IPv4 packet (header + L4 header).
+    ///
+    /// `ip` must point at the IPv4 header. Protocols other than TCP/UDP get
+    /// port 0 on both sides.
+    pub fn from_ipv4(ip: &[u8]) -> WireResult<FlowKey> {
+        let v = Ipv4View::new(ip)?;
+        let l4 = ip.get(v.header_len()..).ok_or(WireError::Truncated)?;
+        let (sp, dp) = match v.protocol() {
+            PROTO_TCP => {
+                let t = TcpView::new(l4)?;
+                (t.src_port(), t.dst_port())
+            }
+            PROTO_UDP => {
+                let u = UdpView::new(l4)?;
+                (u.src_port(), u.dst_port())
+            }
+            _ => (0, 0),
+        };
+        Ok(FlowKey {
+            src_ip: v.src(),
+            dst_ip: v.dst(),
+            src_port: sp,
+            dst_port: dp,
+            protocol: v.protocol(),
+        })
+    }
+
+    /// The same flow viewed from the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-insensitive 64-bit hash, used for RSS queue selection so
+    /// both directions of a connection land on the same worker.
+    pub fn rss_hash(&self) -> u64 {
+        // Symmetric combine: sort the endpoint halves before mixing.
+        let a = (u32::from(self.src_ip) as u64) << 16 | u64::from(self.src_port);
+        let b = (u32::from(self.dst_ip) as u64) << 16 | u64::from(self.dst_port);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        fnv1a_64(&[
+            lo.to_be_bytes(),
+            hi.to_be_bytes(),
+            [self.protocol; 8], // protocol folded in
+        ])
+    }
+
+    /// A direction-sensitive hash, used for hash-table placement.
+    pub fn hash64(&self) -> u64 {
+        let a = (u32::from(self.src_ip) as u64) << 16 | u64::from(self.src_port);
+        let b = (u32::from(self.dst_ip) as u64) << 16 | u64::from(self.dst_port);
+        fnv1a_64(&[a.to_be_bytes(), b.to_be_bytes(), [self.protocol; 8]])
+    }
+}
+
+impl core::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}/{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+fn fnv1a_64(words: &[[u8; 8]; 3]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for &b in w {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::{self, Ipv4Fields};
+    use crate::l4;
+
+    fn sample_udp_packet() -> Vec<u8> {
+        let mut buf = vec![0u8; 64];
+        let f = Ipv4Fields {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: ip::PROTO_UDP,
+            payload_len: (l4::UDP_HEADER_LEN + 4) as u16,
+            ..Default::default()
+        };
+        let hlen = ip::emit(&mut buf, &f).unwrap();
+        l4::emit_udp(&mut buf[hlen..], 1111, 2222, 4).unwrap();
+        buf
+    }
+
+    #[test]
+    fn extracts_five_tuple() {
+        let pkt = sample_udp_packet();
+        let k = FlowKey::from_ipv4(&pkt).unwrap();
+        assert_eq!(k.src_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(k.dst_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(k.src_port, 1111);
+        assert_eq!(k.dst_port, 2222);
+        assert_eq!(k.protocol, ip::PROTO_UDP);
+    }
+
+    #[test]
+    fn rss_hash_is_symmetric() {
+        let pkt = sample_udp_packet();
+        let k = FlowKey::from_ipv4(&pkt).unwrap();
+        assert_eq!(k.rss_hash(), k.reversed().rss_hash());
+        // but the direction-sensitive hash differs (with overwhelming odds)
+        assert_ne!(k.hash64(), k.reversed().hash64());
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let pkt = sample_udp_packet();
+        let k = FlowKey::from_ipv4(&pkt).unwrap();
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn non_tcp_udp_has_zero_ports() {
+        let mut buf = vec![0u8; 64];
+        let f = Ipv4Fields {
+            protocol: ip::PROTO_ICMP,
+            payload_len: 8,
+            ..Default::default()
+        };
+        ip::emit(&mut buf, &f).unwrap();
+        let k = FlowKey::from_ipv4(&buf).unwrap();
+        assert_eq!((k.src_port, k.dst_port), (0, 0));
+    }
+
+    #[test]
+    fn truncated_l4_rejected() {
+        let mut pkt = sample_udp_packet();
+        pkt.truncate(22); // cuts into the UDP header
+        assert!(FlowKey::from_ipv4(&pkt).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! ICMP echo (ping) messages — the traffic class `mazu-nat.click` handles
+//! with its `ICMPPingRewriter`.
+
+use crate::checksum;
+use crate::{WireError, WireResult};
+
+/// ICMP header length for echo messages.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP type: echo reply.
+pub const TYPE_ECHO_REPLY: u8 = 0;
+/// ICMP type: echo request.
+pub const TYPE_ECHO_REQUEST: u8 = 8;
+
+/// An immutable view of an ICMP echo header.
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> IcmpView<'a> {
+    /// Parses an ICMP header at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireResult<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(IcmpView { buf })
+    }
+
+    /// Message type.
+    pub fn icmp_type(&self) -> u8 {
+        self.buf[0]
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buf[1]
+    }
+
+    /// True for echo requests/replies (the messages a NAT rewrites).
+    pub fn is_echo(&self) -> bool {
+        matches!(self.icmp_type(), TYPE_ECHO_REQUEST | TYPE_ECHO_REPLY)
+    }
+
+    /// Echo identifier (the "port" a ping NAT translates).
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Echo sequence number.
+    pub fn seq(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6], self.buf[7]])
+    }
+
+    /// Verifies the ICMP checksum over the whole message.
+    pub fn verify_checksum(&self) -> WireResult<()> {
+        if checksum::checksum(self.buf) == 0 {
+            Ok(())
+        } else {
+            Err(WireError::BadChecksum)
+        }
+    }
+}
+
+/// Emits an ICMP echo header (checksum over header + payload).
+pub fn emit_echo(
+    buf: &mut [u8],
+    icmp_type: u8,
+    ident: u16,
+    seq: u16,
+    payload_len: usize,
+) -> WireResult<()> {
+    if buf.len() < HEADER_LEN + payload_len {
+        return Err(WireError::Truncated);
+    }
+    buf[0] = icmp_type;
+    buf[1] = 0;
+    buf[2..4].copy_from_slice(&[0, 0]);
+    buf[4..6].copy_from_slice(&ident.to_be_bytes());
+    buf[6..8].copy_from_slice(&seq.to_be_bytes());
+    let c = checksum::checksum(&buf[..HEADER_LEN + payload_len]);
+    buf[2..4].copy_from_slice(&c.to_be_bytes());
+    Ok(())
+}
+
+/// Rewrites the echo identifier in place, incrementally fixing the
+/// checksum; returns the old identifier. Used by ping-rewriting NATs.
+pub fn set_ident(buf: &mut [u8], ident: u16) -> WireResult<u16> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let old = u16::from_be_bytes([buf[4], buf[5]]);
+    buf[4..6].copy_from_slice(&ident.to_be_bytes());
+    let hc = u16::from_be_bytes([buf[2], buf[3]]);
+    let fixed = checksum::update(hc, old, ident);
+    buf[2..4].copy_from_slice(&fixed.to_be_bytes());
+    Ok(old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut buf = vec![0u8; HEADER_LEN + 16];
+        for b in &mut buf[HEADER_LEN..] {
+            *b = 0xA5;
+        }
+        emit_echo(&mut buf, TYPE_ECHO_REQUEST, 0x1234, 7, 16).unwrap();
+        let v = IcmpView::new(&buf).unwrap();
+        assert_eq!(v.icmp_type(), TYPE_ECHO_REQUEST);
+        assert!(v.is_echo());
+        assert_eq!(v.ident(), 0x1234);
+        assert_eq!(v.seq(), 7);
+        v.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn ident_rewrite_keeps_checksum() {
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        emit_echo(&mut buf, TYPE_ECHO_REPLY, 100, 1, 8).unwrap();
+        let old = set_ident(&mut buf, 999).unwrap();
+        assert_eq!(old, 100);
+        let v = IcmpView::new(&buf).unwrap();
+        assert_eq!(v.ident(), 999);
+        v.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(IcmpView::new(&[0u8; 4]).is_err());
+        assert!(set_ident(&mut [0u8; 4], 1).is_err());
+        assert!(emit_echo(&mut [0u8; 4], TYPE_ECHO_REQUEST, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn non_echo_detected() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        emit_echo(&mut buf, 3 /* dest unreachable */, 0, 0, 0).unwrap();
+        assert!(!IcmpView::new(&buf).unwrap().is_echo());
+    }
+}

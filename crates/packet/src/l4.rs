@@ -1,0 +1,288 @@
+//! UDP and TCP header views and emitters.
+
+use crate::checksum;
+use crate::{WireError, WireResult};
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// An immutable UDP header view.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> UdpView<'a> {
+    /// Parses a UDP header at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireResult<Self> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(UdpView { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// UDP length field (header + payload).
+    pub fn len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Whether the length field covers at least the header.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize <= UDP_HEADER_LEN
+    }
+
+    /// The payload bytes according to the length field.
+    pub fn payload(&self) -> WireResult<&'a [u8]> {
+        let l = self.len() as usize;
+        if l < UDP_HEADER_LEN || l > self.buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(&self.buf[UDP_HEADER_LEN..l])
+    }
+}
+
+/// Emits a UDP header (checksum left as zero — optional in IPv4).
+pub fn emit_udp(buf: &mut [u8], src_port: u16, dst_port: u16, payload_len: u16) -> WireResult<()> {
+    if buf.len() < UDP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    buf[4..6].copy_from_slice(&(UDP_HEADER_LEN as u16 + payload_len).to_be_bytes());
+    buf[6..8].copy_from_slice(&[0, 0]);
+    Ok(())
+}
+
+/// An immutable TCP header view.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    buf: &'a [u8],
+}
+
+/// TCP flag bits.
+pub mod tcp_flags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+}
+
+impl<'a> TcpView<'a> {
+    /// Parses a TCP header at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireResult<Self> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let v = TcpView { buf };
+        if v.header_len() < TCP_HEADER_LEN || v.header_len() > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(v)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buf[12] >> 4) * 4
+    }
+
+    /// Flag byte (FIN/SYN/RST/PSH/ACK/URG).
+    pub fn flags(&self) -> u8 {
+        self.buf[13]
+    }
+
+    /// True if the SYN flag is set.
+    pub fn is_syn(&self) -> bool {
+        self.flags() & tcp_flags::SYN != 0
+    }
+
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags() & tcp_flags::FIN != 0
+    }
+
+    /// True if the RST flag is set.
+    pub fn is_rst(&self) -> bool {
+        self.flags() & tcp_flags::RST != 0
+    }
+}
+
+/// Fields for emitting a TCP header.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFields {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl Default for TcpFields {
+    fn default() -> Self {
+        TcpFields {
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: tcp_flags::ACK,
+            window: 65535,
+        }
+    }
+}
+
+/// Emits a 20-byte TCP header (checksum zero; our substrate does not verify
+/// L4 checksums, matching typical NIC-offload setups).
+pub fn emit_tcp(buf: &mut [u8], f: &TcpFields) -> WireResult<()> {
+    if buf.len() < TCP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    buf[0..2].copy_from_slice(&f.src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&f.dst_port.to_be_bytes());
+    buf[4..8].copy_from_slice(&f.seq.to_be_bytes());
+    buf[8..12].copy_from_slice(&f.ack.to_be_bytes());
+    buf[12] = ((TCP_HEADER_LEN / 4) as u8) << 4;
+    buf[13] = f.flags;
+    buf[14..16].copy_from_slice(&f.window.to_be_bytes());
+    buf[16..20].copy_from_slice(&[0, 0, 0, 0]); // checksum + urgent ptr
+    Ok(())
+}
+
+/// Rewrites a port in a TCP or UDP header at `port_off` (0 = src, 2 = dst),
+/// returning the old value. The L4 checksum is not maintained (zeroed for
+/// UDP; callers relying on checksums should recompute with
+/// [`fill_tcp_checksum`]).
+pub fn set_port(l4: &mut [u8], port_off: usize, port: u16) -> WireResult<u16> {
+    if l4.len() < port_off + 2 {
+        return Err(WireError::Truncated);
+    }
+    let old = u16::from_be_bytes([l4[port_off], l4[port_off + 1]]);
+    l4[port_off..port_off + 2].copy_from_slice(&port.to_be_bytes());
+    Ok(old)
+}
+
+/// Computes and fills the TCP checksum over the given pseudo-header info.
+pub fn fill_tcp_checksum(l4: &mut [u8], src: [u8; 4], dst: [u8; 4]) -> WireResult<()> {
+    if l4.len() < TCP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    l4[16..18].copy_from_slice(&[0, 0]);
+    let pseudo = checksum::pseudo_header_sum(src, dst, crate::ip::PROTO_TCP, l4.len() as u16);
+    let body = checksum::ones_complement_sum(l4);
+    let c = !checksum::combine(&[pseudo, body]);
+    l4[16..18].copy_from_slice(&c.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_roundtrip() {
+        let mut buf = [0u8; 32];
+        emit_udp(&mut buf, 5353, 53, 10).unwrap();
+        let v = UdpView::new(&buf).unwrap();
+        assert_eq!(v.src_port(), 5353);
+        assert_eq!(v.dst_port(), 53);
+        assert_eq!(v.len(), 18);
+        assert_eq!(v.payload().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn udp_bad_length_detected() {
+        let mut buf = [0u8; 12];
+        emit_udp(&mut buf, 1, 2, 100).unwrap(); // claims 108 bytes
+        let v = UdpView::new(&buf).unwrap();
+        assert_eq!(v.payload().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let mut buf = [0u8; 32];
+        let f = TcpFields {
+            src_port: 443,
+            dst_port: 51000,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            flags: tcp_flags::SYN | tcp_flags::ACK,
+            window: 1024,
+        };
+        emit_tcp(&mut buf, &f).unwrap();
+        let v = TcpView::new(&buf).unwrap();
+        assert_eq!(v.src_port(), 443);
+        assert_eq!(v.dst_port(), 51000);
+        assert_eq!(v.seq(), 0xdeadbeef);
+        assert_eq!(v.ack(), 0x01020304);
+        assert!(v.is_syn());
+        assert!(!v.is_fin());
+        assert!(!v.is_rst());
+        assert_eq!(v.header_len(), TCP_HEADER_LEN);
+    }
+
+    #[test]
+    fn set_port_returns_old() {
+        let mut buf = [0u8; 20];
+        emit_udp(&mut buf, 1000, 2000, 0).unwrap();
+        let old = set_port(&mut buf, 0, 4242).unwrap();
+        assert_eq!(old, 1000);
+        assert_eq!(UdpView::new(&buf).unwrap().src_port(), 4242);
+    }
+
+    #[test]
+    fn tcp_checksum_verifies() {
+        let mut buf = vec![0u8; 28];
+        emit_tcp(&mut buf, &TcpFields::default()).unwrap();
+        buf[20..].copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let src = [10, 0, 0, 1];
+        let dst = [10, 0, 0, 2];
+        fill_tcp_checksum(&mut buf, src, dst).unwrap();
+        // Recompute over the whole segment: must be zero.
+        let pseudo = checksum::pseudo_header_sum(src, dst, crate::ip::PROTO_TCP, 28);
+        let body = checksum::ones_complement_sum(&buf);
+        assert_eq!(!checksum::combine(&[pseudo, body]), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Packet formats and the FTC piggyback wire format.
+//!
+//! This crate provides the data-plane byte-level building blocks used by the
+//! rest of the workspace:
+//!
+//! * [`ether`], [`ip`], [`l4`] — Ethernet II, IPv4 (including options), TCP
+//!   and UDP header views over a contiguous byte buffer, in the spirit of
+//!   `smoltcp`'s wire representation: plain accessors over `&[u8]`, no
+//!   allocation, explicit error types.
+//! * [`checksum`] — the Internet checksum (RFC 1071) with incremental update
+//!   helpers used by the NAT middleboxes.
+//! * [`icmp`] — ICMP echo messages, for ping-rewriting NATs.
+//! * [`flow`] — 5-tuple flow keys and the symmetric RSS-style hash used to
+//!   distribute packets to worker queues.
+//! * [`packet`] — [`packet::Packet`], an owned mutable packet buffer with
+//!   cached header offsets and support for the FTC *piggyback trailer*.
+//! * [`piggyback`] — the FTC piggyback message: per-middlebox piggyback logs
+//!   (data dependency vector + state writes) and commit vectors, serialized
+//!   into a length-suffixed trailer appended after the IP payload and flagged
+//!   by an IPv4 option (paper §6).
+//! * [`builder`] — convenience builders that synthesize valid UDP/TCP test
+//!   packets for examples, tests and benchmarks.
+//!
+//! # Wire layout of an FTC-framed packet
+//!
+//! ```text
+//! +----------+------------------+-------------+----------------------+
+//! | Ethernet | IPv4 (+ option)  | L4 + payload| piggyback trailer    |
+//! +----------+------------------+-------------+----------------------+
+//!                                             ^ not covered by the IP
+//!                                               total-length field
+//!                                               while a middlebox holds
+//!                                               the packet (paper §6)
+//! ```
+//!
+//! The trailer is self-delimiting (magic + length at a fixed offset from the
+//! end), so replicas can locate it without trusting the IP header, and the
+//! IPv4 option ([`ip::OPTION_FTC`]) advertises its presence to FTC runtimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ether;
+pub mod flow;
+pub mod icmp;
+pub mod ip;
+pub mod l4;
+pub mod packet;
+pub mod piggyback;
+
+pub use flow::FlowKey;
+pub use packet::Packet;
+pub use piggyback::{CommitVector, DepVector, PiggybackLog, PiggybackMessage, SeqNo};
+
+/// Errors produced while parsing or emitting packet data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header or field being accessed.
+    Truncated,
+    /// A length field is inconsistent with the buffer.
+    BadLength,
+    /// A version or magic constant does not match.
+    BadMagic,
+    /// The checksum does not verify.
+    BadChecksum,
+    /// An unsupported protocol or option was encountered.
+    Unsupported,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::BadMagic => write!(f, "bad magic or version"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::Unsupported => write!(f, "unsupported protocol or option"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Shorthand result type for wire operations.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,188 @@
+//! The calibrated cost model.
+//!
+//! All CPU costs are expressed in cycles on the paper's 2.0 GHz Xeon D-1540
+//! and converted to nanoseconds at simulation time. Sources:
+//!
+//! | Constant | Source |
+//! |---|---|
+//! | MazuNAT processing 355 cy, locking 152 cy | Table 2 |
+//! | piggyback copy 58 cy, forwarder 8 cy, buffer 100 cy | Table 2 |
+//! | NIC receive cap ≈ 10.2 Mpps (98 ns/pkt) | §7.3 footnote 1 ("9.6–10.6 Mpps") |
+//! | FTMB OL ≈ 5.26 Mpps (190 ns/pkt) | §7.3 ("limits FTMB's throughput to 5.26 Mpps") |
+//! | Snapshot stall 6 ms / 50 ms | §7.4 |
+//! | Monitor/SimpleNAT/Gen/Firewall base costs | calibrated to the Fig. 6/7 anchor bars |
+
+use serde::Serialize;
+
+/// Calibrated per-operation costs.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostModel {
+    /// CPU frequency used to convert cycles to time.
+    pub cpu_ghz: f64,
+    /// Fixed per-packet NIC receive processing time (ns) per server.
+    pub nic_rx_base_ns: f64,
+    /// Additional NIC receive time per frame byte (DMA/copy component) —
+    /// this is what makes piggyback trailers cost throughput when a chain
+    /// is NIC-bound (the paper's 6–13% FTC overhead in Fig. 9).
+    pub nic_rx_per_byte_ns: f64,
+    /// NIC receive ring depth in frames; arrivals beyond this backlog are
+    /// dropped at admission (RX overruns under overload).
+    pub nic_queue_frames: usize,
+    /// Maximum per-worker queue residency before the RSS ring overruns and
+    /// drops (bounds worker backlogs the way rings bound NIC backlogs).
+    pub worker_queue_ns: f64,
+    /// Uniform multiplicative jitter applied to per-packet IO latency
+    /// (DPDK batching variability): `io × U[1-j, 1+j]`. Gives latency
+    /// distributions their spread (Fig. 11).
+    pub io_jitter: f64,
+    /// Link bandwidth in bits/s (40 GbE).
+    pub link_bps: f64,
+    /// Fixed per-hop propagation + switching delay (ns).
+    pub link_prop_ns: f64,
+    /// Per-server IO latency (DPDK RX/TX batching + queue residency) added
+    /// to every packet's delay without occupying a resource. Calibrated so
+    /// an NF middlebox costs 10-15 us of latency (§3.1: "at each middlebox
+    /// of a chain, latency should be within 10 to 100 us").
+    pub hop_io_latency_ns: f64,
+
+    // -- middlebox work (cycles) --------------------------------------
+    /// MazuNAT parallel processing (Table 2).
+    pub mazu_proc_cy: f64,
+    /// MazuNAT critical section (Table 2 "locking").
+    pub mazu_cs_cy: f64,
+    /// SimpleNAT parallel / critical-section cycles.
+    pub snat_proc_cy: f64,
+    /// SimpleNAT critical section.
+    pub snat_cs_cy: f64,
+    /// Monitor parallel cycles.
+    pub monitor_proc_cy: f64,
+    /// Monitor shared-counter critical section (read-modify-write of the
+    /// group counter; dominates under high sharing).
+    pub monitor_cs_cy: f64,
+    /// Gen parallel cycles (base).
+    pub gen_proc_cy: f64,
+    /// Gen extra cycles per byte of generated state.
+    pub gen_per_byte_cy: f64,
+    /// Firewall cycles (stateless).
+    pub firewall_proc_cy: f64,
+
+    // -- FTC (Table 2) --------------------------------------------------
+    /// Constructing/copying the piggyback log.
+    pub ftc_piggyback_cy: f64,
+    /// Extra piggyback cycles per byte of written state.
+    pub ftc_piggyback_per_byte_cy: f64,
+    /// Applying one replicated log at a replica (serialized per log
+    /// stream).
+    pub ftc_apply_cy: f64,
+    /// Extra apply cycles per byte of state.
+    pub ftc_apply_per_byte_cy: f64,
+    /// Forwarder per-packet work.
+    pub ftc_forwarder_cy: f64,
+    /// Buffer per-packet work.
+    pub ftc_buffer_cy: f64,
+    /// Forwarder idle timeout before a propagating packet (ns).
+    pub ftc_propagate_timeout_ns: f64,
+    /// Fixed FTC framing on *every* packet (empty-message trailer + the
+    /// IPv4 option): "FTC has to pay the cost of adding space to packets
+    /// for possible state writes, even when state writes are not
+    /// performed" (§7.3).
+    pub ftc_framing_bytes: usize,
+    /// Fixed piggyback framing bytes per log (header + deps).
+    pub ftc_log_overhead_bytes: usize,
+    /// Commit vector bytes (trimmed dense vector).
+    pub ftc_commit_bytes: usize,
+
+    // -- FTMB -----------------------------------------------------------
+    /// Master-side PAL generation + send per state-accessing packet.
+    pub ftmb_pal_cy: f64,
+    /// Input logger per-packet cost.
+    pub ftmb_il_cy: f64,
+    /// Output logger per-packet cost (the 5.26 Mpps ceiling).
+    pub ftmb_ol_ns: f64,
+    /// PAL message size on the wire.
+    pub ftmb_pal_bytes: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu_ghz: 2.0,
+            nic_rx_base_ns: 88.0,      // with per-byte: ≈ 9.2–10.2 Mpps cap
+            nic_rx_per_byte_ns: 0.08,
+            nic_queue_frames: 1024,
+            worker_queue_ns: 150_000.0,
+            io_jitter: 0.35,
+            link_bps: 40e9,            // 40 GbE data plane
+            link_prop_ns: 500.0,       // ToR switch + cabling
+            hop_io_latency_ns: 18_000.0,
+            mazu_proc_cy: 355.0,       // Table 2
+            mazu_cs_cy: 152.0,         // Table 2
+            snat_proc_cy: 300.0,
+            snat_cs_cy: 140.0,
+            monitor_proc_cy: 200.0,
+            monitor_cs_cy: 440.0,      // → ~4.5 Mpps fully shared (Fig 6)
+            gen_proc_cy: 240.0,
+            gen_per_byte_cy: 0.12,
+            firewall_proc_cy: 180.0,
+            ftc_piggyback_cy: 58.0,    // Table 2
+            ftc_piggyback_per_byte_cy: 0.08,
+            ftc_apply_cy: 130.0,
+            ftc_apply_per_byte_cy: 0.06,
+            ftc_forwarder_cy: 8.0,     // Table 2
+            ftc_buffer_cy: 100.0,      // Table 2
+            ftc_propagate_timeout_ns: 1.0e6,
+            ftc_framing_bytes: 18,
+            ftc_log_overhead_bytes: 28,
+            ftc_commit_bytes: 16,
+            ftmb_pal_cy: 160.0,
+            ftmb_il_cy: 100.0,
+            ftmb_ol_ns: 190.0,         // → 5.26 Mpps (§7.3)
+            ftmb_pal_bytes: 24,
+        }
+    }
+}
+
+impl CostModel {
+    /// Converts cycles to nanoseconds.
+    pub fn cy(&self, cycles: f64) -> f64 {
+        cycles / self.cpu_ghz
+    }
+
+    /// Serialization time of `bytes` on the data-plane link, in ns.
+    pub fn wire_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 * 8.0 / self.link_bps * 1e9
+    }
+
+    /// NIC receive processing time for a frame of `bytes`.
+    pub fn nic_ns(&self, bytes: usize) -> f64 {
+        self.nic_rx_base_ns + self.nic_rx_per_byte_ns * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_hold() {
+        let c = CostModel::default();
+        // NIC cap for small frames ≈ the paper's 9.6–10.6 Mpps window.
+        let cap_small = 1e9 / c.nic_ns(128) / 1e6;
+        assert!((9.6..=10.6).contains(&cap_small), "{cap_small}");
+        // 256 B frames land slightly below.
+        let cap = 1e9 / c.nic_ns(256) / 1e6;
+        assert!((8.8..=10.0).contains(&cap), "{cap}");
+        // FTMB OL ceiling ≈ 5.26 Mpps
+        let ol = 1e9 / c.ftmb_ol_ns / 1e6;
+        assert!((5.0..=5.5).contains(&ol), "{ol}");
+        // Table 2 cycle conversions at 2 GHz: 355 cy ≈ 177.5 ns.
+        assert!((c.cy(c.mazu_proc_cy) - 177.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_time_40g() {
+        let c = CostModel::default();
+        // 256 B at 40 Gbps = 51.2 ns
+        assert!((c.wire_ns(256) - 51.2).abs() < 0.01);
+    }
+}

@@ -1,0 +1,44 @@
+//! Performance models of the paper's systems, in virtual time.
+//!
+//! # Why a simulator
+//!
+//! The paper's evaluation ran on 12 testbed servers (8-core Xeon D-1540 @
+//! 2 GHz, 40 GbE Mellanox NICs). The threaded runtime in `ftc-core`
+//! reproduces the *protocol* faithfully, but wall-clock throughput scaling
+//! cannot be reproduced on this build machine (a single-core VM). This
+//! crate therefore models the *performance* of NF, FTC, FTMB and
+//! FTMB+Snapshot chains in virtual time and regenerates the shapes of every
+//! figure in §7.
+//!
+//! # Technique
+//!
+//! The chains are feed-forward networks of FIFO resources (NIC rx units,
+//! worker cores, partition locks, serialized log-apply streams, links, the
+//! FTMB output logger). For such networks, walking packets in arrival order
+//! and advancing each resource's `free_at` horizon produces the exact same
+//! schedule as an event-heap discrete-event simulation, at a fraction of
+//! the cost. The only feedback path — FTC's buffer⭢forwarder ring — affects
+//! only *release* times, which are resolved in a second pass that mirrors
+//! the buffer's commit-vector release rule.
+//!
+//! # Calibration
+//!
+//! Per-packet CPU costs come from the paper's own Table 2 (cycles at 2 GHz)
+//! where available, and are otherwise set so that the anchor points the
+//! paper states in prose hold: the ~10 Mpps NIC receive cap (§7.3 footnote),
+//! FTMB's 5.26 Mpps PAL ceiling at sharing level 1 (§7.3), and the 6 ms /
+//! 50 ms snapshot stall of FTMB+Snapshot (§7.4). See [`cost::CostModel`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod model;
+pub mod report;
+pub mod resource;
+pub mod run;
+
+pub use cost::CostModel;
+pub use model::{Ablation, MbKind, SimConfig, SystemKind};
+pub use report::SimReport;
+pub use run::simulate;

@@ -1,0 +1,200 @@
+//! Simulation configuration: which system, which chain, which load.
+
+use crate::cost::CostModel;
+use serde::Serialize;
+
+/// A middlebox in the simulated chain, with its workload-relevant knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum MbKind {
+    /// Commercial-NAT core: read-heavy, writes only on new/closing flows.
+    MazuNat,
+    /// Basic NAT: like MazuNat with slightly lighter processing.
+    SimpleNat,
+    /// Counter middlebox; `sharing` worker threads share each counter
+    /// (paper §7.1). Writes state on every packet.
+    Monitor {
+        /// Threads sharing one counter variable.
+        sharing: usize,
+    },
+    /// Write-heavy synthetic middlebox writing `state` bytes per packet.
+    Gen {
+        /// Bytes of state written per packet.
+        state: usize,
+    },
+    /// Stateless filter.
+    Firewall,
+    /// A pure replica stage (no middlebox work): used when a chain shorter
+    /// than `f + 1` is padded so updates reach `f + 1` servers (§5.1).
+    Passthrough,
+}
+
+impl MbKind {
+    /// Does a packet write state here? (probabilities handled by caller;
+    /// this is the per-packet common case).
+    pub fn writes_per_packet(&self) -> bool {
+        matches!(self, MbKind::Monitor { .. } | MbKind::Gen { .. })
+    }
+
+    /// Is the middlebox stateful at all?
+    pub fn is_stateful(&self) -> bool {
+        !matches!(self, MbKind::Firewall | MbKind::Passthrough)
+    }
+
+    /// Bytes of state written by one writing packet.
+    pub fn state_bytes(&self) -> usize {
+        match self {
+            MbKind::Monitor { .. } => 16,      // two 8-byte counters
+            MbKind::Gen { state } => *state,
+            MbKind::MazuNat | MbKind::SimpleNat => 18, // two 9-byte mappings
+            MbKind::Firewall | MbKind::Passthrough => 0,
+        }
+    }
+}
+
+/// Which fault-tolerance system runs the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum SystemKind {
+    /// No fault tolerance.
+    Nf,
+    /// Fault-tolerant chaining with replication factor `f + 1`.
+    Ftc {
+        /// Failures tolerated.
+        f: usize,
+    },
+    /// FTMB (per-middlebox master + loggers), optionally with periodic
+    /// snapshot stalls `(period_ns, pause_ns)`.
+    Ftmb {
+        /// `Some((period, pause))` enables FTMB+Snapshot.
+        snapshot: Option<(f64, f64)>,
+    },
+}
+
+impl SystemKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Nf => "NF",
+            SystemKind::Ftc { .. } => "FTC",
+            SystemKind::Ftmb { snapshot: None } => "FTMB",
+            SystemKind::Ftmb { snapshot: Some(_) } => "FTMB+Snapshot",
+        }
+    }
+}
+
+/// Design-choice ablations for FTC (used by the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Ablation {
+    /// Replace data dependency vectors with a single sequence number: all
+    /// log applies at a replica serialize on one stream (§4.3 without the
+    /// partial order).
+    TotalOrderReplication,
+    /// Replace state piggybacking with separate replication messages: each
+    /// writing packet costs an extra message send/receive per hop, like
+    /// the per-middlebox frameworks of §2.2.
+    NoPiggyback,
+}
+
+/// One simulation run's parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimConfig {
+    /// The system under test.
+    pub system: SystemKind,
+    /// Optional FTC design ablation.
+    pub ablation: Option<Ablation>,
+    /// Middleboxes in chain order.
+    pub chain: Vec<MbKind>,
+    /// Worker threads (= cores) per middlebox server.
+    pub workers: usize,
+    /// Offered load in packets per second. Offer above capacity (e.g.
+    /// 12 Mpps) to measure maximum throughput.
+    pub offered_pps: f64,
+    /// Frame size in bytes (Ethernet..payload).
+    pub packet_bytes: usize,
+    /// Number of distinct flows (RSS spread).
+    pub flows: usize,
+    /// Virtual duration of the run in seconds.
+    pub duration_s: f64,
+    /// Fraction of the run discarded as warmup.
+    pub warmup_frac: f64,
+    /// Cost calibration.
+    pub cost: CostModel,
+    /// RNG seed (arrival jitter, flow assignment).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A reasonable default: measure max throughput of `chain` under
+    /// `system` with 8 workers and 256-byte packets.
+    pub fn saturated(system: SystemKind, chain: Vec<MbKind>) -> SimConfig {
+        SimConfig {
+            system,
+            ablation: None,
+            chain,
+            workers: 8,
+            offered_pps: 14e6,
+            packet_bytes: 256,
+            flows: 4096,
+            duration_s: 0.05,
+            warmup_frac: 0.2,
+            cost: CostModel::default(),
+            seed: 42,
+        }
+    }
+
+    /// Same chain at a fixed offered load (for latency measurements).
+    pub fn at_rate(system: SystemKind, chain: Vec<MbKind>, pps: f64) -> SimConfig {
+        SimConfig {
+            offered_pps: pps,
+            ..SimConfig::saturated(system, chain)
+        }
+    }
+
+    /// Builder-style worker override.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder-style packet-size override.
+    pub fn with_packet_bytes(mut self, bytes: usize) -> Self {
+        self.packet_bytes = bytes;
+        self
+    }
+
+    /// Builder-style duration override.
+    pub fn with_duration(mut self, seconds: f64) -> Self {
+        self.duration_s = seconds;
+        self
+    }
+
+    /// Builder-style ablation override.
+    pub fn with_ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = Some(ablation);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert!(MbKind::Monitor { sharing: 2 }.writes_per_packet());
+        assert!(!MbKind::MazuNat.writes_per_packet());
+        assert!(MbKind::MazuNat.is_stateful());
+        assert!(!MbKind::Firewall.is_stateful());
+        assert_eq!(MbKind::Gen { state: 128 }.state_bytes(), 128);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(SystemKind::Nf.name(), "NF");
+        assert_eq!(SystemKind::Ftc { f: 1 }.name(), "FTC");
+        assert_eq!(SystemKind::Ftmb { snapshot: None }.name(), "FTMB");
+        assert_eq!(
+            SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) }.name(),
+            "FTMB+Snapshot"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulation results.
+
+use ftc_traffic::Histogram;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// System under test.
+    pub system: &'static str,
+    /// Offered load (pps).
+    pub offered_pps: f64,
+    /// Achieved released-packet rate within the measurement window (pps).
+    pub achieved_pps: f64,
+    /// Packets injected in the measurement window.
+    pub injected: u64,
+    /// Packets released in the measurement window.
+    pub released: u64,
+    /// End-to-end latency distribution (ingress → release).
+    #[serde(skip)]
+    pub latency: Histogram,
+    /// Mean piggyback trailer bytes per packet on the busiest hop (FTC).
+    pub trailer_bytes: f64,
+}
+
+impl SimReport {
+    /// Achieved throughput in Mpps.
+    pub fn mpps(&self) -> f64 {
+        self.achieved_pps / 1e6
+    }
+
+    /// Mean latency, if any packet was released.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        self.latency.mean()
+    }
+
+    /// Median latency.
+    pub fn median_latency(&self) -> Option<Duration> {
+        self.latency.median()
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99_latency(&self) -> Option<Duration> {
+        self.latency.quantile(0.99)
+    }
+}

@@ -1,0 +1,356 @@
+//! Replica-side apply bookkeeping: the `MAX` dependency vector and the
+//! parking lot for out-of-order piggyback logs (paper §4.3, Fig. 3).
+
+use crate::store::StateStore;
+use crate::{Applicability, DepVector, SeqNo, StateWrite};
+use parking_lot::Mutex;
+
+/// A log parked at a replica because one of its dependencies has not been
+/// applied yet.
+#[derive(Debug, Clone)]
+struct ParkedLog {
+    deps: DepVector,
+    writes: Vec<StateWrite>,
+}
+
+/// Detailed outcome of [`MaxVector::try_apply_detailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryApply {
+    /// Applied; `new_max` holds the post-apply counter of every touched
+    /// partition (wake key material).
+    Applied {
+        /// `(partition, new counter)` pairs.
+        new_max: Vec<(u16, SeqNo)>,
+    },
+    /// A dependency is missing: the log becomes applicable once the
+    /// partition's counter reaches `need`.
+    Blocked {
+        /// The first blocking partition.
+        partition: u16,
+        /// The counter value that unblocks it.
+        need: SeqNo,
+    },
+    /// Duplicate of an already-applied log.
+    Stale,
+}
+
+/// Result of offering a piggyback log to a [`MaxVector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApplyOutcome {
+    /// Logs applied by this call (the offered log plus any unparked ones).
+    pub applied: usize,
+    /// The offered log was parked awaiting earlier logs.
+    pub parked: bool,
+    /// The offered log was a duplicate of an already-applied log.
+    pub stale: bool,
+}
+
+struct MaxInner {
+    max: Vec<SeqNo>,
+    parked: Vec<ParkedLog>,
+}
+
+/// A replica's `MAX` dependency vector for one replicated middlebox: tracks
+/// the latest piggyback log applied in (partial) order and parks logs that
+/// arrive early.
+///
+/// ```
+/// use ftc_stm::{MaxVector, StateStore};
+/// use bytes::Bytes;
+///
+/// let head = StateStore::new(8);
+/// let mk = |v: &'static str| {
+///     head.transaction(|txn| {
+///         txn.write(Bytes::from_static(b"k"), Bytes::from_static(v.as_bytes()))?;
+///         Ok(())
+///     })
+///     .log
+///     .unwrap()
+/// };
+/// let (first, second) = (mk("1"), mk("2"));
+///
+/// // The replica receives them out of order; the MAX vector parks the
+/// // early one and applies both once the gap fills (paper Fig. 3).
+/// let replica = StateStore::new(8);
+/// let max = MaxVector::new(8);
+/// assert_eq!(max.offer(&second.deps, &second.writes, &replica).applied, 0);
+/// assert_eq!(max.offer(&first.deps, &first.writes, &replica).applied, 2);
+/// assert_eq!(replica.peek(b"k"), Some(Bytes::from_static(b"2")));
+/// ```
+pub struct MaxVector {
+    inner: Mutex<MaxInner>,
+}
+
+impl MaxVector {
+    /// Creates a `MAX` vector for a store with `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        MaxVector {
+            inner: Mutex::new(MaxInner {
+                max: vec![0; partitions],
+                parked: Vec::new(),
+            }),
+        }
+    }
+
+    /// Applies the log if its dependencies are satisfied, without parking it
+    /// otherwise. Used by replicas that park the *whole packet* (with its
+    /// remaining pipeline) instead of individual logs.
+    pub fn try_apply(
+        &self,
+        deps: &DepVector,
+        writes: &[StateWrite],
+        store: &StateStore,
+    ) -> Applicability {
+        let mut inner = self.inner.lock();
+        let verdict = deps.applicable_at(&inner.max);
+        if verdict == Applicability::Ready {
+            Self::apply(&mut inner, deps, writes, store);
+        }
+        verdict
+    }
+
+    /// Like [`MaxVector::try_apply`] but reports *which* dependency blocks
+    /// and, on success, the new per-partition counters — the information a
+    /// replica's indexed parking lot needs for O(1) wakeups.
+    pub fn try_apply_detailed(
+        &self,
+        deps: &DepVector,
+        writes: &[StateWrite],
+        store: &StateStore,
+    ) -> TryApply {
+        let mut inner = self.inner.lock();
+        match deps.applicable_at(&inner.max) {
+            Applicability::Ready => {
+                Self::apply(&mut inner, deps, writes, store);
+                let new_max = deps
+                    .entries()
+                    .iter()
+                    .map(|&(p, _)| (p, inner.max[p as usize]))
+                    .collect();
+                TryApply::Applied { new_max }
+            }
+            Applicability::Stale => TryApply::Stale,
+            Applicability::NotYet => {
+                let &(p, seq) = deps
+                    .entries()
+                    .iter()
+                    .find(|&&(p, seq)| inner.max.get(p as usize).copied().unwrap_or(0) < seq)
+                    .expect("NotYet implies a blocking entry");
+                TryApply::Blocked {
+                    partition: p,
+                    need: seq,
+                }
+            }
+        }
+    }
+
+    /// Offers one piggyback log for application to `store`.
+    ///
+    /// Applies it (and any parked logs it unblocks) if its dependency vector
+    /// is satisfied; parks it if some dependency is missing; drops it if it
+    /// is a duplicate.
+    pub fn offer(&self, deps: &DepVector, writes: &[StateWrite], store: &StateStore) -> ApplyOutcome {
+        let mut inner = self.inner.lock();
+        match deps.applicable_at(&inner.max) {
+            Applicability::Ready => {
+                Self::apply(&mut inner, deps, writes, store);
+                let drained = Self::drain_parked(&mut inner, store);
+                ApplyOutcome {
+                    applied: 1 + drained,
+                    parked: false,
+                    stale: false,
+                }
+            }
+            Applicability::NotYet => {
+                inner.parked.push(ParkedLog {
+                    deps: deps.clone(),
+                    writes: writes.to_vec(),
+                });
+                ApplyOutcome {
+                    applied: 0,
+                    parked: true,
+                    stale: false,
+                }
+            }
+            Applicability::Stale => ApplyOutcome {
+                applied: 0,
+                parked: false,
+                stale: true,
+            },
+        }
+    }
+
+    fn apply(inner: &mut MaxInner, deps: &DepVector, writes: &[StateWrite], store: &StateStore) {
+        store.apply_writes(deps, writes);
+        for &(p, _) in deps.entries() {
+            let slot = &mut inner.max[p as usize];
+            *slot += 1;
+        }
+    }
+
+    /// Re-scans parked logs until a fixpoint; returns how many were applied.
+    fn drain_parked(inner: &mut MaxInner, store: &StateStore) -> usize {
+        let mut applied = 0;
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < inner.parked.len() {
+                match inner.parked[i].deps.applicable_at(&inner.max) {
+                    Applicability::Ready => {
+                        let log = inner.parked.swap_remove(i);
+                        Self::apply(inner, &log.deps, &log.writes, store);
+                        applied += 1;
+                        progressed = true;
+                    }
+                    Applicability::Stale => {
+                        inner.parked.swap_remove(i);
+                        progressed = true;
+                    }
+                    Applicability::NotYet => i += 1,
+                }
+            }
+            if !progressed {
+                return applied;
+            }
+        }
+    }
+
+    /// The current `MAX` vector (used as a commit vector by tails and during
+    /// recovery state transfer).
+    pub fn vector(&self) -> Vec<SeqNo> {
+        self.inner.lock().max.clone()
+    }
+
+    /// Number of logs currently parked.
+    pub fn parked_len(&self) -> usize {
+        self.inner.lock().parked.len()
+    }
+
+    /// Discards parked (out-of-order) logs — done by a recovery *source*
+    /// replica so the log propagation invariant holds (paper §4.1: "the
+    /// replica that is the source for state recovery discards any
+    /// out-of-order packets that have not been applied to its state store").
+    pub fn discard_parked(&self) {
+        self.inner.lock().parked.clear();
+    }
+
+    /// Overwrites the vector from a recovery transfer.
+    pub fn restore(&self, max: Vec<SeqNo>) {
+        let mut inner = self.inner.lock();
+        assert_eq!(max.len(), inner.max.len(), "partition count mismatch");
+        inner.max = max;
+        inner.parked.clear();
+    }
+}
+
+impl std::fmt::Debug for MaxVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("MaxVector")
+            .field("max", &inner.max)
+            .field("parked", &inner.parked.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn log(store: &StateStore, k: &'static str, v: &'static str) -> (DepVector, Vec<StateWrite>) {
+        let out = store.transaction(|txn| {
+            txn.write(Bytes::from_static(k.as_bytes()), Bytes::from_static(v.as_bytes()))?;
+            Ok(())
+        });
+        let l = out.log.unwrap();
+        (l.deps, l.writes)
+    }
+
+    #[test]
+    fn in_order_application() {
+        let head = StateStore::new(8);
+        let replica = StateStore::new(8);
+        let max = MaxVector::new(8);
+        let (d1, w1) = log(&head, "a", "1");
+        let (d2, w2) = log(&head, "a", "2");
+        assert_eq!(max.offer(&d1, &w1, &replica).applied, 1);
+        assert_eq!(max.offer(&d2, &w2, &replica).applied, 1);
+        assert_eq!(replica.peek(b"a"), Some(Bytes::from_static(b"2")));
+        assert_eq!(max.vector(), head.seq_vector());
+    }
+
+    #[test]
+    fn out_of_order_parks_then_applies() {
+        let head = StateStore::new(8);
+        let replica = StateStore::new(8);
+        let max = MaxVector::new(8);
+        let (d1, w1) = log(&head, "a", "1");
+        let (d2, w2) = log(&head, "a", "2");
+        // Deliver the second log first: parked, store untouched.
+        let o = max.offer(&d2, &w2, &replica);
+        assert!(o.parked);
+        assert_eq!(replica.peek(b"a"), None);
+        assert_eq!(max.parked_len(), 1);
+        // First log unblocks both.
+        let o = max.offer(&d1, &w1, &replica);
+        assert_eq!(o.applied, 2);
+        assert_eq!(replica.peek(b"a"), Some(Bytes::from_static(b"2")));
+        assert_eq!(max.parked_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_stale() {
+        let head = StateStore::new(8);
+        let replica = StateStore::new(8);
+        let max = MaxVector::new(8);
+        let (d1, w1) = log(&head, "a", "1");
+        assert_eq!(max.offer(&d1, &w1, &replica).applied, 1);
+        let o = max.offer(&d1, &w1, &replica);
+        assert!(o.stale);
+        assert_eq!(o.applied, 0);
+    }
+
+    #[test]
+    fn independent_partitions_apply_in_any_order() {
+        let head = StateStore::new(32);
+        let replica = StateStore::new(32);
+        let max = MaxVector::new(32);
+        // Find two keys in different partitions so their logs commute.
+        let ka = "x1";
+        let mut kb = None;
+        for i in 0..100 {
+            let cand = format!("y{i}");
+            if head.partition_of(cand.as_bytes()) != head.partition_of(ka.as_bytes()) {
+                kb = Some(cand);
+                break;
+            }
+        }
+        let kb = kb.unwrap();
+        let (d1, w1) = log(&head, "x1", "1");
+        let out = head.transaction(|txn| {
+            txn.write(Bytes::from(kb.clone()), Bytes::from_static(b"2"))?;
+            Ok(())
+        });
+        let l2 = out.log.unwrap();
+        // Reverse order is fine: disjoint partitions.
+        assert_eq!(max.offer(&l2.deps, &l2.writes, &replica).applied, 1);
+        assert_eq!(max.offer(&d1, &w1, &replica).applied, 1);
+        assert_eq!(max.vector(), head.seq_vector());
+    }
+
+    #[test]
+    fn restore_and_discard() {
+        let max = MaxVector::new(4);
+        max.restore(vec![5, 6, 7, 8]);
+        assert_eq!(max.vector(), vec![5, 6, 7, 8]);
+        max.discard_parked();
+        assert_eq!(max.parked_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count mismatch")]
+    fn restore_rejects_wrong_size() {
+        MaxVector::new(4).restore(vec![1, 2]);
+    }
+}

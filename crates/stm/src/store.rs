@@ -1,0 +1,409 @@
+//! The partitioned state store.
+
+use crate::txn::{TxnError, TxnOutput, TxnRecord, Txn};
+use crate::{partition_of, DepVector, StateWrite};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Index of a state partition.
+pub type PartitionId = u16;
+
+/// Aggregate statistics maintained by a store.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted by wound-wait and re-executed.
+    pub wound_aborts: AtomicU64,
+    /// Piggyback logs applied via [`StateStore::apply_writes`].
+    pub applied_logs: AtomicU64,
+}
+
+impl StoreStats {
+    /// Snapshot of the counters as plain integers
+    /// `(commits, wound_aborts, applied_logs)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.wound_aborts.load(Ordering::Relaxed),
+            self.applied_logs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+pub(crate) struct PartitionState {
+    /// Current lock holder, if any.
+    pub owner: Option<Arc<TxnRecord>>,
+    /// Key → value map for this partition.
+    pub map: HashMap<Bytes, Bytes>,
+    /// Number of committed *writing* transactions that touched this
+    /// partition — the head's dependency-vector component (paper §4.3).
+    pub seq: u64,
+}
+
+pub(crate) struct Partition {
+    pub state: Mutex<PartitionState>,
+    pub cv: Condvar,
+}
+
+impl Partition {
+    fn new() -> Self {
+        Partition {
+            state: Mutex::new(PartitionState {
+                owner: None,
+                map: HashMap::new(),
+                seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// A deep copy of a store's contents, transferred during failure recovery
+/// (paper §4.1: "the new replica retrieves the state store … and sequence
+/// number").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Per-partition key/value maps.
+    pub maps: Vec<Vec<(Bytes, Bytes)>>,
+    /// Per-partition sequence numbers.
+    pub seqs: Vec<u64>,
+}
+
+impl StoreSnapshot {
+    /// Total serialized size of the snapshot in bytes (keys + values), used
+    /// to model state-transfer time in recovery experiments.
+    pub fn byte_size(&self) -> usize {
+        self.maps
+            .iter()
+            .flatten()
+            .map(|(k, v)| k.len() + v.len())
+            .sum::<usize>()
+            + self.seqs.len() * 8
+    }
+}
+
+/// A partitioned middlebox state store supporting transactional access.
+///
+/// ```
+/// use ftc_stm::StateStore;
+/// use bytes::Bytes;
+///
+/// let store = StateStore::new(32);
+/// let out = store.transaction(|txn| {
+///     let hits = txn.read_u64(b"hits")?.unwrap_or(0);
+///     txn.write_u64(Bytes::from_static(b"hits"), hits + 1)?;
+///     Ok(hits + 1)
+/// });
+/// assert_eq!(out.value, 1);
+/// // Writing transactions yield a replication log for piggybacking.
+/// let log = out.log.expect("wrote state");
+/// assert_eq!(log.writes.len(), 1);
+/// ```
+pub struct StateStore {
+    pub(crate) partitions: Vec<Partition>,
+    /// Wound-wait timestamp source, shared by all transactions on this store.
+    pub(crate) ts_gen: AtomicU64,
+    /// Statistics.
+    pub stats: StoreStats,
+}
+
+impl StateStore {
+    /// Creates a store with `partitions` state partitions.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0 && partitions <= u16::MAX as usize);
+        StateStore {
+            partitions: (0..partitions).map(|_| Partition::new()).collect(),
+            ts_gen: AtomicU64::new(1),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition a key maps to.
+    pub fn partition_of(&self, key: &[u8]) -> PartitionId {
+        partition_of(key, self.partitions.len())
+    }
+
+    /// Runs `body` as a packet transaction, retrying transparently when it
+    /// is wounded. Returns the closure result and, if the transaction wrote
+    /// state, the [`TxnLog`] to piggyback.
+    ///
+    /// The closure may be re-executed; it must be idempotent with respect to
+    /// non-state side effects (packet mutation should be done after the
+    /// transaction or based on its output, as the FTC runtimes do).
+    pub fn transaction<T>(
+        &self,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<T, TxnError>,
+    ) -> TxnOutput<T> {
+        let ts = self.ts_gen.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let record = Arc::new(TxnRecord::new(ts));
+            let mut txn = Txn::new(self, record);
+            match body(&mut txn) {
+                Ok(value) => {
+                    let log = txn.commit();
+                    self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    return TxnOutput { value, log };
+                }
+                Err(TxnError::Wounded) => {
+                    txn.rollback();
+                    self.stats.wound_aborts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Non-transactional read of a single key (test and inspection helper;
+    /// acquires only the partition's internal mutex, not the 2PL lock).
+    pub fn peek(&self, key: &[u8]) -> Option<Bytes> {
+        let p = self.partition_of(key);
+        let st = self.partitions[p as usize].state.lock();
+        st.map.get(key).cloned()
+    }
+
+    /// Non-transactional read of a u64 counter stored at `key`.
+    pub fn peek_u64(&self, key: &[u8]) -> Option<u64> {
+        self.peek(key).and_then(|v| {
+            v.as_ref()
+                .try_into()
+                .ok()
+                .map(u64::from_be_bytes)
+        })
+    }
+
+    /// The current per-partition sequence vector (the head's dependency
+    /// vector state).
+    pub fn seq_vector(&self) -> Vec<u64> {
+        self.partitions
+            .iter()
+            .map(|p| p.state.lock().seq)
+            .collect()
+    }
+
+    /// Applies replicated writes from a piggyback log to this store,
+    /// incrementing the sequence numbers of the partitions in `deps`.
+    ///
+    /// This is the replica-side mirror of a head commit: the caller (a
+    /// [`crate::MaxVector`]) has already established that the log is
+    /// in-order. Partition internal mutexes are taken in index order, so
+    /// concurrent appliers cannot deadlock.
+    pub fn apply_writes(&self, deps: &DepVector, writes: &[StateWrite]) {
+        let mut touched: Vec<PartitionId> = deps.entries().iter().map(|&(p, _)| p).collect();
+        if touched.is_empty() {
+            // Defensive: a no-op log carries no deps; nothing to bump.
+            debug_assert!(writes.is_empty());
+            return;
+        }
+        touched.sort_unstable();
+        let mut guards: Vec<(PartitionId, MutexGuard<'_, PartitionState>)> = touched
+            .iter()
+            .map(|&p| (p, self.partitions[p as usize].state.lock()))
+            .collect();
+        for w in writes {
+            let slot = guards
+                .iter_mut()
+                .find(|(p, _)| *p == w.partition)
+                .map(|(_, g)| g)
+                .expect("write partition must appear in the dependency vector");
+            if w.value.is_empty() {
+                slot.map.remove(&w.key);
+            } else {
+                slot.map.insert(w.key.clone(), w.value.clone());
+            }
+        }
+        for (_, g) in &mut guards {
+            g.seq += 1;
+        }
+        self.stats.applied_logs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deep-copies the store for recovery state transfer.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut maps = Vec::with_capacity(self.partitions.len());
+        let mut seqs = Vec::with_capacity(self.partitions.len());
+        for p in &self.partitions {
+            let st = p.state.lock();
+            maps.push(st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+            seqs.push(st.seq);
+        }
+        StoreSnapshot { maps, seqs }
+    }
+
+    /// Replaces the store contents from a snapshot (recovery restore).
+    pub fn restore(&self, snap: &StoreSnapshot) {
+        assert_eq!(snap.maps.len(), self.partitions.len(), "partition count mismatch");
+        for (i, p) in self.partitions.iter().enumerate() {
+            let mut st = p.state.lock();
+            st.map = snap.maps[i].iter().cloned().collect();
+            st.seq = snap.seqs[i];
+        }
+    }
+
+    /// Restores only the per-partition sequence numbers (used when a new
+    /// head sets its dependency vector from a fetched `MAX`, paper §5.2).
+    pub fn restore_seqs(&self, seqs: &[u64]) {
+        assert_eq!(seqs.len(), self.partitions.len());
+        for (p, &s) in self.partitions.iter().zip(seqs) {
+            p.state.lock().seq = s;
+        }
+    }
+
+    /// Total number of keys across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.state.lock().map.len()).sum()
+    }
+
+    /// True if no partition holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for StateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateStore")
+            .field("partitions", &self.partitions.len())
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_read_write_txn() {
+        let store = StateStore::new(8);
+        let out = store.transaction(|txn| {
+            assert_eq!(txn.read(b"k")?, None);
+            txn.write(Bytes::from_static(b"k"), Bytes::from_static(b"v1"))?;
+            Ok(())
+        });
+        let log = out.log.expect("writing txn must log");
+        assert_eq!(log.writes.len(), 1);
+        assert_eq!(store.peek(b"k"), Some(Bytes::from_static(b"v1")));
+    }
+
+    #[test]
+    fn read_only_txn_has_no_log() {
+        let store = StateStore::new(8);
+        store.transaction(|txn| {
+            txn.write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))?;
+            Ok(())
+        });
+        let seqs_before = store.seq_vector();
+        let out = store.transaction(|txn| txn.read(b"a"));
+        assert_eq!(out.value, Some(Bytes::from_static(b"1")));
+        assert!(out.log.is_none(), "read-only transactions leave no log");
+        assert_eq!(store.seq_vector(), seqs_before, "paper: read-only txns do not change the vector");
+    }
+
+    #[test]
+    fn writing_txn_bumps_read_partitions_too() {
+        let store = StateStore::new(8);
+        let ka = Bytes::from_static(b"a");
+        let kb = Bytes::from_static(b"b");
+        store.transaction(|txn| {
+            txn.write(ka.clone(), Bytes::from_static(b"1"))?;
+            Ok(())
+        });
+        let out = store.transaction(|txn| {
+            let _ = txn.read(&ka)?; // read one partition
+            txn.write(kb.clone(), Bytes::from_static(b"2"))?; // write another
+            Ok(())
+        });
+        let log = out.log.unwrap();
+        let pa = store.partition_of(&ka);
+        let pb = store.partition_of(&kb);
+        assert!(log.deps.get(pa).is_some(), "read partition in dep vector");
+        assert!(log.deps.get(pb).is_some(), "written partition in dep vector");
+    }
+
+    #[test]
+    fn dep_vector_records_pre_increment_seq() {
+        let store = StateStore::new(4);
+        let k = Bytes::from_static(b"x");
+        let p = store.partition_of(&k);
+        for expected in 0..3u64 {
+            let out = store.transaction(|txn| {
+                txn.write(k.clone(), Bytes::from_static(b"v"))?;
+                Ok(())
+            });
+            assert_eq!(out.log.unwrap().deps.get(p), Some(expected));
+        }
+        assert_eq!(store.seq_vector()[p as usize], 3);
+    }
+
+    #[test]
+    fn delete_via_empty_value() {
+        let store = StateStore::new(4);
+        let k = Bytes::from_static(b"gone");
+        store.transaction(|txn| {
+            txn.write(k.clone(), Bytes::from_static(b"v"))?;
+            Ok(())
+        });
+        store.transaction(|txn| {
+            txn.delete(k.clone())?;
+            Ok(())
+        });
+        assert_eq!(store.peek(&k), None);
+    }
+
+    #[test]
+    fn apply_writes_mirrors_commit() {
+        let head = StateStore::new(8);
+        let replica = StateStore::new(8);
+        let k = Bytes::from_static(b"mirrored");
+        let out = head.transaction(|txn| {
+            txn.write(k.clone(), Bytes::from_static(b"v"))?;
+            Ok(())
+        });
+        let log = out.log.unwrap();
+        replica.apply_writes(&log.deps, &log.writes);
+        assert_eq!(replica.peek(&k), Some(Bytes::from_static(b"v")));
+        assert_eq!(replica.seq_vector(), head.seq_vector());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let store = StateStore::new(8);
+        for i in 0..50 {
+            let key = Bytes::from(format!("k{i}"));
+            store.transaction(|txn| {
+                txn.write(key.clone(), Bytes::from(format!("v{i}")))?;
+                Ok(())
+            });
+        }
+        let snap = store.snapshot();
+        assert!(snap.byte_size() > 0);
+        let other = StateStore::new(8);
+        other.restore(&snap);
+        assert_eq!(other.len(), 50);
+        assert_eq!(other.seq_vector(), store.seq_vector());
+        assert_eq!(other.peek(b"k17"), Some(Bytes::from_static(b"v17")));
+    }
+
+    #[test]
+    fn counter_helpers() {
+        let store = StateStore::new(4);
+        let k = Bytes::from_static(b"cnt");
+        for _ in 0..5 {
+            store.transaction(|txn| {
+                let c = txn.read_u64(&k)?.unwrap_or(0);
+                txn.write_u64(k.clone(), c + 1)?;
+                Ok(())
+            });
+        }
+        assert_eq!(store.peek_u64(&k), Some(5));
+    }
+}

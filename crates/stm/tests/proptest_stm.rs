@@ -1,0 +1,135 @@
+//! Property-based tests: serializability and replication equivalence.
+
+use bytes::Bytes;
+use ftc_stm::{MaxVector, StateStore, TxnLog};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::thread;
+
+/// A tiny op language for generated transactions.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add `delta` to counter `key`.
+    Add(u8, u8),
+    /// Copy counter `a` into counter `b`.
+    Copy(u8, u8),
+}
+
+fn arb_txn() -> impl Strategy<Value = Vec<Op>> {
+    vec(
+        prop_oneof![
+            (0u8..6, 1u8..5).prop_map(|(k, d)| Op::Add(k, d)),
+            (0u8..6, 0u8..6).prop_map(|(a, b)| Op::Copy(a, b)),
+        ],
+        1..4,
+    )
+}
+
+fn key(k: u8) -> Bytes {
+    Bytes::from(format!("counter:{k}"))
+}
+
+fn run_txn(store: &StateStore, ops: &[Op]) -> Option<TxnLog> {
+    store
+        .transaction(|txn| {
+            for op in ops {
+                match *op {
+                    Op::Add(k, d) => {
+                        let c = txn.read_u64(&key(k))?.unwrap_or(0);
+                        txn.write_u64(key(k), c + u64::from(d))?;
+                    }
+                    Op::Copy(a, b) => {
+                        let v = txn.read_u64(&key(a))?.unwrap_or(0);
+                        txn.write_u64(key(b), v)?;
+                    }
+                }
+            }
+            Ok(())
+        })
+        .log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concurrently executed transactions commute to SOME serial order:
+    /// total additions are conserved for Add-only workloads.
+    #[test]
+    fn additions_conserved_across_threads(
+        txns in vec(vec((0u8..6, 1u8..5), 1..4), 1..24)
+    ) {
+        let store = Arc::new(StateStore::new(8));
+        let expected: u64 = txns.iter().flatten().map(|&(_, d)| u64::from(d)).sum();
+        let mut handles = Vec::new();
+        for chunk in txns.chunks(6) {
+            let store = Arc::clone(&store);
+            let chunk = chunk.to_vec();
+            handles.push(thread::spawn(move || {
+                for txn in &chunk {
+                    let ops: Vec<Op> = txn.iter().map(|&(k, d)| Op::Add(k, d)).collect();
+                    run_txn(&store, &ops);
+                }
+            }));
+        }
+        for h in handles { h.join().unwrap(); }
+        let total: u64 = (0..6).map(|k| store.peek_u64(&key(k)).unwrap_or(0)).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Replaying the piggyback logs of a concurrent execution on a replica
+    /// store — in any delivery order — reproduces the head store exactly.
+    #[test]
+    fn replica_replay_matches_head(
+        txns in vec(arb_txn(), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let head = Arc::new(StateStore::new(8));
+        let logs = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for chunk in txns.chunks(6) {
+            let head = Arc::clone(&head);
+            let logs = Arc::clone(&logs);
+            let chunk = chunk.to_vec();
+            handles.push(thread::spawn(move || {
+                for ops in &chunk {
+                    if let Some(log) = run_txn(&head, ops) {
+                        logs.lock().push(log);
+                    }
+                }
+            }));
+        }
+        for h in handles { h.join().unwrap(); }
+
+        let mut logs = Arc::try_unwrap(logs).unwrap().into_inner();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        logs.shuffle(&mut rng);
+
+        let replica = StateStore::new(8);
+        let max = MaxVector::new(8);
+        for log in &logs {
+            max.offer(&log.deps, &log.writes, &replica);
+        }
+        prop_assert_eq!(max.parked_len(), 0, "all logs must eventually apply");
+        prop_assert_eq!(replica.seq_vector(), head.seq_vector());
+        for k in 0..6 {
+            prop_assert_eq!(replica.peek_u64(&key(k)), head.peek_u64(&key(k)));
+        }
+    }
+
+    /// Snapshot/restore is faithful under arbitrary committed state.
+    #[test]
+    fn snapshot_restore_faithful(txns in vec(arb_txn(), 0..16)) {
+        let store = StateStore::new(8);
+        for ops in &txns {
+            run_txn(&store, ops);
+        }
+        let snap = store.snapshot();
+        let copy = StateStore::new(8);
+        copy.restore(&snap);
+        prop_assert_eq!(copy.snapshot(), snap);
+        prop_assert_eq!(copy.seq_vector(), store.seq_vector());
+    }
+}

@@ -1,0 +1,215 @@
+//! Traffic drivers over any [`ChainSystem`].
+
+use crate::histogram::Histogram;
+use crate::workload::{Workload, WorkloadConfig};
+use ftc_core::ChainSystem;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Result of a maximum-throughput (closed-loop) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClosedLoopReport {
+    /// Wall-clock duration of the run.
+    pub elapsed_s: f64,
+    /// Packets injected.
+    pub sent: u64,
+    /// Packets received at egress.
+    pub received: u64,
+    /// Achieved throughput in packets/s.
+    pub pps: f64,
+    /// Per-second received counts (the paper reports the average of
+    /// per-second maxima over a 10 s interval).
+    pub per_second: Vec<u64>,
+}
+
+/// Result of a fixed-offered-rate (open-loop) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopReport {
+    /// Offered load in packets/s.
+    pub offered_pps: f64,
+    /// Achieved egress rate in packets/s.
+    pub achieved_pps: f64,
+    /// Packets injected.
+    pub sent: u64,
+    /// Packets received.
+    pub received: u64,
+    /// End-to-end latency distribution.
+    #[serde(skip)]
+    pub latency: Histogram,
+}
+
+/// Drives workloads through chain systems.
+pub struct TrafficRunner {
+    cfg: WorkloadConfig,
+}
+
+impl TrafficRunner {
+    /// Creates a runner with the given workload shape.
+    pub fn new(cfg: WorkloadConfig) -> TrafficRunner {
+        TrafficRunner { cfg }
+    }
+
+    /// Closed-loop run: keep up to `window` packets in flight for
+    /// `duration`, then drain. Measures sustainable throughput.
+    pub fn closed_loop(
+        &self,
+        system: &dyn ChainSystem,
+        window: usize,
+        duration: Duration,
+    ) -> ClosedLoopReport {
+        let mut wl = Workload::new(self.cfg.clone());
+        let start = Instant::now();
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut in_flight = 0usize;
+        let mut per_second = Vec::new();
+        let mut this_second = 0u64;
+        let mut second_mark = start + Duration::from_secs(1);
+
+        while start.elapsed() < duration {
+            while in_flight < window {
+                system.inject_pkt(wl.next_packet());
+                sent += 1;
+                in_flight += 1;
+            }
+            while let Some(_p) = system.egress_pkt(Duration::from_micros(200)) {
+                received += 1;
+                this_second += 1;
+                in_flight = in_flight.saturating_sub(1);
+                if in_flight >= window {
+                    break;
+                }
+            }
+            let now = Instant::now();
+            if now >= second_mark {
+                per_second.push(this_second);
+                this_second = 0;
+                second_mark = now + Duration::from_secs(1);
+            }
+        }
+        // Drain what is still in flight (bounded wait).
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
+        while in_flight > 0 && Instant::now() < drain_deadline {
+            match system.egress_pkt(Duration::from_millis(5)) {
+                Some(_) => {
+                    received += 1;
+                    this_second += 1;
+                    in_flight -= 1;
+                }
+                None => {}
+            }
+        }
+        if this_second > 0 {
+            per_second.push(this_second);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        ClosedLoopReport {
+            elapsed_s: elapsed,
+            sent,
+            received,
+            pps: received as f64 / elapsed,
+            per_second,
+        }
+    }
+
+    /// Open-loop run at `rate_pps` for `duration`; records end-to-end
+    /// latency of every received packet.
+    pub fn open_loop(
+        &self,
+        system: &dyn ChainSystem,
+        rate_pps: f64,
+        duration: Duration,
+    ) -> OpenLoopReport {
+        assert!(rate_pps > 0.0);
+        let mut wl = Workload::new(self.cfg.clone());
+        let epoch = wl.epoch();
+        let gap = Duration::from_secs_f64(1.0 / rate_pps);
+        let start = Instant::now();
+        let mut next_send = start;
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut latency = Histogram::new();
+
+        while start.elapsed() < duration {
+            let now = Instant::now();
+            if now >= next_send {
+                system.inject_pkt(wl.next_packet());
+                sent += 1;
+                next_send += gap;
+                // If we fell far behind (scheduling hiccup), resynchronize
+                // instead of bursting unboundedly.
+                if now > next_send + Duration::from_millis(5) {
+                    next_send = now + gap;
+                }
+            }
+            let wait = next_send.saturating_duration_since(Instant::now());
+            if let Some(p) = system.egress_pkt(wait.min(Duration::from_micros(500))) {
+                if let Some(lat) = Workload::decode_latency(epoch, &p) {
+                    latency.record(lat);
+                }
+                received += 1;
+            }
+        }
+        // Drain.
+        let drain_deadline = Instant::now() + Duration::from_secs(1);
+        while Instant::now() < drain_deadline {
+            match system.egress_pkt(Duration::from_millis(2)) {
+                Some(p) => {
+                    if let Some(lat) = Workload::decode_latency(epoch, &p) {
+                        latency.record(lat);
+                    }
+                    received += 1;
+                }
+                None => break,
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        OpenLoopReport {
+            offered_pps: rate_pps,
+            achieved_pps: received as f64 / elapsed,
+            sent,
+            received,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::config::ChainConfig;
+    use ftc_core::FtcChain;
+    use ftc_mbox::MbSpec;
+
+    fn small_chain() -> FtcChain {
+        FtcChain::deploy(
+            ChainConfig::new(vec![
+                MbSpec::Monitor { sharing_level: 1 },
+                MbSpec::Monitor { sharing_level: 1 },
+            ])
+            .with_f(1),
+        )
+    }
+
+    #[test]
+    fn closed_loop_reports_throughput() {
+        let chain = small_chain();
+        let runner = TrafficRunner::new(WorkloadConfig::default());
+        let report = runner.closed_loop(&chain, 32, Duration::from_millis(500));
+        assert!(report.sent > 0);
+        assert!(report.received > 0, "closed loop must make progress");
+        assert!(report.pps > 0.0);
+        assert!(report.received <= report.sent);
+    }
+
+    #[test]
+    fn open_loop_measures_latency() {
+        let chain = small_chain();
+        let runner = TrafficRunner::new(WorkloadConfig::default());
+        let report = runner.open_loop(&chain, 2_000.0, Duration::from_millis(500));
+        assert!(report.received > 0);
+        assert!(!report.latency.is_empty());
+        let mean = report.latency.mean().unwrap();
+        assert!(mean > Duration::ZERO && mean < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,226 @@
+//! Flow-oriented workload generation.
+//!
+//! Packets carry a generator timestamp in the first payload bytes so the
+//! sink can compute end-to-end latency, the way hardware generators stamp
+//! packets (MoonGen, §7.1).
+
+use bytes::BytesMut;
+use ftc_packet::builder::UdpPacketBuilder;
+use ftc_packet::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+/// How flows are selected per packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowMix {
+    /// Round-robin across flows (uniform).
+    Uniform,
+    /// Zipf-distributed flow popularity with the given exponent.
+    Zipf(f64),
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Total frame size in bytes (Ethernet..payload; the paper's default is
+    /// 256 B, §7.1).
+    pub frame_len: usize,
+    /// Flow selection.
+    pub mix: FlowMix,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether frames reserve the FTC IP option (required for FTC chains,
+    /// harmless for baselines).
+    pub ftc_option: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            flows: 64,
+            frame_len: 256,
+            mix: FlowMix::Uniform,
+            seed: 1,
+            ftc_option: true,
+        }
+    }
+}
+
+/// Offset of the 8-byte timestamp within the UDP payload.
+const TS_OFFSET: usize = 0;
+
+/// A packet workload generator.
+pub struct Workload {
+    cfg: WorkloadConfig,
+    templates: Vec<Packet>,
+    rng: StdRng,
+    counter: u64,
+    epoch: Instant,
+    zipf_cdf: Vec<f64>,
+}
+
+impl Workload {
+    /// Creates a generator; templates are prebuilt per flow so per-packet
+    /// cost is a copy + timestamp.
+    pub fn new(cfg: WorkloadConfig) -> Workload {
+        assert!(cfg.flows >= 1);
+        let mut templates = Vec::with_capacity(cfg.flows);
+        for fl in 0..cfg.flows {
+            let b = UdpPacketBuilder::new()
+                .src(
+                    Ipv4Addr::new(10, 1, (fl >> 8) as u8, fl as u8),
+                    10_000 + (fl % 40_000) as u16,
+                )
+                .dst(Ipv4Addr::new(10, 200, 0, 1), 80)
+                .frame_len(cfg.frame_len);
+            let b = if cfg.ftc_option { b } else { b.without_ftc_option() };
+            templates.push(b.build());
+        }
+        let zipf_cdf = match cfg.mix {
+            FlowMix::Zipf(s) => {
+                let mut weights: Vec<f64> =
+                    (1..=cfg.flows).map(|r| 1.0 / (r as f64).powf(s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+            FlowMix::Uniform => Vec::new(),
+        };
+        Workload {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            templates,
+            counter: 0,
+            epoch: Instant::now(),
+            zipf_cdf,
+        }
+    }
+
+    /// The generator's epoch; latency decoding needs it.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Produces the next packet, stamped with the current time.
+    pub fn next_packet(&mut self) -> Packet {
+        let flow = match self.cfg.mix {
+            FlowMix::Uniform => (self.counter % self.cfg.flows as u64) as usize,
+            FlowMix::Zipf(_) => {
+                let u: f64 = self.rng.gen();
+                self.zipf_cdf.partition_point(|&c| c < u).min(self.cfg.flows - 1)
+            }
+        };
+        self.counter += 1;
+        let mut data = BytesMut::from(self.templates[flow].bytes());
+        let ts = self.epoch.elapsed().as_nanos() as u64;
+        let payload_off = self.payload_offset();
+        data[payload_off + TS_OFFSET..payload_off + TS_OFFSET + 8]
+            .copy_from_slice(&ts.to_be_bytes());
+        Packet::from_frame_unchecked(data)
+    }
+
+    /// Total packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.counter
+    }
+
+    fn payload_offset(&self) -> usize {
+        ftc_packet::ether::HEADER_LEN
+            + if self.cfg.ftc_option {
+                ftc_packet::ip::MIN_HEADER_LEN + ftc_packet::ip::OPTION_FTC_LEN
+            } else {
+                ftc_packet::ip::MIN_HEADER_LEN
+            }
+            + ftc_packet::l4::UDP_HEADER_LEN
+    }
+
+    /// Reads the embedded timestamp out of a received packet and returns
+    /// the elapsed latency relative to `epoch`, if decodable.
+    pub fn decode_latency(epoch: Instant, pkt: &Packet) -> Option<std::time::Duration> {
+        let l4 = pkt.l4().ok()?;
+        let payload = l4.get(ftc_packet::l4::UDP_HEADER_LEN..)?;
+        let ts = u64::from_be_bytes(payload.get(TS_OFFSET..TS_OFFSET + 8)?.try_into().ok()?);
+        let now = epoch.elapsed().as_nanos() as u64;
+        Some(std::time::Duration::from_nanos(now.saturating_sub(ts)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn packets_are_valid_and_sized() {
+        let mut w = Workload::new(WorkloadConfig {
+            frame_len: 256,
+            ..Default::default()
+        });
+        let p = w.next_packet();
+        assert_eq!(p.wire_len(), 256);
+        p.ipv4().unwrap().verify_checksum().unwrap();
+        assert!(p.flow_key().is_ok());
+    }
+
+    #[test]
+    fn uniform_mix_cycles_flows() {
+        let mut w = Workload::new(WorkloadConfig {
+            flows: 4,
+            ..Default::default()
+        });
+        let mut seen = HashMap::new();
+        for _ in 0..40 {
+            let p = w.next_packet();
+            *seen.entry(p.flow_key().unwrap()).or_insert(0) += 1;
+        }
+        assert_eq!(seen.len(), 4);
+        assert!(seen.values().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn zipf_mix_skews_towards_head_flows() {
+        let mut w = Workload::new(WorkloadConfig {
+            flows: 50,
+            mix: FlowMix::Zipf(1.2),
+            seed: 7,
+            ..Default::default()
+        });
+        let mut counts: HashMap<u16, u32> = HashMap::new();
+        for _ in 0..5000 {
+            let p = w.next_packet();
+            *counts.entry(p.flow_key().unwrap().src_port).or_insert(0) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let mean = 5000 / counts.len() as u32;
+        assert!(max > mean * 3, "zipf head flow must dominate: max={max} mean={mean}");
+    }
+
+    #[test]
+    fn latency_roundtrip() {
+        let mut w = Workload::new(WorkloadConfig::default());
+        let epoch = w.epoch();
+        let p = w.next_packet();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let lat = Workload::decode_latency(epoch, &p).unwrap();
+        assert!(lat >= std::time::Duration::from_millis(5));
+        assert!(lat < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn latency_survives_piggyback_attach_detach() {
+        let mut w = Workload::new(WorkloadConfig::default());
+        let epoch = w.epoch();
+        let mut p = w.next_packet();
+        p.attach_piggyback(&ftc_packet::PiggybackMessage::default()).unwrap();
+        p.detach_piggyback().unwrap();
+        assert!(Workload::decode_latency(epoch, &p).is_some());
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end integration tests of the FTC chain under realistic traffic,
+//! impairments and configurations.
+
+use ftc::mbox::firewall::FirewallRule;
+use ftc::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn pkt(src_port: u16, ident: u16) -> Packet {
+    UdpPacketBuilder::new()
+        .src(Ipv4Addr::new(10, 0, 0, 5), src_port)
+        .dst(Ipv4Addr::new(10, 77, 0, 1), 80)
+        .ident(ident)
+        .build()
+}
+
+#[test]
+fn five_middlebox_chain_processes_everything() {
+    // Ch-5 from Table 1: five monitors.
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 5]).with_f(1),
+    );
+    let n = 100;
+    for i in 0..n {
+        chain.inject(pkt(1000 + i, i));
+    }
+    let got = chain.collect_egress(n as usize, Duration::from_secs(20));
+    assert_eq!(got.len(), n as usize);
+    for slot in &chain.replicas {
+        assert_eq!(
+            slot.state.own_store.peek_u64(b"mon:packets:g0"),
+            Some(u64::from(n)),
+            "every monitor must count every packet"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_chain_nat_rewrites_and_replicates() {
+    // Ch-Rec: Firewall → Monitor → SimpleNAT.
+    let ext = Ipv4Addr::new(198, 51, 100, 1);
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::Firewall { rules: vec![] },
+            MbSpec::Monitor { sharing_level: 1 },
+            MbSpec::SimpleNat { external_ip: ext },
+        ])
+        .with_f(1),
+    );
+    for i in 0..40 {
+        chain.inject(pkt(2000 + (i % 4), i));
+    }
+    let got = chain.collect_egress(40, Duration::from_secs(20));
+    assert_eq!(got.len(), 40);
+    for p in &got {
+        let key = p.flow_key().unwrap();
+        assert_eq!(key.src_ip, ext, "NAT must rewrite the source");
+        assert!(!p.has_piggyback());
+        p.ipv4().unwrap().verify_checksum().unwrap();
+    }
+    // 4 flows → 4 NAT mappings, replicated at the NAT's ring successor r0.
+    std::thread::sleep(Duration::from_millis(100));
+    let nat_replica = &chain.replicas[0].state.replicated[&2];
+    let keys = nat_replica.store.len();
+    // 4 forward + 4 reverse mappings + 1 allocator counter.
+    assert_eq!(keys, 9, "NAT flow table must be replicated around the ring");
+}
+
+#[test]
+fn firewall_filters_but_chain_state_stays_consistent() {
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::Monitor { sharing_level: 1 },
+            MbSpec::Firewall {
+                rules: vec![FirewallRule::deny_dst_ports(80..=80)],
+            },
+            MbSpec::Monitor { sharing_level: 1 },
+        ])
+        .with_f(1),
+    );
+    // Half the packets go to the blocked port.
+    for i in 0..40u16 {
+        let dst_port = if i % 2 == 0 { 80 } else { 443 };
+        let p = UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(10, 0, 0, 5), 3000 + i)
+            .dst(Ipv4Addr::new(10, 77, 0, 1), dst_port)
+            .ident(i)
+            .build();
+        chain.inject(p);
+    }
+    let got = chain.collect_egress(20, Duration::from_secs(20));
+    assert_eq!(got.len(), 20, "only the allowed half egresses");
+    assert!(got.iter().all(|p| p.flow_key().unwrap().dst_port == 443));
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(chain.metrics.filtered.load(Ordering::Relaxed), 20);
+    // The first monitor saw all 40; its state (including from filtered
+    // packets, carried by propagating packets) is fully replicated at r1.
+    assert_eq!(
+        chain.replicas[0].state.own_store.peek_u64(b"mon:packets:g0"),
+        Some(40)
+    );
+    assert_eq!(
+        chain.replicas[1].state.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+        Some(40),
+        "filtered packets' updates must still replicate (propagating packets)"
+    );
+    // The second monitor only saw the surviving 20.
+    assert_eq!(
+        chain.replicas[2].state.own_store.peek_u64(b"mon:packets:g0"),
+        Some(20)
+    );
+}
+
+#[test]
+fn chain_survives_loss_reorder_and_multithreading() {
+    let cfg = ChainConfig::new(vec![
+        MbSpec::Monitor { sharing_level: 2 },
+        MbSpec::Monitor { sharing_level: 2 },
+        MbSpec::Monitor { sharing_level: 2 },
+    ])
+    .with_f(1)
+    .with_workers(2)
+    .with_link(LinkConfig::lossy(0.08, 0.1, 2024));
+    let chain = FtcChain::deploy(cfg);
+    let n = 150;
+    for i in 0..n {
+        chain.inject(pkt(4000 + (i % 16), i));
+    }
+    let got = chain.collect_egress(n as usize, Duration::from_secs(30));
+    assert_eq!(got.len(), n as usize, "reliable transport must mask loss");
+    for slot in &chain.replicas {
+        assert_eq!(slot.state.own_store.peek_u64(b"mon:packets:g0"), Some(u64::from(n)));
+    }
+}
+
+#[test]
+fn f2_replicates_at_two_successors() {
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 4]).with_f(2),
+    );
+    for i in 0..30 {
+        chain.inject(pkt(5000 + i, i));
+    }
+    let got = chain.collect_egress(30, Duration::from_secs(20));
+    assert_eq!(got.len(), 30);
+    std::thread::sleep(Duration::from_millis(200));
+    // m0's state must live at r1 AND r2.
+    for succ in [1usize, 2] {
+        assert_eq!(
+            chain.replicas[succ].state.replicated[&0]
+                .store
+                .peek_u64(b"mon:packets:g0"),
+            Some(30),
+            "f=2: m0 replicated at r{succ}"
+        );
+    }
+}
+
+#[test]
+fn short_chain_is_padded_with_pure_replicas() {
+    // A single middlebox with f = 1 needs a second server (§5.1).
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }]).with_f(1),
+    );
+    assert_eq!(chain.len(), 2, "chain padded to f + 1 servers");
+    for i in 0..25 {
+        chain.inject(pkt(6000 + i, i));
+    }
+    let got = chain.collect_egress(25, Duration::from_secs(20));
+    assert_eq!(got.len(), 25);
+    std::thread::sleep(Duration::from_millis(100));
+    // The pure replica holds the monitor's state.
+    assert_eq!(
+        chain.replicas[1].state.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+        Some(25)
+    );
+}
+
+#[test]
+fn load_balancer_is_connection_persistent_through_the_chain() {
+    let backends = vec![
+        Ipv4Addr::new(10, 1, 0, 1),
+        Ipv4Addr::new(10, 1, 0, 2),
+    ];
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::LoadBalancer { backends: backends.clone() },
+            MbSpec::Monitor { sharing_level: 1 },
+        ])
+        .with_f(1),
+    );
+    // 10 packets of one flow + 10 of another.
+    for i in 0..20 {
+        chain.inject(pkt(7000 + (i % 2), i));
+    }
+    let got = chain.collect_egress(20, Duration::from_secs(20));
+    assert_eq!(got.len(), 20);
+    use std::collections::HashMap;
+    let mut by_flow: HashMap<u16, Vec<Ipv4Addr>> = HashMap::new();
+    for p in &got {
+        let k = p.flow_key().unwrap();
+        by_flow.entry(k.src_port).or_default().push(k.dst_ip);
+    }
+    for (flow, dsts) in by_flow {
+        assert!(backends.contains(&dsts[0]));
+        assert!(
+            dsts.iter().all(|d| *d == dsts[0]),
+            "flow {flow} must stick to one backend"
+        );
+    }
+}
+
+#[test]
+fn idle_chain_flushes_state_with_propagating_packets() {
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::Monitor { sharing_level: 1 },
+            MbSpec::Monitor { sharing_level: 1 },
+        ])
+        .with_f(1),
+    );
+    // A single packet: its m1 log must replicate via the ring even though
+    // no further traffic arrives (forwarder idle timer, §5.1).
+    chain.inject(pkt(8000, 1));
+    let got = chain.collect_egress(1, Duration::from_secs(10));
+    assert_eq!(got.len(), 1, "the lone packet must be released, not stuck");
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        chain.replicas[0].state.replicated[&1].store.peek_u64(b"mon:packets:g0"),
+        Some(1),
+        "m1's state must replicate to r0 without carrier traffic"
+    );
+    assert!(chain.metrics.propagating.load(Ordering::Relaxed) > 0);
+}

@@ -1,0 +1,235 @@
+//! Failure-injection integration tests: the paper's core guarantee is that
+//! a chain tolerates `f` fail-stop replica failures with correct recovery —
+//! "the middlebox behavior after a failure recovery is consistent with the
+//! behavior prior to the failure" (§3.1).
+
+use ftc::orch::RecoveryReport;
+use ftc::prelude::*;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn pkt(src_port: u16, ident: u16) -> Packet {
+    UdpPacketBuilder::new()
+        .src(Ipv4Addr::new(10, 3, 0, 1), src_port)
+        .dst(Ipv4Addr::new(10, 88, 0, 1), 443)
+        .ident(ident)
+        .build()
+}
+
+fn monitors(n: usize) -> Vec<MbSpec> {
+    vec![MbSpec::Monitor { sharing_level: 1 }; n]
+}
+
+fn orch(n: usize, f: usize) -> Orchestrator {
+    Orchestrator::new(
+        FtcChain::deploy(ChainConfig::new(monitors(n)).with_f(f)),
+        OrchestratorConfig::default(),
+    )
+}
+
+/// Drives traffic, kills `victim`, recovers, then verifies that every
+/// *released* packet's state update survived — the strong-consistency
+/// guarantee (§3.1).
+fn kill_and_verify(mut o: Orchestrator, victim: usize) {
+    // Phase 1: warm traffic.
+    for i in 0..60 {
+        o.chain.inject(pkt(1000 + (i % 8), i));
+    }
+    let released_before = o.chain.collect_egress(60, Duration::from_secs(15)).len() as u64;
+    assert_eq!(released_before, 60);
+    // Let the ring finish replicating the tail middlebox's updates.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Phase 2: fail-stop.
+    o.chain.kill(victim);
+    let report: RecoveryReport = o.recover(victim, ftc::net::RegionId(0)).expect("recovery");
+    assert!(report.bytes_transferred > 0 || victim_padded(&o, victim));
+
+    // Phase 3: the recovered replica must hold every released update.
+    let own = &o.chain.replicas[victim].state.own_store;
+    assert_eq!(
+        own.peek_u64(b"mon:packets:g0"),
+        Some(released_before),
+        "r{victim}: released updates must survive the failure"
+    );
+
+    // Phase 4: traffic continues and the counter resumes exactly.
+    for i in 0..40 {
+        o.chain.inject(pkt(2000 + (i % 8), i));
+    }
+    let more = o.chain.collect_egress(40, Duration::from_secs(15));
+    assert_eq!(more.len(), 40, "post-recovery traffic must flow");
+    assert_eq!(own.peek_u64(b"mon:packets:g0"), Some(released_before + 40));
+}
+
+fn victim_padded(o: &Orchestrator, victim: usize) -> bool {
+    matches!(
+        o.chain.cfg.effective_middleboxes()[victim],
+        MbSpec::Passthrough
+    )
+}
+
+#[test]
+fn head_position_failure_recovers() {
+    kill_and_verify(orch(3, 1), 0);
+}
+
+#[test]
+fn middle_position_failure_recovers() {
+    kill_and_verify(orch(3, 1), 1);
+}
+
+#[test]
+fn tail_position_failure_recovers() {
+    kill_and_verify(orch(3, 1), 2);
+}
+
+#[test]
+fn every_position_of_a_5_chain_recovers() {
+    for victim in 0..5 {
+        kill_and_verify(orch(5, 1), victim);
+    }
+}
+
+#[test]
+fn f2_survives_two_simultaneous_failures() {
+    let mut o = orch(4, 2);
+    for i in 0..50 {
+        o.chain.inject(pkt(3000 + (i % 4), i));
+    }
+    assert_eq!(o.chain.collect_egress(50, Duration::from_secs(15)).len(), 50);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Kill two adjacent replicas at once.
+    o.chain.kill(1);
+    o.chain.kill(2);
+    o.recover(1, ftc::net::RegionId(0)).expect("recover r1");
+    o.recover(2, ftc::net::RegionId(0)).expect("recover r2");
+
+    for victim in [1usize, 2] {
+        assert_eq!(
+            o.chain.replicas[victim].state.own_store.peek_u64(b"mon:packets:g0"),
+            Some(50),
+            "r{victim} state after double failure"
+        );
+    }
+    for i in 0..30 {
+        o.chain.inject(pkt(4000 + (i % 4), i));
+    }
+    assert_eq!(o.chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
+}
+
+#[test]
+fn sequential_failures_of_every_position() {
+    // Kill r0, recover; then r1; then r2 — state accumulates correctly
+    // through repeated recoveries.
+    let mut o = orch(3, 1);
+    let mut expected = 0u64;
+    for round in 0..3 {
+        for i in 0..20 {
+            o.chain.inject(pkt(5000 + (i % 4), round * 100 + i));
+        }
+        expected += 20;
+        assert_eq!(
+            o.chain.collect_egress(20, Duration::from_secs(15)).len(),
+            20,
+            "round {round}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let victim = round as usize;
+        o.chain.kill(victim);
+        o.recover(victim, ftc::net::RegionId(0)).expect("recover");
+        assert_eq!(
+            o.chain.replicas[victim].state.own_store.peek_u64(b"mon:packets:g0"),
+            Some(expected),
+            "after recovering r{victim}"
+        );
+    }
+}
+
+#[test]
+fn detector_driven_recovery_loop() {
+    let mut o = orch(3, 1);
+    for i in 0..30 {
+        o.chain.inject(pkt(6000 + i, i));
+    }
+    assert_eq!(o.chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
+    std::thread::sleep(Duration::from_millis(100));
+    o.chain.kill(1);
+    // Let the monitor loop find and repair it.
+    let mut recovered = false;
+    for _ in 0..10 {
+        let results = o.monitor_round();
+        if results.iter().any(|(idx, r)| *idx == 1 && r.is_ok()) {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "monitor loop must detect and repair the failure");
+    assert_eq!(
+        o.chain.replicas[1].state.own_store.peek_u64(b"mon:packets:g0"),
+        Some(30)
+    );
+}
+
+#[test]
+fn recovery_across_wan_regions_is_rtt_dominated() {
+    // Deploy across regions; recovery of the remote replica must cost at
+    // least the WAN round trip, like Fig. 13.
+    let topo = Topology::savi_like().scaled(0.2);
+    let regions = vec![RegionId(0), RegionId(2), RegionId(1)];
+    let chain = FtcChain::deploy_in(
+        ChainConfig::new(monitors(3)).with_f(1),
+        topo.clone(),
+        regions.clone(),
+    );
+    let mut o = Orchestrator::new(chain, OrchestratorConfig::default());
+    for i in 0..20 {
+        o.chain.inject(pkt(7000 + i, i));
+    }
+    assert_eq!(o.chain.collect_egress(20, Duration::from_secs(20)).len(), 20);
+    std::thread::sleep(Duration::from_millis(100));
+
+    o.chain.kill(1); // the replica in the remote region
+    let report = o.recover(1, RegionId(2)).expect("recovery");
+    // Initialization pays at least orchestrator→remote RTT.
+    assert!(report.initialization >= topo.rtt(RegionId(0), RegionId(2)));
+    // State recovery pays at least one neighbor RTT (parallel fetches).
+    let min_fetch = topo
+        .rtt(RegionId(2), RegionId(1))
+        .min(topo.rtt(RegionId(2), RegionId(0)));
+    assert!(
+        report.state_recovery >= min_fetch,
+        "state recovery {:?} must be WAN-dominated (≥ {:?})",
+        report.state_recovery,
+        min_fetch
+    );
+}
+
+#[test]
+fn nf_baseline_loses_everything_ftc_does_not() {
+    use ftc::baselines::NfChain;
+    // The motivating comparison: same failure, NF loses state forever.
+    let mut nf = NfChain::deploy(ChainConfig::new(monitors(2)));
+    for i in 0..10 {
+        nf.inject(pkt(8000 + i, i));
+    }
+    assert_eq!(nf.collect_egress(10, Duration::from_secs(10)).len(), 10);
+    nf.kill(0);
+    nf.inject(pkt(9000, 0));
+    assert!(nf.egress_timeout(Duration::from_millis(200)).is_none());
+
+    let mut o = orch(2, 1);
+    for i in 0..10 {
+        o.chain.inject(pkt(8000 + i, i));
+    }
+    assert_eq!(o.chain.collect_egress(10, Duration::from_secs(10)).len(), 10);
+    std::thread::sleep(Duration::from_millis(100));
+    o.chain.kill(0);
+    o.recover(0, ftc::net::RegionId(0)).expect("recovery");
+    assert_eq!(
+        o.chain.replicas[0].state.own_store.peek_u64(b"mon:packets:g0"),
+        Some(10),
+        "FTC keeps the state NF lost"
+    );
+}

@@ -1,0 +1,66 @@
+use ftc::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Multi-seed stress of the loss/reorder path that once exposed a
+/// parking livelock (a packet parked on its first blocked log even when a
+/// later log in the same message was the missing dependency).
+#[test]
+fn lossy_links_multi_seed_stress() {
+    for seed in [2024u64, 1, 7, 99] {
+        let cfg = ChainConfig::new(vec![
+            MbSpec::Monitor { sharing_level: 2 },
+            MbSpec::Monitor { sharing_level: 2 },
+            MbSpec::Monitor { sharing_level: 2 },
+        ])
+        .with_f(1)
+        .with_workers(2)
+        .with_link(LinkConfig::lossy(0.08, 0.1, seed));
+        let chain = FtcChain::deploy(cfg);
+        let n = 150u16;
+        for i in 0..n {
+            chain.inject(
+                UdpPacketBuilder::new()
+                    .src(Ipv4Addr::new(10, 0, 0, 5), 4000 + (i % 16))
+                    .dst(Ipv4Addr::new(10, 77, 0, 1), 80)
+                    .ident(i)
+                    .build(),
+            );
+        }
+        let got = chain.collect_egress(n as usize, Duration::from_secs(30));
+        assert_eq!(got.len(), n as usize, "seed {seed} stalled");
+        if false {
+            let m = &chain.metrics;
+            eprintln!(
+                "injected={} released={} applied={} parked={} stale={} prop={} held={}",
+                m.injected.load(Ordering::Relaxed),
+                m.released.load(Ordering::Relaxed),
+                m.logs_applied.load(Ordering::Relaxed),
+                m.logs_parked.load(Ordering::Relaxed),
+                m.logs_stale.load(Ordering::Relaxed),
+                m.propagating.load(Ordering::Relaxed),
+                m.held.load(Ordering::Relaxed),
+            );
+            for slot in &chain.replicas {
+                eprintln!(
+                    "r{}: own g0={:?} g1={:?} parked={} nic_drops={} in_wired={} out_wired={}",
+                    slot.state.idx,
+                    slot.state.own_store.peek_u64(b"mon:packets:g0"),
+                    slot.state.own_store.peek_u64(b"mon:packets:g1"),
+                    slot.state.parked_len(),
+                    slot.nic.dropped(),
+                    slot.in_port.is_wired(),
+                    slot.out_port.is_wired(),
+                );
+            }
+            eprintln!(
+                "buffer held={} uncommitted={} fwd pending={}",
+                chain.buffer.held_len(),
+                chain.buffer.uncommitted_len(),
+                chain.forwarder.pending_len()
+            );
+        }
+    }
+}
+
