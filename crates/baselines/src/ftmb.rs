@@ -183,7 +183,11 @@ impl FtmbChain {
             {
                 let il_port = Arc::clone(&il_in[i]);
                 let to_m = OutPort::new(Some(il_to_m_tx));
-                let ingress_rx = if i == 0 { Some(ingress_rx.clone()) } else { None };
+                let ingress_rx = if i == 0 {
+                    Some(ingress_rx.clone())
+                } else {
+                    None
+                };
                 let metrics = Arc::clone(&metrics);
                 logger.spawn("il", move |alive: AliveToken| {
                     while alive.is_alive() {
@@ -202,7 +206,8 @@ impl FtmbChain {
                                 Err(channel::RecvTimeoutError::Timeout) => {}
                                 Err(channel::RecvTimeoutError::Disconnected) => break,
                             }
-                        } else if let Some(frame) = il_port.recv_timeout(Duration::from_micros(500)) {
+                        } else if let Some(frame) = il_port.recv_timeout(Duration::from_micros(500))
+                        {
                             to_m.send(frame);
                         }
                         to_m.poll();
@@ -239,8 +244,7 @@ impl FtmbChain {
                             if let Some(pal) = pal_in.recv_timeout(Duration::from_micros(200)) {
                                 if pal.len() >= 8 {
                                     last_pal_seq =
-                                        u64::from_be_bytes(pal[..8].try_into().expect("sized"))
-                                            + 1;
+                                        u64::from_be_bytes(pal[..8].try_into().expect("sized")) + 1;
                                 }
                             }
                         }
@@ -257,7 +261,10 @@ impl FtmbChain {
                 });
             }
             servers.push(logger);
-            stages.push(FtmbStage { store, pals: pal_count });
+            stages.push(FtmbStage {
+                store,
+                pals: pal_count,
+            });
         }
 
         FtmbChain {
@@ -443,7 +450,10 @@ mod tests {
         let t1 = Instant::now();
         chain.inject(pkt(1));
         assert_eq!(chain.collect_egress(1, Duration::from_secs(5)).len(), 1);
-        assert!(t1.elapsed() < snap.pause, "mid-period packet must not stall");
+        assert!(
+            t1.elapsed() < snap.pause,
+            "mid-period packet must not stall"
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl NfChain {
                         };
                         let ctx = ProcCtx { worker: w, workers };
                         let t0 = Instant::now();
-                        let out_txn =
-                            store.transaction(|txn| mbox.process(&mut pkt, txn, ctx));
+                        let out_txn = store.transaction(|txn| mbox.process(&mut pkt, txn, ctx));
                         metrics.t_transaction.record(t0.elapsed());
                         match out_txn.value {
                             Action::Forward => {
@@ -120,7 +119,11 @@ impl NfChain {
                 let in_port = Arc::clone(&in_ports[i]);
                 let nic = Arc::clone(&nic);
                 let out = Arc::clone(&out_ports[i]);
-                let ingress_rx = if i == 0 { Some(ingress_rx.clone()) } else { None };
+                let ingress_rx = if i == 0 {
+                    Some(ingress_rx.clone())
+                } else {
+                    None
+                };
                 let metrics = Arc::clone(&metrics);
                 server.spawn("rx", move |alive: AliveToken| {
                     while alive.is_alive() {
@@ -139,7 +142,8 @@ impl NfChain {
                                 Err(channel::RecvTimeoutError::Timeout) => {}
                                 Err(channel::RecvTimeoutError::Disconnected) => break,
                             }
-                        } else if let Some(frame) = in_port.recv_timeout(Duration::from_micros(500)) {
+                        } else if let Some(frame) = in_port.recv_timeout(Duration::from_micros(500))
+                        {
                             nic.dispatch(frame);
                         }
                         out.poll();

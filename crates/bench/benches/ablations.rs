@@ -46,10 +46,7 @@ fn main() {
     println!("\nper-worker sweep (single seq number vs dependency vectors):");
     let workers = [1usize, 2, 4, 8];
     row("workers", &workers.map(|w| w.to_string()));
-    row(
-        "FTC (Mpps)",
-        &workers.map(|w| mpps(tput(chain(), w, None))),
-    );
+    row("FTC (Mpps)", &workers.map(|w| mpps(tput(chain(), w, None))));
     row(
         "total-order (Mpps)",
         &workers.map(|w| mpps(tput(chain(), w, Some(Ablation::TotalOrderReplication)))),

@@ -24,7 +24,10 @@ fn main() {
     row("chain length", &lengths.map(|n| n.to_string()));
 
     let nf: Vec<_> = lengths.iter().map(|&n| mean(SystemKind::Nf, n)).collect();
-    let ftc: Vec<_> = lengths.iter().map(|&n| mean(SystemKind::Ftc { f: 1 }, n)).collect();
+    let ftc: Vec<_> = lengths
+        .iter()
+        .map(|&n| mean(SystemKind::Ftc { f: 1 }, n))
+        .collect();
     let ftmb: Vec<_> = lengths
         .iter()
         .map(|&n| mean(SystemKind::Ftmb { snapshot: None }, n))
@@ -32,7 +35,10 @@ fn main() {
 
     row("NF (us)", &nf.iter().map(|&d| us(d)).collect::<Vec<_>>());
     row("FTC (us)", &ftc.iter().map(|&d| us(d)).collect::<Vec<_>>());
-    row("FTMB (us)", &ftmb.iter().map(|&d| us(d)).collect::<Vec<_>>());
+    row(
+        "FTMB (us)",
+        &ftmb.iter().map(|&d| us(d)).collect::<Vec<_>>(),
+    );
 
     // Per-middlebox overheads vs NF, the quantity the paper quotes.
     let per_mbox = |series: &[Option<Duration>]| -> Vec<String> {
@@ -42,7 +48,10 @@ fn main() {
             .zip(&lengths)
             .map(|((s, n), &len)| match (s, n) {
                 (Some(s), Some(n)) => {
-                    format!("{:.1}", (s.as_secs_f64() - n.as_secs_f64()) * 1e6 / len as f64)
+                    format!(
+                        "{:.1}",
+                        (s.as_secs_f64() - n.as_secs_f64()) * 1e6 / len as f64
+                    )
                 }
                 _ => "-".into(),
             })

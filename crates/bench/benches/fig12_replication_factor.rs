@@ -13,10 +13,7 @@ fn main() {
     );
     let chain = vec![MbKind::Monitor { sharing: 1 }; 5];
     let factors = [1usize, 2, 3, 4];
-    row(
-        "replication factor",
-        &factors.map(|f| (f + 1).to_string()),
-    );
+    row("replication factor", &factors.map(|f| (f + 1).to_string()));
 
     let tput: Vec<String> = factors
         .iter()

@@ -55,7 +55,11 @@ fn main() {
         for i in 0..400 {
             orch.chain.inject(pkt(i));
         }
-        let warm = orch.chain.collect_egress(400, Duration::from_secs(30)).len();
+        let warm = orch
+            .chain
+            .egress()
+            .collect(400, Duration::from_secs(30))
+            .len();
         std::thread::sleep(Duration::from_millis(150));
 
         for (idx, name) in names.iter().enumerate() {
@@ -70,8 +74,23 @@ fn main() {
             for i in 0..50 {
                 orch.chain.inject(pkt(500 + i));
             }
-            orch.chain.collect_egress(50, Duration::from_secs(20));
+            orch.chain.egress().collect(50, Duration::from_secs(20));
             std::thread::sleep(Duration::from_millis(100));
+        }
+
+        // The same run, phase by phase, as seen by the event journal.
+        println!("\n  journal-derived recovery timelines (trial {trial}):");
+        for t in orch.recovery_timelines() {
+            println!(
+                "    r{}: total {:.1?} (detection {:.1?}, init {:.1?}, \
+                 state fetch {:.1?}, resume {:.1?})",
+                t.replica,
+                t.total(),
+                t.detection,
+                t.initialization,
+                t.state_fetch,
+                t.resume,
+            );
         }
     }
     paper_note(

@@ -24,12 +24,24 @@ fn main() {
         let mon = MbKind::Monitor { sharing: s };
         nf.push(tput(SystemKind::Nf, vec![mon]));
         // FTC needs one pure replica server for a single-middlebox chain.
-        ftc.push(tput(SystemKind::Ftc { f: 1 }, vec![mon, MbKind::Passthrough]));
+        ftc.push(tput(
+            SystemKind::Ftc { f: 1 },
+            vec![mon, MbKind::Passthrough],
+        ));
         ftmb.push(tput(SystemKind::Ftmb { snapshot: None }, vec![mon]));
     }
-    row("NF (Mpps)", &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTC (Mpps)", &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTMB (Mpps)", &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
+    row(
+        "NF (Mpps)",
+        &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTC (Mpps)",
+        &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTMB (Mpps)",
+        &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
     row(
         "FTC/FTMB",
         &ftc.iter()

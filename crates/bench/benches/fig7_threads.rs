@@ -31,11 +31,24 @@ fn main() {
             vec![MbKind::MazuNat, MbKind::Passthrough],
             t,
         ));
-        ftmb.push(tput(SystemKind::Ftmb { snapshot: None }, vec![MbKind::MazuNat], t));
+        ftmb.push(tput(
+            SystemKind::Ftmb { snapshot: None },
+            vec![MbKind::MazuNat],
+            t,
+        ));
     }
-    row("NF (Mpps)", &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTC (Mpps)", &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTMB (Mpps)", &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
+    row(
+        "NF (Mpps)",
+        &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTC (Mpps)",
+        &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTMB (Mpps)",
+        &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
     row(
         "FTC/FTMB",
         &ftc.iter()

@@ -18,11 +18,18 @@ fn panel(title: &str, mb: MbKind, workers: usize, loads_mpps: &[f64]) {
     println!("\n--- {title} ---");
     row(
         "load (Mpps)",
-        &loads_mpps.iter().map(|l| format!("{l:.1}")).collect::<Vec<_>>(),
+        &loads_mpps
+            .iter()
+            .map(|l| format!("{l:.1}"))
+            .collect::<Vec<_>>(),
     );
     let systems: [(&str, SystemKind, Vec<MbKind>); 3] = [
         ("NF", SystemKind::Nf, vec![mb]),
-        ("FTC", SystemKind::Ftc { f: 1 }, vec![mb, MbKind::Passthrough]),
+        (
+            "FTC",
+            SystemKind::Ftc { f: 1 },
+            vec![mb, MbKind::Passthrough],
+        ),
         ("FTMB", SystemKind::Ftmb { snapshot: None }, vec![mb]),
     ];
     for (name, sys, chain) in systems {

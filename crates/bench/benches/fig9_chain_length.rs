@@ -19,7 +19,10 @@ fn main() {
         simulate(&SimConfig::saturated(sys, chain(n)).with_duration(dur)).mpps()
     };
 
-    let nf: Vec<f64> = lengths.iter().map(|&n| run(SystemKind::Nf, n, SIM_TPUT_S)).collect();
+    let nf: Vec<f64> = lengths
+        .iter()
+        .map(|&n| run(SystemKind::Nf, n, SIM_TPUT_S))
+        .collect();
     let ftc: Vec<f64> = lengths
         .iter()
         .map(|&n| run(SystemKind::Ftc { f: 1 }, n, SIM_TPUT_S))
@@ -30,19 +33,37 @@ fn main() {
         .collect();
     let snap: Vec<f64> = lengths
         .iter()
-        .map(|&n| run(SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) }, n, SIM_SNAP_S))
+        .map(|&n| {
+            run(
+                SystemKind::Ftmb {
+                    snapshot: Some((50e6, 6e6)),
+                },
+                n,
+                SIM_SNAP_S,
+            )
+        })
         .collect();
 
-    row("NF (Mpps)", &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTC (Mpps)", &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTMB (Mpps)", &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
-    row("FTMB+Snapshot (Mpps)", &snap.iter().map(|&v| mpps(v)).collect::<Vec<_>>());
+    row(
+        "NF (Mpps)",
+        &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTC (Mpps)",
+        &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTMB (Mpps)",
+        &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "FTMB+Snapshot (Mpps)",
+        &snap.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
+    );
 
     let ftc_drop = (1.0 - ftc[3] / ftc[0]) * 100.0;
     let snap_drop = (1.0 - snap[3] / snap[0]) * 100.0;
-    println!(
-        "\nchain-length drop Ch-2 -> Ch-5: FTC {ftc_drop:.1}%, FTMB+Snapshot {snap_drop:.1}%"
-    );
+    println!("\nchain-length drop Ch-2 -> Ch-5: FTC {ftc_drop:.1}%, FTMB+Snapshot {snap_drop:.1}%");
     paper_note(
         "FTC stays within 8.28-8.92 Mpps (6-13% below NF; 2-7% drop with \
          length); FTMB is 4.80-4.83 Mpps; FTMB+Snapshot drops 13-39% \

@@ -18,8 +18,12 @@ fn main() {
 
     let chain = FtcChain::deploy(
         ChainConfig::new(vec![
-            MbSpec::MazuNat { external_ip: Ipv4Addr::new(203, 0, 113, 2) },
-            MbSpec::MazuNat { external_ip: Ipv4Addr::new(203, 0, 113, 3) },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 2),
+            },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 3),
+            },
         ])
         .with_f(1)
         .with_workers(2),
@@ -37,29 +41,39 @@ fn main() {
         report.received, report.pps
     );
 
-    let m = &chain.metrics;
-    let cells: [(&str, &ftc::core::metrics::TimingCell, f64); 5] = [
-        ("Packet transaction", &m.t_transaction, 355.0 + 152.0),
-        ("Piggyback construction", &m.t_piggyback, 58.0),
-        ("Log application (replica)", &m.t_apply, 58.0),
-        ("Forwarder", &m.t_forwarder, 8.0),
-        ("Buffer", &m.t_buffer, 100.0),
+    let snap = chain.metrics.snapshot();
+    let stages: [(&str, ftc::core::metrics::StageStats, f64); 5] = [
+        ("Packet transaction", snap.transaction, 355.0 + 152.0),
+        ("Piggyback construction", snap.piggyback, 58.0),
+        ("Log application (replica)", snap.apply, 58.0),
+        ("Forwarder", snap.forwarder, 8.0),
+        ("Buffer", snap.buffer, 100.0),
     ];
     println!(
-        "{:<28} {:>12} {:>12} {:>14} {:>12}",
-        "section", "mean (ns)", "cycles@2GHz", "paper (cycles)", "samples"
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14} {:>10}",
+        "section",
+        "mean (ns)",
+        "p50 (ns)",
+        "p99 (ns)",
+        "p999 (ns)",
+        "cycles@2GHz",
+        "paper (cycles)",
+        "samples"
     );
-    for (label, cell, paper_cycles) in cells {
-        let mean_ns = cell.mean().map(|d| d.as_nanos() as f64).unwrap_or(0.0);
+    for (label, s, paper_cycles) in stages {
         println!(
-            "{label:<28} {mean_ns:>12.0} {:>12.0} {paper_cycles:>14.0} {:>12}",
-            mean_ns * 2.0,
-            cell.samples()
+            "{label:<28} {:>10} {:>10} {:>10} {:>10} {:>12.0} {paper_cycles:>14.0} {:>10}",
+            s.mean_ns,
+            s.p50_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.mean_ns as f64 * 2.0,
+            s.samples
         );
     }
     println!(
         "\nmean piggyback trailer: {:.1} B/packet",
-        m.mean_piggyback_bytes().unwrap_or(0.0)
+        snap.mean_piggyback_bytes
     );
     paper_note(
         "Table 2 (CPU cycles @2 GHz): packet processing 355±12, locking \

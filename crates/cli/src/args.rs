@@ -9,6 +9,8 @@ ftc — fault tolerant service function chaining
 
 USAGE:
   ftc run     --chain \"<spec>\" [--f N] [--workers N] [--packets N] [--loss P]
+  ftc stats   --chain \"<spec>\" [--f N] [--workers N] [--packets N] [--json]
+  ftc trace   --chain \"<spec>\" [--f N] [--packets N] [--kill R] [--json]
   ftc compare --chain \"<spec>\" [--workers N] [--seconds S]
   ftc sim     --chain \"<spec>\" --system <ftc|nf|ftmb|ftmb-snap>
               [--f N] [--workers N] [--rate <Mpps|max>] [--packet-bytes B]
@@ -24,6 +26,8 @@ CHAIN SPECS (Click-flavoured):
 
 EXAMPLES:
   ftc run --chain \"monitor -> monitor\" --packets 1000
+  ftc stats --chain \"monitor -> monitor\" --packets 1000 --json
+  ftc trace --chain \"firewall -> monitor\" --kill 1
   ftc compare --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
   ftc sim --chain \"monitor(sharing=8)\" --system ftc --rate max
   ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"";
@@ -33,6 +37,10 @@ EXAMPLES:
 pub enum Command {
     /// Deploy and drive one FTC chain.
     Run,
+    /// Drive a chain and report the metrics snapshot (Table-2 stages).
+    Stats,
+    /// Drive a chain (optionally kill a replica) and dump the journal.
+    Trace,
     /// Compare FTC/NF/FTMB on the threaded runtime.
     Compare,
     /// Run a simulator experiment.
@@ -62,7 +70,9 @@ impl ParsedArgs {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
         }
     }
 
@@ -70,21 +80,34 @@ impl ParsedArgs {
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
         }
+    }
+
+    /// True if the boolean flag (e.g. `--json`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// Fetches the mandatory `--chain` spec.
     pub fn chain(&self) -> Result<&str, String> {
-        self.get("chain").ok_or_else(|| "--chain \"<spec>\" is required".into())
+        self.get("chain")
+            .ok_or_else(|| "--chain \"<spec>\" is required".into())
     }
 }
+
+/// Flags that take no value; everything else is `--key value`.
+const BOOL_FLAGS: &[&str] = &["json"];
 
 /// Parses `argv` (excluding the program name).
 pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
     let mut it = argv.iter();
     let command = match it.next().map(|s| s.as_str()) {
         Some("run") => Command::Run,
+        Some("stats") => Command::Stats,
+        Some("trace") => Command::Trace,
         Some("compare") => Command::Compare,
         Some("sim") => Command::Sim,
         Some("drill") => Command::Drill,
@@ -96,10 +119,15 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected `--option`, got `{flag}`"));
         };
-        let Some(value) = it.next() else {
-            return Err(format!("--{key} needs a value"));
+        let value = if BOOL_FLAGS.contains(&key) {
+            "true".to_string()
+        } else {
+            let Some(value) = it.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
+            value.clone()
         };
-        if options.insert(key.to_string(), value.clone()).is_some() {
+        if options.insert(key.to_string(), value).is_some() {
             return Err(format!("--{key} given twice"));
         }
     }
@@ -121,6 +149,18 @@ mod tests {
         assert_eq!(p.chain().unwrap(), "monitor");
         assert_eq!(p.get_usize("packets", 100).unwrap(), 500);
         assert_eq!(p.get_usize("f", 1).unwrap(), 1, "default applies");
+    }
+
+    #[test]
+    fn bool_flags_consume_no_value() {
+        let p = parse_args(&argv("stats --chain monitor --json --packets 50")).unwrap();
+        assert_eq!(p.command, Command::Stats);
+        assert!(p.flag("json"));
+        assert_eq!(p.get_usize("packets", 100).unwrap(), 50);
+        let p = parse_args(&argv("trace --chain monitor --kill 1")).unwrap();
+        assert_eq!(p.command, Command::Trace);
+        assert!(!p.flag("json"));
+        assert_eq!(p.get("kill"), Some("1"));
     }
 
     #[test]

@@ -6,7 +6,6 @@ use ftc::mbox::parse_chain;
 use ftc::prelude::*;
 use ftc::sim::{simulate, MbKind, SimConfig, SystemKind};
 use ftc::traffic::WorkloadConfig;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Runs the selected subcommand.
@@ -17,6 +16,8 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), String> {
             Ok(())
         }
         Command::Run => cmd_run(args),
+        Command::Stats => cmd_stats(args),
+        Command::Trace => cmd_trace(args),
         Command::Compare => cmd_compare(args),
         Command::Sim => cmd_sim(args),
         Command::Drill => cmd_drill(args),
@@ -38,8 +39,15 @@ fn cmd_run(args: &ParsedArgs) -> Result<(), String> {
     if loss > 0.0 {
         cfg = cfg.with_link(LinkConfig::lossy(loss, loss / 2.0, 42));
     }
-    let names: Vec<&str> = cfg.effective_middleboxes().iter().map(|s| s.name()).collect();
-    println!("deploying FTC chain: {} (f = {f}, workers = {workers})", names.join(" -> "));
+    let names: Vec<&str> = cfg
+        .effective_middleboxes()
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    println!(
+        "deploying FTC chain: {} (f = {f}, workers = {workers})",
+        names.join(" -> ")
+    );
     let chain = FtcChain::deploy(cfg);
 
     let mut wl = Workload::new(WorkloadConfig {
@@ -50,20 +58,19 @@ fn cmd_run(args: &ParsedArgs) -> Result<(), String> {
     for _ in 0..packets {
         chain.inject(wl.next_packet());
     }
-    let got = chain.collect_egress(packets, Duration::from_secs(60));
+    let got = chain.egress().collect(packets, Duration::from_secs(60));
     std::thread::sleep(Duration::from_millis(50));
-    let m = &chain.metrics;
+    let snap = chain.metrics.snapshot();
     println!("released {}/{packets} packets", got.len());
     println!(
         "protocol: logs applied {}, parked {}, stale {}, propagating {}, filtered {}",
-        m.logs_applied.load(Ordering::Relaxed),
-        m.logs_parked.load(Ordering::Relaxed),
-        m.logs_stale.load(Ordering::Relaxed),
-        m.propagating.load(Ordering::Relaxed),
-        m.filtered.load(Ordering::Relaxed),
+        snap.logs_applied, snap.logs_parked, snap.logs_stale, snap.propagating, snap.filtered,
     );
-    if let Some(b) = m.mean_piggyback_bytes() {
-        println!("mean piggyback log: {b:.1} B/writing packet");
+    if snap.piggyback_count > 0 {
+        println!(
+            "mean piggyback log: {:.1} B/writing packet",
+            snap.mean_piggyback_bytes
+        );
     }
     for slot in &chain.replicas {
         println!(
@@ -72,6 +79,132 @@ fn cmd_run(args: &ParsedArgs) -> Result<(), String> {
             slot.state.mbox.name(),
             slot.state.own_store.len(),
             slot.state.replicated.keys().collect::<Vec<_>>(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let f = args.get_usize("f", 1)?;
+    let workers = args.get_usize("workers", 1)?;
+    let packets = args.get_usize("packets", 1000)?;
+
+    let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(f).with_workers(workers));
+    let mut wl = Workload::new(WorkloadConfig {
+        flows: 64,
+        frame_len: 256,
+        ..Default::default()
+    });
+    for _ in 0..packets {
+        chain.inject(wl.next_packet());
+    }
+    chain.egress().collect(packets, Duration::from_secs(60));
+    std::thread::sleep(Duration::from_millis(50));
+    let snap = chain.metrics.snapshot();
+
+    if args.flag("json") {
+        println!("{}", snap.to_json());
+        return Ok(());
+    }
+    println!(
+        "packets: injected {}, released {}, filtered {}, propagating {}",
+        snap.injected, snap.released, snap.filtered, snap.propagating,
+    );
+    println!(
+        "logs: applied {}, parked {}, stale {}; piggyback {:.1} B mean over {} packets",
+        snap.logs_applied,
+        snap.logs_parked,
+        snap.logs_stale,
+        snap.mean_piggyback_bytes,
+        snap.piggyback_count,
+    );
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "samples", "mean", "p50", "p99", "p999"
+    );
+    for (name, s) in [
+        ("transaction", snap.transaction),
+        ("piggyback", snap.piggyback),
+        ("apply", snap.apply),
+        ("forwarder", snap.forwarder),
+        ("buffer", snap.buffer),
+    ] {
+        println!(
+            "{name:<12} {:>9} {:>12.1?} {:>12.1?} {:>12.1?} {:>12.1?}",
+            s.samples,
+            Duration::from_nanos(s.mean_ns),
+            Duration::from_nanos(s.p50_ns),
+            Duration::from_nanos(s.p99_ns),
+            Duration::from_nanos(s.p999_ns),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let f = args.get_usize("f", 1)?;
+    let packets = args.get_usize("packets", 200)?;
+
+    let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(f));
+    let n = chain.len();
+    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+    let mut wl = Workload::new(WorkloadConfig::default());
+    for _ in 0..packets {
+        orch.chain.inject(wl.next_packet());
+    }
+    orch.chain
+        .egress()
+        .collect(packets, Duration::from_secs(30));
+
+    if let Some(kill) = args.get("kill") {
+        let idx: usize = kill
+            .parse()
+            .map_err(|_| format!("--kill expects a replica index, got `{kill}`"))?;
+        if idx >= n {
+            return Err(format!(
+                "--kill {idx} out of range (chain has {n} replicas)"
+            ));
+        }
+        orch.chain.kill(idx);
+        for _ in 0..200 {
+            if let Some((i, r)) = orch.monitor_round().into_iter().next() {
+                r.map_err(|e| format!("recovery of r{i} failed: {e}"))?;
+                break;
+            }
+        }
+        for _ in 0..50 {
+            orch.chain.inject(wl.next_packet());
+        }
+        orch.chain.egress().collect(50, Duration::from_secs(30));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let trace = orch.chain.metrics.journal.trace();
+    let timelines = ftc::core::journal::recovery_timelines(&trace);
+    if args.flag("json") {
+        let recoveries: Vec<String> = timelines.iter().map(|t| t.to_json()).collect();
+        println!(
+            "{{\"events\":{},\"recoveries\":[{}]}}",
+            ftc::core::journal::trace_to_json(&trace),
+            recoveries.join(","),
+        );
+        return Ok(());
+    }
+    for ev in &trace {
+        println!("{}", ev.to_json());
+    }
+    for t in &timelines {
+        println!(
+            "recovery of r{}: total {:.1?} (detection {:.1?}, init {:.1?}, \
+             state fetch {:.1?}, resume {:.1?})",
+            t.replica,
+            t.total(),
+            t.detection,
+            t.initialization,
+            t.state_fetch,
+            t.resume,
         );
     }
     Ok(())
@@ -104,7 +237,11 @@ fn cmd_compare(args: &ParsedArgs) -> Result<(), String> {
     };
     let nf = NfChain::deploy(ChainConfig::new(specs.clone()).with_workers(workers));
     measure("NF", &nf);
-    let ftc = FtcChain::deploy(ChainConfig::new(specs.clone()).with_f(1).with_workers(workers));
+    let ftc = FtcChain::deploy(
+        ChainConfig::new(specs.clone())
+            .with_f(1)
+            .with_workers(workers),
+    );
     measure("FTC", &ftc);
     let ftmb = FtmbChain::deploy(ChainConfig::new(specs).with_workers(workers), None);
     measure("FTMB", &ftmb);
@@ -123,7 +260,9 @@ fn sim_kind(spec: &MbSpec, workers: usize) -> MbKind {
         MbSpec::Gen { state_size } => MbKind::Gen { state: *state_size },
         MbSpec::MazuNat { .. } => MbKind::MazuNat,
         MbSpec::SimpleNat { .. } | MbSpec::LoadBalancer { .. } => MbKind::SimpleNat,
-        MbSpec::Ids { .. } => MbKind::Monitor { sharing: workers.max(1) },
+        MbSpec::Ids { .. } => MbKind::Monitor {
+            sharing: workers.max(1),
+        },
         MbSpec::Firewall { .. } => MbKind::Firewall,
         MbSpec::Passthrough => MbKind::Passthrough,
     }
@@ -138,7 +277,9 @@ fn cmd_sim(args: &ParsedArgs) -> Result<(), String> {
         "ftc" => SystemKind::Ftc { f },
         "nf" => SystemKind::Nf,
         "ftmb" => SystemKind::Ftmb { snapshot: None },
-        "ftmb-snap" => SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) },
+        "ftmb-snap" => SystemKind::Ftmb {
+            snapshot: Some((50e6, 6e6)),
+        },
         other => return Err(format!("unknown --system `{other}`")),
     };
     let mut chain: Vec<MbKind> = specs.iter().map(|s| sim_kind(s, workers)).collect();
@@ -151,7 +292,9 @@ fn cmd_sim(args: &ParsedArgs) -> Result<(), String> {
     let cfg = match args.get("rate").unwrap_or("max") {
         "max" => SimConfig::saturated(system, chain),
         r => {
-            let mpps: f64 = r.parse().map_err(|_| format!("--rate expects Mpps or `max`, got `{r}`"))?;
+            let mpps: f64 = r
+                .parse()
+                .map_err(|_| format!("--rate expects Mpps or `max`, got `{r}`"))?;
             SimConfig::at_rate(system, chain, mpps * 1e6)
         }
     }
@@ -160,7 +303,11 @@ fn cmd_sim(args: &ParsedArgs) -> Result<(), String> {
 
     let report = simulate(&cfg);
     println!("system: {}", report.system);
-    println!("offered: {:.2} Mpps, achieved: {:.2} Mpps", report.offered_pps / 1e6, report.mpps());
+    println!(
+        "offered: {:.2} Mpps, achieved: {:.2} Mpps",
+        report.offered_pps / 1e6,
+        report.mpps()
+    );
     if let Some(mean) = report.mean_latency() {
         println!(
             "latency: mean {:.1?}, median {:.1?}, p99 {:.1?} ({} samples)",
@@ -187,7 +334,11 @@ fn cmd_drill(args: &ParsedArgs) -> Result<(), String> {
     for _ in 0..200 {
         orch.chain.inject(wl.next_packet());
     }
-    let warmed = orch.chain.collect_egress(200, Duration::from_secs(30)).len();
+    let warmed = orch
+        .chain
+        .egress()
+        .collect(200, Duration::from_secs(30))
+        .len();
     println!("warmed up with {warmed}/200 packets");
     std::thread::sleep(Duration::from_millis(100));
 
@@ -197,14 +348,22 @@ fn cmd_drill(args: &ParsedArgs) -> Result<(), String> {
         match orch.recover(idx, ftc::net::RegionId(0)) {
             Ok(r) => println!(
                 "recovered in {:.1?} (init {:.1?}, state {:.1?} / {} B, reroute {:.1?})",
-                r.total(), r.initialization, r.state_recovery, r.bytes_transferred, r.rerouting
+                r.total(),
+                r.initialization,
+                r.state_recovery,
+                r.bytes_transferred,
+                r.rerouting
             ),
             Err(e) => return Err(format!("recovery of r{idx} failed: {e}")),
         }
         for _ in 0..50 {
             orch.chain.inject(wl.next_packet());
         }
-        let got = orch.chain.collect_egress(50, Duration::from_secs(30)).len();
+        let got = orch
+            .chain
+            .egress()
+            .collect(50, Duration::from_secs(30))
+            .len();
         println!("  post-recovery traffic: {got}/50 released");
         std::thread::sleep(Duration::from_millis(100));
     }
@@ -237,6 +396,23 @@ mod tests {
     #[test]
     fn run_command_small_chain() {
         run_cmd("run --chain monitor->monitor --packets 50").unwrap();
+    }
+
+    #[test]
+    fn stats_command_works() {
+        run_cmd("stats --chain monitor->monitor --packets 50").unwrap();
+        run_cmd("stats --chain monitor->monitor --packets 50 --json").unwrap();
+    }
+
+    #[test]
+    fn trace_command_with_kill() {
+        run_cmd("trace --chain monitor->monitor --packets 30 --kill 1 --json").unwrap();
+    }
+
+    #[test]
+    fn trace_rejects_out_of_range_kill() {
+        let err = run_cmd("trace --chain monitor --packets 5 --kill 9").unwrap_err();
+        assert!(err.contains("out of range"));
     }
 
     #[test]

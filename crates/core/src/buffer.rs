@@ -11,6 +11,7 @@
 
 use crate::config::RingMath;
 use crate::control::{InPort, OutPort};
+use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
 use bytes::BytesMut;
 use crossbeam::channel::Sender;
@@ -171,23 +172,18 @@ impl BufferState {
     }
 
     fn committed(commits: &HashMap<usize, Vec<u64>>, m: usize, deps: &DepVector) -> bool {
-        commits
-            .get(&m)
-            .is_some_and(|max| deps.committed_under(max))
+        commits.get(&m).is_some_and(|max| deps.committed_under(max))
     }
 
     /// Releases held packets whose requirements are met and prunes the
     /// uncommitted set.
     fn sweep(&self, inner: &mut BufInner) {
         loop {
-            let releasable = inner
-                .held
-                .iter()
-                .position(|h| {
-                    h.reqs
-                        .iter()
-                        .all(|(m, deps)| Self::committed(&inner.commits, *m, deps))
-                });
+            let releasable = inner.held.iter().position(|h| {
+                h.reqs
+                    .iter()
+                    .all(|(m, deps)| Self::committed(&inner.commits, *m, deps))
+            });
             match releasable {
                 Some(i) => {
                     let h = inner.held.remove(i).expect("indexed");
@@ -212,7 +208,11 @@ impl BufferState {
         }
         let take = inner.fresh.len().min(MAX_FEEDBACK_LOGS);
         let logs: Vec<PiggybackLog> = inner.fresh.drain(..take).collect();
-        let msg = PiggybackMessage { flags: 0, logs, commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs,
+            commits: vec![],
+        };
         let mut b = BytesMut::new();
         msg.encode(&mut b);
         self.feedback.send(b);
@@ -220,6 +220,9 @@ impl BufferState {
 
     fn release(&self, pkt: Packet) {
         self.metrics.released.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .journal
+            .record(EventSource::Buffer, EventKind::PacketReleased);
         let _ = self.egress.send(pkt);
     }
 
@@ -329,7 +332,11 @@ mod tests {
     fn wrapped_log_holds_until_commit() {
         let r = rig(3, 1);
         // Packet carrying m2's log (wrapped in a 3-chain with f=1).
-        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 0)],
+            commits: vec![],
+        };
         r.buf.handle_frame(frame_with(&msg));
         assert_eq!(r.buf.held_len(), 1);
         assert!(r.egress.try_recv().is_err());
@@ -339,7 +346,10 @@ mod tests {
         let msg2 = PiggybackMessage {
             flags: 0,
             logs: vec![],
-            commits: vec![CommitVector { mbox: MboxId(2), max: vec![1] }],
+            commits: vec![CommitVector {
+                mbox: MboxId(2),
+                max: vec![1],
+            }],
         };
         r.buf.handle_frame(frame_with(&msg2));
         // Both packets now out (second had no requirements).
@@ -351,12 +361,19 @@ mod tests {
     #[test]
     fn insufficient_commit_keeps_holding() {
         let r = rig(3, 1);
-        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 5)], commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 5)],
+            commits: vec![],
+        };
         r.buf.handle_frame(frame_with(&msg));
         let weak = PiggybackMessage {
             flags: 0,
             logs: vec![],
-            commits: vec![CommitVector { mbox: MboxId(2), max: vec![5] }], // needs > 5
+            commits: vec![CommitVector {
+                mbox: MboxId(2),
+                max: vec![5],
+            }], // needs > 5
         };
         r.buf.handle_frame(frame_with(&weak));
         assert_eq!(r.buf.held_len(), 1, "MAX[p]=5 does not commit seq 5");
@@ -365,7 +382,11 @@ mod tests {
     #[test]
     fn wrapped_logs_go_to_feedback() {
         let r = rig(3, 1);
-        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 0)],
+            commits: vec![],
+        };
         r.buf.handle_frame(frame_with(&msg));
         let f = r
             .feedback_rx
@@ -379,7 +400,11 @@ mod tests {
     #[test]
     fn tick_resends_uncommitted() {
         let r = rig(3, 1);
-        let msg = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 0)], commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 0)],
+            commits: vec![],
+        };
         r.buf.handle_frame(frame_with(&msg));
         // Drain the initial feedback.
         let _ = r.feedback_rx.recv_timeout(Duration::from_millis(100));
@@ -399,7 +424,10 @@ mod tests {
         let msg = PiggybackMessage {
             flags: ftc_packet::piggyback::flags::PROPAGATING,
             logs: vec![],
-            commits: vec![CommitVector { mbox: MboxId(2), max: vec![3] }],
+            commits: vec![CommitVector {
+                mbox: MboxId(2),
+                max: vec![3],
+            }],
         };
         let prop = ftc_packet::packet::propagating_packet(
             ftc_packet::ether::MacAddr::from_index(1),
@@ -407,19 +435,38 @@ mod tests {
             &msg,
         );
         r.buf.handle_frame(prop.into_bytes());
-        assert!(r.egress.try_recv().is_err(), "propagating packets never egress");
+        assert!(
+            r.egress.try_recv().is_err(),
+            "propagating packets never egress"
+        );
         // But their commits took effect.
-        let held = PiggybackMessage { flags: 0, logs: vec![log(2, 0, 2)], commits: vec![] };
+        let held = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 2)],
+            commits: vec![],
+        };
         r.buf.handle_frame(frame_with(&held));
-        assert_eq!(r.buf.held_len(), 0, "already-committed log releases instantly");
+        assert_eq!(
+            r.buf.held_len(),
+            0,
+            "already-committed log releases instantly"
+        );
     }
 
     #[test]
     fn release_order_is_fifo_among_ready() {
         let r = rig(2, 1);
         // Hold two packets needing m1 seq 0 and seq 1.
-        let m1 = PiggybackMessage { flags: 0, logs: vec![log(1, 0, 0)], commits: vec![] };
-        let m2 = PiggybackMessage { flags: 0, logs: vec![log(1, 0, 1)], commits: vec![] };
+        let m1 = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(1, 0, 0)],
+            commits: vec![],
+        };
+        let m2 = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(1, 0, 1)],
+            commits: vec![],
+        };
         let mut p1 = UdpPacketBuilder::new().ident(1).build();
         p1.attach_piggyback(&m1).unwrap();
         let mut p2 = UdpPacketBuilder::new().ident(2).build();
@@ -432,7 +479,10 @@ mod tests {
         let commit = PiggybackMessage {
             flags: ftc_packet::piggyback::flags::PROPAGATING,
             logs: vec![],
-            commits: vec![CommitVector { mbox: MboxId(1), max: vec![2] }],
+            commits: vec![CommitVector {
+                mbox: MboxId(1),
+                max: vec![2],
+            }],
         };
         let prop = ftc_packet::packet::propagating_packet(
             ftc_packet::ether::MacAddr::from_index(1),

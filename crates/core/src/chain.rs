@@ -40,7 +40,7 @@ impl ChainSystem for FtcChain {
     }
 
     fn egress_pkt(&self, timeout: Duration) -> Option<Packet> {
-        self.egress_timeout(timeout)
+        self.egress().recv(timeout)
     }
 
     fn system_name(&self) -> &'static str {
@@ -63,6 +63,52 @@ pub struct ReplicaSlot {
     pub nic: Arc<Nic>,
     /// Region this replica is deployed in.
     pub region: RegionId,
+}
+
+/// A cloneable handle to the chain's egress: every way of taking
+/// released packets out of the chain, in one place.
+///
+/// Obtain one with [`FtcChain::egress`]. All handles share the same
+/// underlying channel, so packets are consumed exactly once across
+/// handles.
+#[derive(Clone)]
+pub struct Egress {
+    rx: Receiver<Packet>,
+}
+
+impl Egress {
+    /// Receives the next released packet, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Option<Packet> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains all currently released packets without waiting.
+    pub fn drain(&self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(p) = self.rx.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Waits until `count` packets are released or `deadline` passes;
+    /// returns the released packets.
+    pub fn collect(&self, count: usize, deadline: Duration) -> Vec<Packet> {
+        let start = std::time::Instant::now();
+        let mut out = Vec::new();
+        while out.len() < count {
+            let left = deadline.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                break;
+            }
+            match self.rx.recv_timeout(left.min(Duration::from_millis(5))) {
+                Ok(p) => out.push(p),
+                Err(channel::RecvTimeoutError::Timeout) => continue,
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out
+    }
 }
 
 /// Handles to interact with a running chain.
@@ -251,12 +297,22 @@ impl FtcChain {
         let _ = self.ingress.lock().send(pkt.into_bytes());
     }
 
+    /// Returns a handle to the chain's egress — the one place to
+    /// receive, drain, or collect released packets.
+    pub fn egress(&self) -> Egress {
+        Egress {
+            rx: self.egress_rx.clone(),
+        }
+    }
+
     /// Receives the next released packet, waiting up to `timeout`.
+    #[deprecated(note = "use `chain.egress().recv(timeout)` instead")]
     pub fn egress_timeout(&self, timeout: Duration) -> Option<Packet> {
         self.egress_rx.recv_timeout(timeout).ok()
     }
 
     /// Drains all currently released packets.
+    #[deprecated(note = "use `chain.egress().drain()` instead")]
     pub fn drain_egress(&self) -> Vec<Packet> {
         let mut out = Vec::new();
         while let Ok(p) = self.egress_rx.try_recv() {
@@ -285,7 +341,12 @@ impl FtcChain {
     /// state fetch (see [`crate::recovery`]) and sequencing.
     ///
     /// Returns the new slot's control client.
-    pub fn respawn(&mut self, idx: usize, region: RegionId, state: Arc<ReplicaState>) -> CtrlClient {
+    pub fn respawn(
+        &mut self,
+        idx: usize,
+        region: RegionId,
+        state: Arc<ReplicaState>,
+    ) -> CtrlClient {
         let n = self.len();
         let mut server = Server::new(format!("server{idx}r"), region);
 
@@ -396,15 +457,9 @@ impl FtcChain {
 
     /// Convenience for tests: wait until the chain has released `count`
     /// packets or `deadline` passes; returns the released packets.
+    #[deprecated(note = "use `chain.egress().collect(count, deadline)` instead")]
     pub fn collect_egress(&self, count: usize, deadline: Duration) -> Vec<Packet> {
-        let start = std::time::Instant::now();
-        let mut out = Vec::new();
-        while out.len() < count && start.elapsed() < deadline {
-            if let Some(p) = self.egress_timeout(Duration::from_millis(5)) {
-                out.push(p);
-            }
-        }
-        out
+        self.egress().collect(count, deadline)
     }
 }
 
@@ -427,7 +482,9 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn monitor_chain(n: usize, f: usize) -> FtcChain {
-        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        let specs = (0..n)
+            .map(|_| MbSpec::Monitor { sharing_level: 1 })
+            .collect();
         FtcChain::deploy(ChainConfig::new(specs).with_f(f))
     }
 
@@ -445,7 +502,7 @@ mod tests {
         for i in 0..20 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(20, Duration::from_secs(10));
+        let got = chain.egress().collect(20, Duration::from_secs(10));
         assert_eq!(got.len(), 20, "all packets must be released");
         // Every replica counted every packet in its own store.
         for slot in &chain.replicas {
@@ -464,7 +521,7 @@ mod tests {
         for i in 0..10 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(10, Duration::from_secs(10));
+        let got = chain.egress().collect(10, Duration::from_secs(10));
         assert_eq!(got.len(), 10);
         // Give the ring a moment to commit the wrapped logs.
         std::thread::sleep(Duration::from_millis(50));
@@ -486,7 +543,7 @@ mod tests {
         let sent = pkt(42);
         let sent_bytes = sent.bytes().to_vec();
         chain.inject(sent);
-        let got = chain.collect_egress(1, Duration::from_secs(5));
+        let got = chain.egress().collect(1, Duration::from_secs(5));
         assert_eq!(got.len(), 1);
         // Monitor does not modify packets: bytes identical, no trailer.
         assert_eq!(got[0].bytes(), &sent_bytes[..]);
@@ -507,7 +564,7 @@ mod tests {
         for i in 0..50 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(50, Duration::from_secs(20));
+        let got = chain.egress().collect(50, Duration::from_secs(20));
         assert_eq!(got.len(), 50, "reliable links must mask loss");
         for slot in &chain.replicas {
             assert_eq!(slot.state.own_store.peek_u64(b"mon:packets:g0"), Some(50));
@@ -526,7 +583,7 @@ mod tests {
         for i in 0..n {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(n as usize, Duration::from_secs(20));
+        let got = chain.egress().collect(n as usize, Duration::from_secs(20));
         assert_eq!(got.len(), n as usize);
         for slot in &chain.replicas {
             assert_eq!(
@@ -543,8 +600,14 @@ mod tests {
         for i in 0..5 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(5, Duration::from_secs(5));
+        let got = chain.egress().collect(5, Duration::from_secs(5));
         assert_eq!(got.len(), 5);
-        assert_eq!(chain.metrics.logs_applied.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(
+            chain
+                .metrics
+                .logs_applied
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
     }
 }

@@ -43,10 +43,7 @@ impl ChainConfig {
     /// Table 1's `Ch-Gen`: `Gen1 → Gen2` with the given per-packet state
     /// size.
     pub fn ch_gen(state_size: usize) -> ChainConfig {
-        ChainConfig::new(vec![
-            MbSpec::Gen { state_size },
-            MbSpec::Gen { state_size },
-        ])
+        ChainConfig::new(vec![MbSpec::Gen { state_size }, MbSpec::Gen { state_size }])
     }
 
     /// Table 1's `Ch-Rec`: `Firewall → Monitor → SimpleNAT` (the recovery
@@ -95,6 +92,31 @@ impl ChainConfig {
     /// Sets the number of state partitions.
     pub fn with_partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions;
+        self
+    }
+
+    /// Sets the maximum frame size before `oversize_frames` ticks (§7.2).
+    pub fn with_mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
+
+    /// Sets the per-worker NIC queue depth.
+    pub fn with_nic_queue_depth(mut self, depth: usize) -> Self {
+        self.nic_queue_depth = depth;
+        self
+    }
+
+    /// Sets the forwarder's idle timeout before emitting a propagating
+    /// packet (§5.1).
+    pub fn with_propagate_timeout(mut self, timeout: Duration) -> Self {
+        self.propagate_timeout = timeout;
+        self
+    }
+
+    /// Sets the buffer's resend period for unacknowledged feedback.
+    pub fn with_resend_period(mut self, period: Duration) -> Self {
+        self.resend_period = period;
         self
     }
 
@@ -258,6 +280,28 @@ mod tests {
     #[should_panic(expected = "chain must have middleboxes")]
     fn empty_chain_rejected() {
         ChainConfig::new(vec![]).validate();
+    }
+
+    #[test]
+    fn fluent_builders_compose() {
+        let cfg = ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 3])
+            .with_f(2)
+            .with_workers(4)
+            .with_partitions(16)
+            .with_mtu(1500)
+            .with_nic_queue_depth(128)
+            .with_propagate_timeout(Duration::from_millis(2))
+            .with_resend_period(Duration::from_millis(20))
+            .with_link(LinkConfig::ideal().with_loss(0.01).with_seed(7));
+        assert_eq!(cfg.f, 2);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.partitions, 16);
+        assert_eq!(cfg.mtu, 1500);
+        assert_eq!(cfg.nic_queue_depth, 128);
+        assert_eq!(cfg.propagate_timeout, Duration::from_millis(2));
+        assert_eq!(cfg.resend_period, Duration::from_millis(20));
+        assert_eq!(cfg.link.loss, 0.01);
+        assert_eq!(cfg.link.seed, 7);
     }
 
     #[test]

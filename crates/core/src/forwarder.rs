@@ -6,6 +6,7 @@
 //! middlebox". During idle periods it emits *propagating packets* so held
 //! state keeps flowing.
 
+use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
 use bytes::BytesMut;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -91,6 +92,9 @@ impl ForwarderState {
         }
         self.metrics.injected.fetch_add(1, Ordering::Relaxed);
         self.metrics.t_forwarder.record(t0.elapsed());
+        self.metrics
+            .journal
+            .record(EventSource::Forwarder, EventKind::PacketInjected);
         nic.dispatch(pkt.into_bytes());
     }
 
@@ -100,11 +104,8 @@ impl ForwarderState {
             return false;
         }
         let msg = self.next_message(true);
-        let prop = packet::propagating_packet(
-            MacAddr::from_index(0xF0),
-            MacAddr::from_index(0xF1),
-            &msg,
-        );
+        let prop =
+            packet::propagating_packet(MacAddr::from_index(0xF0), MacAddr::from_index(0xF1), &msg);
         self.metrics.propagating.fetch_add(1, Ordering::Relaxed);
         nic.dispatch(prop.into_bytes());
         true
@@ -167,7 +168,11 @@ mod tests {
                 writes: vec![],
             })
             .collect();
-        let msg = PiggybackMessage { flags: 0, logs, commits: vec![] };
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs,
+            commits: vec![],
+        };
         let mut b = BytesMut::new();
         msg.encode(&mut b);
         b

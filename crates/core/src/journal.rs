@@ -1,0 +1,531 @@
+//! A lock-light event journal for chain-wide observability.
+//!
+//! Every notable protocol moment — a packet entering the forwarder, the
+//! buffer releasing it, a log applied at a replica, the orchestrator
+//! respawning a failed server — is recorded as a timestamped [`Event`]
+//! in a per-source ring buffer. Sources never contend with each other:
+//! each writes its own bounded shard under a cheap uncontended mutex,
+//! and a reader [`drain`](Journal::drain)s all shards into one
+//! chain-wide trace ordered by time.
+//!
+//! The journal exists to answer the paper's evaluation questions
+//! directly from a running chain: the four recovery phases of Fig. 13
+//! fall out of [`recovery_timelines`], and the raw trace backs the
+//! `ftc trace` CLI subcommand.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Shards 0..2 are reserved for the chain elements; replicas hash into
+/// the rest. 64 shards keeps a 16-replica chain collision-free.
+const SHARDS: usize = 64;
+const RESERVED: usize = 3;
+
+/// Per-shard capacity. Oldest events are dropped once a shard fills;
+/// [`Journal::dropped`] counts the casualties.
+const SHARD_CAP: usize = 8192;
+
+/// Who recorded an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSource {
+    /// The chain's ingress element.
+    Forwarder,
+    /// The chain's egress element.
+    Buffer,
+    /// The control plane (failure detector / orchestrator).
+    Orchestrator,
+    /// Replica `r` of the logical ring.
+    Replica(u16),
+}
+
+impl EventSource {
+    fn shard(self) -> usize {
+        match self {
+            EventSource::Forwarder => 0,
+            EventSource::Buffer => 1,
+            EventSource::Orchestrator => 2,
+            EventSource::Replica(r) => RESERVED + (r as usize % (SHARDS - RESERVED)),
+        }
+    }
+
+    /// A short stable label, used by the JSON trace.
+    pub fn label(self) -> String {
+        match self {
+            EventSource::Forwarder => "forwarder".to_string(),
+            EventSource::Buffer => "buffer".to_string(),
+            EventSource::Orchestrator => "orchestrator".to_string(),
+            EventSource::Replica(r) => format!("r{r}"),
+        }
+    }
+}
+
+/// What happened. Variants carrying a `replica` refer to the ring index
+/// of the replica the event is *about* (which may differ from the
+/// recording [`EventSource`] — e.g. the orchestrator records
+/// `RespawnIssued { replica: 1 }`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A data packet was accepted at the forwarder.
+    PacketInjected,
+    /// The buffer proved `f+1` replication and released a packet.
+    PacketReleased,
+    /// A middlebox dropped a data packet (`Action::Drop`).
+    PacketFiltered,
+    /// A piggybacked state log was applied at a replica.
+    LogApplied {
+        /// Middlebox whose state the log carried.
+        mbox: u16,
+    },
+    /// A log was parked waiting for its dependency vector.
+    LogParked {
+        /// Middlebox whose state the log carried.
+        mbox: u16,
+    },
+    /// A duplicate (stale) log was discarded.
+    LogStale {
+        /// Middlebox whose state the log carried.
+        mbox: u16,
+    },
+    /// A heartbeat probe to a replica went unanswered.
+    HeartbeatMissed {
+        /// The silent replica.
+        replica: u16,
+    },
+    /// The detector confirmed a replica as failed (threshold reached).
+    FailureDetected {
+        /// The failed replica.
+        replica: u16,
+    },
+    /// The orchestrator started initializing a replacement replica.
+    RespawnIssued {
+        /// The replica being replaced.
+        replica: u16,
+    },
+    /// State fetch from the replication group began.
+    StateFetchStarted {
+        /// The recovering replica.
+        replica: u16,
+    },
+    /// State fetch finished.
+    StateFetchFinished {
+        /// The recovered replica.
+        replica: u16,
+        /// Bytes pulled from group members.
+        bytes: u64,
+    },
+    /// The rerouted chain resumed carrying traffic through the replica.
+    TrafficResumed {
+        /// The recovered replica.
+        replica: u16,
+    },
+}
+
+impl EventKind {
+    /// A short stable label, used by the JSON trace.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::PacketInjected => "packet_injected",
+            EventKind::PacketReleased => "packet_released",
+            EventKind::PacketFiltered => "packet_filtered",
+            EventKind::LogApplied { .. } => "log_applied",
+            EventKind::LogParked { .. } => "log_parked",
+            EventKind::LogStale { .. } => "log_stale",
+            EventKind::HeartbeatMissed { .. } => "heartbeat_missed",
+            EventKind::FailureDetected { .. } => "failure_detected",
+            EventKind::RespawnIssued { .. } => "respawn_issued",
+            EventKind::StateFetchStarted { .. } => "state_fetch_started",
+            EventKind::StateFetchFinished { .. } => "state_fetch_finished",
+            EventKind::TrafficResumed { .. } => "traffic_resumed",
+        }
+    }
+}
+
+/// One timestamped journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the journal's epoch (chain deployment).
+    pub t_ns: u64,
+    /// Who recorded it.
+    pub source: EventSource,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"t_ns\":{},\"source\":\"{}\",\"kind\":\"{}\"",
+            self.t_ns,
+            self.source.label(),
+            self.kind.label()
+        );
+        match self.kind {
+            EventKind::LogApplied { mbox }
+            | EventKind::LogParked { mbox }
+            | EventKind::LogStale { mbox } => {
+                s.push_str(&format!(",\"mbox\":{mbox}"));
+            }
+            EventKind::HeartbeatMissed { replica }
+            | EventKind::FailureDetected { replica }
+            | EventKind::RespawnIssued { replica }
+            | EventKind::StateFetchStarted { replica }
+            | EventKind::TrafficResumed { replica } => {
+                s.push_str(&format!(",\"replica\":{replica}"));
+            }
+            EventKind::StateFetchFinished { replica, bytes } => {
+                s.push_str(&format!(",\"replica\":{replica},\"bytes\":{bytes}"));
+            }
+            _ => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The chain-wide journal: per-source bounded ring buffers plus a
+/// shared epoch.
+///
+/// Writers touch only their own shard's mutex (uncontended in steady
+/// state), so recording stays off the packet path's critical sections.
+pub struct Journal {
+    epoch: Instant,
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates an empty journal with its epoch set to now.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Records an event, timestamped against the journal's epoch.
+    pub fn record(&self, source: EventSource, kind: EventKind) {
+        let t_ns = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut shard = self.shards[source.shard()].lock();
+        if shard.len() >= SHARD_CAP {
+            shard.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        shard.push_back(Event { t_ns, source, kind });
+    }
+
+    /// Total events currently buffered across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from full shards since deployment.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Drains every shard into one trace ordered by timestamp. Events
+    /// from the same source keep their recording order (the sort is
+    /// stable and per-shard order is chronological).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().drain(..));
+        }
+        out.sort_by_key(|e| e.t_ns);
+        out
+    }
+
+    /// Like [`drain`](Journal::drain) but leaves the shards intact.
+    pub fn trace(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().iter().copied());
+        }
+        out.sort_by_key(|e| e.t_ns);
+        out
+    }
+}
+
+/// Renders a trace as a JSON array of event objects.
+pub fn trace_to_json(events: &[Event]) -> String {
+    let mut s = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&e.to_json());
+    }
+    s.push(']');
+    s
+}
+
+/// The four phases of one replica recovery — the Fig. 13 timeline.
+///
+/// * `detection` — first missed heartbeat to confirmed failure.
+/// * `initialization` — confirmed failure (or respawn, when recovery
+///   was triggered directly without a detector) to the start of state
+///   fetch: spawning the replacement and installing middlebox code.
+/// * `state_fetch` — pulling stores and `MAX` vectors from the
+///   replication group.
+/// * `resume` — rerouting the chain and restarting traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryTimeline {
+    /// Ring index of the recovered replica.
+    pub replica: u16,
+    /// Fig-13 "failure detection" phase.
+    pub detection: Duration,
+    /// Fig-13 "initialization" phase.
+    pub initialization: Duration,
+    /// Fig-13 "state recovery" phase.
+    pub state_fetch: Duration,
+    /// Fig-13 "rerouting / resume" phase.
+    pub resume: Duration,
+}
+
+impl RecoveryTimeline {
+    /// End-to-end recovery time (sum of the four phases).
+    pub fn total(&self) -> Duration {
+        self.detection + self.initialization + self.state_fetch + self.resume
+    }
+
+    /// Renders the timeline as a JSON object (durations in ns).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"replica\":{},\"detection_ns\":{},\"initialization_ns\":{},\
+             \"state_fetch_ns\":{},\"resume_ns\":{},\"total_ns\":{}}}",
+            self.replica,
+            self.detection.as_nanos(),
+            self.initialization.as_nanos(),
+            self.state_fetch.as_nanos(),
+            self.resume.as_nanos(),
+            self.total().as_nanos()
+        )
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct PendingRecovery {
+    first_miss: Option<u64>,
+    detected: Option<u64>,
+    respawn: Option<u64>,
+    fetch_start: Option<u64>,
+    fetch_end: Option<u64>,
+}
+
+/// Derives per-replica recovery timelines from an ordered trace.
+///
+/// A timeline is emitted for every `TrafficResumed` event, using the
+/// preceding detection/respawn/fetch events for the same replica.
+/// Phases whose anchor events are absent (e.g. no detector ran, so no
+/// `HeartbeatMissed`/`FailureDetected`) report zero.
+pub fn recovery_timelines(trace: &[Event]) -> Vec<RecoveryTimeline> {
+    use std::collections::HashMap;
+    let mut pending: HashMap<u16, PendingRecovery> = HashMap::new();
+    let mut out = Vec::new();
+    for e in trace {
+        match e.kind {
+            EventKind::HeartbeatMissed { replica } => {
+                let p = pending.entry(replica).or_default();
+                if p.first_miss.is_none() {
+                    p.first_miss = Some(e.t_ns);
+                }
+            }
+            EventKind::FailureDetected { replica } => {
+                let p = pending.entry(replica).or_default();
+                if p.detected.is_none() {
+                    p.detected = Some(e.t_ns);
+                }
+            }
+            EventKind::RespawnIssued { replica } => {
+                let p = pending.entry(replica).or_default();
+                if p.respawn.is_none() {
+                    p.respawn = Some(e.t_ns);
+                }
+            }
+            EventKind::StateFetchStarted { replica } => {
+                let p = pending.entry(replica).or_default();
+                if p.fetch_start.is_none() {
+                    p.fetch_start = Some(e.t_ns);
+                }
+            }
+            EventKind::StateFetchFinished { replica, .. } => {
+                pending.entry(replica).or_default().fetch_end = Some(e.t_ns);
+            }
+            EventKind::TrafficResumed { replica } => {
+                let p = pending.remove(&replica).unwrap_or_default();
+                let resumed = e.t_ns;
+                // Anchor each phase on the best available evidence;
+                // absent anchors collapse that phase to zero.
+                let det_end = p
+                    .detected
+                    .or(p.respawn)
+                    .or(p.fetch_start)
+                    .unwrap_or(resumed);
+                let det_start = p.first_miss.unwrap_or(det_end);
+                let init_end = p.fetch_start.unwrap_or(det_end);
+                let fetch_end = p.fetch_end.unwrap_or(init_end);
+                out.push(RecoveryTimeline {
+                    replica,
+                    detection: Duration::from_nanos(det_end.saturating_sub(det_start)),
+                    initialization: Duration::from_nanos(init_end.saturating_sub(det_end)),
+                    state_fetch: Duration::from_nanos(fetch_end.saturating_sub(init_end)),
+                    resume: Duration::from_nanos(resumed.saturating_sub(fetch_end)),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_orders_events_across_concurrent_writers() {
+        let j = Arc::new(Journal::new());
+        let threads: Vec<_> = (0..4u16)
+            .map(|r| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        j.record(EventSource::Replica(r), EventKind::LogApplied { mbox: r });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let trace = j.drain();
+        assert_eq!(trace.len(), 4000);
+        assert_eq!(j.dropped(), 0);
+        // Globally ordered by time…
+        assert!(trace.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        // …and each source's events keep their per-shard chronology.
+        for r in 0..4u16 {
+            let own: Vec<u64> = trace
+                .iter()
+                .filter(|e| e.source == EventSource::Replica(r))
+                .map(|e| e.t_ns)
+                .collect();
+            assert_eq!(own.len(), 1000);
+            assert!(own.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Drain empties the journal.
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn shards_drop_oldest_when_full() {
+        let j = Journal::new();
+        for _ in 0..(SHARD_CAP + 10) {
+            j.record(EventSource::Forwarder, EventKind::PacketInjected);
+        }
+        assert_eq!(j.len(), SHARD_CAP);
+        assert_eq!(j.dropped(), 10);
+    }
+
+    #[test]
+    fn timeline_from_full_event_sequence() {
+        let ev = |t_ns, kind| Event {
+            t_ns,
+            source: EventSource::Orchestrator,
+            kind,
+        };
+        let trace = vec![
+            ev(100, EventKind::HeartbeatMissed { replica: 1 }),
+            ev(300, EventKind::FailureDetected { replica: 1 }),
+            ev(350, EventKind::RespawnIssued { replica: 1 }),
+            ev(900, EventKind::StateFetchStarted { replica: 1 }),
+            ev(
+                1400,
+                EventKind::StateFetchFinished {
+                    replica: 1,
+                    bytes: 64,
+                },
+            ),
+            ev(1500, EventKind::TrafficResumed { replica: 1 }),
+        ];
+        let tl = recovery_timelines(&trace);
+        assert_eq!(tl.len(), 1);
+        let t = &tl[0];
+        assert_eq!(t.replica, 1);
+        assert_eq!(t.detection, Duration::from_nanos(200));
+        assert_eq!(t.initialization, Duration::from_nanos(600));
+        assert_eq!(t.state_fetch, Duration::from_nanos(500));
+        assert_eq!(t.resume, Duration::from_nanos(100));
+        assert_eq!(t.total(), Duration::from_nanos(1400));
+    }
+
+    #[test]
+    fn timeline_without_detector_reports_zero_detection() {
+        let ev = |t_ns, kind| Event {
+            t_ns,
+            source: EventSource::Orchestrator,
+            kind,
+        };
+        let trace = vec![
+            ev(50, EventKind::RespawnIssued { replica: 2 }),
+            ev(200, EventKind::StateFetchStarted { replica: 2 }),
+            ev(
+                700,
+                EventKind::StateFetchFinished {
+                    replica: 2,
+                    bytes: 8,
+                },
+            ),
+            ev(800, EventKind::TrafficResumed { replica: 2 }),
+        ];
+        let tl = recovery_timelines(&trace);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].detection, Duration::ZERO);
+        assert_eq!(tl[0].initialization, Duration::from_nanos(150));
+        assert_eq!(tl[0].state_fetch, Duration::from_nanos(500));
+        assert_eq!(tl[0].resume, Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let e = Event {
+            t_ns: 42,
+            source: EventSource::Replica(3),
+            kind: EventKind::StateFetchFinished {
+                replica: 3,
+                bytes: 128,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"t_ns\":42,\"source\":\"r3\",\"kind\":\"state_fetch_finished\",\
+             \"replica\":3,\"bytes\":128}"
+        );
+        assert_eq!(trace_to_json(&[]), "[]");
+    }
+}

@@ -23,7 +23,12 @@
 //!   and the swappable link ports used for rerouting during recovery.
 //! * [`recovery`] — replica-side state transfer: fetching stores and `MAX`
 //!   vectors from group members per the paper's source-selection rule.
-//! * [`metrics`] — counters and timing breakdowns (Table 2).
+//! * [`metrics`] — counters and timing breakdowns (Table 2), read
+//!   through [`ChainMetrics::snapshot`].
+//! * [`hist`] — log-bucketed latency histograms (Fig. 11 CDFs and the
+//!   tails behind every Table-2 stage).
+//! * [`journal`] — the chain-wide event journal and the Fig-13 recovery
+//!   timeline derived from it.
 //! * [`testkit`] — a deterministic single-threaded harness over the same
 //!   protocol objects, for schedule-exploring property tests.
 
@@ -35,11 +40,15 @@ pub mod chain;
 pub mod config;
 pub mod control;
 pub mod forwarder;
+pub mod hist;
+pub mod journal;
 pub mod metrics;
 pub mod recovery;
 pub mod replica;
 pub mod testkit;
 
-pub use chain::{ChainHandles, ChainSystem, FtcChain};
+pub use chain::{ChainHandles, ChainSystem, Egress, FtcChain};
 pub use config::{ChainConfig, RingMath};
-pub use metrics::ChainMetrics;
+pub use hist::Histogram;
+pub use journal::{Event, EventKind, EventSource, Journal, RecoveryTimeline};
+pub use metrics::{ChainMetrics, MetricsSnapshot};

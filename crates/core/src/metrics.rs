@@ -1,36 +1,47 @@
-//! Chain-wide counters and per-packet timing breakdowns (paper Table 2).
+//! Chain-wide counters, histogram-backed timing breakdowns (paper
+//! Table 2), and the embedded event [`Journal`].
+//!
+//! Read everything through [`ChainMetrics::snapshot`], which returns a
+//! plain serializable [`MetricsSnapshot`] with named fields — the raw
+//! atomics stay public for hot-path writers only.
 
+use crate::hist::{AtomicHistogram, Histogram};
+use crate::journal::Journal;
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// A nanosecond accumulator with a sample count, for mean breakdowns.
+/// A histogram-backed timing accumulator: lock-free to record, and able
+/// to answer mean *and* tail-quantile queries (Table 2 with tails).
 #[derive(Debug, Default)]
 pub struct TimingCell {
-    total_ns: AtomicU64,
-    samples: AtomicU64,
+    hist: AtomicHistogram,
 }
 
 impl TimingCell {
     /// Records one sample.
     pub fn record(&self, d: Duration) {
-        self.total_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-        self.samples.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(d);
     }
 
     /// Mean duration across samples, if any.
     pub fn mean(&self) -> Option<Duration> {
-        let n = self.samples.load(Ordering::Relaxed);
-        if n == 0 {
-            return None;
-        }
-        Some(Duration::from_nanos(
-            self.total_ns.load(Ordering::Relaxed) / n,
-        ))
+        self.hist.snapshot().mean()
     }
 
     /// Number of samples.
     pub fn samples(&self) -> u64 {
-        self.samples.load(Ordering::Relaxed)
+        self.hist.len()
+    }
+
+    /// The duration at quantile `q` in `[0, 1]`, if any samples exist.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        self.hist.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the full distribution (Fig-11 CDFs).
+    pub fn histogram(&self) -> Histogram {
+        self.hist.snapshot()
     }
 }
 
@@ -71,14 +82,12 @@ pub struct ChainMetrics {
     pub t_forwarder: TimingCell,
     /// Table-2 breakdown: buffer per-packet work.
     pub t_buffer: TimingCell,
+
+    /// The chain's event journal (see [`crate::journal`]).
+    pub journal: Journal,
 }
 
 impl ChainMetrics {
-    /// Convenience: loads a counter.
-    pub fn get(&self, c: &AtomicU64) -> u64 {
-        c.load(Ordering::Relaxed)
-    }
-
     /// Mean piggyback trailer size in bytes.
     pub fn mean_piggyback_bytes(&self) -> Option<f64> {
         let n = self.piggyback_count.load(Ordering::Relaxed);
@@ -86,6 +95,138 @@ impl ChainMetrics {
             return None;
         }
         Some(self.piggyback_bytes.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+
+    /// Copies every counter and timing distribution into a plain,
+    /// serializable [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            injected: self.injected.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            filtered: self.filtered.load(Ordering::Relaxed),
+            propagating: self.propagating.load(Ordering::Relaxed),
+            held: self.held.load(Ordering::Relaxed),
+            logs_applied: self.logs_applied.load(Ordering::Relaxed),
+            logs_parked: self.logs_parked.load(Ordering::Relaxed),
+            logs_stale: self.logs_stale.load(Ordering::Relaxed),
+            piggyback_bytes: self.piggyback_bytes.load(Ordering::Relaxed),
+            piggyback_count: self.piggyback_count.load(Ordering::Relaxed),
+            oversize_frames: self.oversize_frames.load(Ordering::Relaxed),
+            mean_piggyback_bytes: self.mean_piggyback_bytes().unwrap_or(0.0),
+            transaction: StageStats::of(&self.t_transaction),
+            piggyback: StageStats::of(&self.t_piggyback),
+            apply: StageStats::of(&self.t_apply),
+            forwarder: StageStats::of(&self.t_forwarder),
+            buffer: StageStats::of(&self.t_buffer),
+        }
+    }
+}
+
+/// Distributional summary of one Table-2 stage.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageStats {
+    /// Number of samples.
+    pub samples: u64,
+    /// Mean in nanoseconds (0 when empty).
+    pub mean_ns: u64,
+    /// Median in nanoseconds (0 when empty).
+    pub p50_ns: u64,
+    /// 99th percentile in nanoseconds (0 when empty).
+    pub p99_ns: u64,
+    /// 99.9th percentile in nanoseconds (0 when empty).
+    pub p999_ns: u64,
+}
+
+impl StageStats {
+    fn of(cell: &TimingCell) -> StageStats {
+        let h = cell.histogram();
+        let ns =
+            |d: Option<Duration>| d.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        StageStats {
+            samples: h.len(),
+            mean_ns: ns(h.mean()),
+            p50_ns: ns(h.quantile(0.5)),
+            p99_ns: ns(h.quantile(0.99)),
+            p999_ns: ns(h.quantile(0.999)),
+        }
+    }
+
+    fn json_fields(&self) -> String {
+        format!(
+            "{{\"samples\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+            self.samples, self.mean_ns, self.p50_ns, self.p99_ns, self.p999_ns
+        )
+    }
+}
+
+/// A point-in-time copy of [`ChainMetrics`]: plain named fields, no
+/// atomics, serde-serializable, with per-stage tail quantiles.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Packets accepted at the forwarder.
+    pub injected: u64,
+    /// Packets released by the buffer.
+    pub released: u64,
+    /// Data packets filtered by a middlebox.
+    pub filtered: u64,
+    /// Propagating packets emitted.
+    pub propagating: u64,
+    /// Packets currently withheld by the buffer.
+    pub held: u64,
+    /// Piggyback logs applied at replicas.
+    pub logs_applied: u64,
+    /// Piggyback logs parked waiting for dependencies.
+    pub logs_parked: u64,
+    /// Duplicate (stale) logs discarded.
+    pub logs_stale: u64,
+    /// Total piggyback trailer bytes attached at heads.
+    pub piggyback_bytes: u64,
+    /// Packets that carried a piggyback trailer out of a head.
+    pub piggyback_count: u64,
+    /// Frames whose trailer exceeded the configured MTU.
+    pub oversize_frames: u64,
+    /// Mean piggyback trailer size in bytes (0 when none were sent).
+    pub mean_piggyback_bytes: f64,
+    /// Table-2 stage: middlebox packet-transaction execution.
+    pub transaction: StageStats,
+    /// Table-2 stage: constructing/copying piggybacked state.
+    pub piggyback: StageStats,
+    /// Table-2 stage: applying replicated logs.
+    pub apply: StageStats,
+    /// Table-2 stage: forwarder per-packet work.
+    pub forwarder: StageStats,
+    /// Table-2 stage: buffer per-packet work.
+    pub buffer: StageStats,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object (no external JSON crate in
+    /// the offline dependency set, so this is hand-rolled and stable).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"injected\":{},\"released\":{},\"filtered\":{},\"propagating\":{},\
+             \"held\":{},\"logs_applied\":{},\"logs_parked\":{},\"logs_stale\":{},\
+             \"piggyback_bytes\":{},\"piggyback_count\":{},\"oversize_frames\":{},\
+             \"mean_piggyback_bytes\":{},\"transaction\":{},\"piggyback\":{},\
+             \"apply\":{},\"forwarder\":{},\"buffer\":{}}}",
+            self.injected,
+            self.released,
+            self.filtered,
+            self.propagating,
+            self.held,
+            self.logs_applied,
+            self.logs_parked,
+            self.logs_stale,
+            self.piggyback_bytes,
+            self.piggyback_count,
+            self.oversize_frames,
+            self.mean_piggyback_bytes,
+            self.transaction.json_fields(),
+            self.piggyback.json_fields(),
+            self.apply.json_fields(),
+            self.forwarder.json_fields(),
+            self.buffer.json_fields(),
+        )
     }
 }
 
@@ -104,11 +245,42 @@ mod tests {
     }
 
     #[test]
+    fn timing_cell_quantiles() {
+        let c = TimingCell::default();
+        assert_eq!(c.quantile(0.99), None);
+        for us in 1..=100u64 {
+            c.record(Duration::from_micros(us));
+        }
+        let p50 = c.quantile(0.5).unwrap();
+        let p99 = c.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 >= Duration::from_micros(95));
+        assert_eq!(c.histogram().len(), 100);
+    }
+
+    #[test]
     fn piggyback_mean() {
         let m = ChainMetrics::default();
         assert_eq!(m.mean_piggyback_bytes(), None);
         m.piggyback_bytes.store(300, Ordering::Relaxed);
         m.piggyback_count.store(4, Ordering::Relaxed);
         assert_eq!(m.mean_piggyback_bytes(), Some(75.0));
+    }
+
+    #[test]
+    fn snapshot_copies_counters_and_stages() {
+        let m = ChainMetrics::default();
+        m.injected.store(7, Ordering::Relaxed);
+        m.released.store(5, Ordering::Relaxed);
+        m.t_transaction.record(Duration::from_micros(10));
+        m.t_transaction.record(Duration::from_micros(20));
+        let s = m.snapshot();
+        assert_eq!(s.injected, 7);
+        assert_eq!(s.released, 5);
+        assert_eq!(s.transaction.samples, 2);
+        assert!(s.transaction.p99_ns >= s.transaction.p50_ns);
+        let json = s.to_json();
+        assert!(json.contains("\"injected\":7"));
+        assert!(json.contains("\"p999_ns\":"));
     }
 }

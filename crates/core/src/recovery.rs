@@ -9,6 +9,7 @@
 
 use crate::config::RingMath;
 use crate::control::{CtrlReq, CtrlResp};
+use crate::journal::{EventKind, EventSource};
 use crate::replica::ReplicaState;
 use ftc_stm::StoreSnapshot;
 use std::sync::Arc;
@@ -95,6 +96,13 @@ pub fn recover_replica_state(
     let ring = state.ring;
     let idx = state.idx;
     let mut transferred = 0usize;
+    let source = EventSource::Replica(idx as u16);
+    state.metrics.journal.record(
+        source,
+        EventKind::StateFetchStarted {
+            replica: idx as u16,
+        },
+    );
 
     // Own (head) store — only recoverable if anyone replicates it.
     if ring.f > 0 {
@@ -109,6 +117,13 @@ pub fn recover_replica_state(
         transferred += snap.byte_size();
         state.restore_replicated(m, &snap, max);
     }
+    state.metrics.journal.record(
+        source,
+        EventKind::StateFetchFinished {
+            replica: idx as u16,
+            bytes: transferred as u64,
+        },
+    );
     Ok(transferred)
 }
 
@@ -177,7 +192,9 @@ mod tests {
     }
 
     fn mk_state(idx: usize, n: usize, f: usize) -> Arc<ReplicaState> {
-        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        let specs = (0..n)
+            .map(|_| MbSpec::Monitor { sharing_level: 1 })
+            .collect();
         let cfg = Arc::new(ChainConfig::new(specs).with_f(f));
         ReplicaState::new(
             idx,
@@ -207,10 +224,43 @@ mod tests {
         );
         let snapshots: HashMap<(usize, usize), (StoreSnapshot, Vec<u64>)> = {
             let mut m = HashMap::new();
-            m.insert((3, 1), (donor.replicated[&1].store.snapshot(), donor.replicated[&1].max.vector()));
-            m.insert((0, 3), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
-            m.insert((0, 0), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
-            m.insert((3, 0), (StoreSnapshot { maps: vec![vec![]; 32], seqs: vec![0; 32] }, vec![0; 32]));
+            m.insert(
+                (3, 1),
+                (
+                    donor.replicated[&1].store.snapshot(),
+                    donor.replicated[&1].max.vector(),
+                ),
+            );
+            m.insert(
+                (0, 3),
+                (
+                    StoreSnapshot {
+                        maps: vec![vec![]; 32],
+                        seqs: vec![0; 32],
+                    },
+                    vec![0; 32],
+                ),
+            );
+            m.insert(
+                (0, 0),
+                (
+                    StoreSnapshot {
+                        maps: vec![vec![]; 32],
+                        seqs: vec![0; 32],
+                    },
+                    vec![0; 32],
+                ),
+            );
+            m.insert(
+                (3, 0),
+                (
+                    StoreSnapshot {
+                        maps: vec![vec![]; 32],
+                        seqs: vec![0; 32],
+                    },
+                    vec![0; 32],
+                ),
+            );
             m
         };
         let fetcher = |replica: usize, mbox: usize| {

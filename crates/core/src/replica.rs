@@ -9,6 +9,7 @@
 
 use crate::config::{ChainConfig, RingMath};
 use crate::control::{CtrlReq, CtrlResp, CtrlServer, InPort, OutPort};
+use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
 use bytes::BytesMut;
 use ftc_mbox::{Action, Middlebox, ProcCtx};
@@ -49,7 +50,11 @@ struct PendingPacket {
 impl PendingPacket {
     fn new(pkt: Packet, msg: PiggybackMessage) -> PendingPacket {
         let remaining = (0..msg.logs.len()).collect();
-        PendingPacket { pkt, msg, remaining }
+        PendingPacket {
+            pkt,
+            msg,
+            remaining,
+        }
     }
 
     /// Remaining-work signature, used to deduplicate parked propagating
@@ -210,7 +215,9 @@ impl ReplicaState {
         // One lock for check+apply+wake: concurrent appliers cannot slip
         // between a verdict and the bookkeeping (no lost wakeups).
         let mut lot = self.parked.lock();
-        let verdict = group.max.try_apply_detailed(&log.deps, &log.writes, &group.store);
+        let verdict = group
+            .max
+            .try_apply_detailed(&log.deps, &log.writes, &group.store);
         match &verdict {
             ftc_stm::TryApply::Applied { new_max } => {
                 for &(p, v) in new_max {
@@ -222,10 +229,12 @@ impl ReplicaState {
                 drop(lot);
                 self.metrics.logs_applied.fetch_add(1, Ordering::Relaxed);
                 self.metrics.t_apply.record(t0.elapsed());
+                self.journal_log(EventKind::LogApplied { mbox: m as u16 });
             }
             ftc_stm::TryApply::Stale => {
                 drop(lot);
                 self.metrics.logs_stale.fetch_add(1, Ordering::Relaxed);
+                self.journal_log(EventKind::LogStale { mbox: m as u16 });
             }
             ftc_stm::TryApply::Blocked { .. } => {}
         }
@@ -236,7 +245,11 @@ impl ReplicaState {
     /// order. Returns the packet when every log is settled (ready for
     /// [`Self::finish`]); parks it and returns `None` while a dependency is
     /// missing. Woken packets are pushed onto `work`.
-    fn advance(&self, work: &mut Vec<PendingPacket>, mut pp: PendingPacket) -> Option<PendingPacket> {
+    fn advance(
+        &self,
+        work: &mut Vec<PendingPacket>,
+        mut pp: PendingPacket,
+    ) -> Option<PendingPacket> {
         loop {
             // Sweep all remaining logs; within one message, a later log may
             // unblock an earlier one, so iterate to a fixpoint.
@@ -265,7 +278,10 @@ impl ReplicaState {
             let m = log.mbox.0 as usize;
             let group = self.replicated.get(&m).expect("blocked implies replicated");
             let mut lot = self.parked.lock();
-            match group.max.try_apply_detailed(&log.deps, &log.writes, &group.store) {
+            match group
+                .max
+                .try_apply_detailed(&log.deps, &log.writes, &group.store)
+            {
                 ftc_stm::TryApply::Applied { new_max } => {
                     for (p, v) in new_max {
                         if let Some(mut woken) = lot.by_key.remove(&(m, p, v)) {
@@ -275,12 +291,14 @@ impl ReplicaState {
                     }
                     drop(lot);
                     self.metrics.logs_applied.fetch_add(1, Ordering::Relaxed);
+                    self.journal_log(EventKind::LogApplied { mbox: m as u16 });
                     pp.remaining.swap_remove(0);
                     continue;
                 }
                 ftc_stm::TryApply::Stale => {
                     drop(lot);
                     self.metrics.logs_stale.fetch_add(1, Ordering::Relaxed);
+                    self.journal_log(EventKind::LogStale { mbox: m as u16 });
                     pp.remaining.swap_remove(0);
                     continue;
                 }
@@ -301,10 +319,18 @@ impl ReplicaState {
                     lot.count += 1;
                     drop(lot);
                     self.metrics.logs_parked.fetch_add(1, Ordering::Relaxed);
+                    self.journal_log(EventKind::LogParked { mbox: m as u16 });
                     return None;
                 }
             }
         }
+    }
+
+    /// Records a journal event attributed to this replica.
+    fn journal_log(&self, kind: EventKind) {
+        self.metrics
+            .journal
+            .record(EventSource::Replica(self.idx as u16), kind);
     }
 
     /// Number of packets currently parked.
@@ -327,14 +353,19 @@ impl ReplicaState {
     /// middlebox transaction, strips tail logs, attaches the commit vector
     /// and the replica's own log, and forwards.
     fn finish(&self, worker: usize, pp: PendingPacket) {
-        let PendingPacket { mut pkt, mut msg, .. } = pp;
+        let PendingPacket {
+            mut pkt, mut msg, ..
+        } = pp;
         let is_prop = msg.is_propagating();
 
         // 1. The packet transaction (heads only process data packets).
         let mut action = Action::Forward;
         let mut own_log: Option<ftc_stm::TxnLog> = None;
         if !is_prop {
-            let ctx = ProcCtx { worker, workers: self.cfg.workers };
+            let ctx = ProcCtx {
+                worker,
+                workers: self.cfg.workers,
+            };
             let t0 = Instant::now();
             let out = self
                 .own_store
@@ -406,6 +437,7 @@ impl ReplicaState {
             }
             Action::Drop => {
                 self.metrics.filtered.fetch_add(1, Ordering::Relaxed);
+                self.journal_log(EventKind::PacketFiltered);
                 if !msg.logs.is_empty() || !msg.commits.is_empty() {
                     msg.flags |= ftc_packet::piggyback::flags::PROPAGATING;
                     let prop = packet::propagating_packet(
@@ -430,7 +462,12 @@ impl ReplicaState {
     }
 
     /// Restores a replicated group's store and `MAX` vector.
-    pub fn restore_replicated(&self, mbox: usize, snapshot: &ftc_stm::StoreSnapshot, max: Vec<u64>) {
+    pub fn restore_replicated(
+        &self,
+        mbox: usize,
+        snapshot: &ftc_stm::StoreSnapshot,
+        max: Vec<u64>,
+    ) {
         let g = self
             .replicated
             .get(&mbox)
@@ -574,10 +611,16 @@ mod tests {
     use ftc_mbox::MbSpec;
     use ftc_net::{reliable_pair, LinkConfig};
     use ftc_packet::builder::UdpPacketBuilder;
-    
 
-    fn mk_state(idx: usize, n: usize, f: usize, spec: MbSpec) -> (Arc<ReplicaState>, crate::control::InPort) {
-        let mbs: Vec<MbSpec> = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+    fn mk_state(
+        idx: usize,
+        n: usize,
+        f: usize,
+        spec: MbSpec,
+    ) -> (Arc<ReplicaState>, crate::control::InPort) {
+        let mbs: Vec<MbSpec> = (0..n)
+            .map(|_| MbSpec::Monitor { sharing_level: 1 })
+            .collect();
         let mut cfg = ChainConfig::new(mbs).with_f(f);
         cfg.middleboxes[idx] = spec.clone();
         let cfg = Arc::new(cfg);
@@ -635,7 +678,10 @@ mod tests {
         assert!(mboxes.contains(&0), "m0 log kept for the tail");
         assert!(mboxes.contains(&1), "m1's own log added");
         // And it was applied locally.
-        assert_eq!(mid.replicated[&0].store.peek_u64(b"mon:packets:g0"), Some(1));
+        assert_eq!(
+            mid.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+            Some(1)
+        );
         assert_eq!(mid.metrics.logs_applied.load(Ordering::Relaxed), 1);
     }
 
@@ -657,13 +703,23 @@ mod tests {
         let mut p1 = p1;
         p1.attach_piggyback(&m1).unwrap();
         tail.handle_frame(0, p1.into_bytes());
-        assert_eq!(tail.parked_len(), 0, "in-order log unblocks the parked packet");
+        assert_eq!(
+            tail.parked_len(),
+            0,
+            "in-order log unblocks the parked packet"
+        );
         // Both forwarded, both with m0's log stripped.
         for _ in 0..2 {
             let (_, msg) = recv_packet(&tail_out).unwrap();
-            assert!(msg.logs.iter().all(|l| l.mbox != MboxId(0)), "tail strips m0");
+            assert!(
+                msg.logs.iter().all(|l| l.mbox != MboxId(0)),
+                "tail strips m0"
+            );
         }
-        assert_eq!(tail.replicated[&0].store.peek_u64(b"mon:packets:g0"), Some(2));
+        assert_eq!(
+            tail.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+            Some(2)
+        );
     }
 
     #[test]
@@ -716,7 +772,10 @@ mod tests {
         let (mut pkt, msg) = recv_packet(&head_out).unwrap();
         pkt.attach_piggyback(&msg).unwrap();
         fw.handle_frame(0, pkt.into_bytes());
-        assert!(recv_packet(&fw_out).is_none(), "nothing to carry, nothing sent");
+        assert!(
+            recv_packet(&fw_out).is_none(),
+            "nothing to carry, nothing sent"
+        );
         assert_eq!(fw.replicated[&0].store.peek_u64(b"mon:packets:g0"), Some(1));
     }
 

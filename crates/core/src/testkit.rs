@@ -59,9 +59,8 @@ impl SyncChain {
     /// Builds a synchronous chain for `cfg` (worker count forced to 1; all
     /// links ideal — loss/reorder schedules are expressed through `Step`
     /// ordering instead).
-    pub fn new(mut cfg: ChainConfig) -> SyncChain {
-        cfg.workers = 1;
-        cfg.link = LinkConfig::ideal();
+    pub fn new(cfg: ChainConfig) -> SyncChain {
+        let cfg = cfg.with_workers(1).with_link(LinkConfig::ideal());
         cfg.validate();
         let cfg = Arc::new(cfg);
         let specs = cfg.effective_middleboxes();
@@ -85,12 +84,7 @@ impl SyncChain {
 
         let (egress_tx, egress_rx) = channel::unbounded();
         let forwarder = ForwarderState::new(Arc::clone(&metrics));
-        let buffer = BufferState::new(
-            cfg.ring(),
-            egress_tx,
-            feedback_out,
-            Arc::clone(&metrics),
-        );
+        let buffer = BufferState::new(cfg.ring(), egress_tx, feedback_out, Arc::clone(&metrics));
 
         let mut replicas = Vec::with_capacity(n);
         let mut nics = Vec::with_capacity(n);
@@ -126,7 +120,8 @@ impl SyncChain {
     /// Injects a packet at the forwarder (processed immediately into the
     /// first replica's NIC queue, like the ingress thread would).
     pub fn inject(&self, pkt: Packet) {
-        self.forwarder.handle_ingress(pkt.into_bytes(), &self.nics[0]);
+        self.forwarder
+            .handle_ingress(pkt.into_bytes(), &self.nics[0]);
     }
 
     /// Executes one scheduling step. Returns true if any work happened.
@@ -147,15 +142,13 @@ impl SyncChain {
                 }
                 progressed
             }
-            Step::ForwarderFeedback => {
-                match self.feedback_in.recv_timeout(Duration::ZERO) {
-                    Some(frame) => {
-                        self.forwarder.ingest_feedback(&frame);
-                        true
-                    }
-                    None => false,
+            Step::ForwarderFeedback => match self.feedback_in.recv_timeout(Duration::ZERO) {
+                Some(frame) => {
+                    self.forwarder.ingest_feedback(&frame);
+                    true
                 }
-            }
+                None => false,
+            },
             Step::ForwarderTimer => self.forwarder.emit_propagating(&self.nics[0]),
             Step::Buffer => match self.buffer_in.recv_timeout(Duration::ZERO) {
                 Some(frame) => {
@@ -206,10 +199,17 @@ impl SyncChain {
     /// are discarded (fail-stop loses them); the wrapped-log resend path
     /// re-replicates whatever the buffer still owes.
     pub fn fail_and_recover(&mut self, idx: usize) {
+        use crate::journal::{EventKind, EventSource};
         use crate::recovery::recover_replica_state;
         let n = self.replicas.len();
         let cfg = Arc::clone(&self.replicas[idx].cfg);
         let spec = cfg.effective_middleboxes()[idx].clone();
+        self.metrics.journal.record(
+            EventSource::Orchestrator,
+            EventKind::RespawnIssued {
+                replica: idx as u16,
+            },
+        );
 
         // Fail-stop: drop queued frames at the victim.
         while self.worker_queues[idx].try_recv().is_ok() {}
@@ -261,6 +261,12 @@ impl SyncChain {
         self.nics[idx] = Arc::new(nic);
         self.in_ports[idx] = in_port;
         self.replicas[idx] = state;
+        self.metrics.journal.record(
+            EventSource::Orchestrator,
+            EventKind::TrafficResumed {
+                replica: idx as u16,
+            },
+        );
     }
 
     /// Drains all released packets.
@@ -310,7 +316,9 @@ mod tests {
         for i in 0..3 {
             let succ = (i + 1) % 3;
             assert_eq!(
-                chain.replicas[succ].replicated[&i].store.peek_u64(b"mon:packets:g0"),
+                chain.replicas[succ].replicated[&i]
+                    .store
+                    .peek_u64(b"mon:packets:g0"),
                 Some(10)
             );
         }
@@ -340,6 +348,12 @@ mod tests {
         chain.inject(pkt(1));
         chain.run_to_quiescence(100);
         assert_eq!(chain.drain_egress().len(), 1);
-        assert_eq!(chain.metrics.logs_applied.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(
+            chain
+                .metrics
+                .logs_applied
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
     }
 }

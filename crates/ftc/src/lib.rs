@@ -28,7 +28,7 @@
 //! );
 //!
 //! chain.inject(UdpPacketBuilder::new().build());
-//! let out = chain.egress_timeout(Duration::from_secs(5)).expect("released");
+//! let out = chain.egress().recv(Duration::from_secs(5)).expect("released");
 //! assert!(!out.has_piggyback(), "trailers never leave the chain");
 //! ```
 //!
@@ -62,8 +62,10 @@ pub use ftc_traffic as traffic;
 /// The commonly used surface in one import.
 pub mod prelude {
     pub use ftc_baselines::{FtmbChain, NfChain, SnapshotCfg};
-    pub use ftc_core::chain::ChainSystem;
+    pub use ftc_core::chain::{ChainSystem, Egress};
     pub use ftc_core::config::ChainConfig;
+    pub use ftc_core::journal::{Event, EventKind, EventSource, RecoveryTimeline};
+    pub use ftc_core::metrics::MetricsSnapshot;
     pub use ftc_core::FtcChain;
     pub use ftc_mbox::{Action, MbSpec, Middlebox, ProcCtx};
     pub use ftc_net::topology::{RegionId, Topology};

@@ -104,7 +104,8 @@ impl Element for Counter {
 
     fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
         self.packets.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(pkt.wire_len() as u64, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(pkt.wire_len() as u64, Ordering::Relaxed);
         out(0, pkt);
     }
 }
@@ -120,10 +121,7 @@ impl Element for CheckIpHeader {
     }
 
     fn push(&mut self, pkt: Packet, out: &mut dyn FnMut(usize, Packet)) {
-        let ok = pkt
-            .ipv4()
-            .and_then(|v| v.verify_checksum())
-            .is_ok();
+        let ok = pkt.ipv4().and_then(|v| v.verify_checksum()).is_ok();
         out(if ok { 0 } else { 1 }, pkt);
     }
 }
@@ -266,7 +264,11 @@ mod tests {
         assert_eq!(collect(&mut p, good).len(), 1);
         let mut bad = UdpPacketBuilder::new().build();
         bad.l3_mut()[15] ^= 0xff; // corrupt src ip without fixing checksum
-        assert_eq!(collect(&mut p, bad).len(), 0, "diverted to port 1 = dropped");
+        assert_eq!(
+            collect(&mut p, bad).len(),
+            0,
+            "diverted to port 1 = dropped"
+        );
     }
 
     #[test]
@@ -296,8 +298,12 @@ mod tests {
     fn classifier_routes_by_protocol() {
         let mut cls = ProtoClassifier;
         let mut ports = Vec::new();
-        cls.push(TcpPacketBuilder::new().build(), &mut |port, _| ports.push(port));
-        cls.push(UdpPacketBuilder::new().build(), &mut |port, _| ports.push(port));
+        cls.push(TcpPacketBuilder::new().build(), &mut |port, _| {
+            ports.push(port)
+        });
+        cls.push(UdpPacketBuilder::new().build(), &mut |port, _| {
+            ports.push(port)
+        });
         assert_eq!(ports, vec![0, 1]);
     }
 

@@ -156,7 +156,10 @@ mod tests {
 
     fn run(fw: &Firewall, src: Ipv4Addr, dst: Ipv4Addr, dst_port: u16) -> Action {
         let store = StateStore::new(4);
-        let mut pkt = UdpPacketBuilder::new().src(src, 1000).dst(dst, dst_port).build();
+        let mut pkt = UdpPacketBuilder::new()
+            .src(src, 1000)
+            .dst(dst, dst_port)
+            .build();
         let out = store.transaction(|txn| fw.process(&mut pkt, txn, ProcCtx::single()));
         assert!(out.log.is_none(), "stateless firewall must not write state");
         out.value
@@ -166,7 +169,12 @@ mod tests {
     fn default_permit() {
         let fw = Firewall::new(vec![]);
         assert_eq!(
-            run(&fw, Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 80),
+            run(
+                &fw,
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(5, 6, 7, 8),
+                80
+            ),
             Action::Forward
         );
     }
@@ -178,11 +186,21 @@ mod tests {
             16,
         ))]);
         assert_eq!(
-            run(&fw, Ipv4Addr::new(10, 66, 9, 9), Ipv4Addr::new(8, 8, 8, 8), 80),
+            run(
+                &fw,
+                Ipv4Addr::new(10, 66, 9, 9),
+                Ipv4Addr::new(8, 8, 8, 8),
+                80
+            ),
             Action::Drop
         );
         assert_eq!(
-            run(&fw, Ipv4Addr::new(10, 67, 9, 9), Ipv4Addr::new(8, 8, 8, 8), 80),
+            run(
+                &fw,
+                Ipv4Addr::new(10, 67, 9, 9),
+                Ipv4Addr::new(8, 8, 8, 8),
+                80
+            ),
             Action::Forward
         );
     }
@@ -191,11 +209,21 @@ mod tests {
     fn deny_by_port_range() {
         let fw = Firewall::new(vec![FirewallRule::deny_dst_ports(137..=139)]);
         assert_eq!(
-            run(&fw, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 138),
+            run(
+                &fw,
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                138
+            ),
             Action::Drop
         );
         assert_eq!(
-            run(&fw, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 140),
+            run(
+                &fw,
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                140
+            ),
             Action::Forward
         );
     }
@@ -213,11 +241,21 @@ mod tests {
             FirewallRule::deny_src(Cidr::any()),
         ]);
         assert_eq!(
-            run(&permit_then_deny, Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80),
+            run(
+                &permit_then_deny,
+                Ipv4Addr::new(10, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                80
+            ),
             Action::Forward
         );
         assert_eq!(
-            run(&permit_then_deny, Ipv4Addr::new(11, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80),
+            run(
+                &permit_then_deny,
+                Ipv4Addr::new(11, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                80
+            ),
             Action::Drop
         );
     }

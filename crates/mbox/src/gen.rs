@@ -50,7 +50,9 @@ impl Middlebox for Gen {
         let mut value = Vec::with_capacity(self.state_size);
         let mut x = seedling | 1;
         while value.len() < self.state_size {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             value.extend_from_slice(&x.to_be_bytes());
         }
         value.truncate(self.state_size);

@@ -119,7 +119,10 @@ impl Middlebox for Ids {
         // 3. Port-scan tracking (ports only exist for TCP/UDP).
         if key.dst_port != 0 {
             let pkey = Self::ports_key(key.src_ip);
-            let mut ports = txn.read(&pkey)?.map(|v| Self::decode_ports(&v)).unwrap_or_default();
+            let mut ports = txn
+                .read(&pkey)?
+                .map(|v| Self::decode_ports(&v))
+                .unwrap_or_default();
             if !ports.contains(&key.dst_port) {
                 ports.push(key.dst_port);
                 ports.truncate(MAX_TRACKED_PORTS);
@@ -162,13 +165,19 @@ mod tests {
         let ids = Ids::new(5, vec![]);
         // 5 distinct ports pass…
         for p in 1..=5 {
-            assert_eq!(run(&store, &ids, &mut to_port(p)), Action::Forward, "port {p}");
+            assert_eq!(
+                run(&store, &ids, &mut to_port(p)),
+                Action::Forward,
+                "port {p}"
+            );
         }
         // …the 6th crosses the threshold and is dropped…
         assert_eq!(run(&store, &ids, &mut to_port(6)), Action::Drop);
         // …and the source stays blocked, even on previously-allowed ports.
         assert_eq!(run(&store, &ids, &mut to_port(1)), Action::Drop);
-        assert!(store.peek(format!("ids:blocked:{SRC}").as_bytes()).is_some());
+        assert!(store
+            .peek(format!("ids:blocked:{SRC}").as_bytes())
+            .is_some());
     }
 
     #[test]
@@ -227,6 +236,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(store.peek_u64(ALERTS_KEY), Some(200), "no alert may be lost");
+        assert_eq!(
+            store.peek_u64(ALERTS_KEY),
+            Some(200),
+            "no alert may be lost"
+        );
     }
 }

@@ -28,7 +28,10 @@ pub struct ProcCtx {
 impl ProcCtx {
     /// Context for single-threaded processing.
     pub fn single() -> ProcCtx {
-        ProcCtx { worker: 0, workers: 1 }
+        ProcCtx {
+            worker: 0,
+            workers: 1,
+        }
     }
 }
 
@@ -47,8 +50,12 @@ pub trait Middlebox: Send + Sync {
     fn name(&self) -> &str;
 
     /// Processes one packet inside transaction `txn`.
-    fn process(&self, pkt: &mut Packet, txn: &mut Txn<'_>, ctx: ProcCtx)
-        -> Result<Action, TxnError>;
+    fn process(
+        &self,
+        pkt: &mut Packet,
+        txn: &mut Txn<'_>,
+        ctx: ProcCtx,
+    ) -> Result<Action, TxnError>;
 
     /// Whether the middlebox keeps dynamic state (stateless middleboxes
     /// never produce piggyback logs).
@@ -113,11 +120,14 @@ impl MbSpec {
         match self {
             MbSpec::MazuNat { external_ip } => Arc::new(crate::nat::MazuNat::new(*external_ip)),
             MbSpec::SimpleNat { external_ip } => Arc::new(crate::nat::SimpleNat::new(*external_ip)),
-            MbSpec::Monitor { sharing_level } => Arc::new(crate::monitor::Monitor::new(*sharing_level)),
-            MbSpec::Gen { state_size } => Arc::new(crate::gen::Gen::new(*state_size)),
-            MbSpec::Ids { scan_threshold, signatures } => {
-                Arc::new(crate::ids::Ids::new(*scan_threshold, signatures.clone()))
+            MbSpec::Monitor { sharing_level } => {
+                Arc::new(crate::monitor::Monitor::new(*sharing_level))
             }
+            MbSpec::Gen { state_size } => Arc::new(crate::gen::Gen::new(*state_size)),
+            MbSpec::Ids {
+                scan_threshold,
+                signatures,
+            } => Arc::new(crate::ids::Ids::new(*scan_threshold, signatures.clone())),
             MbSpec::Firewall { rules } => Arc::new(crate::firewall::Firewall::new(rules.clone())),
             MbSpec::LoadBalancer { backends } => {
                 Arc::new(crate::lb::LoadBalancer::new(backends.clone()))
@@ -184,13 +194,22 @@ mod tests {
     #[test]
     fn specs_build_all_middleboxes() {
         let specs = [
-            MbSpec::MazuNat { external_ip: Ipv4Addr::new(1, 1, 1, 1) },
-            MbSpec::SimpleNat { external_ip: Ipv4Addr::new(1, 1, 1, 1) },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(1, 1, 1, 1),
+            },
+            MbSpec::SimpleNat {
+                external_ip: Ipv4Addr::new(1, 1, 1, 1),
+            },
             MbSpec::Monitor { sharing_level: 2 },
             MbSpec::Gen { state_size: 64 },
             MbSpec::Firewall { rules: vec![] },
-            MbSpec::Ids { scan_threshold: 10, signatures: vec![] },
-            MbSpec::LoadBalancer { backends: vec![Ipv4Addr::new(10, 1, 0, 1)] },
+            MbSpec::Ids {
+                scan_threshold: 10,
+                signatures: vec![],
+            },
+            MbSpec::LoadBalancer {
+                backends: vec![Ipv4Addr::new(10, 1, 0, 1)],
+            },
             MbSpec::Passthrough,
         ];
         for spec in &specs {

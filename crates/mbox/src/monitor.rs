@@ -23,7 +23,10 @@ impl Monitor {
     /// share one counter variable.
     pub fn new(sharing_level: usize) -> Monitor {
         assert!(sharing_level >= 1, "sharing level must be at least 1");
-        Monitor { sharing_level, per_flow: false }
+        Monitor {
+            sharing_level,
+            per_flow: false,
+        }
     }
 
     /// Additionally counts packets **per flow** (Table 1: Monitor "counts
@@ -63,10 +66,7 @@ impl Middlebox for Monitor {
         let count = txn.read_u64(&key)?.unwrap_or(0);
         txn.write_u64(key, count + 1)?;
         // Byte counter in the same group variable family.
-        let bytes_key = Bytes::from(format!(
-            "mon:bytes:g{}",
-            ctx.worker / self.sharing_level
-        ));
+        let bytes_key = Bytes::from(format!("mon:bytes:g{}", ctx.worker / self.sharing_level));
         let total = txn.read_u64(&bytes_key)?.unwrap_or(0);
         txn.write_u64(bytes_key, total + pkt.wire_len() as u64)?;
         // Optional per-flow counter (partitionable state).
@@ -95,9 +95,8 @@ mod tests {
         for worker in 0..4 {
             for _ in 0..5 {
                 let mut pkt = UdpPacketBuilder::new().build();
-                let out = store.transaction(|txn| {
-                    mon.process(&mut pkt, txn, ProcCtx { worker, workers: 4 })
-                });
+                let out = store
+                    .transaction(|txn| mon.process(&mut pkt, txn, ProcCtx { worker, workers: 4 }));
                 assert_eq!(out.value, Action::Forward);
                 assert!(out.log.is_some(), "monitor writes per packet");
             }

@@ -7,10 +7,12 @@
 //! non-port protocols. The state access pattern is the paper's Table 1:
 //! reads per packet, writes per flow (creation and teardown).
 
-use super::{allocator_key, forward_key, reverse_key, rewrite_dst, rewrite_src, NatMapping,
-            PORT_BASE, PORT_SPAN};
-use bytes::Bytes;
+use super::{
+    allocator_key, forward_key, reverse_key, rewrite_dst, rewrite_src, NatMapping, PORT_BASE,
+    PORT_SPAN,
+};
 use crate::middlebox::{Action, Middlebox, ProcCtx};
+use bytes::Bytes;
 use ftc_packet::l4::TcpView;
 use ftc_packet::{ip, FlowKey, Packet};
 use ftc_stm::{Txn, TxnError};
@@ -109,15 +111,26 @@ impl MazuNat {
     fn translate_ping(&self, pkt: &mut Packet, txn: &mut Txn<'_>) -> Result<Action, TxnError> {
         use ftc_packet::icmp;
         let (src, dst, ident, is_request) = {
-            let Ok(v) = pkt.ipv4() else { return Ok(Action::Drop) };
+            let Ok(v) = pkt.ipv4() else {
+                return Ok(Action::Drop);
+            };
             let (src, dst) = (v.src(), v.dst());
-            let Ok(l4) = pkt.l4() else { return Ok(Action::Drop) };
-            let Ok(e) = icmp::IcmpView::new(l4) else { return Ok(Action::Drop) };
+            let Ok(l4) = pkt.l4() else {
+                return Ok(Action::Drop);
+            };
+            let Ok(e) = icmp::IcmpView::new(l4) else {
+                return Ok(Action::Drop);
+            };
             if !e.is_echo() {
                 // Other ICMP (unreachables etc.): pass untranslated.
                 return Ok(Action::Forward);
             }
-            (src, dst, e.ident(), e.icmp_type() == icmp::TYPE_ECHO_REQUEST)
+            (
+                src,
+                dst,
+                e.ident(),
+                e.icmp_type() == icmp::TYPE_ECHO_REQUEST,
+            )
         };
         if is_request && dst != self.external_ip {
             // Outbound ping: allocate (or reuse) an external identifier.
@@ -236,7 +249,10 @@ mod tests {
         let store = StateStore::new(32);
         let nat = MazuNat::new(EXT);
         let mut t = tcp_out(tcp_flags::SYN);
-        let mut u = UdpPacketBuilder::new().src(INT, 40123).dst(Ipv4Addr::new(8, 8, 8, 8), 53).build();
+        let mut u = UdpPacketBuilder::new()
+            .src(INT, 40123)
+            .dst(Ipv4Addr::new(8, 8, 8, 8), 53)
+            .build();
         run(&store, &nat, &mut t);
         run(&store, &nat, &mut u);
         // Both get the first port of their own pool.
@@ -306,7 +322,10 @@ mod tests {
         let mut pkt = {
             // Build a UDP packet, then flip the protocol to ICMP to get a
             // valid IPv4 header with a non-port protocol.
-            let mut p = UdpPacketBuilder::new().src(INT, 0).dst(Ipv4Addr::new(8, 8, 8, 8), 0).build();
+            let mut p = UdpPacketBuilder::new()
+                .src(INT, 0)
+                .dst(Ipv4Addr::new(8, 8, 8, 8), 0)
+                .build();
             let l3 = p.l3_mut();
             let old = l3[9];
             l3[9] = ip::PROTO_ICMP;
@@ -345,7 +364,10 @@ mod tests {
         req.ipv4().unwrap().verify_checksum().unwrap();
         let ext_ident = IcmpView::new(req.l4().unwrap()).unwrap().ident();
         assert_ne!(ext_ident, 512);
-        IcmpView::new(req.l4().unwrap()).unwrap().verify_checksum().unwrap();
+        IcmpView::new(req.l4().unwrap())
+            .unwrap()
+            .verify_checksum()
+            .unwrap();
 
         // A second ping of the same (host, ident) reuses it, read-only.
         let mut req2 = IcmpPacketBuilder::new()
@@ -354,7 +376,10 @@ mod tests {
             .build();
         let (_, wrote) = run(&store, &nat, &mut req2);
         assert!(!wrote);
-        assert_eq!(IcmpView::new(req2.l4().unwrap()).unwrap().ident(), ext_ident);
+        assert_eq!(
+            IcmpView::new(req2.l4().unwrap()).unwrap().ident(),
+            ext_ident
+        );
 
         // The reply to the external identifier maps back.
         let mut reply = IcmpPacketBuilder::new()
@@ -368,7 +393,10 @@ mod tests {
         assert_eq!(reply.ipv4().unwrap().dst(), INT);
         assert_eq!(IcmpView::new(reply.l4().unwrap()).unwrap().ident(), 512);
         reply.ipv4().unwrap().verify_checksum().unwrap();
-        IcmpView::new(reply.l4().unwrap()).unwrap().verify_checksum().unwrap();
+        IcmpView::new(reply.l4().unwrap())
+            .unwrap()
+            .verify_checksum()
+            .unwrap();
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! SimpleNAT: basic source NAT with a transactional flow table.
 
-use super::{allocator_key, forward_key, reverse_key, rewrite_dst, rewrite_src, NatMapping,
-            PORT_BASE, PORT_SPAN};
+use super::{
+    allocator_key, forward_key, reverse_key, rewrite_dst, rewrite_src, NatMapping, PORT_BASE,
+    PORT_SPAN,
+};
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use ftc_packet::Packet;
 use ftc_stm::{Txn, TxnError};
@@ -158,7 +160,10 @@ mod tests {
         let mut second = outbound(5000);
         let (action, wrote) = run(&store, &nat, &mut second);
         assert_eq!(action, Action::Forward);
-        assert!(!wrote, "established flows are read-only (paper: read-heavy)");
+        assert!(
+            !wrote,
+            "established flows are read-only (paper: read-heavy)"
+        );
         assert_eq!(second.flow_key().unwrap().src_port, PORT_BASE);
     }
 
@@ -235,6 +240,10 @@ mod tests {
             all.extend(h.join().unwrap());
         }
         all.dedup();
-        assert_eq!(all.len(), 1, "every packet of the flow must map to one port");
+        assert_eq!(
+            all.len(),
+            1,
+            "every packet of the flow must map to one port"
+        );
     }
 }

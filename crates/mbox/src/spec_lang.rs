@@ -33,7 +33,9 @@ impl core::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 /// Parses a chain description into middlebox specs.
@@ -99,27 +101,30 @@ fn require<'a>(args: &'a [(String, String)], key: &str, mb: &str) -> Result<&'a 
 }
 
 fn parse_ip(v: &str) -> Result<Ipv4Addr, ParseError> {
-    v.parse()
-        .map_err(|_| ParseError { message: format!("`{v}` is not an IPv4 address") })
+    v.parse().map_err(|_| ParseError {
+        message: format!("`{v}` is not an IPv4 address"),
+    })
 }
 
 fn parse_usize(v: &str) -> Result<usize, ParseError> {
-    v.parse()
-        .map_err(|_| ParseError { message: format!("`{v}` is not a number") })
+    v.parse().map_err(|_| ParseError {
+        message: format!("`{v}` is not a number"),
+    })
 }
 
 fn parse_port(v: &str) -> Result<u16, ParseError> {
-    v.parse()
-        .map_err(|_| ParseError { message: format!("`{v}` is not a port (0-65535)") })
+    v.parse().map_err(|_| ParseError {
+        message: format!("`{v}` is not a port (0-65535)"),
+    })
 }
 
 fn parse_cidr(v: &str) -> Result<Cidr, ParseError> {
     let Some((addr, len)) = v.split_once('/') else {
         return Ok(Cidr::new(parse_ip(v)?, 32));
     };
-    let len: u8 = len
-        .parse()
-        .map_err(|_| ParseError { message: format!("bad prefix length in `{v}`") })?;
+    let len: u8 = len.parse().map_err(|_| ParseError {
+        message: format!("bad prefix length in `{v}`"),
+    })?;
     if len > 32 {
         return err(format!("prefix length {len} > 32 in `{v}`"));
     }
@@ -129,10 +134,16 @@ fn parse_cidr(v: &str) -> Result<Cidr, ParseError> {
 fn build_spec(name: &str, args: &[(String, String)]) -> Result<MbSpec, ParseError> {
     match name {
         "monitor" => Ok(MbSpec::Monitor {
-            sharing_level: get(args, "sharing").map(parse_usize).transpose()?.unwrap_or(1),
+            sharing_level: get(args, "sharing")
+                .map(parse_usize)
+                .transpose()?
+                .unwrap_or(1),
         }),
         "gen" => Ok(MbSpec::Gen {
-            state_size: get(args, "state").map(parse_usize).transpose()?.unwrap_or(32),
+            state_size: get(args, "state")
+                .map(parse_usize)
+                .transpose()?
+                .unwrap_or(32),
         }),
         "mazu_nat" => Ok(MbSpec::MazuNat {
             external_ip: parse_ip(require(args, "ext", "mazu_nat")?)?,
@@ -213,7 +224,9 @@ mod tests {
         .unwrap();
         assert_eq!(specs.len(), 5);
         assert!(matches!(specs[0], MbSpec::Firewall { ref rules } if rules.len() == 2));
-        assert!(matches!(specs[1], MbSpec::Ids { scan_threshold: 8, ref signatures } if signatures.len() == 2));
+        assert!(
+            matches!(specs[1], MbSpec::Ids { scan_threshold: 8, ref signatures } if signatures.len() == 2)
+        );
         assert!(matches!(specs[2], MbSpec::Monitor { sharing_level: 2 }));
         assert!(matches!(specs[3], MbSpec::LoadBalancer { ref backends } if backends.len() == 2));
         assert!(matches!(specs[4], MbSpec::MazuNat { .. }));
@@ -230,24 +243,43 @@ mod tests {
     #[test]
     fn single_port_deny() {
         let specs = parse_chain("firewall(deny_ports=80)").unwrap();
-        let MbSpec::Firewall { rules } = &specs[0] else { panic!() };
+        let MbSpec::Firewall { rules } = &specs[0] else {
+            panic!()
+        };
         assert_eq!(rules.len(), 1);
     }
 
     #[test]
     fn host_cidr_without_prefix() {
         let specs = parse_chain("firewall(deny_src=9.9.9.9)").unwrap();
-        let MbSpec::Firewall { rules } = &specs[0] else { panic!() };
+        let MbSpec::Firewall { rules } = &specs[0] else {
+            panic!()
+        };
         assert_eq!(rules.len(), 1);
     }
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse_chain("monitor ->").unwrap_err().message.contains("empty stage"));
-        assert!(parse_chain("nope").unwrap_err().message.contains("unknown middlebox"));
-        assert!(parse_chain("mazu_nat").unwrap_err().message.contains("requires `ext"));
-        assert!(parse_chain("monitor(sharing=abc)").unwrap_err().message.contains("not a number"));
-        assert!(parse_chain("lb(backends=1.2.3)").unwrap_err().message.contains("IPv4"));
+        assert!(parse_chain("monitor ->")
+            .unwrap_err()
+            .message
+            .contains("empty stage"));
+        assert!(parse_chain("nope")
+            .unwrap_err()
+            .message
+            .contains("unknown middlebox"));
+        assert!(parse_chain("mazu_nat")
+            .unwrap_err()
+            .message
+            .contains("requires `ext"));
+        assert!(parse_chain("monitor(sharing=abc)")
+            .unwrap_err()
+            .message
+            .contains("not a number"));
+        assert!(parse_chain("lb(backends=1.2.3)")
+            .unwrap_err()
+            .message
+            .contains("IPv4"));
         assert!(parse_chain("firewall(deny_src=10.0.0.0/64)")
             .unwrap_err()
             .message
@@ -256,8 +288,14 @@ mod tests {
             .unwrap_err()
             .message
             .contains("not a port"));
-        assert!(parse_chain("monitor(sharing)").unwrap_err().message.contains("key=value"));
-        assert!(parse_chain("monitor(sharing=1").unwrap_err().message.contains("missing ')'"));
+        assert!(parse_chain("monitor(sharing)")
+            .unwrap_err()
+            .message
+            .contains("key=value"));
+        assert!(parse_chain("monitor(sharing=1")
+            .unwrap_err()
+            .message
+            .contains("missing ')'"));
     }
 
     #[test]

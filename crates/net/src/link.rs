@@ -71,6 +71,42 @@ impl LinkConfig {
             ..Default::default()
         }
     }
+
+    /// Sets the fixed one-way propagation delay.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the uniform random extra delay bound.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the frame-loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the reordering probability.
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Sets the link bandwidth in bits/s (`None` = infinitely fast).
+    pub fn with_bandwidth(mut self, bps: Option<u64>) -> Self {
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the impairment RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 struct TimedFrame {
@@ -286,13 +322,33 @@ mod tests {
     }
 
     #[test]
+    fn fluent_builders_set_every_field() {
+        let cfg = LinkConfig::ideal()
+            .with_latency(Duration::from_micros(5))
+            .with_jitter(Duration::from_micros(20))
+            .with_loss(0.08)
+            .with_reorder(0.1)
+            .with_bandwidth(Some(1_000_000))
+            .with_seed(99);
+        assert_eq!(cfg.latency, Duration::from_micros(5));
+        assert_eq!(cfg.jitter, Duration::from_micros(20));
+        assert_eq!(cfg.loss, 0.08);
+        assert_eq!(cfg.reorder, 0.1);
+        assert_eq!(cfg.bandwidth_bps, Some(1_000_000));
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
     fn ideal_link_delivers_in_order() {
         let (tx, mut rx) = simplex(LinkConfig::ideal());
         for i in 0..10 {
             tx.send(frame(i)).unwrap();
         }
         for i in 0..10 {
-            let f = rx.recv_timeout(Duration::from_millis(100)).unwrap().unwrap();
+            let f = rx
+                .recv_timeout(Duration::from_millis(100))
+                .unwrap()
+                .unwrap();
             assert_eq!(f[0], i);
         }
     }
@@ -306,7 +362,10 @@ mod tests {
         let (tx, mut rx) = simplex(cfg);
         let t0 = Instant::now();
         tx.send(frame(1)).unwrap();
-        let f = rx.recv_timeout(Duration::from_millis(200)).unwrap().unwrap();
+        let f = rx
+            .recv_timeout(Duration::from_millis(200))
+            .unwrap()
+            .unwrap();
         assert_eq!(f[0], 1);
         assert!(t0.elapsed() >= Duration::from_millis(20));
     }
@@ -321,7 +380,10 @@ mod tests {
         tx.send(frame(7)).unwrap();
         // Too short: frame not yet due, must not be lost.
         assert_eq!(rx.recv_timeout(Duration::from_millis(1)).unwrap(), None);
-        let f = rx.recv_timeout(Duration::from_millis(200)).unwrap().unwrap();
+        let f = rx
+            .recv_timeout(Duration::from_millis(200))
+            .unwrap()
+            .unwrap();
         assert_eq!(f[0], 7);
     }
 
@@ -351,11 +413,7 @@ mod tests {
             tx.send(frame(i as u8)).unwrap();
         }
         let mut got = 0;
-        while rx
-            .recv_timeout(Duration::from_millis(5))
-            .unwrap()
-            .is_some()
-        {
+        while rx.recv_timeout(Duration::from_millis(5)).unwrap().is_some() {
             got += 1;
         }
         assert!(got > n / 5 && got < n, "got {got} of {n}");
@@ -374,7 +432,9 @@ mod tests {
             tx.send(BytesMut::zeroed(1250)).unwrap();
         }
         for _ in 0..3 {
-            rx.recv_timeout(Duration::from_millis(500)).unwrap().unwrap();
+            rx.recv_timeout(Duration::from_millis(500))
+                .unwrap()
+                .unwrap();
         }
         let el = t0.elapsed();
         assert!(el >= Duration::from_millis(29), "elapsed {el:?}");
@@ -395,8 +455,18 @@ mod tests {
         let (mut a, mut b) = duplex(LinkConfig::ideal());
         a.tx.send(frame(1)).unwrap();
         b.tx.send(frame(2)).unwrap();
-        assert_eq!(b.rx.recv_timeout(Duration::from_millis(50)).unwrap().unwrap()[0], 1);
-        assert_eq!(a.rx.recv_timeout(Duration::from_millis(50)).unwrap().unwrap()[0], 2);
+        assert_eq!(
+            b.rx.recv_timeout(Duration::from_millis(50))
+                .unwrap()
+                .unwrap()[0],
+            1
+        );
+        assert_eq!(
+            a.rx.recv_timeout(Duration::from_millis(50))
+                .unwrap()
+                .unwrap()[0],
+            2
+        );
     }
 
     #[test]

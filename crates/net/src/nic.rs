@@ -142,7 +142,11 @@ mod tests {
         nic.dispatch(frame(1000, 80, true));
         let counts: Vec<usize> = rxs.iter().map(|r| r.len()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 2);
-        assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 1, "both in one queue: {counts:?}");
+        assert_eq!(
+            counts.iter().filter(|&&c| c == 2).count(),
+            1,
+            "both in one queue: {counts:?}"
+        );
     }
 
     #[test]

@@ -175,7 +175,7 @@ impl ReliableReceiver {
             self.nacked.remove(&self.expected);
             self.expected += 1;
             self.stats.delivered += 1;
-            if self.expected % ACK_EVERY == 0 {
+            if self.expected.is_multiple_of(ACK_EVERY) {
                 let ack = encode(KIND_ACK, self.expected, &[]);
                 self.ep.tx.send(ack)?;
             }
@@ -257,7 +257,10 @@ mod tests {
             tx.send(payload(i)).unwrap();
         }
         for i in 0..100 {
-            let p = rx.recv_timeout(Duration::from_millis(100)).unwrap().unwrap();
+            let p = rx
+                .recv_timeout(Duration::from_millis(100))
+                .unwrap()
+                .unwrap();
             assert_eq!(read_u32(&p), i);
         }
         assert_eq!(rx.stats.delivered, 100);
@@ -272,7 +275,11 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(20);
         let mut sent = 0;
         while got.len() < n as usize {
-            assert!(Instant::now() < deadline, "did not converge: {} of {n}", got.len());
+            assert!(
+                Instant::now() < deadline,
+                "did not converge: {} of {n}",
+                got.len()
+            );
             if sent < n {
                 tx.send(payload(sent)).unwrap();
                 sent += 1;
@@ -284,7 +291,10 @@ mod tests {
         }
         let expect: Vec<u32> = (0..n).collect();
         assert_eq!(got, expect, "delivery must be gapless and in order");
-        assert!(tx.stats.retransmits > 0, "loss must have caused retransmits");
+        assert!(
+            tx.stats.retransmits > 0,
+            "loss must have caused retransmits"
+        );
     }
 
     #[test]

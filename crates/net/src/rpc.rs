@@ -68,7 +68,10 @@ impl<Req, Resp> RpcClient<Req, Resp> {
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
-            .send(Envelope { req, reply: reply_tx })
+            .send(Envelope {
+                req,
+                reply: reply_tx,
+            })
             .map_err(|_| RpcError::Disconnected)?;
         let resp = match reply_rx.recv_timeout(timeout) {
             Ok(r) => r,

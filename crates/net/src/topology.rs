@@ -50,9 +50,9 @@ impl Topology {
         let ms = Duration::from_millis;
         Topology::new(
             vec![
-                "core".into(),      // hosts the orchestrator
-                "neighbor".into(),  // close to core
-                "remote".into(),    // across the country
+                "core".into(),     // hosts the orchestrator
+                "neighbor".into(), // close to core
+                "remote".into(),   // across the country
                 "far".into(),
             ],
             vec![

@@ -7,6 +7,7 @@
 
 use ftc_core::chain::FtcChain;
 use ftc_core::control::{CtrlReq, CtrlResp};
+use ftc_core::journal::{EventKind, EventSource};
 use std::time::Duration;
 
 /// Pings every replica once; returns the positions that failed to answer.
@@ -53,7 +54,15 @@ impl FailureDetector {
                 self.misses[i] = 0;
             } else {
                 self.misses[i] += 1;
+                chain.metrics.journal.record(
+                    EventSource::Orchestrator,
+                    EventKind::HeartbeatMissed { replica: i as u16 },
+                );
                 if self.misses[i] == self.threshold {
+                    chain.metrics.journal.record(
+                        EventSource::Orchestrator,
+                        EventKind::FailureDetected { replica: i as u16 },
+                    );
                     confirmed.push(i);
                 }
             }
@@ -74,7 +83,9 @@ mod tests {
     use ftc_mbox::MbSpec;
 
     fn chain(n: usize) -> FtcChain {
-        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        let specs = (0..n)
+            .map(|_| MbSpec::Monitor { sharing_level: 1 })
+            .collect();
         FtcChain::deploy(ChainConfig::new(specs).with_f(1))
     }
 

@@ -4,6 +4,7 @@ use crate::detector::FailureDetector;
 use ftc_core::chain::FtcChain;
 use ftc_core::config::RingMath;
 use ftc_core::control::{CtrlClient, CtrlReq, CtrlResp, OutPort};
+use ftc_core::journal::{EventKind, EventSource};
 use ftc_core::recovery::{source_order, RecoveryError};
 use ftc_core::replica::ReplicaState;
 use ftc_net::topology::RegionId;
@@ -76,7 +77,11 @@ impl Orchestrator {
     pub fn new(chain: FtcChain, cfg: OrchestratorConfig) -> Orchestrator {
         let n = chain.len();
         let detector = FailureDetector::new(n, cfg.miss_threshold, cfg.heartbeat_timeout);
-        Orchestrator { chain, cfg, detector }
+        Orchestrator {
+            chain,
+            cfg,
+            detector,
+        }
     }
 
     /// One monitoring round: ping everything, recover what died. Returns
@@ -111,6 +116,9 @@ impl Orchestrator {
         region: RegionId,
     ) -> Result<RecoveryReport, RecoveryError> {
         let ring = self.chain.cfg.ring();
+        self.journal(EventKind::RespawnIssued {
+            replica: idx as u16,
+        });
 
         // ---- Step 1: initialization -------------------------------------
         // Spawn a new middlebox instance + replica on a server in `region`
@@ -138,7 +146,14 @@ impl Orchestrator {
         // replication group" (§6) — fetches run in parallel; WAN RTT to the
         // source region dominates. Sources quiesce while serving (§4.1).
         let t1 = Instant::now();
+        self.journal(EventKind::StateFetchStarted {
+            replica: idx as u16,
+        });
         let (bytes, sources) = self.parallel_state_recovery(&state, idx, region, ring)?;
+        self.journal(EventKind::StateFetchFinished {
+            replica: idx as u16,
+            bytes: bytes as u64,
+        });
         let state_recovery = t1.elapsed();
 
         // ---- Step 3: rerouting ------------------------------------------
@@ -148,6 +163,9 @@ impl Orchestrator {
         let t2 = Instant::now();
         self.chain.respawn(idx, region, state);
         self.resume_replicas(&sources);
+        self.journal(EventKind::TrafficResumed {
+            replica: idx as u16,
+        });
         let rerouting = t2.elapsed();
 
         Ok(RecoveryReport {
@@ -182,6 +200,9 @@ impl Orchestrator {
         assert!(workers >= 1);
         let region = self.chain.replicas[idx].region;
         let ring = self.chain.cfg.ring();
+        self.journal(EventKind::RespawnIssued {
+            replica: idx as u16,
+        });
 
         // Initialization: spawn the resized instance.
         let t0 = Instant::now();
@@ -206,6 +227,9 @@ impl Orchestrator {
         // State transfer: the old instance is alive and is its own best
         // source; fall back to group members if it stops answering.
         let t1 = Instant::now();
+        self.journal(EventKind::StateFetchStarted {
+            replica: idx as u16,
+        });
         let bytes = {
             let old = self.chain.replicas[idx].ctrl.clone();
             let timeout = self.cfg.fetch_timeout;
@@ -232,12 +256,19 @@ impl Orchestrator {
             }
             total
         };
+        self.journal(EventKind::StateFetchFinished {
+            replica: idx as u16,
+            bytes: bytes as u64,
+        });
         let state_recovery = t1.elapsed();
 
         // Reroute: retire the old server, wire in the replacement.
         let t2 = Instant::now();
         self.chain.kill(idx);
         self.chain.respawn(idx, region, state);
+        self.journal(EventKind::TrafficResumed {
+            replica: idx as u16,
+        });
         let rerouting = t2.elapsed();
 
         Ok(RecoveryReport {
@@ -286,7 +317,10 @@ impl Orchestrator {
                 .iter()
                 .map(|&m| scope.spawn(move || fetch_one(m)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("fetch thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fetch thread"))
+                .collect()
         });
 
         let mut bytes = 0;
@@ -297,8 +331,7 @@ impl Orchestrator {
                 Ok(f) => fetched.push(f),
                 Err(e) => {
                     // Don't leave partial sources quiesced forever.
-                    let touched: Vec<usize> =
-                        fetched.iter().map(|(src, _, _, _)| *src).collect();
+                    let touched: Vec<usize> = fetched.iter().map(|(src, _, _, _)| *src).collect();
                     self.resume_replicas(&touched);
                     return Err(e);
                 }
@@ -327,6 +360,20 @@ impl Orchestrator {
         let slot = &self.chain.replicas[src];
         let delay = self.chain.topology.one_way(caller_region, slot.region);
         Some(slot.ctrl.with_delay(delay))
+    }
+
+    /// Records a journal event attributed to the orchestrator.
+    fn journal(&self, kind: EventKind) {
+        self.chain
+            .metrics
+            .journal
+            .record(EventSource::Orchestrator, kind);
+    }
+
+    /// Derives the Fig-13 recovery timelines from the chain's journal
+    /// without draining it (one entry per completed recovery).
+    pub fn recovery_timelines(&self) -> Vec<ftc_core::journal::RecoveryTimeline> {
+        ftc_core::journal::recovery_timelines(&self.chain.metrics.journal.trace())
     }
 
     /// Access to the orchestrator config.
@@ -382,7 +429,9 @@ mod tests {
     }
 
     fn orch(n: usize, f: usize) -> Orchestrator {
-        let specs = (0..n).map(|_| MbSpec::Monitor { sharing_level: 1 }).collect();
+        let specs = (0..n)
+            .map(|_| MbSpec::Monitor { sharing_level: 1 })
+            .collect();
         let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(f));
         Orchestrator::new(chain, OrchestratorConfig::default())
     }
@@ -393,7 +442,7 @@ mod tests {
         for i in 0..20 {
             o.chain.inject(pkt(i));
         }
-        let got = o.chain.collect_egress(20, Duration::from_secs(10));
+        let got = o.chain.egress().collect(20, Duration::from_secs(10));
         assert_eq!(got.len(), 20);
         std::thread::sleep(Duration::from_millis(50)); // let the ring commit
 
@@ -416,7 +465,7 @@ mod tests {
         for i in 20..30 {
             o.chain.inject(pkt(i));
         }
-        let got = o.chain.collect_egress(10, Duration::from_secs(10));
+        let got = o.chain.egress().collect(10, Duration::from_secs(10));
         assert_eq!(got.len(), 10);
         assert_eq!(new_r1.own_store.peek_u64(b"mon:packets:g0"), Some(30));
     }
@@ -427,7 +476,7 @@ mod tests {
         for i in 0..5 {
             o.chain.inject(pkt(i));
         }
-        o.chain.collect_egress(5, Duration::from_secs(10));
+        o.chain.egress().collect(5, Duration::from_secs(10));
         o.chain.kill(2);
         // Two rounds to cross the miss threshold.
         assert!(o.monitor_round().is_empty());
@@ -445,7 +494,10 @@ mod tests {
             for i in 0..10 {
                 o.chain.inject(pkt(i));
             }
-            assert_eq!(o.chain.collect_egress(10, Duration::from_secs(10)).len(), 10);
+            assert_eq!(
+                o.chain.egress().collect(10, Duration::from_secs(10)).len(),
+                10
+            );
             std::thread::sleep(Duration::from_millis(50));
             o.chain.kill(idx);
             let report = o.recover(idx, RegionId(0)).expect("recovery");
@@ -454,7 +506,7 @@ mod tests {
             for i in 10..20 {
                 o.chain.inject(pkt(i));
             }
-            let got = o.chain.collect_egress(10, Duration::from_secs(10));
+            let got = o.chain.egress().collect(10, Duration::from_secs(10));
             assert_eq!(got.len(), 10, "traffic must flow after recovering r{idx}");
         }
     }
@@ -468,7 +520,10 @@ mod tests {
         for i in 0..30 {
             o.chain.inject(pkt(i));
         }
-        assert_eq!(o.chain.collect_egress(30, Duration::from_secs(10)).len(), 30);
+        assert_eq!(
+            o.chain.egress().collect(30, Duration::from_secs(10)).len(),
+            30
+        );
         std::thread::sleep(Duration::from_millis(80));
 
         let report = o.rescale(1, 2).expect("rescale");
@@ -478,7 +533,10 @@ mod tests {
 
         // State survived the planned replacement…
         assert_eq!(
-            o.chain.replicas[1].state.own_store.peek_u64(b"mon:packets:g0"),
+            o.chain.replicas[1]
+                .state
+                .own_store
+                .peek_u64(b"mon:packets:g0"),
             Some(30)
         );
         // …and the mixed-thread-count chain keeps processing correctly
@@ -487,7 +545,10 @@ mod tests {
         for i in 0..40 {
             o.chain.inject(pkt(100 + i));
         }
-        assert_eq!(o.chain.collect_egress(40, Duration::from_secs(10)).len(), 40);
+        assert_eq!(
+            o.chain.egress().collect(40, Duration::from_secs(10)).len(),
+            40
+        );
         let total = |o: &Orchestrator| {
             let s = &o.chain.replicas[1].state.own_store;
             s.peek_u64(b"mon:packets:g0").unwrap_or(0) + s.peek_u64(b"mon:packets:g1").unwrap_or(0)
@@ -513,17 +574,23 @@ mod tests {
         for i in 0..20 {
             o.chain.inject(pkt(i));
         }
-        assert_eq!(o.chain.collect_egress(20, Duration::from_secs(10)).len(), 20);
+        assert_eq!(
+            o.chain.egress().collect(20, Duration::from_secs(10)).len(),
+            20
+        );
         std::thread::sleep(Duration::from_millis(80));
         o.rescale(0, 1).expect("scale down");
         assert_eq!(o.chain.replicas[0].state.cfg.workers, 1);
         for i in 0..20 {
             o.chain.inject(pkt(200 + i));
         }
-        assert_eq!(o.chain.collect_egress(20, Duration::from_secs(10)).len(), 20);
+        assert_eq!(
+            o.chain.egress().collect(20, Duration::from_secs(10)).len(),
+            20
+        );
         let s = &o.chain.replicas[0].state.own_store;
-        let total = s.peek_u64(b"mon:packets:g0").unwrap_or(0)
-            + s.peek_u64(b"mon:packets:g1").unwrap_or(0);
+        let total =
+            s.peek_u64(b"mon:packets:g0").unwrap_or(0) + s.peek_u64(b"mon:packets:g1").unwrap_or(0);
         assert_eq!(total, 40);
     }
 
@@ -539,7 +606,14 @@ mod tests {
         }
         {
             let guard = o.lock();
-            assert_eq!(guard.chain.collect_egress(20, Duration::from_secs(10)).len(), 20);
+            assert_eq!(
+                guard
+                    .chain
+                    .egress()
+                    .collect(20, Duration::from_secs(10))
+                    .len(),
+                20
+            );
         }
         std::thread::sleep(Duration::from_millis(80));
         o.lock().chain.kill(1);
@@ -550,13 +624,19 @@ mod tests {
             {
                 let guard = o.lock();
                 if guard.chain.is_alive(1)
-                    && guard.chain.replicas[1].state.own_store.peek_u64(b"mon:packets:g0")
+                    && guard.chain.replicas[1]
+                        .state
+                        .own_store
+                        .peek_u64(b"mon:packets:g0")
                         == Some(20)
                 {
                     break;
                 }
             }
-            assert!(Instant::now() < deadline, "monitor loop failed to repair r1");
+            assert!(
+                Instant::now() < deadline,
+                "monitor loop failed to repair r1"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         stop.store(true, std::sync::atomic::Ordering::SeqCst);

@@ -293,8 +293,7 @@ impl IcmpPacketBuilder {
             ..Default::default()
         };
         let ip_hlen = ip_fields.header_len();
-        let total =
-            ether::HEADER_LEN + ip_hlen + crate::icmp::HEADER_LEN + self.payload_len;
+        let total = ether::HEADER_LEN + ip_hlen + crate::icmp::HEADER_LEN + self.payload_len;
         let mut data = BytesMut::zeroed(total);
         ether::emit(&mut data, self.src_mac, self.dst_mac, ether::ETHERTYPE_IPV4)
             .expect("sized buffer");
@@ -382,7 +381,10 @@ mod tests {
     #[test]
     fn without_ftc_option_shrinks_header() {
         let with = UdpPacketBuilder::new().payload_len(0).build();
-        let without = UdpPacketBuilder::new().without_ftc_option().payload_len(0).build();
+        let without = UdpPacketBuilder::new()
+            .without_ftc_option()
+            .payload_len(0)
+            .build();
         assert_eq!(with.wire_len() - without.wire_len(), ip::OPTION_FTC_LEN);
         assert_eq!(without.ipv4().unwrap().ftc_option(), None);
     }

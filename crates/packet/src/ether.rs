@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(EthernetView::new(&[0u8; 13]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            EthernetView::new(&[0u8; 13]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut small = [0u8; 13];
         assert!(emit(&mut small, MacAddr::default(), MacAddr::default(), 0).is_err());
     }

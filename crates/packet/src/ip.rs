@@ -342,7 +342,10 @@ mod tests {
     fn ftc_option_missing() {
         let mut buf = [0u8; 64];
         emit(&mut buf, &fields()).unwrap();
-        assert_eq!(set_ftc_trailer_len(&mut buf, 3), Err(WireError::Unsupported));
+        assert_eq!(
+            set_ftc_trailer_len(&mut buf, 3),
+            Err(WireError::Unsupported)
+        );
     }
 
     #[test]

@@ -160,7 +160,10 @@ pub fn propagating_packet(src: MacAddr, dst: MacAddr, msg: &PiggybackMessage) ->
     )
     .expect("sized buffer");
     let mut pkt = Packet { data };
-    debug_assert!(msg.is_propagating(), "propagating packets must carry the flag");
+    debug_assert!(
+        msg.is_propagating(),
+        "propagating packets must carry the flag"
+    );
     pkt.attach_piggyback(msg).expect("fresh packet");
     pkt
 }
@@ -208,7 +211,10 @@ mod tests {
         // The middlebox-visible datagram is unchanged.
         assert_eq!(pkt.ip_end().unwrap(), orig_len);
         // The IP option advertises the trailer.
-        assert_eq!(pkt.ipv4().unwrap().ftc_option(), Some(msg.wire_len() as u16));
+        assert_eq!(
+            pkt.ipv4().unwrap().ftc_option(),
+            Some(msg.wire_len() as u16)
+        );
 
         let got = pkt.detach_piggyback().unwrap().unwrap();
         assert_eq!(got, msg);
@@ -261,6 +267,9 @@ mod tests {
             ether::ETHERTYPE_ARP,
         )
         .unwrap();
-        assert_eq!(Packet::from_frame(data).unwrap_err(), WireError::Unsupported);
+        assert_eq!(
+            Packet::from_frame(data).unwrap_err(),
+            WireError::Unsupported
+        );
     }
 }

@@ -240,7 +240,11 @@ impl PiggybackMessage {
     pub fn wire_len(&self) -> usize {
         FRAMING_LEN
             + self.logs.iter().map(PiggybackLog::wire_len).sum::<usize>()
-            + self.commits.iter().map(CommitVector::wire_len).sum::<usize>()
+            + self
+                .commits
+                .iter()
+                .map(CommitVector::wire_len)
+                .sum::<usize>()
     }
 
     /// Appends the serialized message to `out` and returns the number of
@@ -331,7 +335,11 @@ impl PiggybackMessage {
                 let key = take_bytes(&mut b, klen)?;
                 let vlen = take_u16(&mut b)? as usize;
                 let value = take_bytes(&mut b, vlen)?;
-                writes.push(StateWrite { key, value, partition });
+                writes.push(StateWrite {
+                    key,
+                    value,
+                    partition,
+                });
             }
             logs.push(PiggybackLog { mbox, deps, writes });
         }
@@ -348,7 +356,11 @@ impl PiggybackMessage {
         if !b.is_empty() {
             return Err(WireError::BadLength);
         }
-        Ok(PiggybackMessage { flags, logs, commits })
+        Ok(PiggybackMessage {
+            flags,
+            logs,
+            commits,
+        })
     }
 }
 
@@ -448,7 +460,10 @@ mod tests {
 
     #[test]
     fn no_trailer_detected() {
-        assert_eq!(PiggybackMessage::decode_trailing(b"plain payload").unwrap(), None);
+        assert_eq!(
+            PiggybackMessage::decode_trailing(b"plain payload").unwrap(),
+            None
+        );
         assert_eq!(PiggybackMessage::decode_trailing(b"").unwrap(), None);
     }
 
@@ -491,8 +506,14 @@ mod tests {
 
     #[test]
     fn commit_vector_merge() {
-        let mut a = CommitVector { mbox: MboxId(0), max: vec![1, 5] };
-        let b = CommitVector { mbox: MboxId(0), max: vec![3, 2, 9] };
+        let mut a = CommitVector {
+            mbox: MboxId(0),
+            max: vec![1, 5],
+        };
+        let b = CommitVector {
+            mbox: MboxId(0),
+            max: vec![3, 2, 9],
+        };
         a.merge_from(&b);
         assert_eq!(a.max, vec![3, 5, 9]);
     }

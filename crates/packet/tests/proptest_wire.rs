@@ -2,10 +2,10 @@
 
 use bytes::{Bytes, BytesMut};
 use ftc_packet::builder::UdpPacketBuilder;
+use ftc_packet::checksum;
 use ftc_packet::piggyback::{
     Applicability, CommitVector, DepVector, MboxId, PiggybackLog, PiggybackMessage, StateWrite,
 };
-use ftc_packet::checksum;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -33,13 +33,20 @@ fn arb_log() -> impl Strategy<Value = PiggybackLog> {
 }
 
 fn arb_commit() -> impl Strategy<Value = CommitVector> {
-    (0u16..8, vec(0u64..1_000, 0..16)).prop_map(|(m, max)| CommitVector { mbox: MboxId(m), max })
+    (0u16..8, vec(0u64..1_000, 0..16)).prop_map(|(m, max)| CommitVector {
+        mbox: MboxId(m),
+        max,
+    })
 }
 
 fn arb_message() -> impl Strategy<Value = PiggybackMessage> {
     (any::<bool>(), vec(arb_log(), 0..6), vec(arb_commit(), 0..4)).prop_map(
         |(prop, logs, commits)| PiggybackMessage {
-            flags: if prop { ftc_packet::piggyback::flags::PROPAGATING } else { 0 },
+            flags: if prop {
+                ftc_packet::piggyback::flags::PROPAGATING
+            } else {
+                0
+            },
             logs,
             commits,
         },

@@ -107,36 +107,36 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             cpu_ghz: 2.0,
-            nic_rx_base_ns: 88.0,      // with per-byte: ≈ 9.2–10.2 Mpps cap
+            nic_rx_base_ns: 88.0, // with per-byte: ≈ 9.2–10.2 Mpps cap
             nic_rx_per_byte_ns: 0.08,
             nic_queue_frames: 1024,
             worker_queue_ns: 150_000.0,
             io_jitter: 0.35,
-            link_bps: 40e9,            // 40 GbE data plane
-            link_prop_ns: 500.0,       // ToR switch + cabling
+            link_bps: 40e9,      // 40 GbE data plane
+            link_prop_ns: 500.0, // ToR switch + cabling
             hop_io_latency_ns: 18_000.0,
-            mazu_proc_cy: 355.0,       // Table 2
-            mazu_cs_cy: 152.0,         // Table 2
+            mazu_proc_cy: 355.0, // Table 2
+            mazu_cs_cy: 152.0,   // Table 2
             snat_proc_cy: 300.0,
             snat_cs_cy: 140.0,
             monitor_proc_cy: 200.0,
-            monitor_cs_cy: 440.0,      // → ~4.5 Mpps fully shared (Fig 6)
+            monitor_cs_cy: 440.0, // → ~4.5 Mpps fully shared (Fig 6)
             gen_proc_cy: 240.0,
             gen_per_byte_cy: 0.12,
             firewall_proc_cy: 180.0,
-            ftc_piggyback_cy: 58.0,    // Table 2
+            ftc_piggyback_cy: 58.0, // Table 2
             ftc_piggyback_per_byte_cy: 0.08,
             ftc_apply_cy: 130.0,
             ftc_apply_per_byte_cy: 0.06,
-            ftc_forwarder_cy: 8.0,     // Table 2
-            ftc_buffer_cy: 100.0,      // Table 2
+            ftc_forwarder_cy: 8.0, // Table 2
+            ftc_buffer_cy: 100.0,  // Table 2
             ftc_propagate_timeout_ns: 1.0e6,
             ftc_framing_bytes: 18,
             ftc_log_overhead_bytes: 28,
             ftc_commit_bytes: 16,
             ftmb_pal_cy: 160.0,
             ftmb_il_cy: 100.0,
-            ftmb_ol_ns: 190.0,         // → 5.26 Mpps (§7.3)
+            ftmb_ol_ns: 190.0, // → 5.26 Mpps (§7.3)
             ftmb_pal_bytes: 24,
         }
     }

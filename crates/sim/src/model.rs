@@ -43,7 +43,7 @@ impl MbKind {
     /// Bytes of state written by one writing packet.
     pub fn state_bytes(&self) -> usize {
         match self {
-            MbKind::Monitor { .. } => 16,      // two 8-byte counters
+            MbKind::Monitor { .. } => 16, // two 8-byte counters
             MbKind::Gen { state } => *state,
             MbKind::MazuNat | MbKind::SimpleNat => 18, // two 9-byte mappings
             MbKind::Firewall | MbKind::Passthrough => 0,
@@ -193,7 +193,10 @@ mod tests {
         assert_eq!(SystemKind::Ftc { f: 1 }.name(), "FTC");
         assert_eq!(SystemKind::Ftmb { snapshot: None }.name(), "FTMB");
         assert_eq!(
-            SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) }.name(),
+            SystemKind::Ftmb {
+                snapshot: Some((50e6, 6e6))
+            }
+            .name(),
             "FTMB+Snapshot"
         );
     }

@@ -163,7 +163,11 @@ fn walk_nf(cfg: &SimConfig, arrivals: &[SimNs], flows: &[u64], rng: &mut StdRng)
             (0..cnt).map(|_| Resource::new()).collect()
         })
         .collect();
-    let mut hops: Vec<Hop> = (0..n).map(|_| Hop { link: Resource::new() }).collect();
+    let mut hops: Vec<Hop> = (0..n)
+        .map(|_| Hop {
+            link: Resource::new(),
+        })
+        .collect();
 
     let max_backlog = c.nic_queue_frames as f64 * c.nic_ns(cfg.packet_bytes);
     let mut exits = Vec::with_capacity(arrivals.len());
@@ -271,7 +275,11 @@ fn walk_ftmb(
             if let Some((_, li)) = lock_of(kind, cfg.workers, w, fl) {
                 // The PAL records the *order* of shared-state accesses, so
                 // it is generated while the lock is held.
-                let pal = if kind.is_stateful() { c.cy(c.ftmb_pal_cy) } else { 0.0 };
+                let pal = if kind.is_stateful() {
+                    c.cy(c.ftmb_pal_cy)
+                } else {
+                    0.0
+                };
                 t = locks[s][li].serve(t, mb_cs_ns(kind, c) + pal);
             } else if kind.is_stateful() {
                 t += c.cy(c.ftmb_pal_cy); // unshared state: PAL off the lock
@@ -314,8 +322,8 @@ fn ftc_trailer_bytes(cfg: &SimConfig, f: usize, hop: usize) -> usize {
         }
         let log = c.ftc_log_overhead_bytes + kind.state_bytes();
         let tail = m + f; // may exceed n-1: wrapped
-        // Pre-wrap hops: stage m .. min(tail, n-1)-1 → hop index h carries
-        // the log when m <= h < min(tail, n).
+                          // Pre-wrap hops: stage m .. min(tail, n-1)-1 → hop index h carries
+                          // the log when m <= h < min(tail, n).
         if m <= hop && hop < tail.min(n) {
             bytes += log;
         }
@@ -371,15 +379,18 @@ fn walk_ftc(
                 .collect()
         })
         .collect();
-    let mut hops: Vec<Hop> = (0..n).map(|_| Hop { link: Resource::new() }).collect();
+    let mut hops: Vec<Hop> = (0..n)
+        .map(|_| Hop {
+            link: Resource::new(),
+        })
+        .collect();
     let mut buffer_cpu = Resource::new();
     // Ablation: per-stage replication channel (the successor's message-
     // processing capacity on a separate queue).
     let mut repl_ch: Vec<Resource> = (0..n).map(|_| Resource::new()).collect();
 
     let trailer: Vec<usize> = (0..n).map(|h| ftc_trailer_bytes(cfg, f, h)).collect();
-    let trailer_mean =
-        trailer.iter().map(|&b| b as f64).sum::<f64>() / n as f64;
+    let trailer_mean = trailer.iter().map(|&b| b as f64).sum::<f64>() / n as f64;
 
     let max_backlog = c.nic_queue_frames as f64 * c.nic_ns(cfg.packet_bytes);
     let mut exits = Vec::with_capacity(arrivals.len());
@@ -390,7 +401,11 @@ fn walk_ftc(
         for s in 0..n {
             let kind = cfg.chain[s];
             // The frame entering stage s still carries hop s-1's trailer.
-            let rx_bytes = if s == 0 { cfg.packet_bytes } else { cfg.packet_bytes + trailer[s - 1] };
+            let rx_bytes = if s == 0 {
+                cfg.packet_bytes
+            } else {
+                cfg.packet_bytes + trailer[s - 1]
+            };
             if nics[s].backlog_at(t) > max_backlog {
                 dropped = true;
                 break;
@@ -416,7 +431,11 @@ fn walk_ftc(
                 }
                 let apply_ns =
                     c.cy(c.ftc_apply_cy + c.ftc_apply_per_byte_cy * pk.state_bytes() as f64);
-                let si = if total_order { 0 } else { stream_of(pk, cfg.workers, fl).1 };
+                let si = if total_order {
+                    0
+                } else {
+                    stream_of(pk, cfg.workers, fl).1
+                };
                 t = streams[s][d - 1][si].serve(t, apply_ns);
             }
             // The packet transaction + piggyback construction. Writes are
@@ -426,10 +445,9 @@ fn walk_ftc(
             t += mb_parallel_ns(kind, c);
             let mut pb = 0.0;
             if kind.writes_per_packet() && f > 0 {
-                pb = c.cy(
-                    c.ftc_piggyback_cy
-                        + c.ftc_piggyback_per_byte_cy * kind.state_bytes() as f64,
-                );
+                pb = c
+                    .cy(c.ftc_piggyback_cy
+                        + c.ftc_piggyback_per_byte_cy * kind.state_bytes() as f64);
                 if cfg.ablation == Some(Ablation::NoPiggyback) {
                     // Separate replication message per update instead of
                     // piggybacking: the head builds and sends it…
@@ -484,7 +502,13 @@ fn ftc_releases(cfg: &SimConfig, f: usize, arrivals: &[SimNs], exits: &[SimNs]) 
     let fb_delay = c.link_prop_ns + 40.0;
     // A propagating packet's traversal time on an idle chain.
     let prop_traverse: f64 = (0..n)
-        .map(|h| c.nic_ns(128) + c.hop_io_latency_ns + c.cy(c.ftc_apply_cy) + c.wire_ns(128 + ftc_trailer_bytes(cfg, f, h)) + c.link_prop_ns)
+        .map(|h| {
+            c.nic_ns(128)
+                + c.hop_io_latency_ns
+                + c.cy(c.ftc_apply_cy)
+                + c.wire_ns(128 + ftc_trailer_bytes(cfg, f, h))
+                + c.link_prop_ns
+        })
         .sum();
 
     // Carriers must be *admitted* packets: collect (arrival, exit) of
@@ -496,18 +520,16 @@ fn ftc_releases(cfg: &SimConfig, f: usize, arrivals: &[SimNs], exits: &[SimNs]) 
         .map(|(&a, &e)| (a, e))
         .collect();
     let mut releases = Vec::with_capacity(exits.len());
-    for k in 0..exits.len() {
-        if !exits[k].is_finite() {
+    for &exit in exits {
+        if !exit.is_finite() {
             releases.push(f64::INFINITY);
             continue;
         }
-        let fb_ready = exits[k] + fb_delay;
+        let fb_ready = exit + fb_delay;
         // First admitted packet injected after the feedback arrived.
         let j = admitted.partition_point(|&(a, _)| a < fb_ready);
-        let rel = if j < admitted.len()
-            && admitted[j].0 - fb_ready <= c.ftc_propagate_timeout_ns
-        {
-            admitted[j].1.max(exits[k])
+        let rel = if j < admitted.len() && admitted[j].0 - fb_ready <= c.ftc_propagate_timeout_ns {
+            admitted[j].1.max(exit)
         } else {
             // Idle chain: the forwarder's timer emits a propagating packet.
             fb_ready + c.ftc_propagate_timeout_ns + prop_traverse
@@ -539,8 +561,10 @@ mod tests {
 
     #[test]
     fn sharing_reduces_throughput() {
-        let lo = simulate(&SimConfig::saturated(SystemKind::Nf, monitors(1, 1)).with_duration(0.02));
-        let hi = simulate(&SimConfig::saturated(SystemKind::Nf, monitors(1, 8)).with_duration(0.02));
+        let lo =
+            simulate(&SimConfig::saturated(SystemKind::Nf, monitors(1, 1)).with_duration(0.02));
+        let hi =
+            simulate(&SimConfig::saturated(SystemKind::Nf, monitors(1, 8)).with_duration(0.02));
         assert!(
             hi.mpps() < lo.mpps() * 0.6,
             "full sharing must cost throughput: {} vs {}",
@@ -555,12 +579,18 @@ mod tests {
     fn system_ordering_nf_ftc_ftmb() {
         let chain = monitors(2, 1);
         let nf = simulate(&SimConfig::saturated(SystemKind::Nf, chain.clone()).with_duration(0.02));
-        let ftc =
-            simulate(&SimConfig::saturated(SystemKind::Ftc { f: 1 }, chain.clone()).with_duration(0.02));
+        let ftc = simulate(
+            &SimConfig::saturated(SystemKind::Ftc { f: 1 }, chain.clone()).with_duration(0.02),
+        );
         let ftmb = simulate(
             &SimConfig::saturated(SystemKind::Ftmb { snapshot: None }, chain).with_duration(0.02),
         );
-        assert!(nf.mpps() >= ftc.mpps() * 0.99, "NF ≥ FTC: {} vs {}", nf.mpps(), ftc.mpps());
+        assert!(
+            nf.mpps() >= ftc.mpps() * 0.99,
+            "NF ≥ FTC: {} vs {}",
+            nf.mpps(),
+            ftc.mpps()
+        );
         assert!(
             ftc.mpps() > ftmb.mpps() * 1.15,
             "FTC must beat FTMB clearly: {} vs {}",
@@ -582,7 +612,10 @@ mod tests {
             assert!(r.released > 0);
             means.push(r.mean_latency().unwrap());
         }
-        assert!(means[1] > means[0], "latency must grow with chain length: {means:?}");
+        assert!(
+            means[1] > means[0],
+            "latency must grow with chain length: {means:?}"
+        );
     }
 
     #[test]
@@ -617,16 +650,20 @@ mod tests {
             &SimConfig::saturated(SystemKind::Ftmb { snapshot: None }, monitors(5, 1))
                 .with_duration(0.3),
         );
-        assert!(short.mpps() > long.mpps(), "{} vs {}", short.mpps(), long.mpps());
+        assert!(
+            short.mpps() > long.mpps(),
+            "{} vs {}",
+            short.mpps(),
+            long.mpps()
+        );
         assert!(plain.mpps() > long.mpps());
     }
 
     #[test]
     fn latency_spikes_past_saturation() {
         let chain = monitors(1, 8);
-        let under = simulate(
-            &SimConfig::at_rate(SystemKind::Nf, chain.clone(), 2e6).with_duration(0.02),
-        );
+        let under =
+            simulate(&SimConfig::at_rate(SystemKind::Nf, chain.clone(), 2e6).with_duration(0.02));
         let over = simulate(&SimConfig::at_rate(SystemKind::Nf, chain, 8e6).with_duration(0.02));
         // Queue residency is ring-bounded, so the spike is finite but must
         // still dwarf the uncongested latency.
@@ -641,14 +678,20 @@ mod tests {
     #[test]
     fn gen_state_size_reduces_throughput_modestly() {
         let small = simulate(
-            &SimConfig::saturated(SystemKind::Ftc { f: 1 }, vec![MbKind::Gen { state: 16 }, MbKind::Passthrough])
-                .with_workers(1)
-                .with_duration(0.02),
+            &SimConfig::saturated(
+                SystemKind::Ftc { f: 1 },
+                vec![MbKind::Gen { state: 16 }, MbKind::Passthrough],
+            )
+            .with_workers(1)
+            .with_duration(0.02),
         );
         let big = simulate(
-            &SimConfig::saturated(SystemKind::Ftc { f: 1 }, vec![MbKind::Gen { state: 256 }, MbKind::Passthrough])
-                .with_workers(1)
-                .with_duration(0.02),
+            &SimConfig::saturated(
+                SystemKind::Ftc { f: 1 },
+                vec![MbKind::Gen { state: 256 }, MbKind::Passthrough],
+            )
+            .with_workers(1)
+            .with_duration(0.02),
         );
         assert!(big.mpps() < small.mpps());
         assert!(
@@ -666,7 +709,8 @@ mod tests {
         let f1 = simulate(
             &SimConfig::saturated(SystemKind::Ftc { f: 1 }, chain.clone()).with_duration(0.02),
         );
-        let f4 = simulate(&SimConfig::saturated(SystemKind::Ftc { f: 4 }, chain).with_duration(0.02));
+        let f4 =
+            simulate(&SimConfig::saturated(SystemKind::Ftc { f: 4 }, chain).with_duration(0.02));
         assert!(f4.trailer_bytes > f1.trailer_bytes * 2.0);
         assert!(
             f4.mpps() > f1.mpps() * 0.8,

@@ -149,7 +149,12 @@ impl MaxVector {
     /// Applies it (and any parked logs it unblocks) if its dependency vector
     /// is satisfied; parks it if some dependency is missing; drops it if it
     /// is a duplicate.
-    pub fn offer(&self, deps: &DepVector, writes: &[StateWrite], store: &StateStore) -> ApplyOutcome {
+    pub fn offer(
+        &self,
+        deps: &DepVector,
+        writes: &[StateWrite],
+        store: &StateStore,
+    ) -> ApplyOutcome {
         let mut inner = self.inner.lock();
         match deps.applicable_at(&inner.max) {
             Applicability::Ready => {
@@ -260,7 +265,10 @@ mod tests {
 
     fn log(store: &StateStore, k: &'static str, v: &'static str) -> (DepVector, Vec<StateWrite>) {
         let out = store.transaction(|txn| {
-            txn.write(Bytes::from_static(k.as_bytes()), Bytes::from_static(v.as_bytes()))?;
+            txn.write(
+                Bytes::from_static(k.as_bytes()),
+                Bytes::from_static(v.as_bytes()),
+            )?;
             Ok(())
         });
         let l = out.log.unwrap();

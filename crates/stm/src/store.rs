@@ -1,6 +1,6 @@
 //! The partitioned state store.
 
-use crate::txn::{TxnError, TxnOutput, TxnRecord, Txn};
+use crate::txn::{Txn, TxnError, TxnOutput, TxnRecord};
 use crate::{partition_of, DepVector, StateWrite};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -172,21 +172,14 @@ impl StateStore {
 
     /// Non-transactional read of a u64 counter stored at `key`.
     pub fn peek_u64(&self, key: &[u8]) -> Option<u64> {
-        self.peek(key).and_then(|v| {
-            v.as_ref()
-                .try_into()
-                .ok()
-                .map(u64::from_be_bytes)
-        })
+        self.peek(key)
+            .and_then(|v| v.as_ref().try_into().ok().map(u64::from_be_bytes))
     }
 
     /// The current per-partition sequence vector (the head's dependency
     /// vector state).
     pub fn seq_vector(&self) -> Vec<u64> {
-        self.partitions
-            .iter()
-            .map(|p| p.state.lock().seq)
-            .collect()
+        self.partitions.iter().map(|p| p.state.lock().seq).collect()
     }
 
     /// Applies replicated writes from a piggyback log to this store,
@@ -240,7 +233,11 @@ impl StateStore {
 
     /// Replaces the store contents from a snapshot (recovery restore).
     pub fn restore(&self, snap: &StoreSnapshot) {
-        assert_eq!(snap.maps.len(), self.partitions.len(), "partition count mismatch");
+        assert_eq!(
+            snap.maps.len(),
+            self.partitions.len(),
+            "partition count mismatch"
+        );
         for (i, p) in self.partitions.iter().enumerate() {
             let mut st = p.state.lock();
             st.map = snap.maps[i].iter().cloned().collect();
@@ -259,7 +256,10 @@ impl StateStore {
 
     /// Total number of keys across partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.state.lock().map.len()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.state.lock().map.len())
+            .sum()
     }
 
     /// True if no partition holds any key.
@@ -305,7 +305,11 @@ mod tests {
         let out = store.transaction(|txn| txn.read(b"a"));
         assert_eq!(out.value, Some(Bytes::from_static(b"1")));
         assert!(out.log.is_none(), "read-only transactions leave no log");
-        assert_eq!(store.seq_vector(), seqs_before, "paper: read-only txns do not change the vector");
+        assert_eq!(
+            store.seq_vector(),
+            seqs_before,
+            "paper: read-only txns do not change the vector"
+        );
     }
 
     #[test]
@@ -326,7 +330,10 @@ mod tests {
         let pa = store.partition_of(&ka);
         let pb = store.partition_of(&kb);
         assert!(log.deps.get(pa).is_some(), "read partition in dep vector");
-        assert!(log.deps.get(pb).is_some(), "written partition in dep vector");
+        assert!(
+            log.deps.get(pb).is_some(),
+            "written partition in dep vector"
+        );
     }
 
     #[test]

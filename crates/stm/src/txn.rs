@@ -112,7 +112,10 @@ impl<'a> Txn<'a> {
     /// Writes a state variable. Acquires the partition lock; the write is
     /// buffered until commit.
     pub fn write(&mut self, key: Bytes, value: Bytes) -> Result<(), TxnError> {
-        assert!(!value.is_empty(), "empty values encode deletions; use delete()");
+        assert!(
+            !value.is_empty(),
+            "empty values encode deletions; use delete()"
+        );
         let p = self.store.partition_of(&key);
         self.acquire(p)?;
         self.touched.insert(p);

@@ -1,254 +1,8 @@
-//! A log-bucketed latency histogram (HdrHistogram-style, implemented
-//! in-repo to stay within the offline crate set).
+//! Re-export of the shared latency histogram.
 //!
-//! Values are recorded in nanoseconds. Buckets grow geometrically: each
-//! power of two is split into `SUB_BUCKETS` linear sub-buckets, giving a
-//! bounded relative error of `1 / SUB_BUCKETS` across the whole range.
+//! The log-bucketed histogram moved to [`ftc_core::hist`] so the chain's
+//! own metrics (Table-2 stages) and the traffic generators (Fig-11 CDFs)
+//! share one implementation. This module remains so existing
+//! `ftc_traffic::Histogram` paths keep working.
 
-use serde::Serialize;
-use std::time::Duration;
-
-const SUB_BITS: u32 = 5;
-const SUB_BUCKETS: u64 = 1 << SUB_BITS; // 32 sub-buckets → ~3% resolution
-
-/// A latency histogram with ~3% relative resolution from 1 ns to ~584 y.
-///
-/// ```
-/// use ftc_traffic::Histogram;
-/// use std::time::Duration;
-///
-/// let mut h = Histogram::new();
-/// for us in [10u64, 20, 30, 40, 1000] {
-///     h.record(Duration::from_micros(us));
-/// }
-/// assert_eq!(h.len(), 5);
-/// assert!(h.quantile(0.99).unwrap() >= Duration::from_micros(900));
-/// assert!(h.median().unwrap() < Duration::from_micros(40));
-/// ```
-#[derive(Debug, Clone, Serialize)]
-pub struct Histogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Histogram {
-        Histogram {
-            counts: vec![0; ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize],
-            total: 0,
-            sum_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-        }
-    }
-
-    fn index(value: u64) -> usize {
-        let v = value.max(1);
-        let msb = 63 - v.leading_zeros() as u64;
-        if msb < SUB_BITS as u64 {
-            return v as usize;
-        }
-        let shift = msb - SUB_BITS as u64;
-        let sub = (v >> shift) - SUB_BUCKETS; // 0..SUB_BUCKETS
-        ((shift + 1) * SUB_BUCKETS + sub + SUB_BUCKETS) as usize - SUB_BUCKETS as usize
-    }
-
-    fn bucket_value(idx: usize) -> u64 {
-        let idx = idx as u64;
-        if idx < 2 * SUB_BUCKETS {
-            return idx;
-        }
-        let shift = idx / SUB_BUCKETS - 1;
-        let sub = idx % SUB_BUCKETS;
-        (SUB_BUCKETS + sub) << shift
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, d: Duration) {
-        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Records one sample in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        let i = Self::index(ns).min(self.counts.len() - 1);
-        self.counts[i] += 1;
-        self.total += 1;
-        self.sum_ns += u128::from(ns);
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn len(&self) -> u64 {
-        self.total
-    }
-
-    /// True if no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Mean latency.
-    pub fn mean(&self) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        Some(Duration::from_nanos(
-            (self.sum_ns / u128::from(self.total)) as u64,
-        ))
-    }
-
-    /// Smallest recorded sample.
-    pub fn min(&self) -> Option<Duration> {
-        (self.total > 0).then(|| Duration::from_nanos(self.min_ns))
-    }
-
-    /// Largest recorded sample.
-    pub fn max(&self) -> Option<Duration> {
-        (self.total > 0).then(|| Duration::from_nanos(self.max_ns))
-    }
-
-    /// The latency at quantile `q` in `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Duration::from_nanos(
-                    Self::bucket_value(i).max(self.min_ns).min(self.max_ns),
-                ));
-            }
-        }
-        Some(Duration::from_nanos(self.max_ns))
-    }
-
-    /// Median latency.
-    pub fn median(&self) -> Option<Duration> {
-        self.quantile(0.5)
-    }
-
-    /// `(latency, cumulative fraction)` pairs — the Fig. 11 CDF.
-    pub fn cdf(&self) -> Vec<(Duration, f64)> {
-        if self.total == 0 {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            seen += c;
-            out.push((
-                Duration::from_nanos(Self::bucket_value(i).max(self.min_ns).min(self.max_ns)),
-                seen as f64 / self.total as f64,
-            ));
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.mean(), None);
-        assert_eq!(h.quantile(0.5), None);
-        assert!(h.cdf().is_empty());
-    }
-
-    #[test]
-    fn single_value() {
-        let mut h = Histogram::new();
-        h.record(Duration::from_micros(25));
-        assert_eq!(h.len(), 1);
-        assert_eq!(h.mean(), Some(Duration::from_micros(25)));
-        let m = h.median().unwrap();
-        assert!(m >= Duration::from_micros(24) && m <= Duration::from_micros(26));
-        assert_eq!(h.min(), h.max());
-    }
-
-    #[test]
-    fn quantiles_are_ordered_and_accurate() {
-        let mut h = Histogram::new();
-        for us in 1..=1000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile(0.5).unwrap();
-        let p90 = h.quantile(0.9).unwrap();
-        let p99 = h.quantile(0.99).unwrap();
-        assert!(p50 <= p90 && p90 <= p99);
-        // ~3% resolution
-        let err = (p50.as_nanos() as f64 - 500_000.0).abs() / 500_000.0;
-        assert!(err < 0.05, "p50 {p50:?} err {err}");
-        let err99 = (p99.as_nanos() as f64 - 990_000.0).abs() / 990_000.0;
-        assert!(err99 < 0.05, "p99 {p99:?}");
-    }
-
-    #[test]
-    fn cdf_is_monotone_and_ends_at_one() {
-        let mut h = Histogram::new();
-        for i in 0..500u64 {
-            h.record_ns(1000 + i * 97);
-        }
-        let cdf = h.cdf();
-        assert!(!cdf.is_empty());
-        for w in cdf.windows(2) {
-            assert!(w[0].0 <= w[1].0);
-            assert!(w[0].1 <= w[1].1);
-        }
-        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn merge_combines_totals() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record_ns(100);
-        b.record_ns(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.len(), 2);
-        assert_eq!(a.min(), Some(Duration::from_nanos(100)));
-        assert_eq!(a.max(), Some(Duration::from_nanos(1_000_000)));
-    }
-
-    #[test]
-    fn extreme_values_do_not_panic() {
-        let mut h = Histogram::new();
-        h.record_ns(0);
-        h.record_ns(u64::MAX);
-        h.record_ns(1);
-        assert_eq!(h.len(), 3);
-        assert!(h.quantile(1.0).is_some());
-    }
-}
+pub use ftc_core::hist::Histogram;

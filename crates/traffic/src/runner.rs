@@ -90,13 +90,10 @@ impl TrafficRunner {
         // Drain what is still in flight (bounded wait).
         let drain_deadline = Instant::now() + Duration::from_secs(2);
         while in_flight > 0 && Instant::now() < drain_deadline {
-            match system.egress_pkt(Duration::from_millis(5)) {
-                Some(_) => {
-                    received += 1;
-                    this_second += 1;
-                    in_flight -= 1;
-                }
-                None => {}
+            if system.egress_pkt(Duration::from_millis(5)).is_some() {
+                received += 1;
+                this_second += 1;
+                in_flight -= 1;
             }
         }
         if this_second > 0 {

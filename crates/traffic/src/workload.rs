@@ -77,7 +77,11 @@ impl Workload {
                 )
                 .dst(Ipv4Addr::new(10, 200, 0, 1), 80)
                 .frame_len(cfg.frame_len);
-            let b = if cfg.ftc_option { b } else { b.without_ftc_option() };
+            let b = if cfg.ftc_option {
+                b
+            } else {
+                b.without_ftc_option()
+            };
             templates.push(b.build());
         }
         let zipf_cdf = match cfg.mix {
@@ -115,7 +119,9 @@ impl Workload {
             FlowMix::Uniform => (self.counter % self.cfg.flows as u64) as usize,
             FlowMix::Zipf(_) => {
                 let u: f64 = self.rng.gen();
-                self.zipf_cdf.partition_point(|&c| c < u).min(self.cfg.flows - 1)
+                self.zipf_cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.cfg.flows - 1)
             }
         };
         self.counter += 1;
@@ -200,7 +206,10 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let mean = 5000 / counts.len() as u32;
-        assert!(max > mean * 3, "zipf head flow must dominate: max={max} mean={mean}");
+        assert!(
+            max > mean * 3,
+            "zipf head flow must dominate: max={max} mean={mean}"
+        );
     }
 
     #[test]
@@ -219,7 +228,8 @@ mod tests {
         let mut w = Workload::new(WorkloadConfig::default());
         let epoch = w.epoch();
         let mut p = w.next_packet();
-        p.attach_piggyback(&ftc_packet::PiggybackMessage::default()).unwrap();
+        p.attach_piggyback(&ftc_packet::PiggybackMessage::default())
+            .unwrap();
         p.detach_piggyback().unwrap();
         assert!(Workload::decode_latency(epoch, &p).is_some());
     }

@@ -70,7 +70,7 @@ impl Middlebox for RateLimiter {
         if tokens == 0 {
             // Out of budget: drop, but keep the bookkeeping write so the
             // decision replicates (and survives failover).
-            txn.write_u64(key, (0u64 << 32) | u64::from(last))?;
+            txn.write_u64(key, u64::from(last))?; // zero tokens in the high bits
             return Ok(Action::Drop);
         }
         tokens -= 1;
@@ -85,7 +85,10 @@ fn main() {
     // replica-style store — the same way the chain runtime would.
     use ftc::stm::StateStore;
 
-    let limiter = RateLimiter { burst: 3, interval: 10 };
+    let limiter = RateLimiter {
+        burst: 3,
+        interval: 10,
+    };
     let store = StateStore::new(32);
 
     let heavy = Ipv4Addr::new(10, 0, 0, 99);
@@ -95,7 +98,10 @@ fn main() {
     let mut dropped = 0;
     for i in 0..12u16 {
         let src = if i % 4 == 3 { light } else { heavy };
-        let mut pkt = UdpPacketBuilder::new().src(src, 1000 + i).dst(Ipv4Addr::new(1, 1, 1, 1), 80).build();
+        let mut pkt = UdpPacketBuilder::new()
+            .src(src, 1000 + i)
+            .dst(Ipv4Addr::new(1, 1, 1, 1), 80)
+            .build();
         let out = store.transaction(|txn| limiter.process(&mut pkt, txn, ProcCtx::single()));
         match out.value {
             Action::Forward => forwarded += 1,
@@ -128,8 +134,13 @@ fn main() {
         .with_f(1),
     );
     for i in 0..10 {
-        chain.inject(UdpPacketBuilder::new().src(light, 2000 + i).dst(Ipv4Addr::new(9, 9, 9, 9), 53).build());
+        chain.inject(
+            UdpPacketBuilder::new()
+                .src(light, 2000 + i)
+                .dst(Ipv4Addr::new(9, 9, 9, 9), 53)
+                .build(),
+        );
     }
-    let got = chain.collect_egress(10, Duration::from_secs(5));
+    let got = chain.egress().collect(10, Duration::from_secs(5));
     println!("companion chain released {}/10 packets", got.len());
 }

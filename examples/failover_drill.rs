@@ -43,13 +43,12 @@ fn main() {
     for i in 0..300 {
         orch.chain.inject(pkt(i));
     }
-    let warm = orch.chain.collect_egress(300, Duration::from_secs(15));
+    let warm = orch.chain.egress().collect(300, Duration::from_secs(15));
     println!("warmup: released {}/300 packets", warm.len());
     std::thread::sleep(Duration::from_millis(100));
 
-    for idx in 0..orch.chain.len() {
+    for (idx, &region) in regions.iter().enumerate().take(orch.chain.len()) {
         let name = orch.chain.cfg.effective_middleboxes()[idx].name();
-        let region = regions[idx];
         println!("\n=== killing r{idx} ({name}) in region {} ===", region.0);
         orch.chain.kill(idx);
         assert!(!orch.chain.is_alive(idx));
@@ -60,7 +59,10 @@ fn main() {
         println!(
             "recovered: initialization {:.1?} + state recovery {:.1?} + rerouting {:.1?} \
              ({} bytes transferred)",
-            report.initialization, report.state_recovery, report.rerouting, report.bytes_transferred
+            report.initialization,
+            report.state_recovery,
+            report.rerouting,
+            report.bytes_transferred
         );
 
         // Prove the chain still works and kept its state.
@@ -72,7 +74,7 @@ fn main() {
         for i in 0..50 {
             orch.chain.inject(pkt(1000 + i));
         }
-        let got = orch.chain.collect_egress(50, Duration::from_secs(15));
+        let got = orch.chain.egress().collect(50, Duration::from_secs(15));
         let after = orch.chain.replicas[1]
             .state
             .own_store

@@ -25,7 +25,11 @@ fn main() {
         .with_f(1),
     );
 
-    println!("deployed an FTC chain of {} replicas (f = {})", chain.len(), chain.cfg.f);
+    println!(
+        "deployed an FTC chain of {} replicas (f = {})",
+        chain.len(),
+        chain.cfg.f
+    );
 
     // Send a few flows through.
     let packets = 200;
@@ -37,7 +41,9 @@ fn main() {
         chain.inject(pkt);
     }
 
-    let released = chain.collect_egress(packets as usize, Duration::from_secs(10));
+    let released = chain
+        .egress()
+        .collect(packets as usize, Duration::from_secs(10));
     println!("released {}/{} packets", released.len(), packets);
 
     // The NAT rewrote every packet to its external address.
@@ -62,6 +68,9 @@ fn main() {
     let monitor_replica = &chain.replicas[1].state.replicated[&0];
     println!(
         "monitor state replicated at the firewall's server: {} packets counted",
-        monitor_replica.store.peek_u64(b"mon:packets:g0").unwrap_or(0)
+        monitor_replica
+            .store
+            .peek_u64(b"mon:packets:g0")
+            .unwrap_or(0)
     );
 }

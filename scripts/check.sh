@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Lint gate: clippy with warnings denied, plus formatting. Referenced from
+# README "Building and testing"; CI and pre-commit hooks should run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
+echo "check.sh: clippy and fmt clean"

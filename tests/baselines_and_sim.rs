@@ -30,8 +30,7 @@ fn all_three_systems_agree_on_middlebox_semantics() {
     let nf = NfChain::deploy(ChainConfig::new(spec()));
     let ftmb = FtmbChain::deploy(ChainConfig::new(spec()), None);
 
-    let systems: Vec<(&dyn ChainSystem, &str)> =
-        vec![(&ftc, "FTC"), (&nf, "NF"), (&ftmb, "FTMB")];
+    let systems: Vec<(&dyn ChainSystem, &str)> = vec![(&ftc, "FTC"), (&nf, "NF"), (&ftmb, "FTMB")];
     for (sys, name) in systems {
         for i in 0..10 {
             sys.inject_pkt(pkt(1000 + (i % 2), i));
@@ -45,7 +44,11 @@ fn all_three_systems_agree_on_middlebox_semantics() {
         }
         assert_eq!(got.len(), 10, "{name} must release all packets");
         for p in &got {
-            assert_eq!(p.flow_key().unwrap().src_ip, ext, "{name}: NAT must rewrite");
+            assert_eq!(
+                p.flow_key().unwrap().src_ip,
+                ext,
+                "{name}: NAT must rewrite"
+            );
         }
     }
 }
@@ -54,8 +57,8 @@ fn all_three_systems_agree_on_middlebox_semantics() {
 fn ftmb_emits_one_pal_per_stateful_packet() {
     let chain = FtmbChain::deploy(
         ChainConfig::new(vec![
-            MbSpec::Firewall { rules: vec![] },       // stateless: no PALs
-            MbSpec::Monitor { sharing_level: 1 },     // stateful: PAL per packet
+            MbSpec::Firewall { rules: vec![] },   // stateless: no PALs
+            MbSpec::Monitor { sharing_level: 1 }, // stateful: PAL per packet
         ]),
         None,
     );
@@ -63,8 +66,18 @@ fn ftmb_emits_one_pal_per_stateful_packet() {
         chain.inject(pkt(2000 + i, i));
     }
     assert_eq!(chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
-    assert_eq!(chain.stages[0].pals.load(std::sync::atomic::Ordering::Relaxed), 0);
-    assert_eq!(chain.stages[1].pals.load(std::sync::atomic::Ordering::Relaxed), 30);
+    assert_eq!(
+        chain.stages[0]
+            .pals
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    assert_eq!(
+        chain.stages[1]
+            .pals
+            .load(std::sync::atomic::Ordering::Relaxed),
+        30
+    );
 }
 
 #[test]
@@ -109,7 +122,9 @@ fn headline_claim_ftc_is_2_to_3_5x_ftmb_on_chains() {
         let ftc = sat(SystemKind::Ftc { f: 1 }, chain.clone());
         let ftmb_snap = simulate(
             &SimConfig::saturated(
-                SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) },
+                SystemKind::Ftmb {
+                    snapshot: Some((50e6, 6e6)),
+                },
                 chain,
             )
             .with_duration(0.2),
@@ -135,14 +150,16 @@ fn snapshot_chains_degrade_with_length_ftc_does_not() {
         )
         .mpps()
     };
-    let snap = SystemKind::Ftmb { snapshot: Some((50e6, 6e6)) };
+    let snap = SystemKind::Ftmb {
+        snapshot: Some((50e6, 6e6)),
+    };
     let snap_drop = 1.0 - tput(snap, 5, 0.3) / tput(snap, 1, 0.3);
     assert!(
         snap_drop > 0.2,
         "snapshot stalls must compound along the chain: drop = {snap_drop:.2}"
     );
-    let ftc_drop = 1.0 - tput(SystemKind::Ftc { f: 1 }, 5, 0.05)
-        / tput(SystemKind::Ftc { f: 1 }, 2, 0.05);
+    let ftc_drop =
+        1.0 - tput(SystemKind::Ftc { f: 1 }, 5, 0.05) / tput(SystemKind::Ftc { f: 1 }, 2, 0.05);
     assert!(
         ftc_drop < 0.10,
         "FTC throughput must be largely independent of chain length: {ftc_drop:.2}"
@@ -153,7 +170,10 @@ fn snapshot_chains_degrade_with_length_ftc_does_not() {
 fn ftc_chain5_lands_in_paper_window() {
     // §7.4: "FTC's throughput is within 8.28–8.92 Mpps" for Ch-2..Ch-5.
     for n in 2..=5 {
-        let mpps = sat(SystemKind::Ftc { f: 1 }, vec![MbKind::Monitor { sharing: 1 }; n]);
+        let mpps = sat(
+            SystemKind::Ftc { f: 1 },
+            vec![MbKind::Monitor { sharing: 1 }; n],
+        );
         assert!(
             (8.0..=9.4).contains(&mpps),
             "Ch-{n}: FTC = {mpps:.2} Mpps, expected ≈ 8.28–8.92"
@@ -167,9 +187,12 @@ fn mazunat_read_heavy_gap_vs_ftmb() {
     // because FTC does not replicate reads while FTMB logs them.
     for workers in [1usize, 2, 4] {
         let ftc = simulate(
-            &SimConfig::saturated(SystemKind::Ftc { f: 1 }, vec![MbKind::MazuNat, MbKind::Passthrough])
-                .with_workers(workers)
-                .with_duration(0.02),
+            &SimConfig::saturated(
+                SystemKind::Ftc { f: 1 },
+                vec![MbKind::MazuNat, MbKind::Passthrough],
+            )
+            .with_workers(workers)
+            .with_duration(0.02),
         )
         .mpps();
         let ftmb = simulate(
@@ -192,8 +215,7 @@ fn latency_vs_load_has_a_knee() {
     let chain = vec![MbKind::Monitor { sharing: 8 }];
     let lat = |pps: f64| {
         simulate(
-            &SimConfig::at_rate(SystemKind::Ftc { f: 1 }, chain.clone(), pps)
-                .with_duration(0.02),
+            &SimConfig::at_rate(SystemKind::Ftc { f: 1 }, chain.clone(), pps).with_duration(0.02),
         )
         .mean_latency()
         .unwrap()
@@ -204,6 +226,12 @@ fn latency_vs_load_has_a_knee() {
     assert!(mid < low * 4, "below saturation latency stays near-flat");
     // Ring-bounded queues cap the spike, but it must still dwarf the
     // uncongested latency.
-    assert!(high > mid * 4, "past saturation it spikes: {high:?} vs {mid:?}");
-    assert!(high > Duration::from_micros(150), "spike magnitude: {high:?}");
+    assert!(
+        high > mid * 4,
+        "past saturation it spikes: {high:?} vs {mid:?}"
+    );
+    assert!(
+        high > Duration::from_micros(150),
+        "spike magnitude: {high:?}"
+    );
 }

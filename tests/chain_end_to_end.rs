@@ -18,14 +18,13 @@ fn pkt(src_port: u16, ident: u16) -> Packet {
 #[test]
 fn five_middlebox_chain_processes_everything() {
     // Ch-5 from Table 1: five monitors.
-    let chain = FtcChain::deploy(
-        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 5]).with_f(1),
-    );
+    let chain =
+        FtcChain::deploy(ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 5]).with_f(1));
     let n = 100;
     for i in 0..n {
         chain.inject(pkt(1000 + i, i));
     }
-    let got = chain.collect_egress(n as usize, Duration::from_secs(20));
+    let got = chain.egress().collect(n as usize, Duration::from_secs(20));
     assert_eq!(got.len(), n as usize);
     for slot in &chain.replicas {
         assert_eq!(
@@ -51,7 +50,7 @@ fn heterogeneous_chain_nat_rewrites_and_replicates() {
     for i in 0..40 {
         chain.inject(pkt(2000 + (i % 4), i));
     }
-    let got = chain.collect_egress(40, Duration::from_secs(20));
+    let got = chain.egress().collect(40, Duration::from_secs(20));
     assert_eq!(got.len(), 40);
     for p in &got {
         let key = p.flow_key().unwrap();
@@ -89,7 +88,7 @@ fn firewall_filters_but_chain_state_stays_consistent() {
             .build();
         chain.inject(p);
     }
-    let got = chain.collect_egress(20, Duration::from_secs(20));
+    let got = chain.egress().collect(20, Duration::from_secs(20));
     assert_eq!(got.len(), 20, "only the allowed half egresses");
     assert!(got.iter().all(|p| p.flow_key().unwrap().dst_port == 443));
     std::thread::sleep(Duration::from_millis(100));
@@ -97,17 +96,25 @@ fn firewall_filters_but_chain_state_stays_consistent() {
     // The first monitor saw all 40; its state (including from filtered
     // packets, carried by propagating packets) is fully replicated at r1.
     assert_eq!(
-        chain.replicas[0].state.own_store.peek_u64(b"mon:packets:g0"),
+        chain.replicas[0]
+            .state
+            .own_store
+            .peek_u64(b"mon:packets:g0"),
         Some(40)
     );
     assert_eq!(
-        chain.replicas[1].state.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+        chain.replicas[1].state.replicated[&0]
+            .store
+            .peek_u64(b"mon:packets:g0"),
         Some(40),
         "filtered packets' updates must still replicate (propagating packets)"
     );
     // The second monitor only saw the surviving 20.
     assert_eq!(
-        chain.replicas[2].state.own_store.peek_u64(b"mon:packets:g0"),
+        chain.replicas[2]
+            .state
+            .own_store
+            .peek_u64(b"mon:packets:g0"),
         Some(20)
     );
 }
@@ -127,22 +134,24 @@ fn chain_survives_loss_reorder_and_multithreading() {
     for i in 0..n {
         chain.inject(pkt(4000 + (i % 16), i));
     }
-    let got = chain.collect_egress(n as usize, Duration::from_secs(30));
+    let got = chain.egress().collect(n as usize, Duration::from_secs(30));
     assert_eq!(got.len(), n as usize, "reliable transport must mask loss");
     for slot in &chain.replicas {
-        assert_eq!(slot.state.own_store.peek_u64(b"mon:packets:g0"), Some(u64::from(n)));
+        assert_eq!(
+            slot.state.own_store.peek_u64(b"mon:packets:g0"),
+            Some(u64::from(n))
+        );
     }
 }
 
 #[test]
 fn f2_replicates_at_two_successors() {
-    let chain = FtcChain::deploy(
-        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 4]).with_f(2),
-    );
+    let chain =
+        FtcChain::deploy(ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 4]).with_f(2));
     for i in 0..30 {
         chain.inject(pkt(5000 + i, i));
     }
-    let got = chain.collect_egress(30, Duration::from_secs(20));
+    let got = chain.egress().collect(30, Duration::from_secs(20));
     assert_eq!(got.len(), 30);
     std::thread::sleep(Duration::from_millis(200));
     // m0's state must live at r1 AND r2.
@@ -160,32 +169,32 @@ fn f2_replicates_at_two_successors() {
 #[test]
 fn short_chain_is_padded_with_pure_replicas() {
     // A single middlebox with f = 1 needs a second server (§5.1).
-    let chain = FtcChain::deploy(
-        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }]).with_f(1),
-    );
+    let chain =
+        FtcChain::deploy(ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }]).with_f(1));
     assert_eq!(chain.len(), 2, "chain padded to f + 1 servers");
     for i in 0..25 {
         chain.inject(pkt(6000 + i, i));
     }
-    let got = chain.collect_egress(25, Duration::from_secs(20));
+    let got = chain.egress().collect(25, Duration::from_secs(20));
     assert_eq!(got.len(), 25);
     std::thread::sleep(Duration::from_millis(100));
     // The pure replica holds the monitor's state.
     assert_eq!(
-        chain.replicas[1].state.replicated[&0].store.peek_u64(b"mon:packets:g0"),
+        chain.replicas[1].state.replicated[&0]
+            .store
+            .peek_u64(b"mon:packets:g0"),
         Some(25)
     );
 }
 
 #[test]
 fn load_balancer_is_connection_persistent_through_the_chain() {
-    let backends = vec![
-        Ipv4Addr::new(10, 1, 0, 1),
-        Ipv4Addr::new(10, 1, 0, 2),
-    ];
+    let backends = vec![Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(10, 1, 0, 2)];
     let chain = FtcChain::deploy(
         ChainConfig::new(vec![
-            MbSpec::LoadBalancer { backends: backends.clone() },
+            MbSpec::LoadBalancer {
+                backends: backends.clone(),
+            },
             MbSpec::Monitor { sharing_level: 1 },
         ])
         .with_f(1),
@@ -194,7 +203,7 @@ fn load_balancer_is_connection_persistent_through_the_chain() {
     for i in 0..20 {
         chain.inject(pkt(7000 + (i % 2), i));
     }
-    let got = chain.collect_egress(20, Duration::from_secs(20));
+    let got = chain.egress().collect(20, Duration::from_secs(20));
     assert_eq!(got.len(), 20);
     use std::collections::HashMap;
     let mut by_flow: HashMap<u16, Vec<Ipv4Addr>> = HashMap::new();
@@ -223,11 +232,13 @@ fn idle_chain_flushes_state_with_propagating_packets() {
     // A single packet: its m1 log must replicate via the ring even though
     // no further traffic arrives (forwarder idle timer, §5.1).
     chain.inject(pkt(8000, 1));
-    let got = chain.collect_egress(1, Duration::from_secs(10));
+    let got = chain.egress().collect(1, Duration::from_secs(10));
     assert_eq!(got.len(), 1, "the lone packet must be released, not stuck");
     std::thread::sleep(Duration::from_millis(100));
     assert_eq!(
-        chain.replicas[0].state.replicated[&1].store.peek_u64(b"mon:packets:g0"),
+        chain.replicas[0].state.replicated[&1]
+            .store
+            .peek_u64(b"mon:packets:g0"),
         Some(1),
         "m1's state must replicate to r0 without carrier traffic"
     );

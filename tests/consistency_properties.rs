@@ -100,7 +100,9 @@ fn randomized_chains_always_release_everything() {
                     .build(),
             );
         }
-        let got = chain.collect_egress(packets as usize, Duration::from_secs(20));
+        let got = chain
+            .egress()
+            .collect(packets as usize, Duration::from_secs(20));
         assert_eq!(
             got.len(),
             packets as usize,
@@ -135,7 +137,9 @@ fn released_updates_survive_any_single_failure() {
                     .build(),
             );
         }
-        let released = chain.collect_egress(packets as usize, Duration::from_secs(20));
+        let released = chain
+            .egress()
+            .collect(packets as usize, Duration::from_secs(20));
         assert_eq!(released.len(), packets as usize);
         std::thread::sleep(Duration::from_millis(150)); // quiesce the ring
 

@@ -35,7 +35,7 @@ fn kill_and_verify(mut o: Orchestrator, victim: usize) {
     for i in 0..60 {
         o.chain.inject(pkt(1000 + (i % 8), i));
     }
-    let released_before = o.chain.collect_egress(60, Duration::from_secs(15)).len() as u64;
+    let released_before = o.chain.egress().collect(60, Duration::from_secs(15)).len() as u64;
     assert_eq!(released_before, 60);
     // Let the ring finish replicating the tail middlebox's updates.
     std::thread::sleep(Duration::from_millis(100));
@@ -57,7 +57,7 @@ fn kill_and_verify(mut o: Orchestrator, victim: usize) {
     for i in 0..40 {
         o.chain.inject(pkt(2000 + (i % 8), i));
     }
-    let more = o.chain.collect_egress(40, Duration::from_secs(15));
+    let more = o.chain.egress().collect(40, Duration::from_secs(15));
     assert_eq!(more.len(), 40, "post-recovery traffic must flow");
     assert_eq!(own.peek_u64(b"mon:packets:g0"), Some(released_before + 40));
 }
@@ -97,7 +97,10 @@ fn f2_survives_two_simultaneous_failures() {
     for i in 0..50 {
         o.chain.inject(pkt(3000 + (i % 4), i));
     }
-    assert_eq!(o.chain.collect_egress(50, Duration::from_secs(15)).len(), 50);
+    assert_eq!(
+        o.chain.egress().collect(50, Duration::from_secs(15)).len(),
+        50
+    );
     std::thread::sleep(Duration::from_millis(150));
 
     // Kill two adjacent replicas at once.
@@ -108,7 +111,10 @@ fn f2_survives_two_simultaneous_failures() {
 
     for victim in [1usize, 2] {
         assert_eq!(
-            o.chain.replicas[victim].state.own_store.peek_u64(b"mon:packets:g0"),
+            o.chain.replicas[victim]
+                .state
+                .own_store
+                .peek_u64(b"mon:packets:g0"),
             Some(50),
             "r{victim} state after double failure"
         );
@@ -116,7 +122,10 @@ fn f2_survives_two_simultaneous_failures() {
     for i in 0..30 {
         o.chain.inject(pkt(4000 + (i % 4), i));
     }
-    assert_eq!(o.chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
+    assert_eq!(
+        o.chain.egress().collect(30, Duration::from_secs(15)).len(),
+        30
+    );
 }
 
 #[test]
@@ -131,7 +140,7 @@ fn sequential_failures_of_every_position() {
         }
         expected += 20;
         assert_eq!(
-            o.chain.collect_egress(20, Duration::from_secs(15)).len(),
+            o.chain.egress().collect(20, Duration::from_secs(15)).len(),
             20,
             "round {round}"
         );
@@ -140,7 +149,10 @@ fn sequential_failures_of_every_position() {
         o.chain.kill(victim);
         o.recover(victim, ftc::net::RegionId(0)).expect("recover");
         assert_eq!(
-            o.chain.replicas[victim].state.own_store.peek_u64(b"mon:packets:g0"),
+            o.chain.replicas[victim]
+                .state
+                .own_store
+                .peek_u64(b"mon:packets:g0"),
             Some(expected),
             "after recovering r{victim}"
         );
@@ -153,7 +165,10 @@ fn detector_driven_recovery_loop() {
     for i in 0..30 {
         o.chain.inject(pkt(6000 + i, i));
     }
-    assert_eq!(o.chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
+    assert_eq!(
+        o.chain.egress().collect(30, Duration::from_secs(15)).len(),
+        30
+    );
     std::thread::sleep(Duration::from_millis(100));
     o.chain.kill(1);
     // Let the monitor loop find and repair it.
@@ -167,7 +182,10 @@ fn detector_driven_recovery_loop() {
     }
     assert!(recovered, "monitor loop must detect and repair the failure");
     assert_eq!(
-        o.chain.replicas[1].state.own_store.peek_u64(b"mon:packets:g0"),
+        o.chain.replicas[1]
+            .state
+            .own_store
+            .peek_u64(b"mon:packets:g0"),
         Some(30)
     );
 }
@@ -187,7 +205,10 @@ fn recovery_across_wan_regions_is_rtt_dominated() {
     for i in 0..20 {
         o.chain.inject(pkt(7000 + i, i));
     }
-    assert_eq!(o.chain.collect_egress(20, Duration::from_secs(20)).len(), 20);
+    assert_eq!(
+        o.chain.egress().collect(20, Duration::from_secs(20)).len(),
+        20
+    );
     std::thread::sleep(Duration::from_millis(100));
 
     o.chain.kill(1); // the replica in the remote region
@@ -223,12 +244,18 @@ fn nf_baseline_loses_everything_ftc_does_not() {
     for i in 0..10 {
         o.chain.inject(pkt(8000 + i, i));
     }
-    assert_eq!(o.chain.collect_egress(10, Duration::from_secs(10)).len(), 10);
+    assert_eq!(
+        o.chain.egress().collect(10, Duration::from_secs(10)).len(),
+        10
+    );
     std::thread::sleep(Duration::from_millis(100));
     o.chain.kill(0);
     o.recover(0, ftc::net::RegionId(0)).expect("recovery");
     assert_eq!(
-        o.chain.replicas[0].state.own_store.peek_u64(b"mon:packets:g0"),
+        o.chain.replicas[0]
+            .state
+            .own_store
+            .peek_u64(b"mon:packets:g0"),
         Some(10),
         "FTC keeps the state NF lost"
     );

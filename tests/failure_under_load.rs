@@ -43,12 +43,15 @@ fn kill_and_recover_under_continuous_load() {
         // Let traffic flow, then fail-stop the victim mid-stream.
         let t_warm = std::time::Instant::now();
         while t_warm.elapsed() < Duration::from_millis(300) {
-            if orch.chain.egress_timeout(Duration::from_millis(2)).is_some() {
+            if orch.chain.egress().recv(Duration::from_millis(2)).is_some() {
                 released.fetch_add(1, Ordering::Relaxed);
             }
         }
         let released_before_kill = released.load(Ordering::Relaxed);
-        assert!(released_before_kill > 0, "warm traffic must flow (victim {victim})");
+        assert!(
+            released_before_kill > 0,
+            "warm traffic must flow (victim {victim})"
+        );
 
         orch.chain.kill(victim);
         // Keep draining while the orchestrator recovers (packets in flight
@@ -62,7 +65,7 @@ fn kill_and_recover_under_continuous_load() {
         let t_post = std::time::Instant::now();
         let mut post = 0u64;
         while t_post.elapsed() < Duration::from_secs(10) && post < 50 {
-            if orch.chain.egress_timeout(Duration::from_millis(5)).is_some() {
+            if orch.chain.egress().recv(Duration::from_millis(5)).is_some() {
                 post += 1;
             }
         }
@@ -96,7 +99,7 @@ fn double_failure_under_load_with_f2() {
     for i in 0..100 {
         orch.chain.inject(pkt(i));
     }
-    let warm = orch.chain.collect_egress(100, Duration::from_secs(15));
+    let warm = orch.chain.egress().collect(100, Duration::from_secs(15));
     assert_eq!(warm.len(), 100);
     std::thread::sleep(Duration::from_millis(120));
 
@@ -115,17 +118,23 @@ fn double_failure_under_load_with_f2() {
     let t = std::time::Instant::now();
     let mut post = 0;
     while t.elapsed() < Duration::from_secs(15) && post < 40 {
-        if orch.chain.egress_timeout(Duration::from_millis(5)).is_some() {
+        if orch.chain.egress().recv(Duration::from_millis(5)).is_some() {
             post += 1;
         }
     }
-    assert!(post >= 40, "chain must survive a double failure under load ({post})");
+    assert!(
+        post >= 40,
+        "chain must survive a double failure under load ({post})"
+    );
     for victim in [1usize, 2] {
         let own = orch.chain.replicas[victim]
             .state
             .own_store
             .peek_u64(b"mon:packets:g0")
             .unwrap_or(0);
-        assert!(own >= 100, "r{victim} must retain at least the quiesced prefix: {own}");
+        assert!(
+            own >= 100,
+            "r{victim} must retain at least the quiesced prefix: {own}"
+        );
     }
 }

@@ -1,6 +1,5 @@
 use ftc::prelude::*;
 use std::net::Ipv4Addr;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Multi-seed stress of the loss/reorder path that once exposed a
@@ -16,7 +15,14 @@ fn lossy_links_multi_seed_stress() {
         ])
         .with_f(1)
         .with_workers(2)
-        .with_link(LinkConfig::lossy(0.08, 0.1, seed));
+        .with_link(
+            LinkConfig::ideal()
+                .with_latency(Duration::from_micros(5))
+                .with_jitter(Duration::from_micros(20))
+                .with_loss(0.08)
+                .with_reorder(0.1)
+                .with_seed(seed),
+        );
         let chain = FtcChain::deploy(cfg);
         let n = 150u16;
         for i in 0..n {
@@ -28,19 +34,19 @@ fn lossy_links_multi_seed_stress() {
                     .build(),
             );
         }
-        let got = chain.collect_egress(n as usize, Duration::from_secs(30));
+        let got = chain.egress().collect(n as usize, Duration::from_secs(30));
         assert_eq!(got.len(), n as usize, "seed {seed} stalled");
         if false {
-            let m = &chain.metrics;
+            let m = chain.metrics.snapshot();
             eprintln!(
                 "injected={} released={} applied={} parked={} stale={} prop={} held={}",
-                m.injected.load(Ordering::Relaxed),
-                m.released.load(Ordering::Relaxed),
-                m.logs_applied.load(Ordering::Relaxed),
-                m.logs_parked.load(Ordering::Relaxed),
-                m.logs_stale.load(Ordering::Relaxed),
-                m.propagating.load(Ordering::Relaxed),
-                m.held.load(Ordering::Relaxed),
+                m.injected,
+                m.released,
+                m.logs_applied,
+                m.logs_parked,
+                m.logs_stale,
+                m.propagating,
+                m.held,
             );
             for slot in &chain.replicas {
                 eprintln!(
@@ -63,4 +69,3 @@ fn lossy_links_multi_seed_stress() {
         }
     }
 }
-

@@ -1,0 +1,95 @@
+//! Integration test for the journal-derived recovery timeline: after a
+//! detector-driven kill + respawn, the chain-wide event trace must yield a
+//! [`RecoveryTimeline`] covering all four Fig-13 phases (detection,
+//! initialization, state fetch, resume).
+
+use ftc::prelude::*;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn pkt(src_port: u16, ident: u16) -> Packet {
+    UdpPacketBuilder::new()
+        .src(Ipv4Addr::new(10, 5, 0, 1), src_port)
+        .dst(Ipv4Addr::new(10, 99, 0, 1), 443)
+        .ident(ident)
+        .build()
+}
+
+#[test]
+fn kill_respawn_yields_four_phase_timeline() {
+    let specs = vec![MbSpec::Monitor { sharing_level: 1 }; 3];
+    let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(1));
+    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+
+    // Warm traffic so there is state to fetch during recovery.
+    for i in 0..40 {
+        orch.chain.inject(pkt(5000 + (i % 8), i));
+    }
+    assert_eq!(
+        orch.chain
+            .egress()
+            .collect(40, Duration::from_secs(15))
+            .len(),
+        40
+    );
+    std::thread::sleep(Duration::from_millis(100));
+
+    orch.chain.kill(1);
+    let mut recovered = false;
+    for _ in 0..20 {
+        if orch
+            .monitor_round()
+            .iter()
+            .any(|(idx, r)| *idx == 1 && r.is_ok())
+        {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "monitor loop must detect and repair the failure");
+
+    // Prove the rerouted chain carries traffic again (also backs the
+    // journal's `traffic_resumed` event with real packets).
+    for i in 0..20 {
+        orch.chain.inject(pkt(6000 + (i % 8), 100 + i));
+    }
+    assert_eq!(
+        orch.chain
+            .egress()
+            .collect(20, Duration::from_secs(15))
+            .len(),
+        20
+    );
+
+    let trace = orch.chain.metrics.journal.trace();
+    assert!(
+        trace.iter().any(|e| e.kind.label() == "failure_detected"),
+        "detector must journal the confirmed failure"
+    );
+
+    let timelines = orch.recovery_timelines();
+    let t = timelines
+        .iter()
+        .find(|t| t.replica == 1)
+        .expect("a recovery timeline for the killed replica");
+    assert!(
+        t.detection > Duration::ZERO,
+        "detection phase must span first miss -> confirmation, got {timelines:?}"
+    );
+    assert!(
+        t.initialization > Duration::ZERO,
+        "initialization phase must span confirmation -> state fetch, got {timelines:?}"
+    );
+    assert!(
+        t.state_fetch > Duration::ZERO,
+        "state-fetch phase must be non-empty, got {timelines:?}"
+    );
+    assert!(
+        t.resume > Duration::ZERO,
+        "resume phase must span fetch end -> traffic resumed, got {timelines:?}"
+    );
+    assert_eq!(
+        t.total(),
+        t.detection + t.initialization + t.state_fetch + t.resume
+    );
+}
