@@ -17,7 +17,7 @@ use crossbeam::channel::{self, Receiver, Sender};
 use ftc_core::config::ChainConfig;
 use ftc_core::control::{InPort, OutPort};
 use ftc_core::metrics::ChainMetrics;
-use ftc_core::ChainSystem;
+use ftc_core::{ChainSystem, Egress};
 use ftc_mbox::{Action, Middlebox, ProcCtx};
 use ftc_net::nic::Nic;
 use ftc_net::server::AliveToken;
@@ -283,21 +283,10 @@ impl FtmbChain {
         let _ = self.ingress.send(pkt.into_bytes());
     }
 
-    /// Receives the next released packet.
-    pub fn egress_timeout(&self, timeout: Duration) -> Option<Packet> {
-        self.egress.recv_timeout(timeout).ok()
-    }
-
-    /// Collects up to `count` packets within `deadline`.
-    pub fn collect_egress(&self, count: usize, deadline: Duration) -> Vec<Packet> {
-        let start = Instant::now();
-        let mut out = Vec::new();
-        while out.len() < count && start.elapsed() < deadline {
-            if let Some(p) = self.egress_timeout(Duration::from_millis(5)) {
-                out.push(p);
-            }
-        }
-        out
+    /// Returns a handle to the chain's egress (same API as
+    /// [`FtcChain::egress`](ftc_core::FtcChain::egress)).
+    pub fn egress(&self) -> Egress {
+        Egress::new(self.egress.clone())
     }
 
     /// Whether this deployment stalls for snapshots.
@@ -369,7 +358,7 @@ impl ChainSystem for FtmbChain {
     }
 
     fn egress_pkt(&self, timeout: Duration) -> Option<Packet> {
-        self.egress_timeout(timeout)
+        self.egress().recv(timeout)
     }
 
     fn system_name(&self) -> &'static str {
@@ -406,7 +395,7 @@ mod tests {
         for i in 0..25 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(25, Duration::from_secs(10));
+        let got = chain.egress().collect(25, Duration::from_secs(10));
         assert_eq!(got.len(), 25);
         for stage in &chain.stages {
             assert_eq!(stage.store.peek_u64(b"mon:packets:g0"), Some(25));
@@ -421,7 +410,7 @@ mod tests {
         for i in 0..10 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(10, Duration::from_secs(10));
+        let got = chain.egress().collect(10, Duration::from_secs(10));
         assert_eq!(got.len(), 10);
         assert_eq!(chain.stages[0].pals.load(Ordering::Relaxed), 0);
     }
@@ -439,7 +428,7 @@ mod tests {
         // pays the full pause before coming out.
         let t0 = Instant::now();
         chain.inject(pkt(0));
-        let got = chain.collect_egress(1, Duration::from_secs(5));
+        let got = chain.egress().collect(1, Duration::from_secs(5));
         assert_eq!(got.len(), 1);
         let first_latency = t0.elapsed();
         assert!(
@@ -449,7 +438,7 @@ mod tests {
         // A packet between snapshots flows with far lower latency.
         let t1 = Instant::now();
         chain.inject(pkt(1));
-        assert_eq!(chain.collect_egress(1, Duration::from_secs(5)).len(), 1);
+        assert_eq!(chain.egress().collect(1, Duration::from_secs(5)).len(), 1);
         assert!(
             t1.elapsed() < snap.pause,
             "mid-period packet must not stall"
@@ -461,9 +450,9 @@ mod tests {
         let specs = vec![MbSpec::Monitor { sharing_level: 1 }];
         let mut chain = FtmbChain::deploy(ChainConfig::new(specs), None);
         chain.inject(pkt(0));
-        assert_eq!(chain.collect_egress(1, Duration::from_secs(5)).len(), 1);
+        assert_eq!(chain.egress().collect(1, Duration::from_secs(5)).len(), 1);
         chain.kill_master(0);
         chain.inject(pkt(1));
-        assert!(chain.egress_timeout(Duration::from_millis(100)).is_none());
+        assert!(chain.egress().recv(Duration::from_millis(100)).is_none());
     }
 }

@@ -9,7 +9,7 @@ use crossbeam::channel::{self, Receiver, Sender};
 use ftc_core::config::ChainConfig;
 use ftc_core::control::{InPort, OutPort};
 use ftc_core::metrics::ChainMetrics;
-use ftc_core::ChainSystem;
+use ftc_core::{ChainSystem, Egress};
 use ftc_mbox::{Action, Middlebox, ProcCtx};
 use ftc_net::nic::Nic;
 use ftc_net::server::AliveToken;
@@ -170,21 +170,10 @@ impl NfChain {
         let _ = self.ingress.send(pkt.into_bytes());
     }
 
-    /// Receives the next packet out of the chain.
-    pub fn egress_timeout(&self, timeout: Duration) -> Option<Packet> {
-        self.egress.recv_timeout(timeout).ok()
-    }
-
-    /// Collects up to `count` packets within `deadline`.
-    pub fn collect_egress(&self, count: usize, deadline: Duration) -> Vec<Packet> {
-        let start = Instant::now();
-        let mut out = Vec::new();
-        while out.len() < count && start.elapsed() < deadline {
-            if let Some(p) = self.egress_timeout(Duration::from_millis(5)) {
-                out.push(p);
-            }
-        }
-        out
+    /// Returns a handle to the chain's egress (same API as
+    /// [`FtcChain::egress`](ftc_core::FtcChain::egress)).
+    pub fn egress(&self) -> Egress {
+        Egress::new(self.egress.clone())
     }
 
     /// Fail-stops the server at `idx` (no recovery exists: this is the
@@ -202,7 +191,7 @@ impl ChainSystem for NfChain {
     }
 
     fn egress_pkt(&self, timeout: Duration) -> Option<Packet> {
-        self.egress_timeout(timeout)
+        self.egress().recv(timeout)
     }
 
     fn system_name(&self) -> &'static str {
@@ -236,7 +225,7 @@ mod tests {
         for i in 0..30 {
             chain.inject(pkt(i));
         }
-        let got = chain.collect_egress(30, Duration::from_secs(10));
+        let got = chain.egress().collect(30, Duration::from_secs(10));
         assert_eq!(got.len(), 30);
         for stage in &chain.stages {
             assert_eq!(stage.store.peek_u64(b"mon:packets:g0"), Some(30));
@@ -248,7 +237,7 @@ mod tests {
         let specs = vec![MbSpec::Monitor { sharing_level: 1 }];
         let chain = NfChain::deploy(ChainConfig::new(specs));
         chain.inject(pkt(1));
-        let got = chain.collect_egress(1, Duration::from_secs(5));
+        let got = chain.egress().collect(1, Duration::from_secs(5));
         assert_eq!(got.len(), 1);
         assert!(!got[0].has_piggyback(), "NF must not modify packets");
     }
@@ -263,11 +252,11 @@ mod tests {
         for i in 0..5 {
             chain.inject(pkt(i));
         }
-        chain.collect_egress(5, Duration::from_secs(5));
+        chain.egress().collect(5, Duration::from_secs(5));
         chain.kill(0);
         // The baseline has no replicas: the state is simply gone with the
         // server, and traffic stops flowing.
         chain.inject(pkt(99));
-        assert!(chain.egress_timeout(Duration::from_millis(100)).is_none());
+        assert!(chain.egress().recv(Duration::from_millis(100)).is_none());
     }
 }

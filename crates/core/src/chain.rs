@@ -68,7 +68,8 @@ pub struct ReplicaSlot {
 /// A cloneable handle to the chain's egress: every way of taking
 /// released packets out of the chain, in one place.
 ///
-/// Obtain one with [`FtcChain::egress`]. All handles share the same
+/// Obtain one with [`FtcChain::egress`] (the baselines and the sync
+/// test chain expose the same handle). All handles share the same
 /// underlying channel, so packets are consumed exactly once across
 /// handles.
 #[derive(Clone)]
@@ -77,6 +78,13 @@ pub struct Egress {
 }
 
 impl Egress {
+    /// Wraps an egress channel. Systems releasing packets through a
+    /// crossbeam channel (FTC, the baselines, the sync test chain) expose
+    /// their egress this way so callers share one API.
+    pub fn new(rx: Receiver<Packet>) -> Egress {
+        Egress { rx }
+    }
+
     /// Receives the next released packet, waiting up to `timeout`.
     pub fn recv(&self, timeout: Duration) -> Option<Packet> {
         self.rx.recv_timeout(timeout).ok()
@@ -300,25 +308,7 @@ impl FtcChain {
     /// Returns a handle to the chain's egress — the one place to
     /// receive, drain, or collect released packets.
     pub fn egress(&self) -> Egress {
-        Egress {
-            rx: self.egress_rx.clone(),
-        }
-    }
-
-    /// Receives the next released packet, waiting up to `timeout`.
-    #[deprecated(note = "use `chain.egress().recv(timeout)` instead")]
-    pub fn egress_timeout(&self, timeout: Duration) -> Option<Packet> {
-        self.egress_rx.recv_timeout(timeout).ok()
-    }
-
-    /// Drains all currently released packets.
-    #[deprecated(note = "use `chain.egress().drain()` instead")]
-    pub fn drain_egress(&self) -> Vec<Packet> {
-        let mut out = Vec::new();
-        while let Ok(p) = self.egress_rx.try_recv() {
-            out.push(p);
-        }
-        out
+        Egress::new(self.egress_rx.clone())
     }
 
     /// Fail-stops the server at `idx` (the replica, plus the forwarder or
@@ -453,13 +443,6 @@ impl FtcChain {
             region,
         };
         ctrl_client
-    }
-
-    /// Convenience for tests: wait until the chain has released `count`
-    /// packets or `deadline` passes; returns the released packets.
-    #[deprecated(note = "use `chain.egress().collect(count, deadline)` instead")]
-    pub fn collect_egress(&self, count: usize, deadline: Duration) -> Vec<Packet> {
-        self.egress().collect(count, deadline)
     }
 }
 

@@ -253,6 +253,27 @@ impl AtomicHistogram {
         self.len() == 0
     }
 
+    /// Performs step `step` (0..[`Self::RECORD_STEPS`]) of
+    /// [`record_ns`](Self::record_ns) in isolation, so the model checker
+    /// can interleave recorders at atomic-operation granularity. The five
+    /// steps, in order: bucket count, total, sum, min, max.
+    #[cfg(feature = "loom")]
+    pub fn record_step(&self, ns: u64, step: usize) {
+        let i = Histogram::index(ns).min(self.counts.len() - 1);
+        match step {
+            0 => drop(self.counts[i].fetch_add(1, Ordering::Relaxed)),
+            1 => drop(self.total.fetch_add(1, Ordering::Relaxed)),
+            2 => drop(self.sum_ns.fetch_add(ns, Ordering::Relaxed)),
+            3 => drop(self.min_ns.fetch_min(ns, Ordering::Relaxed)),
+            4 => drop(self.max_ns.fetch_max(ns, Ordering::Relaxed)),
+            _ => panic!("record_ns has {} steps", Self::RECORD_STEPS),
+        }
+    }
+
+    /// Number of atomic operations in one [`record_ns`](Self::record_ns).
+    #[cfg(feature = "loom")]
+    pub const RECORD_STEPS: usize = 5;
+
     /// Copies the current state into a plain [`Histogram`] for quantile
     /// queries, merging, and serialization.
     pub fn snapshot(&self) -> Histogram {
@@ -268,6 +289,141 @@ impl AtomicHistogram {
             sum_ns: u128::from(self.sum_ns.load(Ordering::Relaxed)),
             min_ns: self.min_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exhaustive interleaving checks for [`AtomicHistogram`], compiled only
+/// with `--features loom`.
+///
+/// [`AtomicHistogram::record_ns`] is five independent relaxed atomic
+/// operations, and [`AtomicHistogram::snapshot`] may observe any prefix
+/// of any interleaving of concurrent recorders. The checker enumerates
+/// **every** interleaving of one `record_ns` per sample (driving the real
+/// type one atomic step at a time via
+/// [`record_step`](AtomicHistogram::record_step)) and, after every step,
+/// checks the snapshot against the exact predicted value of each field
+/// given which steps have executed. Modelled at interleaving granularity;
+/// relaxed-memory reordering between different atomics is not modelled —
+/// every field here is independently monotone, so per-field coherence is
+/// the property that matters.
+#[cfg(feature = "loom")]
+pub mod model {
+    use super::*;
+
+    /// Runs every interleaving of one `record_ns(sample)` per element of
+    /// `samples`; returns the number of interleavings checked. Panics on
+    /// the first snapshot that deviates from its predicted value.
+    ///
+    /// Interleavings of k samples number `(5k)! / (5!)^k` — keep
+    /// `samples.len()` at 2 (252 interleavings) or 3 (756 756).
+    pub fn check_recorder_interleavings(samples: &[u64]) -> usize {
+        assert!(samples.len() <= 3, "interleaving count is multinomial");
+        let mut order = Vec::new();
+        let mut count = 0;
+        enumerate(
+            samples.len(),
+            &mut vec![0; samples.len()],
+            &mut order,
+            &mut |o| {
+                replay_and_check(samples, o);
+                count += 1;
+            },
+        );
+        count
+    }
+
+    /// Enumerates every merge of `n` writers' 5-step programs.
+    fn enumerate(
+        n: usize,
+        pc: &mut Vec<usize>,
+        order: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
+        if pc.iter().all(|&p| p == AtomicHistogram::RECORD_STEPS) {
+            f(order);
+            return;
+        }
+        for w in 0..n {
+            if pc[w] < AtomicHistogram::RECORD_STEPS {
+                pc[w] += 1;
+                order.push(w);
+                enumerate(n, pc, order, f);
+                order.pop();
+                pc[w] -= 1;
+            }
+        }
+    }
+
+    /// Replays one interleaving on a fresh histogram, checking the
+    /// snapshot after every atomic step.
+    fn replay_and_check(samples: &[u64], order: &[usize]) {
+        let h = AtomicHistogram::new();
+        let mut pc = vec![0usize; samples.len()];
+        check_prefix(&h, samples, &pc, order);
+        for &w in order {
+            h.record_step(samples[w], pc[w]);
+            pc[w] += 1;
+            check_prefix(&h, samples, &pc, order);
+        }
+    }
+
+    /// Every field is written by exactly one step of each recorder, so
+    /// the mid-flight snapshot is exactly predictable from the per-writer
+    /// program counters.
+    fn check_prefix(h: &AtomicHistogram, samples: &[u64], pc: &[usize], order: &[usize]) {
+        let past = |step: usize| (0..samples.len()).filter(move |&w| pc[w] > step);
+        let snap = h.snapshot();
+        // snapshot() derives `total` from the bucket counts (step 0), not
+        // from the `total` counter (step 1).
+        assert_eq!(
+            snap.total,
+            past(0).count() as u64,
+            "order {order:?} pc {pc:?}"
+        );
+        assert_eq!(h.len(), past(1).count() as u64, "order {order:?} pc {pc:?}");
+        let want_sum: u64 = past(2).fold(0u64, |a, w| a.wrapping_add(samples[w]));
+        assert_eq!(
+            snap.sum_ns,
+            u128::from(want_sum),
+            "order {order:?} pc {pc:?}"
+        );
+        let want_min = past(3).map(|w| samples[w]).min().unwrap_or(u64::MAX);
+        assert_eq!(snap.min_ns, want_min, "order {order:?} pc {pc:?}");
+        let want_max = past(4).map(|w| samples[w]).max().unwrap_or(0);
+        assert_eq!(snap.max_ns, want_max, "order {order:?} pc {pc:?}");
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn two_recorders_all_interleavings() {
+            assert_eq!(check_recorder_interleavings(&[100, 2_000_000]), 252);
+        }
+
+        #[test]
+        fn equal_samples_and_extremes() {
+            assert_eq!(check_recorder_interleavings(&[7, 7]), 252);
+            assert_eq!(check_recorder_interleavings(&[0, u64::MAX]), 252);
+        }
+
+        #[test]
+        fn final_state_matches_single_writer_histogram() {
+            let samples = [3u64, 77, 65_000];
+            let h = AtomicHistogram::new();
+            for &s in &samples {
+                h.record_ns(s);
+            }
+            let mut p = Histogram::new();
+            for &s in &samples {
+                p.record_ns(s);
+            }
+            let s = h.snapshot();
+            assert_eq!(s.len(), p.len());
+            assert_eq!(s.mean(), p.mean());
+            assert_eq!(s.quantile(0.99), p.quantile(0.99));
         }
     }
 }

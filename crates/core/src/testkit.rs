@@ -10,6 +10,7 @@
 //! interleaving, deterministically.
 
 use crate::buffer::BufferState;
+use crate::chain::Egress;
 use crate::config::ChainConfig;
 use crate::control::{InPort, OutPort};
 use crate::forwarder::ForwarderState;
@@ -269,13 +270,10 @@ impl SyncChain {
         );
     }
 
-    /// Drains all released packets.
-    pub fn drain_egress(&self) -> Vec<Packet> {
-        let mut out = Vec::new();
-        while let Ok(p) = self.egress.try_recv() {
-            out.push(p);
-        }
-        out
+    /// Returns a handle to the chain's egress (same API as
+    /// [`FtcChain::egress`](crate::FtcChain::egress)).
+    pub fn egress(&self) -> Egress {
+        Egress::new(self.egress.clone())
     }
 
     /// Packets currently withheld by the buffer.
@@ -306,7 +304,7 @@ mod tests {
             chain.inject(pkt(i));
         }
         chain.run_to_quiescence(1000);
-        let got = chain.drain_egress();
+        let got = chain.egress().drain();
         assert_eq!(got.len(), 10);
         assert_eq!(chain.held(), 0);
         for r in &chain.replicas {
@@ -334,10 +332,10 @@ mod tests {
         for _ in 0..50 {
             chain.step(Step::Replica(0));
         }
-        assert!(chain.drain_egress().is_empty(), "nothing can release yet");
+        assert!(chain.egress().drain().is_empty(), "nothing can release yet");
         // …then let everything run.
         chain.run_to_quiescence(1000);
-        assert_eq!(chain.drain_egress().len(), 5);
+        assert_eq!(chain.egress().drain().len(), 5);
     }
 
     #[test]
@@ -347,7 +345,7 @@ mod tests {
         );
         chain.inject(pkt(1));
         chain.run_to_quiescence(100);
-        assert_eq!(chain.drain_egress().len(), 1);
+        assert_eq!(chain.egress().drain().len(), 1);
         assert_eq!(
             chain
                 .metrics

@@ -4,7 +4,6 @@
 
 use ftc_core::config::ChainConfig;
 use ftc_core::testkit::{Step, SyncChain};
-use ftc_mbox::MbSpec;
 use ftc_packet::builder::UdpPacketBuilder;
 use ftc_packet::Packet;
 use proptest::collection::vec;
@@ -79,7 +78,7 @@ proptest! {
         }
         chain.run_to_quiescence(5_000);
 
-        let got = chain.drain_egress();
+        let got = chain.egress().drain();
         prop_assert_eq!(got.len() as u16, injected, "exactly-once release");
         prop_assert_eq!(chain.held(), 0, "no packet withheld at quiescence");
 
@@ -110,7 +109,7 @@ proptest! {
             chain.step(s);
         }
         chain.run_to_quiescence(2_000);
-        prop_assert_eq!(chain.drain_egress().len(), 1);
+        prop_assert_eq!(chain.egress().drain().len(), 1);
     }
 
     /// Failure-point exploration: quiesce a batch, fail ANY replica at ANY
@@ -133,7 +132,7 @@ proptest! {
             chain.inject(pkt(i));
         }
         chain.run_to_quiescence(5_000);
-        let released = chain.drain_egress().len() as u64;
+        let released = chain.egress().drain().len() as u64;
         prop_assert_eq!(released, u64::from(first_batch));
 
         // Batch 2 in flight; kill mid-schedule.
@@ -146,7 +145,7 @@ proptest! {
                 chain.step(Step::Buffer);
             }
         }
-        let released_mid = chain.drain_egress().len() as u64;
+        let released_mid = chain.egress().drain().len() as u64;
         chain.fail_and_recover(victim);
 
         // Released (quiesced) updates survive at the recovered replica.
@@ -164,7 +163,7 @@ proptest! {
             chain.inject(pkt(2000 + i));
         }
         chain.run_to_quiescence(5_000);
-        let after = chain.drain_egress().len() as u64;
+        let after = chain.egress().drain().len() as u64;
         prop_assert!(after >= 5, "post-recovery traffic must flow: {}", after);
         // Never more than what was actually injected.
         prop_assert!(

@@ -21,10 +21,14 @@
 #![warn(missing_docs)]
 
 mod max_vector;
+#[cfg(feature = "loom")]
+pub mod model;
+mod recorder;
 mod store;
 mod txn;
 
 pub use max_vector::{ApplyOutcome, MaxVector, TryApply};
+pub use recorder::{CommitRecord, HistorySink};
 pub use store::{PartitionId, StateStore, StoreSnapshot, StoreStats};
 pub use txn::{Txn, TxnError, TxnLog, TxnOutput};
 

@@ -1,11 +1,12 @@
 //! The partitioned state store.
 
+use crate::recorder::{current_thread_id, CommitRecord, HistorySink};
 use crate::txn::{Txn, TxnError, TxnOutput, TxnRecord};
 use crate::{partition_of, DepVector, StateWrite};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Index of a state partition.
@@ -109,6 +110,14 @@ pub struct StateStore {
     pub(crate) ts_gen: AtomicU64,
     /// Statistics.
     pub stats: StoreStats,
+    /// Fast path for "is anyone recording?" — one Acquire load per commit
+    /// (flags never use Relaxed; see scripts/forbidden_patterns.py).
+    recording: AtomicBool,
+    /// Commit arrival counter handed to the recorder (see
+    /// [`CommitRecord::commit_index`]).
+    commit_seq: AtomicU64,
+    /// The attached audit sink, if any.
+    recorder: RwLock<Option<Arc<dyn HistorySink>>>,
 }
 
 impl StateStore {
@@ -119,6 +128,38 @@ impl StateStore {
             partitions: (0..partitions).map(|_| Partition::new()).collect(),
             ts_gen: AtomicU64::new(1),
             stats: StoreStats::default(),
+            recording: AtomicBool::new(false),
+            commit_seq: AtomicU64::new(0),
+            recorder: RwLock::new(None),
+        }
+    }
+
+    /// Attaches an audit sink that observes every committed writing
+    /// transaction and every applied log. Replaces any previous sink.
+    pub fn set_recorder(&self, sink: Arc<dyn HistorySink>) {
+        *self.recorder.write() = Some(sink);
+        self.recording.store(true, Ordering::SeqCst);
+    }
+
+    /// Detaches the audit sink, if any. In-flight commits may still report
+    /// to the old sink after this returns.
+    pub fn clear_recorder(&self) {
+        self.recording.store(false, Ordering::SeqCst);
+        *self.recorder.write() = None;
+    }
+
+    /// Reports a committed log to the attached sink, if recording.
+    fn record_commit(&self, log: &crate::TxnLog) {
+        if !self.recording.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(sink) = self.recorder.read().as_ref() {
+            sink.on_commit(CommitRecord {
+                commit_index: self.commit_seq.fetch_add(1, Ordering::Relaxed),
+                thread: current_thread_id(),
+                deps: log.deps.clone(),
+                writes: log.writes.clone(),
+            });
         }
     }
 
@@ -151,6 +192,9 @@ impl StateStore {
                 Ok(value) => {
                     let log = txn.commit();
                     self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(log) = &log {
+                        self.record_commit(log);
+                    }
                     return TxnOutput { value, log };
                 }
                 Err(TxnError::Wounded) => {
@@ -216,7 +260,13 @@ impl StateStore {
         for (_, g) in &mut guards {
             g.seq += 1;
         }
+        drop(guards);
         self.stats.applied_logs.fetch_add(1, Ordering::Relaxed);
+        if self.recording.load(Ordering::Acquire) {
+            if let Some(sink) = self.recorder.read().as_ref() {
+                sink.on_apply(deps, writes);
+            }
+        }
     }
 
     /// Deep-copies the store for recovery state transfer.

@@ -119,6 +119,82 @@ proptest! {
         }
     }
 
+    /// Wound-wait is starvation-free: under a randomized fully-conflicting
+    /// workload every transaction commits exactly once (retries keep their
+    /// original timestamp, so each one eventually becomes the oldest and
+    /// can no longer be wounded), and the abort count stays bounded rather
+    /// than growing without limit.
+    #[test]
+    fn wound_wait_is_starvation_free(
+        per_thread in vec(1usize..40, 2..5),
+        hot_keys in 1u8..3,
+    ) {
+        let store = Arc::new(StateStore::new(4));
+        let mut handles = Vec::new();
+        for (t, &n) in per_thread.iter().enumerate() {
+            let store = Arc::clone(&store);
+            let hot = t as u8 % hot_keys;
+            handles.push(thread::spawn(move || {
+                for _ in 0..n {
+                    // Everyone hammers a hot counter (and one rotating
+                    // second key, creating cross-partition conflicts).
+                    run_txn(&store, &[Op::Add(hot, 1), Op::Copy(hot, hot_keys)]);
+                }
+            }));
+        }
+        // Joining at all is the liveness claim: a starved transaction
+        // would spin in StateStore::transaction forever.
+        for h in handles { h.join().unwrap(); }
+        let expected: u64 = per_thread.iter().map(|&n| n as u64).sum();
+        let total: u64 = (0..hot_keys).map(|k| store.peek_u64(&key(k)).unwrap_or(0)).sum();
+        prop_assert_eq!(total, expected, "every txn commits exactly once");
+        let (commits, wounds, _) = store.stats.snapshot();
+        prop_assert_eq!(commits, expected);
+        // Wound-wait bounds retries; allow generous slack for scheduling
+        // noise but fail on quadratic-or-worse blowups.
+        prop_assert!(
+            wounds <= 20 * commits + 100,
+            "{wounds} wound-aborts for {commits} commits"
+        );
+    }
+
+    /// `MaxVector::try_apply` convergence: applying the head's logs in ANY
+    /// dep-respecting order (random linear extensions of the dependency
+    /// partial order, generated by shuffled ready-set sweeps, without the
+    /// parking lot's help) reproduces the head store exactly.
+    #[test]
+    fn try_apply_converges_under_random_dep_respecting_orders(
+        txns in vec(arb_txn(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let head = StateStore::new(8);
+        let mut logs = Vec::new();
+        for ops in &txns {
+            if let Some(log) = run_txn(&head, ops) {
+                logs.push(log);
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        let replica = StateStore::new(8);
+        let max = MaxVector::new(8);
+        let mut pending: Vec<usize> = (0..logs.len()).collect();
+        while !pending.is_empty() {
+            pending.shuffle(&mut rng);
+            let before = pending.len();
+            pending.retain(|&i| {
+                max.try_apply(&logs[i].deps, &logs[i].writes, &replica)
+                    != ftc_stm::Applicability::Ready
+            });
+            prop_assert!(pending.len() < before, "no log applicable: stuck");
+        }
+        prop_assert_eq!(max.parked_len(), 0, "try_apply never parks");
+        prop_assert_eq!(replica.seq_vector(), head.seq_vector());
+        for k in 0..7 {
+            prop_assert_eq!(replica.peek_u64(&key(k)), head.peek_u64(&key(k)));
+        }
+    }
+
     /// Snapshot/restore is faithful under arbitrary committed state.
     #[test]
     fn snapshot_restore_faithful(txns in vec(arb_txn(), 0..16)) {

@@ -3,9 +3,8 @@
 //! * [`workload`] — flow-oriented packet generation: configurable flow
 //!   counts, packet sizes, and flow popularity (uniform or zipf), with
 //!   timestamps embedded in payloads for end-to-end latency measurement.
-//! * [`histogram`] — a log-bucketed latency histogram with percentile
-//!   extraction (mean/median/p99/CDF), implemented in-repo to stay within
-//!   the offline dependency set.
+//! * [`Histogram`] (re-exported from [`ftc_core::hist`]) — a log-bucketed
+//!   latency histogram with percentile extraction (mean/median/p99/CDF).
 //! * [`stats`] — summary statistics across repeated runs.
 //! * [`runner`] — open-loop (fixed offered rate) and closed-loop (maximum
 //!   throughput) drivers over any [`ftc_core::ChainSystem`], reporting the
@@ -14,11 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod histogram;
 pub mod runner;
 pub mod stats;
 pub mod workload;
 
-pub use histogram::Histogram;
+pub use ftc_core::hist::Histogram;
 pub use runner::{ClosedLoopReport, OpenLoopReport, TrafficRunner};
 pub use workload::{FlowMix, Workload, WorkloadConfig};

@@ -1,7 +1,7 @@
 //! Traffic drivers over any [`ChainSystem`].
 
-use crate::histogram::Histogram;
 use crate::workload::{Workload, WorkloadConfig};
+use crate::Histogram;
 use ftc_core::ChainSystem;
 use serde::Serialize;
 use std::time::{Duration, Instant};

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Forbidden-pattern gate for the concurrency core.
+
+Greps can't see context; this script can see just enough. Three rules,
+each motivated by a past or feared class of concurrency bug:
+
+1. ``std-mutex``   — ``std::sync::Mutex``/``RwLock`` outside approved
+                     modules. Production code must use ``parking_lot``
+                     (no poisoning: a panicking packet thread must not
+                     wedge every other thread that touches the lock).
+2. ``relaxed-flag``— ``Ordering::Relaxed`` on an ``AtomicBool``. Boolean
+                     flags are cross-thread signals (wounded, shutdown,
+                     recording, ...) and must use SeqCst/Acquire/Release;
+                     Relaxed is reserved for counters where only the
+                     eventual total matters.
+3. ``hot-unwrap``  — ``.unwrap()`` in the packet hot path
+                     (``crates/packet/src``). Parsers handle adversarial
+                     bytes; use ``.expect("why this cannot fail")`` or
+                     propagate the error.
+
+Test code is exempt: ``#[cfg(test)]`` blocks are stripped by brace
+matching, and ``tests/``, ``benches/``, ``examples/`` trees are skipped.
+A line ending in ``// forbidden-ok: <rule>`` is exempt from <rule> (use
+sparingly; say why on the same line or the one above).
+
+Exit status 0 = clean, 1 = violations (listed on stdout).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Modules allowed to use std::sync primitives (e.g. for Condvar pairing
+# or poisoning semantics they actually want). Currently empty on purpose.
+STD_MUTEX_ALLOWED: set = set()
+
+SKIP_DIRS = {"target", ".git"}
+SKIP_PARTS = {"tests", "benches", "examples"}
+
+
+def rust_sources():
+    for path in sorted(ROOT.rglob("*.rs")):
+        rel = path.relative_to(ROOT)
+        parts = set(rel.parts)
+        if parts & SKIP_DIRS or parts & SKIP_PARTS:
+            continue
+        yield rel
+
+
+def strip_test_blocks(lines):
+    """Yields (lineno, line) for lines outside #[cfg(test)] { ... } blocks."""
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        if re.search(r"#\[cfg\(test\)\]", line):
+            # Skip to the end of the attached item by brace matching.
+            depth = 0
+            opened = False
+            while i < n:
+                for ch in lines[i]:
+                    if ch == "{":
+                        depth += 1
+                        opened = True
+                    elif ch == "}":
+                        depth -= 1
+                if opened and depth <= 0:
+                    break
+                i += 1
+            i += 1
+            continue
+        yield i + 1, line
+        i += 1
+
+
+def atomic_bool_fields(text):
+    """Names declared as AtomicBool anywhere in the file."""
+    return set(re.findall(r"(\w+)\s*:\s*(?:\w+::)*AtomicBool\b", text))
+
+
+def check_file(rel, violations):
+    text = (ROOT / rel).read_text()
+    lines = text.splitlines()
+    flags = atomic_bool_fields(text)
+    in_packet_hot_path = rel.parts[:3] == ("crates", "packet", "src")
+
+    for lineno, line in strip_test_blocks(lines):
+        code = line.split("//")[0] if "//" in line else line
+
+        def exempt(rule):
+            return f"forbidden-ok: {rule}" in line
+
+        if (
+            re.search(r"\bstd::sync::(Mutex|RwLock)\b", code)
+            and str(rel) not in STD_MUTEX_ALLOWED
+            and not exempt("std-mutex")
+        ):
+            violations.append((rel, lineno, "std-mutex", line.strip()))
+
+        if re.search(r"Ordering::Relaxed", code) and not exempt("relaxed-flag"):
+            recv = re.findall(
+                r"(\w+)\s*\.\s*(?:load|store|swap|fetch_\w+|compare_exchange\w*)\s*\(",
+                code,
+            )
+            if any(r in flags for r in recv):
+                violations.append((rel, lineno, "relaxed-flag", line.strip()))
+
+        if (
+            in_packet_hot_path
+            and re.search(r"\.unwrap\(\)", code)
+            and not exempt("hot-unwrap")
+        ):
+            violations.append((rel, lineno, "hot-unwrap", line.strip()))
+
+
+def main():
+    violations = []
+    count = 0
+    for rel in rust_sources():
+        count += 1
+        check_file(rel, violations)
+    if violations:
+        for rel, lineno, rule, line in violations:
+            print(f"{rel}:{lineno}: [{rule}] {line}")
+        print(f"forbidden_patterns: {len(violations)} violation(s) in {count} files")
+        return 1
+    print(f"forbidden_patterns: clean ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,10 @@ fn ftmb_emits_one_pal_per_stateful_packet() {
     for i in 0..30 {
         chain.inject(pkt(2000 + i, i));
     }
-    assert_eq!(chain.collect_egress(30, Duration::from_secs(15)).len(), 30);
+    assert_eq!(
+        chain.egress().collect(30, Duration::from_secs(15)).len(),
+        30
+    );
     assert_eq!(
         chain.stages[0]
             .pals

@@ -235,10 +235,10 @@ fn nf_baseline_loses_everything_ftc_does_not() {
     for i in 0..10 {
         nf.inject(pkt(8000 + i, i));
     }
-    assert_eq!(nf.collect_egress(10, Duration::from_secs(10)).len(), 10);
+    assert_eq!(nf.egress().collect(10, Duration::from_secs(10)).len(), 10);
     nf.kill(0);
     nf.inject(pkt(9000, 0));
-    assert!(nf.egress_timeout(Duration::from_millis(200)).is_none());
+    assert!(nf.egress().recv(Duration::from_millis(200)).is_none());
 
     let mut o = orch(2, 1);
     for i in 0..10 {
