@@ -17,6 +17,12 @@
 //! * [`convergence::replay`] / [`convergence::replay_against`] — replays
 //!   the history into fresh replicas under adversarial delivery orders
 //!   and diffs the final snapshots against the primary.
+//! * [`protocol`] — the protocol-level model checker: drives a miniature
+//!   chain (real [`ftc_core::testkit::SyncChain`] objects) through every
+//!   interleaving × crash-point schedule in a bounded matrix, checking
+//!   release-implies-replication, post-recovery convergence, ring
+//!   re-formation, and `MAX`-vector monotonicity — plus the abstract
+//!   deployment model backing the static/dynamic agreement property.
 //!
 //! [`audit`] runs the whole battery. Typical use in a test:
 //!
@@ -40,10 +46,14 @@
 
 pub mod convergence;
 pub mod history;
+pub mod protocol;
 pub mod serializability;
 
 pub use convergence::ConvergenceReport;
 pub use history::{AppliedLog, CommittedTxn, History, Recorder};
+pub use protocol::{
+    check_abstract_deploy, explore, AbstractWitness, ProtocolCheckConfig, ProtocolReport, Witness,
+};
 pub use serializability::{SerializabilityReport, Violation};
 
 /// Number of adversarial replay schedules [`audit`] runs.

@@ -1,0 +1,97 @@
+//! The protocol model checker's gate tests: exhaustive `f = 1` exploration
+//! must be violation-free on the real implementation, a sabotaged buffer
+//! must yield an I1 witness, and the bounded `f = 2` matrix runs nightly
+//! (opt-in via `FTC_PROTOCOL_F2=1`).
+
+use ftc_audit::{explore, ProtocolCheckConfig};
+
+/// Exhaustively explores every single-crash schedule for the 3-middlebox
+/// `f = 1` chain: all 120 interleavings of the five steppable actors ×
+/// the full crash matrix (every victim × every step phase × two triggers,
+/// plus quiesced kills, recovery aborts, and source-death retries).
+#[test]
+fn f1_exhaustive_exploration_is_violation_free() {
+    let cfg = ProtocolCheckConfig::f1_exhaustive();
+    let report = explore(&cfg);
+    eprintln!("protocol-check f=1: {}", report.summary());
+    assert!(
+        report.ok(),
+        "invariant violations on the current implementation:\n{}",
+        report
+            .witnesses
+            .iter()
+            .map(|w| format!("  {w}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The matrix really is exhaustive: 120 interleavings of
+    // [R0, R1, R2, Buffer, FwdFeedback], and every crash case in it.
+    assert_eq!(report.interleavings, 120);
+    assert!(
+        report.crash_cases >= 25,
+        "expected the full f=1 crash matrix, got {} cases",
+        report.crash_cases
+    );
+    assert_eq!(report.schedules, report.crash_cases * report.interleavings);
+    assert!(
+        report.crashes_fired > report.schedules / 2,
+        "most schedules must execute their crash: {}",
+        report.summary()
+    );
+    assert!(report.steps > report.schedules, "{}", report.summary());
+}
+
+/// Negative fixture: a buffer that releases one commit-vector entry early
+/// (`max[p] ≥ seq` instead of the strict `max[p] > seq`) frees packets
+/// whose wrapped-group update has not yet completed the feedback loop —
+/// the checker must produce an I1 witness naming the lagging replica.
+#[test]
+fn sabotaged_buffer_produces_i1_witness() {
+    let cfg = ProtocolCheckConfig {
+        sabotage_buffer: true,
+        perm_limit: Some(6),
+        ..ProtocolCheckConfig::f1_exhaustive()
+    };
+    let report = explore(&cfg);
+    eprintln!("protocol-check sabotage: {}", report.summary());
+    assert!(
+        !report.ok(),
+        "the sabotaged release rule must be caught: {}",
+        report.summary()
+    );
+    let i1 = report
+        .witnesses
+        .iter()
+        .find(|w| w.invariant == "I1")
+        .expect("an I1 witness");
+    assert!(
+        i1.detail.contains("fewer than f+1 live copies"),
+        "witness must explain the violation: {i1}"
+    );
+}
+
+/// Bounded `f = 2` exploration (4 middleboxes, stride-sampled
+/// interleavings, double-failure / fallback-fetch / recovery-abort cases).
+/// Heavier than the PR gate, so it only runs when `FTC_PROTOCOL_F2=1`
+/// (the nightly CI job sets it).
+#[test]
+fn f2_nightly_exploration_is_violation_free() {
+    if std::env::var("FTC_PROTOCOL_F2").map(|v| v != "1").unwrap_or(true) {
+        eprintln!("skipping f=2 exploration (set FTC_PROTOCOL_F2=1 to run)");
+        return;
+    }
+    let cfg = ProtocolCheckConfig::f2_nightly();
+    let report = explore(&cfg);
+    eprintln!("protocol-check f=2: {}", report.summary());
+    assert!(
+        report.ok(),
+        "invariant violations at f=2:\n{}",
+        report
+            .witnesses
+            .iter()
+            .map(|w| format!("  {w}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.crashes_fired > 0, "{}", report.summary());
+}

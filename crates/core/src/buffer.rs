@@ -13,6 +13,7 @@ use crate::config::RingMath;
 use crate::control::{InPort, OutPort};
 use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
+use crate::probe::{ProbePoint, ProbeSlot};
 use bytes::BytesMut;
 use crossbeam::channel::Sender;
 use ftc_net::server::AliveToken;
@@ -52,6 +53,13 @@ pub struct BufferState {
     egress: Sender<Packet>,
     feedback: Arc<OutPort>,
     metrics: Arc<ChainMetrics>,
+    /// Model-checker hook: observes every release decision (the `f+1`
+    /// replication proof point for invariant I1).
+    pub probe: ProbeSlot,
+    /// Negative-fixture switch: when set, the release rule is off by one
+    /// (`MAX[p] >= seq` instead of `> seq`). Never set in production; the
+    /// audit crate uses it to prove the model checker catches I1 bugs.
+    sabotage_early: std::sync::atomic::AtomicBool,
 }
 
 impl BufferState {
@@ -75,7 +83,19 @@ impl BufferState {
             egress,
             feedback,
             metrics,
+            probe: ProbeSlot::new(),
+            sabotage_early: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Intentionally breaks the release rule by one commit-vector entry
+    /// (`MAX[p] >= seq` instead of the paper's strict `> seq`): a packet can
+    /// then egress before its own state update is `f+1`-replicated. Test
+    /// fixture for the protocol model checker's I1 witness; never called by
+    /// production code.
+    #[doc(hidden)]
+    pub fn sabotage_early_release(&self) {
+        self.sabotage_early.store(true, Ordering::Release);
     }
 
     /// Number of packets currently withheld.
@@ -133,6 +153,8 @@ impl BufferState {
                 // Fully replicated (or read-only): release immediately.
                 drop(inner);
                 self.metrics.t_buffer.record(t0.elapsed());
+                self.probe
+                    .observe_with(|| ProbePoint::BufferRelease { reqs: Vec::new() });
                 self.release(pkt);
                 let mut inner = self.inner.lock();
                 self.sweep(&mut inner);
@@ -171,8 +193,19 @@ impl BufferState {
         self.feedback.poll();
     }
 
-    fn committed(commits: &HashMap<usize, Vec<u64>>, m: usize, deps: &DepVector) -> bool {
-        commits.get(&m).is_some_and(|max| deps.committed_under(max))
+    fn committed(&self, commits: &HashMap<usize, Vec<u64>>, m: usize, deps: &DepVector) -> bool {
+        let Some(max) = commits.get(&m) else {
+            return false;
+        };
+        if self.sabotage_early.load(Ordering::Acquire) {
+            // Off-by-one fixture: accepts `MAX[p] == seq`, which only proves
+            // the *previous* update replicated, not this one.
+            return deps
+                .entries()
+                .iter()
+                .all(|&(p, seq)| max.get(p as usize).copied().unwrap_or(0) >= seq);
+        }
+        deps.committed_under(max)
     }
 
     /// Releases held packets whose requirements are met and prunes the
@@ -182,11 +215,20 @@ impl BufferState {
             let releasable = inner.held.iter().position(|h| {
                 h.reqs
                     .iter()
-                    .all(|(m, deps)| Self::committed(&inner.commits, *m, deps))
+                    .all(|(m, deps)| self.committed(&inner.commits, *m, deps))
             });
             match releasable {
                 Some(i) => {
                     let h = inner.held.remove(i).expect("indexed");
+                    // I1 observation point: the release rule just claimed
+                    // every requirement is f+1-replicated.
+                    self.probe.observe_with(|| ProbePoint::BufferRelease {
+                        reqs: h
+                            .reqs
+                            .iter()
+                            .map(|(m, deps)| (*m, deps.entries().to_vec()))
+                            .collect(),
+                    });
                     self.release(h.pkt);
                 }
                 None => break,
@@ -198,7 +240,7 @@ impl BufferState {
         let commits = std::mem::take(&mut inner.commits);
         inner
             .uncommitted
-            .retain(|log| !Self::committed(&commits, log.mbox.0 as usize, &log.deps));
+            .retain(|log| !self.committed(&commits, log.mbox.0 as usize, &log.deps));
         inner.commits = commits;
     }
 
@@ -377,6 +419,30 @@ mod tests {
         };
         r.buf.handle_frame(frame_with(&weak));
         assert_eq!(r.buf.held_len(), 1, "MAX[p]=5 does not commit seq 5");
+    }
+
+    #[test]
+    fn sabotaged_release_rule_frees_packets_one_entry_early() {
+        // The negative fixture inverts `insufficient_commit_keeps_holding`:
+        // with the off-by-one rule, MAX[p]=5 wrongly releases seq 5.
+        let r = rig(3, 1);
+        r.buf.sabotage_early_release();
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: vec![log(2, 0, 5)],
+            commits: vec![],
+        };
+        r.buf.handle_frame(frame_with(&msg));
+        let weak = PiggybackMessage {
+            flags: 0,
+            logs: vec![],
+            commits: vec![CommitVector {
+                mbox: MboxId(2),
+                max: vec![5],
+            }],
+        };
+        r.buf.handle_frame(frame_with(&weak));
+        assert_eq!(r.buf.held_len(), 0, "broken rule accepts MAX[p] == seq");
     }
 
     #[test]

@@ -125,8 +125,11 @@ impl InPort {
                 }
             },
             None => {
-                // Unwired (predecessor died): don't spin.
+                // Unwired (predecessor died): emulate the blocking recv's
+                // bounded wait so callers don't spin. Not a polling loop —
+                // there is no event source to wait on until `install`.
                 drop(slot);
+                // forbidden-ok: thread-sleep
                 std::thread::sleep(timeout.min(Duration::from_millis(1)));
                 None
             }

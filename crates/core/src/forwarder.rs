@@ -8,6 +8,7 @@
 
 use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
+use crate::probe::{ProbePoint, ProbeSlot};
 use bytes::BytesMut;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftc_net::nic::Nic;
@@ -30,6 +31,9 @@ pub struct ForwarderState {
     /// Feedback piggyback logs awaiting a carrier packet.
     pending: Mutex<VecDeque<PiggybackLog>>,
     metrics: Arc<ChainMetrics>,
+    /// Model-checker hook: observes feedback ingestion (the wrapped-log leg
+    /// of the ring the I1/I4 invariants reason over).
+    pub probe: ProbeSlot,
 }
 
 impl ForwarderState {
@@ -38,6 +42,7 @@ impl ForwarderState {
         Arc::new(ForwarderState {
             pending: Mutex::new(VecDeque::new()),
             metrics,
+            probe: ProbeSlot::new(),
         })
     }
 
@@ -46,6 +51,10 @@ impl ForwarderState {
         if let Ok(Some((msg, _))) = PiggybackMessage::decode_trailing(frame) {
             let mut pending = self.pending.lock();
             pending.extend(msg.logs);
+            let logs = pending.len();
+            drop(pending);
+            self.probe
+                .observe_with(|| ProbePoint::ForwarderFeedback { logs });
         }
     }
 

@@ -114,6 +114,22 @@ pub enum EventKind {
         /// Bytes pulled from group members.
         bytes: u64,
     },
+    /// One per-source fetch attempt was aborted (the source died or
+    /// refused mid-recovery); the driver falls back to the next source in
+    /// the §4.1 selection order.
+    SourceFetchAborted {
+        /// The source that failed to serve.
+        source: u16,
+        /// The middlebox whose state was being fetched.
+        mbox: u16,
+    },
+    /// One per-source fetch completed: `source` served `mbox`'s state.
+    SourceFetchServed {
+        /// The source that served.
+        source: u16,
+        /// The middlebox whose state was fetched.
+        mbox: u16,
+    },
     /// The rerouted chain resumed carrying traffic through the replica.
     TrafficResumed {
         /// The recovered replica.
@@ -136,6 +152,8 @@ impl EventKind {
             EventKind::RespawnIssued { .. } => "respawn_issued",
             EventKind::StateFetchStarted { .. } => "state_fetch_started",
             EventKind::StateFetchFinished { .. } => "state_fetch_finished",
+            EventKind::SourceFetchAborted { .. } => "source_fetch_aborted",
+            EventKind::SourceFetchServed { .. } => "source_fetch_served",
             EventKind::TrafficResumed { .. } => "traffic_resumed",
         }
     }
@@ -176,6 +194,10 @@ impl Event {
             }
             EventKind::StateFetchFinished { replica, bytes } => {
                 s.push_str(&format!(",\"replica\":{replica},\"bytes\":{bytes}"));
+            }
+            EventKind::SourceFetchAborted { source, mbox }
+            | EventKind::SourceFetchServed { source, mbox } => {
+                s.push_str(&format!(",\"from\":{source},\"mbox\":{mbox}"));
             }
             _ => {}
         }

@@ -29,8 +29,12 @@
 //!   tails behind every Table-2 stage).
 //! * [`journal`] — the chain-wide event journal and the Fig-13 recovery
 //!   timeline derived from it.
+//! * [`probe`] — step-granular instrumentation hooks: a model checker can
+//!   pause/crash protocol components at exact protocol steps.
 //! * [`testkit`] — a deterministic single-threaded harness over the same
-//!   protocol objects, for schedule-exploring property tests.
+//!   protocol objects, for schedule-exploring property tests, plus the
+//!   [`testkit::CrashSchedule`] builder shared by integration tests and
+//!   the `ftc-audit` protocol model checker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod forwarder;
 pub mod hist;
 pub mod journal;
 pub mod metrics;
+pub mod probe;
 pub mod recovery;
 pub mod replica;
 pub mod testkit;
@@ -52,3 +57,4 @@ pub use config::{ChainConfig, RingMath};
 pub use hist::Histogram;
 pub use journal::{Event, EventKind, EventSource, Journal, RecoveryTimeline};
 pub use metrics::{ChainMetrics, MetricsSnapshot};
+pub use probe::{ProbePoint, ProbeSlot, ProbeVerdict, ProtocolProbe};

@@ -10,6 +10,7 @@
 use crate::config::RingMath;
 use crate::control::{CtrlReq, CtrlResp};
 use crate::journal::{EventKind, EventSource};
+use crate::probe::{ProbePoint, ProbeVerdict};
 use crate::replica::ReplicaState;
 use ftc_stm::StoreSnapshot;
 use std::sync::Arc;
@@ -28,6 +29,13 @@ pub enum RecoveryError {
         /// The middlebox being recovered.
         mbox: usize,
     },
+    /// The recovering replica itself was crashed mid-fetch (by an installed
+    /// probe): the half-restored replacement must be abandoned and recovery
+    /// retried from scratch on a fresh replica.
+    Aborted {
+        /// The middlebox whose fetch was in flight at the crash.
+        mbox: usize,
+    },
 }
 
 impl core::fmt::Display for RecoveryError {
@@ -38,6 +46,12 @@ impl core::fmt::Display for RecoveryError {
             }
             RecoveryError::BadResponse { mbox } => {
                 write!(f, "malformed state response for middlebox {mbox}")
+            }
+            RecoveryError::Aborted { mbox } => {
+                write!(
+                    f,
+                    "recovering replica crashed while fetching middlebox {mbox}"
+                )
             }
         }
     }
@@ -106,14 +120,14 @@ pub fn recover_replica_state(
 
     // Own (head) store — only recoverable if anyone replicates it.
     if ring.f > 0 {
-        let (snap, max) = fetch_from_any(fetcher, ring, idx, idx)?;
+        let (snap, max) = fetch_from_any(state, fetcher, ring, idx, idx)?;
         transferred += snap.byte_size();
         state.restore_own(&snap, &max);
     }
 
     // Replicated groups.
     for m in ring.replicated_by(idx) {
-        let (snap, max) = fetch_from_any(fetcher, ring, idx, m)?;
+        let (snap, max) = fetch_from_any(state, fetcher, ring, idx, m)?;
         transferred += snap.byte_size();
         state.restore_replicated(m, &snap, max);
     }
@@ -128,17 +142,57 @@ pub fn recover_replica_state(
 }
 
 fn fetch_from_any(
+    state: &ReplicaState,
     fetcher: &dyn StateFetcher,
     ring: RingMath,
     idx: usize,
     m: usize,
 ) -> Result<(StoreSnapshot, Vec<u64>), RecoveryError> {
+    let journal = &state.metrics.journal;
+    let who = EventSource::Replica(idx as u16);
     for src in source_order(ring, idx, m) {
         if src == idx {
             continue;
         }
-        if let Some(got) = fetcher.fetch(src, m) {
-            return Ok(got);
+        // During-recovery crash point: the *recovering* replica dies between
+        // source attempts; the half-restored replacement is abandoned.
+        let verdict = state.probe.observe_with(|| ProbePoint::RecoveryFetch {
+            recovering: idx,
+            source: src,
+            mbox: m,
+        });
+        if verdict == ProbeVerdict::Crash {
+            journal.record(
+                who,
+                EventKind::SourceFetchAborted {
+                    source: src as u16,
+                    mbox: m as u16,
+                },
+            );
+            return Err(RecoveryError::Aborted { mbox: m });
+        }
+        match fetcher.fetch(src, m) {
+            Some(got) => {
+                journal.record(
+                    who,
+                    EventKind::SourceFetchServed {
+                        source: src as u16,
+                        mbox: m as u16,
+                    },
+                );
+                return Ok(got);
+            }
+            None => {
+                // The source died (or refused) mid-fetch; fall back to the
+                // next one in the §4.1 selection order.
+                journal.record(
+                    who,
+                    EventKind::SourceFetchAborted {
+                        source: src as u16,
+                        mbox: m as u16,
+                    },
+                );
+            }
         }
     }
     Err(RecoveryError::NoSource { mbox: m })
@@ -289,5 +343,80 @@ mod tests {
         let fetcher = |_: usize, _: usize| None;
         let err = recover_replica_state(&new_r1, &fetcher).unwrap_err();
         assert!(matches!(err, RecoveryError::NoSource { .. }));
+    }
+
+    #[test]
+    fn partial_failure_journals_one_aborted_and_one_served_fetch() {
+        // The partial case between "primary serves" and "all sources dead":
+        // the primary source dies mid-fetch and the fallback succeeds. The
+        // journal must record exactly one aborted and one completed fetch
+        // for the affected middlebox.
+        let empty = || {
+            (
+                StoreSnapshot {
+                    maps: vec![vec![]; 32],
+                    seqs: vec![0; 32],
+                },
+                vec![0u64; 32],
+            )
+        };
+        // n=4, f=2: new r1 recovers its own m1 from successors {2, 3};
+        // r2 is dead, r3 serves. Other fetches (m0 from r0, m3 from r0)
+        // succeed first try.
+        let fetcher = move |replica: usize, _mbox: usize| {
+            if replica == 2 {
+                return None; // died mid-fetch
+            }
+            Some(empty())
+        };
+        let new_r1 = mk_state(1, 4, 2);
+        recover_replica_state(&new_r1, &fetcher).unwrap();
+        let trace = new_r1.metrics.journal.trace();
+        let aborted: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SourceFetchAborted { mbox: 1, .. }))
+            .collect();
+        let served: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SourceFetchServed { mbox: 1, .. }))
+            .collect();
+        assert_eq!(aborted.len(), 1, "exactly one aborted fetch for m1");
+        assert_eq!(served.len(), 1, "exactly one completed fetch for m1");
+        assert!(matches!(
+            aborted[0].kind,
+            EventKind::SourceFetchAborted { source: 2, mbox: 1 }
+        ));
+        assert!(matches!(
+            served[0].kind,
+            EventKind::SourceFetchServed { source: 3, mbox: 1 }
+        ));
+    }
+
+    #[test]
+    fn probe_crash_during_recovery_aborts_with_journal_trail() {
+        use crate::probe::{ProbePoint, ProbeVerdict, ProtocolProbe};
+        // A probe kills the recovering replica at its first fetch: recovery
+        // reports Aborted (the half-restored replacement is abandoned) and
+        // the journal shows the aborted attempt.
+        struct KillFirstFetch;
+        impl ProtocolProbe for KillFirstFetch {
+            fn on_step(&self, point: ProbePoint) -> ProbeVerdict {
+                match point {
+                    ProbePoint::RecoveryFetch { .. } => ProbeVerdict::Crash,
+                    _ => ProbeVerdict::Continue,
+                }
+            }
+        }
+        let new_r1 = mk_state(1, 3, 1);
+        new_r1.probe.install(Arc::new(KillFirstFetch));
+        let fetcher = |_: usize, _: usize| -> Option<(StoreSnapshot, Vec<u64>)> {
+            panic!("fetch must not run past a crash verdict")
+        };
+        let err = recover_replica_state(&new_r1, &fetcher).unwrap_err();
+        assert!(matches!(err, RecoveryError::Aborted { .. }));
+        let trace = new_r1.metrics.journal.trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SourceFetchAborted { .. })));
     }
 }

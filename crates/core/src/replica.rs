@@ -11,6 +11,7 @@ use crate::config::{ChainConfig, RingMath};
 use crate::control::{CtrlReq, CtrlResp, CtrlServer, InPort, OutPort};
 use crate::journal::{EventKind, EventSource};
 use crate::metrics::ChainMetrics;
+use crate::probe::{ProbePoint, ProbeSlot, ProbeVerdict};
 use bytes::BytesMut;
 use ftc_mbox::{Action, Middlebox, ProcCtx};
 use ftc_net::nic::Nic;
@@ -19,7 +20,7 @@ use ftc_packet::ether::MacAddr;
 use ftc_packet::piggyback::{MboxId, PiggybackLog, PiggybackMessage};
 use ftc_packet::{packet, Packet};
 use ftc_stm::{MaxVector, StateStore};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -76,6 +77,19 @@ impl PendingPacket {
 /// counter to reach `seq`.
 type WakeKey = (usize, u16, u64);
 
+/// Recovery quiescing state (§4.1), kept under one mutex so the
+/// pause-check / busy-claim step is atomic: `pause()` can never observe an
+/// idle worker that is about to process a frame.
+#[derive(Default)]
+struct QuiesceState {
+    /// While set, workers stop admitting packets so the state this replica
+    /// serves as a recovery source stays frozen until the orchestrator
+    /// reroutes and resumes it.
+    paused: bool,
+    /// Workers currently inside `handle_frame` (drained before snapshots).
+    busy: usize,
+}
+
 /// Indexed parking lot: all apply bookkeeping happens under this one lock,
 /// which makes the check-then-park step atomic with respect to concurrent
 /// applies (no lost wakeups) at the cost of serializing log application per
@@ -105,14 +119,16 @@ pub struct ReplicaState {
     pub out: Arc<OutPort>,
     /// Parked packets awaiting dependencies, indexed by blocking key.
     parked: Mutex<ParkingLot>,
-    /// Recovery quiescing (§4.1): while set, workers stop admitting packets
-    /// so the state this replica serves as a recovery source stays frozen
-    /// until the orchestrator reroutes and resumes it.
-    paused: std::sync::atomic::AtomicBool,
-    /// Workers currently inside `handle_frame` (drained before snapshots).
-    busy_workers: std::sync::atomic::AtomicUsize,
+    /// Recovery quiescing (§4.1); see [`QuiesceState`].
+    quiesce: Mutex<QuiesceState>,
+    /// Signals quiesce transitions: `busy` dropping to zero (pause waits on
+    /// it) and `paused` clearing (quiesced workers wait on it).
+    quiesce_cv: Condvar,
     /// Chain-wide metrics.
     pub metrics: Arc<ChainMetrics>,
+    /// Model-checker hook: reports the protocol steps of [`Self::finish`]
+    /// and honors crash verdicts at step granularity.
+    pub probe: ProbeSlot,
 }
 
 impl ReplicaState {
@@ -145,36 +161,87 @@ impl ReplicaState {
             replicated,
             out,
             parked: Mutex::new(ParkingLot::default()),
-            paused: std::sync::atomic::AtomicBool::new(false),
-            busy_workers: std::sync::atomic::AtomicUsize::new(0),
+            quiesce: Mutex::new(QuiesceState::default()),
+            quiesce_cv: Condvar::new(),
             metrics,
+            probe: ProbeSlot::new(),
         })
     }
 
     /// True while the replica is quiesced as a recovery source.
     pub fn is_paused(&self) -> bool {
-        self.paused.load(Ordering::SeqCst)
+        self.quiesce.lock().paused
     }
 
-    /// Quiesces packet processing and waits (bounded) for in-flight worker
-    /// transactions to finish, so served snapshots are stable. The budget is
-    /// generous: on a contended host a wound-wait retry storm can hold a
-    /// worker busy for many milliseconds, and serving a snapshot that races
-    /// a straggler commit would hand the replacement a state/sequence gap
-    /// it can never fill.
+    /// Quiesces packet processing and waits (bounded, condvar-signalled) for
+    /// in-flight worker transactions to finish, so served snapshots are
+    /// stable. The budget is generous: on a contended host a wound-wait
+    /// retry storm can hold a worker busy for many milliseconds, and serving
+    /// a snapshot that races a straggler commit would hand the replacement a
+    /// state/sequence gap it can never fill.
     pub fn pause(&self) {
-        self.paused.store(true, Ordering::SeqCst);
+        let mut q = self.quiesce.lock();
+        q.paused = true;
         let deadline = Instant::now() + Duration::from_secs(2);
-        while self.busy_workers.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_micros(50));
+        while q.busy > 0 {
+            if self.quiesce_cv.wait_until(&mut q, deadline).timed_out() {
+                // A worker still busy past the budget means a pathologically
+                // stuck transaction; proceed best-effort rather than wedging
+                // recovery.
+                break;
+            }
         }
-        // A worker still busy past the budget means a pathologically stuck
-        // transaction; proceed best-effort rather than wedging recovery.
     }
 
     /// Resumes packet processing after rerouting.
     pub fn resume(&self) {
-        self.paused.store(false, Ordering::SeqCst);
+        let mut q = self.quiesce.lock();
+        q.paused = false;
+        self.quiesce_cv.notify_all();
+    }
+
+    /// Bounded wait while quiesced, without pulling work: returns as soon as
+    /// the replica resumes or `slice` elapses, whichever is first. Callers
+    /// (the rx/worker loops) re-check liveness between slices.
+    pub fn wait_while_paused(&self, slice: Duration) {
+        let mut q = self.quiesce.lock();
+        if q.paused {
+            let deadline = Instant::now() + slice;
+            while q.paused {
+                if self.quiesce_cv.wait_until(&mut q, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Claims a busy slot for processing one frame. The claim and the pause
+    /// check happen under one lock, so [`Self::pause`] can never observe an
+    /// idle worker that is about to process (the snapshot-vs-straggler
+    /// race). While quiesced the caller's frame is held — its piggyback logs
+    /// must not be lost — and the claim blocks in bounded condvar waits,
+    /// re-checking `keep_waiting` between them; returns `false` (no slot
+    /// claimed) when `keep_waiting` reports shutdown.
+    fn claim_busy(&self, keep_waiting: impl Fn() -> bool) -> bool {
+        let mut q = self.quiesce.lock();
+        while q.paused {
+            let deadline = Instant::now() + Duration::from_millis(1);
+            if self.quiesce_cv.wait_until(&mut q, deadline).timed_out() && !keep_waiting() {
+                return false;
+            }
+        }
+        q.busy += 1;
+        true
+    }
+
+    /// Releases a busy slot claimed with [`Self::claim_busy`], waking a
+    /// pending [`Self::pause`] when the last worker drains.
+    fn release_busy(&self) {
+        let mut q = self.quiesce.lock();
+        q.busy -= 1;
+        if q.busy == 0 {
+            self.quiesce_cv.notify_all();
+        }
     }
 
     /// Entry point for one frame from a NIC queue.
@@ -192,7 +259,11 @@ impl ReplicaState {
         let mut work = vec![PendingPacket::new(pkt, msg)];
         while let Some(pp) = work.pop() {
             if let Some(done) = self.advance(&mut work, pp) {
-                self.finish(worker, done);
+                if !self.finish(worker, done) {
+                    // A probe crashed the replica mid-step: fail-stop here,
+                    // abandoning the rest of the work stack.
+                    return;
+                }
             }
         }
     }
@@ -351,8 +422,10 @@ impl ReplicaState {
 
     /// Finishes a packet whose piggybacked logs are all applied: runs the
     /// middlebox transaction, strips tail logs, attaches the commit vector
-    /// and the replica's own log, and forwards.
-    fn finish(&self, worker: usize, pp: PendingPacket) {
+    /// and the replica's own log, and forwards. Returns `false` when an
+    /// installed probe crashed the replica mid-step (state mutated so far
+    /// persists; the in-progress output is discarded).
+    fn finish(&self, worker: usize, pp: PendingPacket) -> bool {
         let PendingPacket {
             mut pkt, mut msg, ..
         } = pp;
@@ -373,6 +446,13 @@ impl ReplicaState {
             self.metrics.t_transaction.record(t0.elapsed());
             action = out.value;
             own_log = out.log;
+            // Crash point §6(a): the transaction committed locally but its
+            // log never leaves the server.
+            if self.probe.observe_with(|| ProbePoint::PrePiggyback { replica: self.idx })
+                == ProbeVerdict::Crash
+            {
+                return false;
+            }
         }
 
         // 2. Strip logs we are the tail of (we replicated them f+1-th).
@@ -425,6 +505,14 @@ impl ReplicaState {
             }
         }
 
+        // Crash point §6(b): applies done, message fully assembled, but the
+        // frame is never handed to the output port.
+        if self.probe.observe_with(|| ProbePoint::PostApplyPreForward { replica: self.idx })
+            == ProbeVerdict::Crash
+        {
+            return false;
+        }
+
         // 5. Forward, or convert a filtered packet's state into a
         //    propagating packet (§5.1).
         match action {
@@ -450,6 +538,12 @@ impl ReplicaState {
                 }
             }
         }
+
+        // Crash point §6(c): the frame is already safely downstream; only
+        // the server dies.
+        self.probe
+            .observe_with(|| ProbePoint::PostForward { replica: self.idx })
+            != ProbeVerdict::Crash
     }
 
     /// Restores the own (head) store from recovered state: "the new replica
@@ -536,30 +630,20 @@ pub fn spawn_replica(
                 if state.is_paused() {
                     // Recovery-source quiescing (§4.1): stop admitting
                     // packets; they wait in the NIC ring (or overflow).
-                    std::thread::sleep(Duration::from_micros(200));
+                    state.wait_while_paused(Duration::from_millis(1));
                     continue;
                 }
                 match queue.recv_timeout(Duration::from_millis(1)) {
                     Ok(frame) => {
-                        // Claim busy *before* re-checking the pause flag so
-                        // `pause()` cannot observe an idle worker that is
-                        // about to process (the snapshot-vs-straggler race).
-                        state.busy_workers.fetch_add(1, Ordering::SeqCst);
-                        while state.is_paused() {
-                            // Quiesced between recv and processing: hold the
-                            // frame (its piggyback logs must not be lost) and
-                            // step out of the busy count so the snapshot can
-                            // proceed; the transaction runs after Resume and
-                            // therefore sequences after the served state.
-                            state.busy_workers.fetch_sub(1, Ordering::SeqCst);
-                            std::thread::sleep(Duration::from_micros(200));
-                            if !alive.is_alive() {
-                                return;
-                            }
-                            state.busy_workers.fetch_add(1, Ordering::SeqCst);
+                        // Quiesced between recv and claiming: the frame is
+                        // held (its piggyback logs must not be lost) and the
+                        // transaction runs after Resume, so it sequences
+                        // after the served state.
+                        if !state.claim_busy(|| alive.is_alive()) {
+                            return; // shutting down; frame dies with us
                         }
                         state.handle_frame(w, frame);
-                        state.busy_workers.fetch_sub(1, Ordering::SeqCst);
+                        state.release_busy();
                     }
                     // Parked packets are woken by the applier that clears
                     // their dependency (no polling needed): idle is idle.
@@ -579,7 +663,7 @@ pub fn spawn_replica(
                     // (backpressure) instead of overflowing the NIC ring —
                     // dropped frames here would lose piggyback logs that the
                     // transport has already delivered exactly once.
-                    std::thread::sleep(Duration::from_micros(200));
+                    state.wait_while_paused(Duration::from_millis(1));
                 } else if let Some(frame) = in_port.recv_timeout(Duration::from_millis(1)) {
                     let a = alive.clone();
                     nic.dispatch_backpressure(frame, Duration::from_millis(1), move || {

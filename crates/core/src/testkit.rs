@@ -15,12 +15,15 @@ use crate::config::ChainConfig;
 use crate::control::{InPort, OutPort};
 use crate::forwarder::ForwarderState;
 use crate::metrics::ChainMetrics;
+use crate::probe::ProtocolProbe;
+use crate::recovery::RecoveryError;
 use crate::replica::ReplicaState;
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver};
 use ftc_net::nic::Nic;
 use ftc_net::{reliable_pair, LinkConfig};
 use ftc_packet::Packet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +57,10 @@ pub struct SyncChain {
     buffer_in: Arc<InPort>,
     feedback_in: Arc<InPort>,
     egress: Receiver<Packet>,
+    /// Fail-stopped replicas: stepping them is a no-op until recovered.
+    dead: Vec<AtomicBool>,
+    /// The chain-wide probe, re-installed on replacement replicas.
+    probe: parking_lot::Mutex<Option<Arc<dyn ProtocolProbe>>>,
 }
 
 impl SyncChain {
@@ -115,7 +122,45 @@ impl SyncChain {
             buffer_in,
             feedback_in,
             egress: egress_rx,
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            probe: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Installs `probe` on every component (replicas, buffer, forwarder)
+    /// and remembers it so replacement replicas built by
+    /// [`Self::try_fail_and_recover`] are instrumented too.
+    pub fn install_probe(&self, probe: Arc<dyn ProtocolProbe>) {
+        for r in &self.replicas {
+            r.probe.install(Arc::clone(&probe));
+        }
+        self.buffer.probe.install(Arc::clone(&probe));
+        self.forwarder.probe.install(Arc::clone(&probe));
+        *self.probe.lock() = Some(probe);
+    }
+
+    /// The buffer (e.g. for `sabotage_early_release` in negative fixtures).
+    pub fn buffer(&self) -> &Arc<BufferState> {
+        &self.buffer
+    }
+
+    /// The forwarder.
+    pub fn forwarder(&self) -> &Arc<ForwarderState> {
+        &self.forwarder
+    }
+
+    /// True while replica `idx` is fail-stopped.
+    pub fn is_dead(&self, idx: usize) -> bool {
+        self.dead[idx].load(Ordering::Acquire)
+    }
+
+    /// Fail-stops replica `idx` without recovering it: queued frames die
+    /// with it and stepping it is a no-op until
+    /// [`Self::try_fail_and_recover`] succeeds. Idempotent.
+    pub fn mark_dead(&self, idx: usize) {
+        self.dead[idx].store(true, Ordering::Release);
+        while self.worker_queues[idx].try_recv().is_ok() {}
+        while self.in_ports[idx].recv_timeout(Duration::ZERO).is_some() {}
     }
 
     /// Injects a packet at the forwarder (processed immediately into the
@@ -130,6 +175,11 @@ impl SyncChain {
         match step {
             Step::Replica(i) => {
                 let i = i % self.replicas.len();
+                if self.is_dead(i) {
+                    // Fail-stopped: frames headed here die with the server
+                    // (the rewire on recovery discards the stale ports).
+                    return false;
+                }
                 let mut progressed = false;
                 // Link → NIC (one frame).
                 if let Some(frame) = self.in_ports[i].recv_timeout(Duration::ZERO) {
@@ -200,6 +250,24 @@ impl SyncChain {
     /// are discarded (fail-stop loses them); the wrapped-log resend path
     /// re-replicates whatever the buffer still owes.
     pub fn fail_and_recover(&mut self, idx: usize) {
+        self.try_fail_and_recover(idx, &|_, _| true)
+            .expect("sync recovery");
+    }
+
+    /// Fallible variant of [`Self::fail_and_recover`] for failure-schedule
+    /// exploration: `source_ok(src, mbox)` gates each per-source fetch (a
+    /// `false` models that source dying mid-fetch, forcing the §4.1
+    /// fallback order), and an installed chain probe can crash the
+    /// *recovering* replica at any [`RecoveryFetch`](crate::ProbePoint)
+    /// point. On error the victim stays fail-stopped — nothing is rewired —
+    /// and the call can simply be retried (a fresh replacement is built
+    /// each attempt, exactly like the orchestrator respawning). On success
+    /// returns the bytes transferred.
+    pub fn try_fail_and_recover(
+        &mut self,
+        idx: usize,
+        source_ok: &dyn Fn(usize, usize) -> bool,
+    ) -> Result<usize, RecoveryError> {
         use crate::journal::{EventKind, EventSource};
         use crate::recovery::recover_replica_state;
         let n = self.replicas.len();
@@ -213,10 +281,9 @@ impl SyncChain {
         );
 
         // Fail-stop: drop queued frames at the victim.
-        while self.worker_queues[idx].try_recv().is_ok() {}
-        while self.in_ports[idx].recv_timeout(Duration::ZERO).is_some() {}
+        self.mark_dead(idx);
 
-        // Fresh replacement.
+        // Fresh replacement, instrumented like the rest of the chain.
         let state = ReplicaState::new(
             idx,
             cfg,
@@ -224,11 +291,18 @@ impl SyncChain {
             Arc::new(OutPort::new(None)),
             Arc::clone(&self.metrics),
         );
+        if let Some(probe) = self.probe.lock().as_ref() {
+            state.probe.install(Arc::clone(probe));
+        }
 
         // Synchronous state fetch from live replicas, following the same
         // source-selection rule the orchestrator uses.
         let replicas = &self.replicas;
+        let dead = &self.dead;
         let fetcher = |src: usize, mbox: usize| {
+            if dead[src].load(Ordering::Acquire) || !source_ok(src, mbox) {
+                return None;
+            }
             let r = &replicas[src];
             r.discard_parked();
             if mbox == src {
@@ -239,7 +313,7 @@ impl SyncChain {
                     .map(|g| (g.store.snapshot(), g.max.vector()))
             }
         };
-        recover_replica_state(&state, &fetcher).expect("sync recovery");
+        let transferred = recover_replica_state(&state, &fetcher)?;
 
         // Rewire: predecessor → new replica → successor (or buffer).
         let in_port = Arc::new(InPort::new(None));
@@ -262,12 +336,14 @@ impl SyncChain {
         self.nics[idx] = Arc::new(nic);
         self.in_ports[idx] = in_port;
         self.replicas[idx] = state;
+        self.dead[idx].store(false, Ordering::Release);
         self.metrics.journal.record(
             EventSource::Orchestrator,
             EventKind::TrafficResumed {
                 replica: idx as u16,
             },
         );
+        Ok(transferred)
     }
 
     /// Returns a handle to the chain's egress (same API as
@@ -279,6 +355,203 @@ impl SyncChain {
     /// Packets currently withheld by the buffer.
     pub fn held(&self) -> usize {
         self.buffer.held_len()
+    }
+}
+
+/// Where, relative to the victim's protocol steps, a crash fires.
+///
+/// The step phases mirror [`crate::ProbePoint`]; `Quiesced` is the classic
+/// integration-test case ("kill server N between packets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// Fail-stop while idle, between packets.
+    Quiesced,
+    /// §6(a): the victim's transaction committed but its log never left.
+    PrePiggyback,
+    /// §6(b): the outgoing message was assembled but never sent.
+    PostApplyPreForward,
+    /// §6(c): the frame was sent, then the server died.
+    PostForward,
+    /// The *replacement* dies mid-state-fetch; recovery restarts fresh.
+    DuringRecovery,
+}
+
+/// One crash in a [`CrashSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Ring position of the replica to kill.
+    pub victim: usize,
+    /// When, within the victim's processing, the crash fires.
+    pub phase: CrashPhase,
+    /// For step phases: fire at the victim's `trigger`-th observation of
+    /// the matching probe point (0-based). Ignored for [`CrashPhase::Quiesced`].
+    pub trigger: usize,
+}
+
+/// What a [`CrashSchedule`] runs against: any chain that can take traffic,
+/// settle, and execute a crash+recovery. Implemented by the integration
+/// tests over the threaded [`crate::chain::FtcChain`]/orchestrator stack
+/// and reused (as the schedule *vocabulary*) by the `ftc-audit` protocol
+/// model checker's step-granular executor.
+pub trait CrashTarget {
+    /// Injects `n` fresh packets.
+    fn inject(&mut self, n: usize);
+    /// Runs until quiescent; returns packets released since the last call.
+    fn settle(&mut self) -> usize;
+    /// Executes one crash (and its recovery). Targets without step-granular
+    /// control honor [`CrashPhase::Quiesced`] only and must panic on phases
+    /// they cannot express rather than silently reinterpreting them.
+    fn crash(&mut self, point: &CrashPoint);
+}
+
+/// Release counts observed by [`CrashSchedule::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// Packets released by the warm-up workload, before any crash.
+    pub released_before: usize,
+    /// Packets released by the post-crash workload (traffic resumed).
+    pub released_after: usize,
+}
+
+/// The shared "warm up → crash server(s) → assert traffic resumes"
+/// skeleton of `tests/failover.rs` / `tests/failure_under_load.rs`, also
+/// the schedule descriptor the protocol model checker enumerates.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    warm: usize,
+    crashes: Vec<CrashPoint>,
+    post: usize,
+    label: String,
+}
+
+impl CrashSchedule {
+    /// Empty schedule (no traffic, no crashes).
+    pub fn new() -> CrashSchedule {
+        CrashSchedule::default()
+    }
+
+    /// Injects `n` packets and settles before the first crash.
+    pub fn warm(mut self, n: usize) -> CrashSchedule {
+        self.warm = n;
+        self
+    }
+
+    /// Adds a quiesced kill of `victim` (the classic integration case).
+    pub fn kill(mut self, victim: usize) -> CrashSchedule {
+        self.crashes.push(CrashPoint {
+            victim,
+            phase: CrashPhase::Quiesced,
+            trigger: 0,
+        });
+        self
+    }
+
+    /// Adds a step-granular crash of `victim` at its `trigger`-th `phase`
+    /// observation.
+    pub fn crash_at(mut self, victim: usize, phase: CrashPhase, trigger: usize) -> CrashSchedule {
+        self.crashes.push(CrashPoint {
+            victim,
+            phase,
+            trigger,
+        });
+        self
+    }
+
+    /// Injects `n` packets after the crashes (the "traffic resumes" leg).
+    pub fn post(mut self, n: usize) -> CrashSchedule {
+        self.post = n;
+        self
+    }
+
+    /// Names the schedule (witness reports and test diagnostics).
+    pub fn label(mut self, label: impl Into<String>) -> CrashSchedule {
+        self.label = label.into();
+        self
+    }
+
+    /// The schedule's name.
+    pub fn name(&self) -> &str {
+        &self.label
+    }
+
+    /// The crash points, in execution order.
+    pub fn crashes(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+
+    /// Warm-up packet count.
+    pub fn warm_count(&self) -> usize {
+        self.warm
+    }
+
+    /// Post-crash packet count.
+    pub fn post_count(&self) -> usize {
+        self.post
+    }
+
+    /// Runs the schedule: warm up, settle, crash each point in order,
+    /// inject the post workload, settle again.
+    pub fn run(&self, target: &mut dyn CrashTarget) -> CrashOutcome {
+        target.inject(self.warm);
+        let released_before = target.settle();
+        for point in &self.crashes {
+            target.crash(point);
+        }
+        target.inject(self.post);
+        let released_after = target.settle();
+        CrashOutcome {
+            released_before,
+            released_after,
+        }
+    }
+}
+
+/// [`CrashTarget`] over a [`SyncChain`]: deterministic, quiesced-kill
+/// execution for tests that only need the classic schedule shapes. (The
+/// protocol model checker drives `SyncChain` directly for step-granular
+/// phases.)
+pub struct SyncCrashTarget {
+    /// The underlying chain.
+    pub chain: SyncChain,
+    next_ident: u16,
+    settle_rounds: usize,
+}
+
+impl SyncCrashTarget {
+    /// Wraps `chain`; `settle_rounds` bounds each quiescence run.
+    pub fn new(chain: SyncChain, settle_rounds: usize) -> SyncCrashTarget {
+        SyncCrashTarget {
+            chain,
+            next_ident: 0,
+            settle_rounds,
+        }
+    }
+}
+
+impl CrashTarget for SyncCrashTarget {
+    fn inject(&mut self, n: usize) {
+        for _ in 0..n {
+            self.next_ident = self.next_ident.wrapping_add(1);
+            let pkt = ftc_packet::builder::UdpPacketBuilder::new()
+                .ident(self.next_ident)
+                .build();
+            self.chain.inject(pkt);
+        }
+    }
+
+    fn settle(&mut self) -> usize {
+        self.chain.run_to_quiescence(self.settle_rounds);
+        self.chain.egress().drain().len()
+    }
+
+    fn crash(&mut self, point: &CrashPoint) {
+        assert_eq!(
+            point.phase,
+            CrashPhase::Quiesced,
+            "SyncCrashTarget only executes quiesced kills; step-granular \
+             phases belong to the model checker's executor"
+        );
+        self.chain.fail_and_recover(point.victim);
     }
 }
 
@@ -336,6 +609,50 @@ mod tests {
         // …then let everything run.
         chain.run_to_quiescence(1000);
         assert_eq!(chain.egress().drain().len(), 5);
+    }
+
+    #[test]
+    fn crash_schedule_runs_quiesced_kill_on_sync_chain() {
+        let chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        let mut target = SyncCrashTarget::new(chain, 2000);
+        let outcome = CrashSchedule::new()
+            .label("kill r1 quiesced")
+            .warm(20)
+            .kill(1)
+            .post(10)
+            .run(&mut target);
+        assert_eq!(outcome.released_before, 20);
+        assert_eq!(outcome.released_after, 10);
+        for r in &target.chain.replicas {
+            assert_eq!(r.own_store.peek_u64(b"mon:packets:g0"), Some(30));
+        }
+    }
+
+    #[test]
+    fn failed_recovery_leaves_victim_dead_and_retry_succeeds() {
+        let mut chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        for i in 0..5 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.egress().drain().len(), 5);
+        // First attempt: every source refuses (simulated mid-fetch deaths).
+        let err = chain.try_fail_and_recover(1, &|_, _| false).unwrap_err();
+        assert!(matches!(err, crate::recovery::RecoveryError::NoSource { .. }));
+        assert!(chain.is_dead(1), "failed recovery leaves the victim dead");
+        assert!(!chain.step(Step::Replica(1)), "dead replicas do not step");
+        // Retry with sources back: a fresh replacement is built and rewired.
+        chain.try_fail_and_recover(1, &|_, _| true).unwrap();
+        assert!(!chain.is_dead(1));
+        for i in 5..10 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.egress().drain().len(), 5, "traffic resumed");
+        assert_eq!(
+            chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
+            Some(10)
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`element`] — a lightweight Click-style push-element graph for
 //!   composing packet-processing pipelines (used by examples and by the
 //!   stateless portions of middleboxes).
+//! * [`spec_lang`] — the chain-description language plus the static
+//!   deployment verifier ([`verify_deploy_spec`]) that rejects topologies
+//!   whose replication invariants are unsatisfiable before anything runs.
 //! * The Table-1 middleboxes:
 //!   [`nat::MazuNat`] (the core of a commercial NAT — read-heavy),
 //!   [`nat::SimpleNat`] (basic NAT), [`monitor::Monitor`] (read/write-heavy
@@ -37,4 +40,7 @@ pub use lb::LoadBalancer;
 pub use middlebox::{Action, MbSpec, Middlebox, ProcCtx};
 pub use monitor::Monitor;
 pub use nat::{MazuNat, SimpleNat};
-pub use spec_lang::parse_chain;
+pub use spec_lang::{
+    declared_state_prefixes, parse_chain, verify_deploy_spec, DeploySpec, SpecViolation,
+    DECLARED_STATE_PREFIXES,
+};

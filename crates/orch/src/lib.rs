@@ -20,6 +20,7 @@
 
 pub mod detector;
 pub mod orchestrator;
+pub mod testkit;
 
 pub use detector::detect_failures;
 pub use orchestrator::{spawn_monitor, Orchestrator, OrchestratorConfig, RecoveryReport};

@@ -125,6 +125,8 @@ impl Orchestrator {
         // and inform it about the replication groups of the failed replica.
         // Cost: an orchestrator↔region round trip plus process start.
         let t0 = Instant::now();
+        // WAN RTT + spawn-cost emulation (a modeled delay, not a poll).
+        // forbidden-ok: thread-sleep
         std::thread::sleep(
             self.chain
                 .topology
@@ -206,6 +208,8 @@ impl Orchestrator {
 
         // Initialization: spawn the resized instance.
         let t0 = Instant::now();
+        // WAN RTT + spawn-cost emulation (a modeled delay, not a poll).
+        // forbidden-ok: thread-sleep
         std::thread::sleep(
             self.chain
                 .topology
@@ -405,6 +409,9 @@ pub fn spawn_monitor(
                         recoveries.push((idx, report.total()));
                     }
                 }
+                // Heartbeat cadence (§4.2): a fixed detection interval, the
+                // detector's own timeout machinery, not ad-hoc polling.
+                // forbidden-ok: thread-sleep
                 std::thread::sleep(interval);
             }
             recoveries

@@ -1,0 +1,127 @@
+//! Integration-test harness over the threaded orchestrator stack.
+//!
+//! [`OrchCrashTarget`] implements [`ftc_core::testkit::CrashTarget`] for an
+//! [`Orchestrator`] driving a real (threaded) [`ftc_core::FtcChain`], so the
+//! repo-level failure tests (`tests/failover.rs`,
+//! `tests/failure_under_load.rs`) express their kill-server scenarios in the
+//! same [`CrashSchedule`](ftc_core::testkit::CrashSchedule) vocabulary the
+//! protocol model checker enumerates. One schedule description, two
+//! executors: the model checker runs it step-granularly over `SyncChain`,
+//! this target runs it wall-clock over the threaded stack.
+
+use crate::orchestrator::{Orchestrator, RecoveryReport};
+use ftc_core::testkit::{CrashPhase, CrashPoint, CrashTarget};
+use ftc_net::topology::RegionId;
+use ftc_packet::builder::UdpPacketBuilder;
+use ftc_packet::Packet;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// [`CrashTarget`] over the threaded [`Orchestrator`] stack: quiesced-kill
+/// execution with real recovery (the three-step protocol, wall-clock
+/// timing, recovery reports).
+pub struct OrchCrashTarget {
+    /// The orchestrator + threaded chain under test.
+    pub orch: Orchestrator,
+    /// `(victim, report)` for every recovery this target executed, in
+    /// order — tests assert on transfer sizes and phase timings here.
+    pub reports: Vec<(usize, RecoveryReport)>,
+    recover_region: RegionId,
+    grace: Duration,
+    ring_grace: Duration,
+    next: u32,
+}
+
+impl OrchCrashTarget {
+    /// Wraps `orch` with default settle timing (750 ms egress silence,
+    /// 100 ms ring-replication grace) and recovery into `RegionId(0)`.
+    pub fn new(orch: Orchestrator) -> OrchCrashTarget {
+        OrchCrashTarget {
+            orch,
+            reports: Vec::new(),
+            recover_region: RegionId(0),
+            grace: Duration::from_millis(750),
+            ring_grace: Duration::from_millis(100),
+            next: 0,
+        }
+    }
+
+    /// Region replacements are instantiated in (WAN tests recover into a
+    /// remote region to measure RTT-dominated recovery).
+    pub fn recover_region(mut self, region: RegionId) -> OrchCrashTarget {
+        self.recover_region = region;
+        self
+    }
+
+    /// The released-packet counter of `replica`'s head monitor group —
+    /// the consistency witness every failover test asserts on. `None`
+    /// until the first released packet's update lands.
+    pub fn mon_packets(&self, replica: usize) -> Option<u64> {
+        self.orch.chain.replicas[replica]
+            .state
+            .own_store
+            .peek_u64(b"mon:packets:g0")
+    }
+
+    /// Kills every victim first, then recovers them in order — the
+    /// simultaneous multi-failure case (f ≥ 2) that the one-at-a-time
+    /// [`CrashTarget::crash`] path cannot express.
+    pub fn crash_many(&mut self, victims: &[usize]) {
+        for &v in victims {
+            self.orch.chain.kill(v);
+        }
+        for &v in victims {
+            let report = self
+                .orch
+                .recover(v, self.recover_region)
+                .expect("recovery after simultaneous failures");
+            self.reports.push((v, report));
+        }
+    }
+
+    fn fresh_pkt(&mut self) -> Packet {
+        self.next += 1;
+        let i = self.next;
+        UdpPacketBuilder::new()
+            .src(Ipv4Addr::new(10, 7, 0, 1), 1024 + (i % 4096) as u16)
+            .dst(Ipv4Addr::new(10, 99, 0, 1), 443)
+            .ident(i as u16)
+            .build()
+    }
+}
+
+impl CrashTarget for OrchCrashTarget {
+    fn inject(&mut self, n: usize) {
+        for _ in 0..n {
+            let pkt = self.fresh_pkt();
+            self.orch.chain.inject(pkt);
+        }
+    }
+
+    fn settle(&mut self) -> usize {
+        let mut released = 0;
+        while self.orch.chain.egress().recv(self.grace).is_some() {
+            released += 1;
+        }
+        // Egress silence only proves the packets released; give the ring
+        // one more beat to finish replicating the tail group's updates
+        // before a crash is allowed to fire.
+        std::thread::sleep(self.ring_grace);
+        released
+    }
+
+    fn crash(&mut self, point: &CrashPoint) {
+        assert_eq!(
+            point.phase,
+            CrashPhase::Quiesced,
+            "OrchCrashTarget executes quiesced kills; step-granular phases \
+             belong to the protocol model checker's SyncChain executor"
+        );
+        self.orch.chain.kill(point.victim);
+        let report = self
+            .orch
+            .recover(point.victim, self.recover_region)
+            .expect("recovery");
+        self.reports.push((point.victim, report));
+    }
+}

@@ -7,12 +7,37 @@
 # are not installed; CI runs them as non-blocking matrix entries):
 #   CHECK_MIRI=1 scripts/check.sh   — Miri over the ftc-stm unit tests
 #   CHECK_TSAN=1 scripts/check.sh   — ThreadSanitizer over ftc-stm tests
+#
+# Protocol model checker (exhaustive failure schedules; a few seconds at
+# f=1, minutes with FTC_PROTOCOL_F2=1 — CI runs f=2 nightly):
+#   scripts/check.sh --protocol
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_PROTOCOL=0
+for arg in "$@"; do
+    case "$arg" in
+    --protocol) RUN_PROTOCOL=1 ;;
+    *)
+        echo "check.sh: unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
 python3 scripts/forbidden_patterns.py
+python3 scripts/analyze_state_access.py --self-test
+python3 scripts/analyze_state_access.py
+
+if [[ "$RUN_PROTOCOL" == "1" ]]; then
+    echo "check.sh: protocol model checker (f=1 exhaustive)"
+    cargo test -q -p ftc-audit --test protocol_explorer --release -- --nocapture
+    if [[ "${FTC_PROTOCOL_F2:-0}" == "1" ]]; then
+        echo "check.sh: protocol model checker already ran the f=2 matrix (FTC_PROTOCOL_F2=1)"
+    fi
+fi
 
 if [[ "${CHECK_MIRI:-0}" == "1" ]]; then
     if rustup component list --toolchain nightly 2>/dev/null | grep -q 'miri.*(installed)'; then

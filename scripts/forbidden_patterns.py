@@ -17,11 +17,24 @@ each motivated by a past or feared class of concurrency bug:
                      (``crates/packet/src``). Parsers handle adversarial
                      bytes; use ``.expect("why this cannot fail")`` or
                      propagate the error.
+4. ``allow-audit`` — ``#[allow(...)]`` in the protocol crates
+                     (``crates/{core,stm,orch}``) without an ``// audit:``
+                     justification on the same line or the line above.
+                     Suppressed lints in replication code have hidden real
+                     bugs before; every suppression must say what was
+                     checked by hand.
+5. ``thread-sleep``— ``std::thread::sleep`` in protocol code outside the
+                     deterministic testkit. Sleeps in the packet/recovery
+                     paths paper over ordering bugs the model checker
+                     exists to find; use channel timeouts or the timer
+                     steps. Modeled delays (WAN RTT emulation, heartbeat
+                     cadence) are exempt via ``// forbidden-ok:
+                     thread-sleep`` with the reason alongside.
 
 Test code is exempt: ``#[cfg(test)]`` blocks are stripped by brace
 matching, and ``tests/``, ``benches/``, ``examples/`` trees are skipped.
-A line ending in ``// forbidden-ok: <rule>`` is exempt from <rule> (use
-sparingly; say why on the same line or the one above).
+``// forbidden-ok: <rule>`` on the flagged line or the line directly
+above exempts that line from <rule> (use sparingly; say why alongside).
 
 Exit status 0 = clean, 1 = violations (listed on stdout).
 """
@@ -80,17 +93,29 @@ def atomic_bool_fields(text):
     return set(re.findall(r"(\w+)\s*:\s*(?:\w+::)*AtomicBool\b", text))
 
 
+PROTOCOL_CRATES = {
+    ("crates", "core", "src"),
+    ("crates", "stm", "src"),
+    ("crates", "orch", "src"),
+}
+
+
 def check_file(rel, violations):
     text = (ROOT / rel).read_text()
     lines = text.splitlines()
     flags = atomic_bool_fields(text)
     in_packet_hot_path = rel.parts[:3] == ("crates", "packet", "src")
+    in_protocol_crate = rel.parts[:3] in PROTOCOL_CRATES
+    in_testkit = rel.name == "testkit.rs"
 
+    prev = ""
     for lineno, line in strip_test_blocks(lines):
         code = line.split("//")[0] if "//" in line else line
 
         def exempt(rule):
-            return f"forbidden-ok: {rule}" in line
+            # Annotation accepted on the flagged line or the line above
+            # (rationale comments usually take a full line of their own).
+            return f"forbidden-ok: {rule}" in line or f"forbidden-ok: {rule}" in prev
 
         if (
             re.search(r"\bstd::sync::(Mutex|RwLock)\b", code)
@@ -113,6 +138,25 @@ def check_file(rel, violations):
             and not exempt("hot-unwrap")
         ):
             violations.append((rel, lineno, "hot-unwrap", line.strip()))
+
+        if (
+            in_protocol_crate
+            and re.search(r"#\[allow\(", code)
+            and "// audit:" not in line
+            and "// audit:" not in prev
+            and not exempt("allow-audit")
+        ):
+            violations.append((rel, lineno, "allow-audit", line.strip()))
+
+        if (
+            in_protocol_crate
+            and not in_testkit
+            and re.search(r"\bthread\s*::\s*sleep\b", code)
+            and not exempt("thread-sleep")
+        ):
+            violations.append((rel, lineno, "thread-sleep", line.strip()))
+
+        prev = line
 
 
 def main():

@@ -2,8 +2,15 @@
 //! a chain tolerates `f` fail-stop replica failures with correct recovery —
 //! "the middlebox behavior after a failure recovery is consistent with the
 //! behavior prior to the failure" (§3.1).
+//!
+//! The kill-server scenarios are written in the shared
+//! [`CrashSchedule`] vocabulary from `ftc_core::testkit` and executed by
+//! [`OrchCrashTarget`] over the threaded orchestrator stack — the same
+//! descriptors the `ftc-audit` protocol model checker enumerates
+//! step-granularly over `SyncChain`.
 
-use ftc::orch::RecoveryReport;
+use ftc::core::testkit::{CrashPhase, CrashPoint, CrashSchedule, CrashTarget};
+use ftc::orch::testkit::OrchCrashTarget;
 use ftc::prelude::*;
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -29,37 +36,29 @@ fn orch(n: usize, f: usize) -> Orchestrator {
 
 /// Drives traffic, kills `victim`, recovers, then verifies that every
 /// *released* packet's state update survived — the strong-consistency
-/// guarantee (§3.1).
-fn kill_and_verify(mut o: Orchestrator, victim: usize) {
-    // Phase 1: warm traffic.
-    for i in 0..60 {
-        o.chain.inject(pkt(1000 + (i % 8), i));
-    }
-    let released_before = o.chain.egress().collect(60, Duration::from_secs(15)).len() as u64;
-    assert_eq!(released_before, 60);
-    // Let the ring finish replicating the tail middlebox's updates.
-    std::thread::sleep(Duration::from_millis(100));
-
-    // Phase 2: fail-stop.
-    o.chain.kill(victim);
-    let report: RecoveryReport = o.recover(victim, ftc::net::RegionId(0)).expect("recovery");
-    assert!(report.bytes_transferred > 0 || victim_padded(&o, victim));
-
-    // Phase 3: the recovered replica must hold every released update.
-    let own = &o.chain.replicas[victim].state.own_store;
+/// guarantee (§3.1). The whole scenario is one [`CrashSchedule`].
+fn kill_and_verify(o: Orchestrator, victim: usize) {
+    let mut target = OrchCrashTarget::new(o);
+    let outcome = CrashSchedule::new()
+        .label(format!("kill r{victim} quiesced"))
+        .warm(60)
+        .kill(victim)
+        .post(40)
+        .run(&mut target);
+    assert_eq!(outcome.released_before, 60);
     assert_eq!(
-        own.peek_u64(b"mon:packets:g0"),
-        Some(released_before),
+        outcome.released_after, 40,
+        "post-recovery traffic must flow"
+    );
+    let (v, report) = &target.reports[0];
+    assert!(report.bytes_transferred > 0 || victim_padded(&target.orch, *v));
+    // Every released update survived the failure: the counter resumes
+    // exactly (60 pre-crash updates recovered + 40 post-crash).
+    assert_eq!(
+        target.mon_packets(victim),
+        Some(100),
         "r{victim}: released updates must survive the failure"
     );
-
-    // Phase 4: traffic continues and the counter resumes exactly.
-    for i in 0..40 {
-        o.chain.inject(pkt(2000 + (i % 8), i));
-    }
-    let more = o.chain.egress().collect(40, Duration::from_secs(15));
-    assert_eq!(more.len(), 40, "post-recovery traffic must flow");
-    assert_eq!(own.peek_u64(b"mon:packets:g0"), Some(released_before + 40));
 }
 
 fn victim_padded(o: &Orchestrator, victim: usize) -> bool {
@@ -93,101 +92,66 @@ fn every_position_of_a_5_chain_recovers() {
 
 #[test]
 fn f2_survives_two_simultaneous_failures() {
-    let mut o = orch(4, 2);
-    for i in 0..50 {
-        o.chain.inject(pkt(3000 + (i % 4), i));
-    }
-    assert_eq!(
-        o.chain.egress().collect(50, Duration::from_secs(15)).len(),
-        50
-    );
-    std::thread::sleep(Duration::from_millis(150));
+    let mut target = OrchCrashTarget::new(orch(4, 2));
+    target.inject(50);
+    assert_eq!(target.settle(), 50);
 
-    // Kill two adjacent replicas at once.
-    o.chain.kill(1);
-    o.chain.kill(2);
-    o.recover(1, ftc::net::RegionId(0)).expect("recover r1");
-    o.recover(2, ftc::net::RegionId(0)).expect("recover r2");
+    // Kill two adjacent replicas at once (crash_many: both die before
+    // either recovery starts — the case a one-at-a-time schedule cannot
+    // express).
+    target.crash_many(&[1, 2]);
 
     for victim in [1usize, 2] {
         assert_eq!(
-            o.chain.replicas[victim]
-                .state
-                .own_store
-                .peek_u64(b"mon:packets:g0"),
+            target.mon_packets(victim),
             Some(50),
             "r{victim} state after double failure"
         );
     }
-    for i in 0..30 {
-        o.chain.inject(pkt(4000 + (i % 4), i));
-    }
-    assert_eq!(
-        o.chain.egress().collect(30, Duration::from_secs(15)).len(),
-        30
-    );
+    target.inject(30);
+    assert_eq!(target.settle(), 30);
 }
 
 #[test]
 fn sequential_failures_of_every_position() {
     // Kill r0, recover; then r1; then r2 — state accumulates correctly
-    // through repeated recoveries.
-    let mut o = orch(3, 1);
+    // through repeated recoveries. One schedule per round, same target.
+    let mut target = OrchCrashTarget::new(orch(3, 1));
     let mut expected = 0u64;
-    for round in 0..3 {
-        for i in 0..20 {
-            o.chain.inject(pkt(5000 + (i % 4), round * 100 + i));
-        }
+    for round in 0..3usize {
+        let outcome = CrashSchedule::new()
+            .label(format!("round {round}: kill r{round}"))
+            .warm(20)
+            .kill(round)
+            .run(&mut target);
         expected += 20;
+        assert_eq!(outcome.released_before, 20, "round {round}");
         assert_eq!(
-            o.chain.egress().collect(20, Duration::from_secs(15)).len(),
-            20,
-            "round {round}"
-        );
-        std::thread::sleep(Duration::from_millis(100));
-        let victim = round as usize;
-        o.chain.kill(victim);
-        o.recover(victim, ftc::net::RegionId(0)).expect("recover");
-        assert_eq!(
-            o.chain.replicas[victim]
-                .state
-                .own_store
-                .peek_u64(b"mon:packets:g0"),
+            target.mon_packets(round),
             Some(expected),
-            "after recovering r{victim}"
+            "after recovering r{round}"
         );
     }
 }
 
 #[test]
 fn detector_driven_recovery_loop() {
-    let mut o = orch(3, 1);
-    for i in 0..30 {
-        o.chain.inject(pkt(6000 + i, i));
-    }
-    assert_eq!(
-        o.chain.egress().collect(30, Duration::from_secs(15)).len(),
-        30
-    );
-    std::thread::sleep(Duration::from_millis(100));
-    o.chain.kill(1);
-    // Let the monitor loop find and repair it.
+    let mut target = OrchCrashTarget::new(orch(3, 1));
+    target.inject(30);
+    assert_eq!(target.settle(), 30);
+    target.orch.chain.kill(1);
+    // Let the monitor loop find and repair it (no explicit recover call —
+    // this path exercises the detector, not the schedule executor).
     let mut recovered = false;
     for _ in 0..10 {
-        let results = o.monitor_round();
+        let results = target.orch.monitor_round();
         if results.iter().any(|(idx, r)| *idx == 1 && r.is_ok()) {
             recovered = true;
             break;
         }
     }
     assert!(recovered, "monitor loop must detect and repair the failure");
-    assert_eq!(
-        o.chain.replicas[1]
-            .state
-            .own_store
-            .peek_u64(b"mon:packets:g0"),
-        Some(30)
-    );
+    assert_eq!(target.mon_packets(1), Some(30));
 }
 
 #[test]
@@ -201,18 +165,18 @@ fn recovery_across_wan_regions_is_rtt_dominated() {
         topo.clone(),
         regions.clone(),
     );
-    let mut o = Orchestrator::new(chain, OrchestratorConfig::default());
-    for i in 0..20 {
-        o.chain.inject(pkt(7000 + i, i));
-    }
-    assert_eq!(
-        o.chain.egress().collect(20, Duration::from_secs(20)).len(),
-        20
-    );
-    std::thread::sleep(Duration::from_millis(100));
+    let o = Orchestrator::new(chain, OrchestratorConfig::default());
+    let mut target = OrchCrashTarget::new(o).recover_region(RegionId(2));
+    target.inject(20);
+    assert_eq!(target.settle(), 20);
 
-    o.chain.kill(1); // the replica in the remote region
-    let report = o.recover(1, RegionId(2)).expect("recovery");
+    // Kill the replica in the remote region.
+    target.crash(&CrashPoint {
+        victim: 1,
+        phase: CrashPhase::Quiesced,
+        trigger: 0,
+    });
+    let report = &target.reports[0].1;
     // Initialization pays at least orchestrator→remote RTT.
     assert!(report.initialization >= topo.rtt(RegionId(0), RegionId(2)));
     // State recovery pays at least one neighbor RTT (parallel fetches).
@@ -240,22 +204,15 @@ fn nf_baseline_loses_everything_ftc_does_not() {
     nf.inject(pkt(9000, 0));
     assert!(nf.egress().recv(Duration::from_millis(200)).is_none());
 
-    let mut o = orch(2, 1);
-    for i in 0..10 {
-        o.chain.inject(pkt(8000 + i, i));
-    }
+    let mut target = OrchCrashTarget::new(orch(2, 1));
+    let outcome = CrashSchedule::new()
+        .label("nf comparison: kill r0")
+        .warm(10)
+        .kill(0)
+        .run(&mut target);
+    assert_eq!(outcome.released_before, 10);
     assert_eq!(
-        o.chain.egress().collect(10, Duration::from_secs(10)).len(),
-        10
-    );
-    std::thread::sleep(Duration::from_millis(100));
-    o.chain.kill(0);
-    o.recover(0, ftc::net::RegionId(0)).expect("recovery");
-    assert_eq!(
-        o.chain.replicas[0]
-            .state
-            .own_store
-            .peek_u64(b"mon:packets:g0"),
+        target.mon_packets(0),
         Some(10),
         "FTC keeps the state NF lost"
     );

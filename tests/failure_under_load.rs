@@ -2,7 +2,15 @@
 //! scenario: in-flight packets are lost at the dead server, but every
 //! packet that was already **released** must have its updates recovered,
 //! and the chain must resume afterwards.
+//!
+//! Kill/recover execution goes through the shared
+//! [`CrashTarget`](ftc::core::testkit::CrashTarget) harness
+//! ([`OrchCrashTarget`]) so the crash vocabulary matches
+//! `tests/failover.rs` and the protocol model checker; the continuous
+//! generator and time-based draining stay local to these tests.
 
+use ftc::core::testkit::{CrashPhase, CrashPoint, CrashTarget};
+use ftc::orch::testkit::OrchCrashTarget;
 use ftc::prelude::*;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,11 +29,12 @@ fn pkt(i: u32) -> Packet {
 fn kill_and_recover_under_continuous_load() {
     for victim in 0..3usize {
         let chain = FtcChain::deploy(ChainConfig::ch_n(3, 1).with_f(1));
-        let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+        let orch = Orchestrator::new(chain, OrchestratorConfig::default());
+        let mut target = OrchCrashTarget::new(orch);
 
         // A generator thread keeps injecting throughout the failure.
         let stop = Arc::new(AtomicBool::new(false));
-        let ingress = Arc::clone(&orch.chain.ingress);
+        let ingress = Arc::clone(&target.orch.chain.ingress);
         let gen_stop = Arc::clone(&stop);
         let generator = std::thread::spawn(move || {
             let mut sent = 0u32;
@@ -37,35 +46,48 @@ fn kill_and_recover_under_continuous_load() {
             sent
         });
 
-        // A drain thread keeps collecting egress.
-        let released = Arc::new(std::sync::atomic::AtomicU64::new(0));
-
-        // Let traffic flow, then fail-stop the victim mid-stream.
+        // Let traffic flow, then fail-stop the victim mid-stream. The
+        // drain is time-based (traffic never quiesces under the
+        // generator), so CrashTarget::settle does not apply here.
         let t_warm = std::time::Instant::now();
+        let mut released_before_kill = 0u64;
         while t_warm.elapsed() < Duration::from_millis(300) {
-            if orch.chain.egress().recv(Duration::from_millis(2)).is_some() {
-                released.fetch_add(1, Ordering::Relaxed);
+            if target
+                .orch
+                .chain
+                .egress()
+                .recv(Duration::from_millis(2))
+                .is_some()
+            {
+                released_before_kill += 1;
             }
         }
-        let released_before_kill = released.load(Ordering::Relaxed);
         assert!(
             released_before_kill > 0,
             "warm traffic must flow (victim {victim})"
         );
 
-        orch.chain.kill(victim);
-        // Keep draining while the orchestrator recovers (packets in flight
+        // Fail-stop + recovery via the shared harness (packets in flight
         // during the outage are allowed to be lost — fail-stop semantics).
-        let report = orch
-            .recover(victim, ftc::net::RegionId(0))
-            .expect("recovery under load");
+        target.crash(&CrashPoint {
+            victim,
+            phase: CrashPhase::Quiesced,
+            trigger: 0,
+        });
+        let report = &target.reports.last().expect("recovery report").1;
         assert!(report.total() > Duration::ZERO);
 
         // Post-recovery: traffic must flow again.
         let t_post = std::time::Instant::now();
         let mut post = 0u64;
         while t_post.elapsed() < Duration::from_secs(10) && post < 50 {
-            if orch.chain.egress().recv(Duration::from_millis(5)).is_some() {
+            if target
+                .orch
+                .chain
+                .egress()
+                .recv(Duration::from_millis(5))
+                .is_some()
+            {
                 post += 1;
             }
         }
@@ -79,11 +101,7 @@ fn kill_and_recover_under_continuous_load() {
         // The recovered replica's own store must cover at least everything
         // released before the kill (strong consistency for released
         // packets; in-flight ones may exceed this).
-        let own = orch.chain.replicas[victim]
-            .state
-            .own_store
-            .peek_u64(b"mon:packets:g0")
-            .unwrap_or(0);
+        let own = target.mon_packets(victim).unwrap_or(0);
         assert!(
             own >= released_before_kill,
             "victim {victim}: recovered count {own} must cover the {released_before_kill} released"
@@ -94,44 +112,25 @@ fn kill_and_recover_under_continuous_load() {
 #[test]
 fn double_failure_under_load_with_f2() {
     let chain = FtcChain::deploy(ChainConfig::ch_n(4, 1).with_f(2));
-    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+    let orch = Orchestrator::new(chain, OrchestratorConfig::default());
+    let mut target = OrchCrashTarget::new(orch);
 
-    for i in 0..100 {
-        orch.chain.inject(pkt(i));
-    }
-    let warm = orch.chain.egress().collect(100, Duration::from_secs(15));
-    assert_eq!(warm.len(), 100);
-    std::thread::sleep(Duration::from_millis(120));
+    target.inject(100);
+    assert_eq!(target.settle(), 100);
 
-    // Two adjacent failures while more traffic is in flight.
-    for i in 100..140 {
-        orch.chain.inject(pkt(i));
-    }
-    orch.chain.kill(1);
-    orch.chain.kill(2);
-    orch.recover(1, ftc::net::RegionId(0)).expect("recover r1");
-    orch.recover(2, ftc::net::RegionId(0)).expect("recover r2");
+    // Two adjacent failures while more traffic is in flight: inject, then
+    // kill both before either recovery starts.
+    target.inject(40);
+    target.crash_many(&[1, 2]);
 
-    for i in 140..180 {
-        orch.chain.inject(pkt(i));
-    }
-    let t = std::time::Instant::now();
-    let mut post = 0;
-    while t.elapsed() < Duration::from_secs(15) && post < 40 {
-        if orch.chain.egress().recv(Duration::from_millis(5)).is_some() {
-            post += 1;
-        }
-    }
+    target.inject(40);
+    let post = target.settle();
     assert!(
         post >= 40,
         "chain must survive a double failure under load ({post})"
     );
     for victim in [1usize, 2] {
-        let own = orch.chain.replicas[victim]
-            .state
-            .own_store
-            .peek_u64(b"mon:packets:g0")
-            .unwrap_or(0);
+        let own = target.mon_packets(victim).unwrap_or(0);
         assert!(
             own >= 100,
             "r{victim} must retain at least the quiesced prefix: {own}"
