@@ -56,6 +56,10 @@ const WITNESS_CAP: usize = 64;
 // Probe: schedule-controlled crashes + release observations
 // ---------------------------------------------------------------------------
 
+/// Dependency claims attached to one buffer release: per `(mbox, dep
+/// entries)` pair, the sequence numbers the buffer asserts are committed.
+type ReleaseDeps = Vec<(usize, Vec<(u16, u64)>)>;
+
 #[derive(Default)]
 struct ProbeInner {
     /// Armed crash target; disarmed permanently once fired (single-crash
@@ -67,7 +71,7 @@ struct ProbeInner {
     fired: Option<usize>,
     /// Buffer releases observed since the last harvest: per release, the
     /// `(mbox, dep entries)` requirements the buffer claims are committed.
-    releases: Vec<Vec<(usize, Vec<(u16, u64)>)>>,
+    releases: Vec<ReleaseDeps>,
 }
 
 /// The model checker's [`ProtocolProbe`]: records every buffer release and
@@ -101,7 +105,7 @@ impl SchedProbe {
         self.inner.lock().fired.take()
     }
 
-    fn drain_releases(&self) -> Vec<Vec<(usize, Vec<(u16, u64)>)>> {
+    fn drain_releases(&self) -> Vec<ReleaseDeps> {
         std::mem::take(&mut self.inner.lock().releases)
     }
 }
@@ -114,9 +118,7 @@ fn point_matches(target: &CrashPoint, point: &ProbePoint) -> bool {
         (CrashPhase::PostApplyPreForward, ProbePoint::PostApplyPreForward { replica }) => {
             *replica == target.victim
         }
-        (CrashPhase::PostForward, ProbePoint::PostForward { replica }) => {
-            *replica == target.victim
-        }
+        (CrashPhase::PostForward, ProbePoint::PostForward { replica }) => *replica == target.victim,
         (CrashPhase::DuringRecovery, ProbePoint::RecoveryFetch { recovering, .. }) => {
             *recovering == target.victim
         }
@@ -363,7 +365,10 @@ fn crash_matrix(n: usize, f: usize, triggers: usize) -> Vec<CrashCase> {
             refuse: 2,
         });
         if n >= 4 {
-            cases.push(CrashCase::DoubleKill { first: 1, second: 2 });
+            cases.push(CrashCase::DoubleKill {
+                first: 1,
+                second: 2,
+            });
         }
     }
     cases
@@ -714,11 +719,7 @@ impl Runner {
             }
             let mut want = self.ring.replicated_by(i);
             want.sort_unstable();
-            let mut got: Vec<usize> = self.chain.replicas[i]
-                .replicated
-                .keys()
-                .copied()
-                .collect();
+            let mut got: Vec<usize> = self.chain.replicas[i].replicated.keys().copied().collect();
             got.sort_unstable();
             if got != want {
                 self.witness(
@@ -876,7 +877,10 @@ fn run_schedule(
         CrashCase::SourceDeath { victim, refuse } => {
             run.crash_fired = true;
             run.capture_i4(&[victim]);
-            match run.chain.try_fail_and_recover(victim, &|src, _| src != refuse) {
+            match run
+                .chain
+                .try_fail_and_recover(victim, &|src, _| src != refuse)
+            {
                 Ok(_) => {
                     // f ≥ 2: the fallback order reached another member.
                 }
@@ -937,7 +941,11 @@ pub fn explore(cfg: &ProtocolCheckConfig) -> ProtocolReport {
     if let Some(limit) = cfg.perm_limit {
         if perms.len() > limit {
             let stride = perms.len() / limit;
-            perms = perms.into_iter().step_by(stride.max(1)).take(limit).collect();
+            perms = perms
+                .into_iter()
+                .step_by(stride.max(1))
+                .take(limit)
+                .collect();
         }
     }
     let cases = crash_matrix(n, cfg.f, cfg.triggers);
@@ -1141,7 +1149,11 @@ mod tests {
             ..mini_cfg()
         };
         let report = explore(&cfg);
-        assert!(!report.ok(), "sabotage must be caught: {}", report.summary());
+        assert!(
+            !report.ok(),
+            "sabotage must be caught: {}",
+            report.summary()
+        );
         assert!(
             report.witnesses.iter().any(|w| w.invariant == "I1"),
             "expected an I1 witness, got: {:#?}",

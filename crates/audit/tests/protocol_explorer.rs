@@ -76,7 +76,10 @@ fn sabotaged_buffer_produces_i1_witness() {
 /// (the nightly CI job sets it).
 #[test]
 fn f2_nightly_exploration_is_violation_free() {
-    if std::env::var("FTC_PROTOCOL_F2").map(|v| v != "1").unwrap_or(true) {
+    if std::env::var("FTC_PROTOCOL_F2")
+        .map(|v| v != "1")
+        .unwrap_or(true)
+    {
         eprintln!("skipping f=2 exploration (set FTC_PROTOCOL_F2=1 to run)");
         return;
     }

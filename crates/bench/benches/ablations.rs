@@ -1,60 +1,6 @@
-//! Ablations of FTC's two key design choices (DESIGN.md §4):
-//!
-//! 1. **Data dependency vectors** (§4.3) — replaced by a single sequence
-//!    number, which forces replicas to apply logs in one total order.
-//! 2. **State piggybacking** (§3.2) — replaced by separate replication
-//!    messages per state update.
-
-use ftc_bench::{banner, mpps, paper_note, row, SIM_TPUT_S};
-use ftc_sim::{simulate, Ablation, MbKind, SimConfig, SystemKind};
-
-fn tput(chain: Vec<MbKind>, workers: usize, ablation: Option<Ablation>) -> f64 {
-    let mut cfg = SimConfig::saturated(SystemKind::Ftc { f: 1 }, chain)
-        .with_workers(workers)
-        .with_duration(SIM_TPUT_S);
-    if let Some(a) = ablation {
-        cfg = cfg.with_ablation(a);
-    }
-    simulate(&cfg).mpps()
-}
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::ablations` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Ablation",
-        "FTC design choices: dependency vectors and piggybacking",
-        "calibrated simulator; Ch-3 of Monitors (sharing 1), 8 workers",
-    );
-    let chain = || vec![MbKind::Monitor { sharing: 1 }; 3];
-
-    let full = tput(chain(), 8, None);
-    let total_order = tput(chain(), 8, Some(Ablation::TotalOrderReplication));
-    let no_piggyback = tput(chain(), 8, Some(Ablation::NoPiggyback));
-
-    row("variant", &["Mpps", "vs full FTC"]);
-    row("FTC (full)", &[mpps(full), "1.00x".into()]);
-    row(
-        "single seq number",
-        &[mpps(total_order), format!("{:.2}x", total_order / full)],
-    );
-    row(
-        "separate repl. msgs",
-        &[mpps(no_piggyback), format!("{:.2}x", no_piggyback / full)],
-    );
-
-    // The dependency-vector ablation matters most when many independent
-    // writer streams exist; show the sweep over worker counts.
-    println!("\nper-worker sweep (single seq number vs dependency vectors):");
-    let workers = [1usize, 2, 4, 8];
-    row("workers", &workers.map(|w| w.to_string()));
-    row("FTC (Mpps)", &workers.map(|w| mpps(tput(chain(), w, None))));
-    row(
-        "total-order (Mpps)",
-        &workers.map(|w| mpps(tput(chain(), w, Some(Ablation::TotalOrderReplication)))),
-    );
-    paper_note(
-        "§4.3 motivates dependency vectors: a single sequence number \
-         'eliminates multithreaded replication at successor replicas'; \
-         §3.2 motivates piggybacking: separate messages per update are the \
-         §2.2 frameworks' overhead FTC avoids",
-    );
+    ftc_bench::runs::ablations::run()
 }

@@ -1,48 +1,6 @@
-//! Figure 11: CDF of per-packet latency through Ch-3 (single-threaded
-//! Monitors @ 2 Mpps) for NF / FTC / FTMB.
-
-use ftc_bench::{banner, paper_note, SIM_LAT_S};
-use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::fig11_latency_cdf` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Figure 11",
-        "Per-packet latency CDF, Ch-3 (1-thread Monitors @ 2 Mpps)",
-        "calibrated simulator; quantiles of the released-packet latency \
-         distribution",
-    );
-    let chain = vec![MbKind::Monitor { sharing: 1 }; 3];
-    let quantiles = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999];
-
-    print!("{:<8}", "q");
-    for q in quantiles {
-        print!(" {q:>9}");
-    }
-    println!();
-    for (name, sys) in [
-        ("NF", SystemKind::Nf),
-        ("FTC", SystemKind::Ftc { f: 1 }),
-        ("FTMB", SystemKind::Ftmb { snapshot: None }),
-    ] {
-        let r = simulate(
-            &SimConfig::at_rate(sys, chain.clone(), 2e6)
-                .with_workers(1)
-                .with_duration(SIM_LAT_S),
-        );
-        print!("{name:<8}");
-        for q in quantiles {
-            let v = r
-                .latency
-                .quantile(q)
-                .map(|d| format!("{:.1}", d.as_secs_f64() * 1e6))
-                .unwrap_or_else(|| "-".into());
-            print!(" {v:>9}");
-        }
-        println!("   (us; {} samples)", r.latency.len());
-    }
-    paper_note(
-        "the tail latency of packets through Ch-3 is only moderately higher \
-         than the minimum: FTC sits between NF and FTMB at roughly 2/3 of \
-         FTMB's per-middlebox overhead, with no snapshot-style spikes",
-    );
+    ftc_bench::runs::fig11_latency_cdf::run()
 }

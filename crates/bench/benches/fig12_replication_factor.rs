@@ -1,65 +1,6 @@
-//! Figure 12: impact of the replication factor (2–5, i.e. f = 1–4) on
-//! FTC's throughput (8 threads) and latency (1 thread), for Ch-5.
-
-use ftc_bench::{banner, mpps, paper_note, row, us, SIM_LAT_S, SIM_TPUT_S};
-use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::fig12_replication_factor` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Figure 12",
-        "Replication factor vs throughput and latency (Ch-5 Monitors)",
-        "calibrated simulator; piggyback trailers grow with f (logs ride f \
-         hops; wrapped commit vectors ride back)",
-    );
-    let chain = vec![MbKind::Monitor { sharing: 1 }; 5];
-    let factors = [1usize, 2, 3, 4];
-    row("replication factor", &factors.map(|f| (f + 1).to_string()));
-
-    let tput: Vec<String> = factors
-        .iter()
-        .map(|&f| {
-            mpps(
-                simulate(
-                    &SimConfig::saturated(SystemKind::Ftc { f }, chain.clone())
-                        .with_duration(SIM_TPUT_S),
-                )
-                .mpps(),
-            )
-        })
-        .collect();
-    row("throughput 8t (Mpps)", &tput);
-
-    let lat: Vec<String> = factors
-        .iter()
-        .map(|&f| {
-            us(simulate(
-                &SimConfig::at_rate(SystemKind::Ftc { f }, chain.clone(), 1.5e6)
-                    .with_workers(1)
-                    .with_duration(SIM_LAT_S),
-            )
-            .mean_latency())
-        })
-        .collect();
-    row("latency 1t @1.5Mpps (us)", &lat);
-
-    let trailer: Vec<String> = factors
-        .iter()
-        .map(|&f| {
-            format!(
-                "{:.0}",
-                simulate(
-                    &SimConfig::saturated(SystemKind::Ftc { f }, chain.clone())
-                        .with_duration(0.005),
-                )
-                .trailer_bytes
-            )
-        })
-        .collect();
-    row("mean trailer (B/hop)", &trailer);
-    paper_note(
-        "tolerating more failures costs little: throughput drops only ~3% \
-         (8.28 -> 8.06 Mpps) and latency rises ~8 us from replication \
-         factor 2 to 5; the limit is trailer growth, which makes very large \
-         factors impractical",
-    );
+    ftc_bench::runs::fig12_replication_factor::run()
 }

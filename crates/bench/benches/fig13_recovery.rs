@@ -1,102 +1,6 @@
-//! Figure 13: recovery time of each middlebox of Ch-Rec (Firewall →
-//! Monitor → SimpleNAT) deployed across cloud regions — measured on the
-//! real threaded runtime with WAN delays injected from the topology.
-
-use ftc::prelude::*;
-use ftc_bench::{banner, paper_note};
-use std::net::Ipv4Addr;
-use std::time::Duration;
-
-fn pkt(i: u16) -> Packet {
-    UdpPacketBuilder::new()
-        .src(Ipv4Addr::new(10, 4, 0, 1), 3000 + (i % 16))
-        .dst(Ipv4Addr::new(10, 60, 0, 1), 443)
-        .ident(i)
-        .build()
-}
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::fig13_recovery` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Figure 13",
-        "Recovery time per middlebox of Ch-Rec across cloud regions",
-        "threaded runtime; the orchestrator lives in the 'core' region; \
-         Firewall is co-located with it, SimpleNAT is in a neighboring \
-         region, Monitor in a remote region (the paper's §7.5 placement)",
-    );
-
-    // Paper placement: head of Firewall in the orchestrator's region; the
-    // heads of SimpleNAT and Monitor in a neighboring and a remote region.
-    let topology = Topology::savi_like();
-    let regions = vec![RegionId(0), RegionId(2), RegionId(1)]; // fw, mon, nat
-    let names = ["Firewall", "Monitor", "SimpleNAT"];
-
-    println!(
-        "{:<12} {:>16} {:>18} {:>14} {:>12}",
-        "middlebox", "initialization", "state recovery", "rerouting", "bytes"
-    );
-
-    for trial in 0..2 {
-        let chain = FtcChain::deploy_in(
-            ChainConfig::new(vec![
-                MbSpec::Firewall { rules: vec![] },
-                MbSpec::Monitor { sharing_level: 1 },
-                MbSpec::SimpleNat {
-                    external_ip: Ipv4Addr::new(198, 51, 100, 30),
-                },
-            ])
-            .with_f(1),
-            topology.clone(),
-            regions.clone(),
-        );
-        let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
-
-        // Build up state to recover: flows through the NAT, counters in the
-        // monitor.
-        for i in 0..400 {
-            orch.chain.inject(pkt(i));
-        }
-        let warm = orch
-            .chain
-            .egress()
-            .collect(400, Duration::from_secs(30))
-            .len();
-        std::thread::sleep(Duration::from_millis(150));
-
-        for (idx, name) in names.iter().enumerate() {
-            let region = regions[idx];
-            orch.chain.kill(idx);
-            let r = orch.recover(idx, region).expect("recovery");
-            println!(
-                "{:<12} {:>13.1?} {:>15.1?} {:>13.1?} {:>12}   (trial {trial}, warmed {warm})",
-                name, r.initialization, r.state_recovery, r.rerouting, r.bytes_transferred
-            );
-            // Keep the chain healthy for the next victim.
-            for i in 0..50 {
-                orch.chain.inject(pkt(500 + i));
-            }
-            orch.chain.egress().collect(50, Duration::from_secs(20));
-            std::thread::sleep(Duration::from_millis(100));
-        }
-
-        // The same run, phase by phase, as seen by the event journal.
-        println!("\n  journal-derived recovery timelines (trial {trial}):");
-        for t in orch.recovery_timelines() {
-            println!(
-                "    r{}: total {:.1?} (detection {:.1?}, init {:.1?}, \
-                 state fetch {:.1?}, resume {:.1?})",
-                t.replica,
-                t.total(),
-                t.detection,
-                t.initialization,
-                t.state_fetch,
-                t.resume,
-            );
-        }
-    }
-    paper_note(
-        "initialization: Firewall 1.2 ms, SimpleNAT 5.3 ms, Monitor 49.8 ms \
-         (ordered by orchestrator->region distance); state recovery \
-         114-271 ms, WAN-RTT dominated (our single-round fetch pays one \
-         RTT; the paper's TCP transfer pays several); rerouting negligible",
-    );
+    ftc_bench::runs::fig13_recovery::run()
 }

@@ -1,75 +1,6 @@
-//! Figure 8: per-packet latency vs offered load for (a) Monitor with 8
-//! threads at sharing level 8, (b) MazuNAT with 1 thread, (c) MazuNAT with
-//! 8 threads — NF / FTC / FTMB.
-
-use ftc_bench::{banner, paper_note, row, us, SIM_LAT_S};
-use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
-
-fn lat(system: SystemKind, chain: Vec<MbKind>, workers: usize, pps: f64) -> String {
-    let r = simulate(
-        &SimConfig::at_rate(system, chain, pps)
-            .with_workers(workers)
-            .with_duration(SIM_LAT_S),
-    );
-    us(r.mean_latency())
-}
-
-fn panel(title: &str, mb: MbKind, workers: usize, loads_mpps: &[f64]) {
-    println!("\n--- {title} ---");
-    row(
-        "load (Mpps)",
-        &loads_mpps
-            .iter()
-            .map(|l| format!("{l:.1}"))
-            .collect::<Vec<_>>(),
-    );
-    let systems: [(&str, SystemKind, Vec<MbKind>); 3] = [
-        ("NF", SystemKind::Nf, vec![mb]),
-        (
-            "FTC",
-            SystemKind::Ftc { f: 1 },
-            vec![mb, MbKind::Passthrough],
-        ),
-        ("FTMB", SystemKind::Ftmb { snapshot: None }, vec![mb]),
-    ];
-    for (name, sys, chain) in systems {
-        let series: Vec<String> = loads_mpps
-            .iter()
-            .map(|&l| lat(sys, chain.clone(), workers, l * 1e6))
-            .collect();
-        row(&format!("{name} mean latency (us)"), &series);
-    }
-}
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::fig8_latency_load` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Figure 8",
-        "Latency vs offered load",
-        "calibrated simulator; open-loop CBR arrivals; latencies spike past \
-         each system's saturation point",
-    );
-    panel(
-        "(a) Monitor, 8 threads, sharing level 8",
-        MbKind::Monitor { sharing: 8 },
-        8,
-        &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
-    );
-    panel(
-        "(b) MazuNAT, 1 thread",
-        MbKind::MazuNat,
-        1,
-        &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
-    );
-    panel(
-        "(c) MazuNAT, 8 threads",
-        MbKind::MazuNat,
-        8,
-        &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-    );
-    paper_note(
-        "under sustainable loads FTC adds 14-25 us and FTMB 22-31 us per \
-         packet (a); with one thread FTC sustains nearly NF's load (b); \
-         with 8 threads NF and FTC reach the NIC cap and latency spikes \
-         past saturation (c)",
-    );
+    ftc_bench::runs::fig8_latency_load::run()
 }

@@ -1,72 +1,6 @@
-//! Figure 9: maximum throughput vs chain length (Ch-2 … Ch-5 of Monitors,
-//! 8 threads, sharing level 1) for NF / FTC / FTMB / FTMB+Snapshot.
-
-use ftc_bench::{banner, mpps, paper_note, row, SIM_SNAP_S, SIM_TPUT_S};
-use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
+//! Thin wrapper: the bench body lives in `ftc_bench::runs::fig9_chain_length` so the
+//! test suite can smoke-run it (see `tests/bench_smoke.rs`).
 
 fn main() {
-    banner(
-        "Figure 9",
-        "Throughput vs chain length (Ch-2..Ch-5)",
-        "calibrated simulator; FTMB+Snapshot stalls 6 ms every 50 ms per \
-         middlebox, unsynchronized across the chain",
-    );
-    let lengths = [2usize, 3, 4, 5];
-    row("chain length", &lengths.map(|n| n.to_string()));
-
-    let chain = |n: usize| vec![MbKind::Monitor { sharing: 1 }; n];
-    let run = |sys: SystemKind, n: usize, dur: f64| {
-        simulate(&SimConfig::saturated(sys, chain(n)).with_duration(dur)).mpps()
-    };
-
-    let nf: Vec<f64> = lengths
-        .iter()
-        .map(|&n| run(SystemKind::Nf, n, SIM_TPUT_S))
-        .collect();
-    let ftc: Vec<f64> = lengths
-        .iter()
-        .map(|&n| run(SystemKind::Ftc { f: 1 }, n, SIM_TPUT_S))
-        .collect();
-    let ftmb: Vec<f64> = lengths
-        .iter()
-        .map(|&n| run(SystemKind::Ftmb { snapshot: None }, n, SIM_TPUT_S))
-        .collect();
-    let snap: Vec<f64> = lengths
-        .iter()
-        .map(|&n| {
-            run(
-                SystemKind::Ftmb {
-                    snapshot: Some((50e6, 6e6)),
-                },
-                n,
-                SIM_SNAP_S,
-            )
-        })
-        .collect();
-
-    row(
-        "NF (Mpps)",
-        &nf.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
-    );
-    row(
-        "FTC (Mpps)",
-        &ftc.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
-    );
-    row(
-        "FTMB (Mpps)",
-        &ftmb.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
-    );
-    row(
-        "FTMB+Snapshot (Mpps)",
-        &snap.iter().map(|&v| mpps(v)).collect::<Vec<_>>(),
-    );
-
-    let ftc_drop = (1.0 - ftc[3] / ftc[0]) * 100.0;
-    let snap_drop = (1.0 - snap[3] / snap[0]) * 100.0;
-    println!("\nchain-length drop Ch-2 -> Ch-5: FTC {ftc_drop:.1}%, FTMB+Snapshot {snap_drop:.1}%");
-    paper_note(
-        "FTC stays within 8.28-8.92 Mpps (6-13% below NF; 2-7% drop with \
-         length); FTMB is 4.80-4.83 Mpps; FTMB+Snapshot drops 13-39% \
-         (3.94 -> 2.42 Mpps) because unsynchronized snapshots compound",
-    );
+    ftc_bench::runs::fig9_chain_length::run()
 }

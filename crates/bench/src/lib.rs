@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runs;
+
 use std::fmt::Display;
 use std::time::Duration;
 
@@ -53,6 +55,37 @@ pub const SIM_TPUT_S: f64 = 0.04;
 pub const SIM_LAT_S: f64 = 0.03;
 /// Duration for snapshot-stall runs (must span many 50 ms periods).
 pub const SIM_SNAP_S: f64 = 0.5;
+
+/// True when `FTC_BENCH_QUICK=1`: smoke-test mode, where every bench entry
+/// runs with tiny durations/iteration counts just to prove it still works.
+pub fn quick_mode() -> bool {
+    std::env::var("FTC_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// A simulated duration, collapsed to a couple of milliseconds in quick
+/// mode.
+pub fn sim_secs(full: f64) -> f64 {
+    if quick_mode() {
+        full.min(0.002)
+    } else {
+        full
+    }
+}
+
+/// A wall-clock measurement duration on the threaded runtime, collapsed in
+/// quick mode.
+pub fn wall_secs(full: f64) -> Duration {
+    Duration::from_secs_f64(if quick_mode() { full.min(0.25) } else { full })
+}
+
+/// An iteration/packet count, collapsed in quick mode.
+pub fn quick_count(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick.min(full)
+    } else {
+        full
+    }
+}
 
 #[cfg(test)]
 mod tests {

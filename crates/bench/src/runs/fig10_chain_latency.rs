@@ -1,0 +1,67 @@
+//! Figure 10: per-packet latency vs chain length (single-threaded Monitors
+//! at a sustainable 2 Mpps) for NF / FTC / FTMB.
+
+use crate::{banner, paper_note, row, us, SIM_LAT_S};
+use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
+use std::time::Duration;
+
+fn mean(sys: SystemKind, n: usize) -> Option<Duration> {
+    simulate(
+        &SimConfig::at_rate(sys, vec![MbKind::Monitor { sharing: 1 }; n], 2e6)
+            .with_workers(1)
+            .with_duration(crate::sim_secs(SIM_LAT_S)),
+    )
+    .mean_latency()
+}
+
+/// Runs this bench entry end to end (quick mode honours `FTC_BENCH_QUICK`).
+pub fn run() {
+    banner(
+        "Figure 10",
+        "Latency vs chain length (1-thread Monitors @ 2 Mpps)",
+        "calibrated simulator",
+    );
+    let lengths = [2usize, 3, 4, 5];
+    row("chain length", &lengths.map(|n| n.to_string()));
+
+    let nf: Vec<_> = lengths.iter().map(|&n| mean(SystemKind::Nf, n)).collect();
+    let ftc: Vec<_> = lengths
+        .iter()
+        .map(|&n| mean(SystemKind::Ftc { f: 1 }, n))
+        .collect();
+    let ftmb: Vec<_> = lengths
+        .iter()
+        .map(|&n| mean(SystemKind::Ftmb { snapshot: None }, n))
+        .collect();
+
+    row("NF (us)", &nf.iter().map(|&d| us(d)).collect::<Vec<_>>());
+    row("FTC (us)", &ftc.iter().map(|&d| us(d)).collect::<Vec<_>>());
+    row(
+        "FTMB (us)",
+        &ftmb.iter().map(|&d| us(d)).collect::<Vec<_>>(),
+    );
+
+    // Per-middlebox overheads vs NF, the quantity the paper quotes.
+    let per_mbox = |series: &[Option<Duration>]| -> Vec<String> {
+        series
+            .iter()
+            .zip(&nf)
+            .zip(&lengths)
+            .map(|((s, n), &len)| match (s, n) {
+                (Some(s), Some(n)) => {
+                    format!(
+                        "{:.1}",
+                        (s.as_secs_f64() - n.as_secs_f64()) * 1e6 / len as f64
+                    )
+                }
+                _ => "-".into(),
+            })
+            .collect()
+    };
+    row("FTC overhead/mbox (us)", &per_mbox(&ftc));
+    row("FTMB overhead/mbox (us)", &per_mbox(&ftmb));
+    paper_note(
+        "FTC's overhead vs NF is 39-104 us for Ch-2..Ch-5 (~20 us per \
+         middlebox); FTMB's is 64-171 us (~35 us per middlebox)",
+    );
+}

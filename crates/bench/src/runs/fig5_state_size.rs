@@ -1,0 +1,62 @@
+//! Figure 5: FTC throughput of the Gen middlebox vs generated state size,
+//! for several packet sizes (single-threaded Gen).
+
+use crate::{banner, mpps, paper_note, row, SIM_TPUT_S};
+use ftc_sim::{simulate, MbKind, SimConfig, SystemKind};
+
+/// Runs this bench entry end to end (quick mode honours `FTC_BENCH_QUICK`).
+pub fn run() {
+    banner(
+        "Figure 5",
+        "Throughput vs state size (Gen, 1 thread, FTC)",
+        "calibrated simulator; per-packet state writes of the given size are \
+         piggybacked and replicated",
+    );
+    let state_sizes = [16usize, 64, 128, 256];
+    let packet_sizes = [128usize, 256, 512];
+
+    row("state size (B)", &state_sizes.map(|s| s.to_string()));
+    for &pkt in &packet_sizes {
+        let series: Vec<String> = state_sizes
+            .iter()
+            .map(|&state| {
+                let cfg = SimConfig::saturated(
+                    SystemKind::Ftc { f: 1 },
+                    vec![MbKind::Gen { state }, MbKind::Passthrough],
+                )
+                .with_workers(1)
+                .with_packet_bytes(pkt)
+                .with_duration(crate::sim_secs(SIM_TPUT_S));
+                mpps(simulate(&cfg).mpps())
+            })
+            .collect();
+        row(&format!("{pkt} B packets (Mpps)"), &series);
+    }
+
+    // Relative drops, the quantity the paper quotes.
+    for &pkt in &packet_sizes {
+        let at = |state: usize| {
+            simulate(
+                &SimConfig::saturated(
+                    SystemKind::Ftc { f: 1 },
+                    vec![MbKind::Gen { state }, MbKind::Passthrough],
+                )
+                .with_workers(1)
+                .with_packet_bytes(pkt)
+                .with_duration(crate::sim_secs(SIM_TPUT_S)),
+            )
+            .mpps()
+        };
+        let base = at(16);
+        let drop128 = (1.0 - at(128) / base) * 100.0;
+        let drop256 = (1.0 - at(256) / base) * 100.0;
+        println!(
+            "{pkt:>4} B packets: drop at 128 B state = {drop128:.1}%, at 256 B = {drop256:.1}%"
+        );
+    }
+    paper_note(
+        "for 128 B packets, throughput drops by only 9% for state up to \
+         128 B; with 512 B packets the drop is under a few percent for \
+         state up to 256 B (the binding resource shifts off the CPU)",
+    );
+}

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the data-plane building blocks: the
+//! per-operation costs behind Table 2.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, BatchSize, Criterion};
+use ftc_packet::builder::UdpPacketBuilder;
+use ftc_packet::piggyback::{DepVector, MboxId, PiggybackLog, PiggybackMessage, StateWrite};
+use ftc_packet::{checksum, FlowKey, Packet};
+use ftc_stm::{MaxVector, StateStore};
+use std::time::Duration;
+
+fn sample_message() -> PiggybackMessage {
+    PiggybackMessage {
+        flags: 0,
+        logs: vec![PiggybackLog {
+            mbox: MboxId(1),
+            deps: DepVector::from_entries(vec![(3, 17), (9, 4)]).unwrap(),
+            writes: vec![StateWrite {
+                key: Bytes::from_static(b"mon:packets:g0"),
+                value: Bytes::from_static(b"\0\0\0\0\0\0\0\x2a"),
+                partition: 3,
+            }],
+        }],
+        commits: vec![],
+    }
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    let pkt = UdpPacketBuilder::new().frame_len(256).build();
+    let raw = pkt.bytes().to_vec();
+    g.bench_function("parse_256B", |b| {
+        b.iter_batched(
+            || BytesMut::from(&raw[..]),
+            |buf| Packet::from_frame(buf).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("flow_key", |b| b.iter(|| pkt.flow_key().unwrap()));
+    g.bench_function("ip_checksum_20B", |b| {
+        b.iter(|| checksum::checksum(&raw[14..34]))
+    });
+    g.bench_function("rss_hash", |b| {
+        let key = pkt.flow_key().unwrap();
+        b.iter(|| FlowKey::rss_hash(&key))
+    });
+    g.finish();
+}
+
+fn bench_piggyback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("piggyback");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let msg = sample_message();
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(128);
+            msg.encode(&mut buf);
+            buf
+        })
+    });
+    let mut buf = BytesMut::new();
+    msg.encode(&mut buf);
+    g.bench_function("decode", |b| {
+        b.iter(|| PiggybackMessage::decode_trailing(&buf).unwrap().unwrap())
+    });
+    let base = UdpPacketBuilder::new().frame_len(256).build();
+    g.bench_function("attach_detach", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut p| {
+                p.attach_piggyback(&msg).unwrap();
+                p.detach_piggyback().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_stm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    let store = StateStore::new(32);
+    let key = Bytes::from_static(b"counter");
+    g.bench_function("read_modify_write_txn", |b| {
+        b.iter(|| {
+            store.transaction(|txn| {
+                let v = txn.read_u64(&key)?.unwrap_or(0);
+                txn.write_u64(key.clone(), v + 1)?;
+                Ok(())
+            })
+        })
+    });
+    g.bench_function("read_only_txn", |b| {
+        b.iter(|| store.transaction(|txn| txn.read_u64(&key)))
+    });
+
+    // Replica apply throughput: the Table-2 "copying piggybacked state".
+    let head = StateStore::new(32);
+    let out = head.transaction(|txn| {
+        txn.write_u64(key.clone(), 1)?;
+        Ok(())
+    });
+    let log = out.log.unwrap();
+    g.bench_function("max_vector_apply", |b| {
+        b.iter_batched(
+            || (StateStore::new(32), MaxVector::new(32)),
+            |(replica, max)| max.offer(&log.deps, &log.writes, &replica),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_packet, bench_piggyback, bench_stm);
+
+/// Runs this bench entry end to end (quick mode honours `FTC_BENCH_QUICK`).
+pub fn run() {
+    benches();
+}

@@ -1,0 +1,84 @@
+//! Table 2: per-packet cost breakdown of an FTC-enabled MazuNAT running in
+//! a chain of length two — measured on the real threaded runtime.
+
+use crate::{banner, paper_note};
+use ftc::prelude::*;
+use ftc_traffic::WorkloadConfig;
+use std::net::Ipv4Addr;
+
+/// Runs this bench entry end to end (quick mode honours `FTC_BENCH_QUICK`).
+pub fn run() {
+    banner(
+        "Table 2",
+        "Performance breakdown, MazuNAT in a chain of length two",
+        "threaded runtime; instrumented sections of the packet path \
+         (absolute values differ from the paper's Xeon D-1540 testbed — \
+         compare the *relative* weights)",
+    );
+
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 2),
+            },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 3),
+            },
+        ])
+        .with_f(1)
+        .with_workers(2),
+    );
+
+    // Warm up flow tables, then measure a steady read-heavy phase.
+    let runner = TrafficRunner::new(WorkloadConfig {
+        flows: 64,
+        frame_len: 256,
+        ..Default::default()
+    });
+    let report = runner.closed_loop(&chain, 32, crate::wall_secs(4.0));
+    println!(
+        "drove {} packets end to end ({:.0} pps sustained)\n",
+        report.received, report.pps
+    );
+
+    let snap = chain.metrics.snapshot();
+    let stages: [(&str, ftc::core::metrics::StageStats, f64); 5] = [
+        ("Packet transaction", snap.transaction, 355.0 + 152.0),
+        ("Piggyback construction", snap.piggyback, 58.0),
+        ("Log application (replica)", snap.apply, 58.0),
+        ("Forwarder", snap.forwarder, 8.0),
+        ("Buffer", snap.buffer, 100.0),
+    ];
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14} {:>10}",
+        "section",
+        "mean (ns)",
+        "p50 (ns)",
+        "p99 (ns)",
+        "p999 (ns)",
+        "cycles@2GHz",
+        "paper (cycles)",
+        "samples"
+    );
+    for (label, s, paper_cycles) in stages {
+        println!(
+            "{label:<28} {:>10} {:>10} {:>10} {:>10} {:>12.0} {paper_cycles:>14.0} {:>10}",
+            s.mean_ns,
+            s.p50_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.mean_ns as f64 * 2.0,
+            s.samples
+        );
+    }
+    println!(
+        "\nmean piggyback trailer: {:.1} B/packet",
+        snap.mean_piggyback_bytes
+    );
+    paper_note(
+        "Table 2 (CPU cycles @2 GHz): packet processing 355±12, locking \
+         152±11, copying piggybacked state 58±6, forwarder 8±2, buffer \
+         100±4 — the packet transaction dominates; forwarder and buffer \
+         costs are small and independent of chain length",
+    );
+}

@@ -15,6 +15,7 @@ USAGE:
   ftc sim     --chain \"<spec>\" --system <ftc|nf|ftmb|ftmb-snap>
               [--f N] [--workers N] [--rate <Mpps|max>] [--packet-bytes B]
   ftc drill   --chain \"<spec>\" [--f N]
+  ftc bench   [--quick] [--seconds S] [--workers N] [--inflight N] [--out FILE]
   ftc help
 
 CHAIN SPECS (Click-flavoured):
@@ -30,7 +31,8 @@ EXAMPLES:
   ftc trace --chain \"firewall -> monitor\" --kill 1
   ftc compare --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
   ftc sim --chain \"monitor(sharing=8)\" --system ftc --rate max
-  ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"";
+  ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
+  ftc bench --quick --out BENCH_table2.json";
 
 /// The selected subcommand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,8 @@ pub enum Command {
     Sim,
     /// Failover drill.
     Drill,
+    /// Run the standing Table-2 benchmark and emit BENCH_table2.json.
+    Bench,
     /// Print usage.
     Help,
 }
@@ -99,7 +103,7 @@ impl ParsedArgs {
 }
 
 /// Flags that take no value; everything else is `--key value`.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "quick"];
 
 /// Parses `argv` (excluding the program name).
 pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
@@ -111,6 +115,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
         Some("compare") => Command::Compare,
         Some("sim") => Command::Sim,
         Some("drill") => Command::Drill,
+        Some("bench") => Command::Bench,
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,
         Some(other) => return Err(format!("unknown subcommand `{other}`")),
     };

@@ -1,0 +1,135 @@
+//! `ftc bench`: the standing hot-path benchmark.
+//!
+//! Drives the Table-2 reference chain (MazuNAT × 2, f = 1) on the threaded
+//! runtime and emits a machine-readable `BENCH_table2.json` containing the
+//! sustained throughput and the per-stage latency percentiles of the packet
+//! path. The committed copy of that file is the baseline
+//! `scripts/check.sh --bench-gate` compares against, so the bench trajectory
+//! is tracked in-tree: a hot-path regression shows up as a failing gate, not
+//! as an anecdote.
+
+use crate::args::ParsedArgs;
+use ftc::core::metrics::StageStats;
+use ftc::prelude::*;
+use ftc::traffic::WorkloadConfig;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// The Table-2 stages in report order.
+const STAGES: [&str; 5] = ["transaction", "piggyback", "apply", "forwarder", "buffer"];
+
+fn stage_json(s: &StageStats) -> String {
+    format!(
+        "{{\"samples\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+        s.samples, s.mean_ns, s.p50_ns, s.p99_ns, s.p999_ns
+    )
+}
+
+/// Runs the benchmark and writes the JSON artifact. `--quick` shortens the
+/// measurement for CI smoke runs (the artifact records which mode produced
+/// it, and the gate refuses to compare across modes).
+pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let seconds = args.get_f64("seconds", if quick { 0.4 } else { 4.0 })?;
+    let workers = args.get_usize("workers", 2)?;
+    let inflight = args.get_usize("inflight", 32)?;
+    let out = args.get("out").unwrap_or("BENCH_table2.json").to_string();
+
+    println!(
+        "ftc bench: MazuNAT -> MazuNAT, f = 1, workers = {workers}, \
+         {seconds} s closed loop ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 2),
+            },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 3),
+            },
+        ])
+        .with_f(1)
+        .with_workers(workers),
+    );
+    let runner = TrafficRunner::new(WorkloadConfig {
+        flows: 64,
+        frame_len: 256,
+        ..Default::default()
+    });
+    let report = runner.closed_loop(&chain, inflight, Duration::from_secs_f64(seconds));
+    std::thread::sleep(Duration::from_millis(50));
+    let snap = chain.metrics.snapshot();
+
+    let stages = [
+        ("transaction", snap.transaction),
+        ("piggyback", snap.piggyback),
+        ("apply", snap.apply),
+        ("forwarder", snap.forwarder),
+        ("buffer", snap.buffer),
+    ];
+    debug_assert_eq!(stages.len(), STAGES.len());
+    println!(
+        "{:<14} {:>9} {:>11} {:>11} {:>11}",
+        "stage", "samples", "mean (ns)", "p50 (ns)", "p99 (ns)"
+    );
+    for (name, s) in &stages {
+        println!(
+            "{name:<14} {:>9} {:>11} {:>11} {:>11}",
+            s.samples, s.mean_ns, s.p50_ns, s.p99_ns
+        );
+    }
+    println!(
+        "throughput: {:.0} pps sustained over {} packets",
+        report.pps, report.received
+    );
+
+    let stages_json: Vec<String> = stages
+        .iter()
+        .map(|(name, s)| format!("\"{name}\":{}", stage_json(s)))
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"table2\",\"chain\":\"mazu_nat -> mazu_nat\",\"quick\":{quick},\
+         \"seconds\":{seconds},\"workers\":{workers},\"inflight\":{inflight},\
+         \"received\":{},\"pps\":{:.1},\"mean_piggyback_bytes\":{:.1},\
+         \"stages\":{{{}}}}}\n",
+        report.received,
+        report.pps,
+        snap.mean_piggyback_bytes,
+        stages_json.join(","),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn bench_quick_emits_valid_artifact() {
+        let out = std::env::temp_dir().join(format!("ftc_bench_test_{}.json", std::process::id()));
+        let argv: Vec<String> = [
+            "bench",
+            "--quick",
+            "--seconds",
+            "0.2",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_bench(&parse_args(&argv).unwrap()).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(body.contains("\"bench\":\"table2\""));
+        assert!(body.contains("\"quick\":true"));
+        assert!(body.contains("\"pps\":"));
+        for stage in STAGES {
+            assert!(body.contains(&format!("\"{stage}\":")), "missing {stage}");
+        }
+    }
+}

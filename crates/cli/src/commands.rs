@@ -21,6 +21,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), String> {
         Command::Compare => cmd_compare(args),
         Command::Sim => cmd_sim(args),
         Command::Drill => cmd_drill(args),
+        Command::Bench => crate::bench::cmd_bench(args),
     }
 }
 

@@ -8,6 +8,8 @@
 //!   threaded runtime and print throughput/latency side by side.
 //! * `ftc sim` — run a calibrated-simulator experiment.
 //! * `ftc drill` — kill and recover every replica position in turn.
+//! * `ftc bench` — run the standing Table-2 benchmark and emit
+//!   `BENCH_table2.json` (the `--bench-gate` baseline format).
 //!
 //! Chains are written in the Click-flavoured spec language of
 //! [`ftc::mbox::spec_lang`], e.g.
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod bench;
 pub mod commands;
 
 pub use args::{parse_args, Command, ParsedArgs};

@@ -17,7 +17,9 @@ use crate::probe::{ProbePoint, ProbeSlot};
 use bytes::BytesMut;
 use crossbeam::channel::Sender;
 use ftc_net::server::AliveToken;
-use ftc_packet::piggyback::{DepVector, PiggybackLog, PiggybackMessage};
+use ftc_packet::piggyback::{
+    batch_wire_len, encode_batch, DepVector, PiggybackLog, PiggybackMessage,
+};
 use ftc_packet::Packet;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -135,7 +137,9 @@ impl BufferState {
         }
 
         // 2. Extract wrapped logs: they become release requirements for this
-        //    packet and feedback for the forwarder.
+        //    packet and feedback for the forwarder. Logs are MOVED into the
+        //    fresh set (flush sends them, then shifts them into the
+        //    uncommitted backlog) — no per-log clone on this path.
         let is_propagating = msg.is_propagating();
         let mut reqs = Vec::new();
         for log in msg.logs {
@@ -143,8 +147,7 @@ impl BufferState {
             if !log.deps.is_empty() {
                 reqs.push((m, log.deps.clone()));
             }
-            inner.fresh.push(log.clone());
-            inner.uncommitted.push(log);
+            inner.fresh.push(log);
         }
 
         // 3. Hold or release this packet.
@@ -179,15 +182,16 @@ impl BufferState {
     pub fn tick(&self) {
         let mut inner = self.inner.lock();
         self.sweep(&mut inner);
-        if !inner.uncommitted.is_empty() {
-            // Resend *everything* uncommitted: completion order at the last
-            // replica can diverge arbitrarily from commit order, so any
-            // fixed-size prefix could miss the gap log and livelock the
-            // ring. Replicas drop duplicates via the stale rule.
-            inner.fresh = inner.uncommitted.clone();
-            while !inner.fresh.is_empty() {
-                self.flush_feedback(&mut inner);
-            }
+        // Resend *everything* uncommitted: completion order at the last
+        // replica can diverge arbitrarily from commit order, so any
+        // fixed-size prefix could miss the gap log and livelock the ring.
+        // Replicas drop duplicates via the stale rule. The batch encoder
+        // serializes straight from the backlog slice — the old path deep-
+        // cloned the whole backlog every tick.
+        for chunk in inner.uncommitted.chunks(MAX_FEEDBACK_LOGS) {
+            let mut b = BytesMut::with_capacity(batch_wire_len(chunk));
+            encode_batch(chunk, &mut b);
+            self.feedback.send(b);
         }
         drop(inner);
         self.feedback.poll();
@@ -244,20 +248,22 @@ impl BufferState {
         inner.commits = commits;
     }
 
+    /// Ships fresh wrapped logs to the forwarder as batch frames (one
+    /// amortized header per [`MAX_FEEDBACK_LOGS`] logs, encoded straight
+    /// from the staging slice), then shifts them into the uncommitted
+    /// backlog for periodic resend. No log is cloned anywhere on this path.
     fn flush_feedback(&self, inner: &mut BufInner) {
         if inner.fresh.is_empty() {
             return;
         }
-        let take = inner.fresh.len().min(MAX_FEEDBACK_LOGS);
-        let logs: Vec<PiggybackLog> = inner.fresh.drain(..take).collect();
-        let msg = PiggybackMessage {
-            flags: 0,
-            logs,
-            commits: vec![],
-        };
-        let mut b = BytesMut::new();
-        msg.encode(&mut b);
-        self.feedback.send(b);
+        for chunk in inner.fresh.chunks(MAX_FEEDBACK_LOGS) {
+            let mut b = BytesMut::with_capacity(batch_wire_len(chunk));
+            encode_batch(chunk, &mut b);
+            self.feedback.send(b);
+        }
+        let mut fresh = std::mem::take(&mut inner.fresh);
+        inner.uncommitted.append(&mut fresh);
+        inner.fresh = fresh; // keep the (drained) staging allocation
     }
 
     fn release(&self, pkt: Packet) {

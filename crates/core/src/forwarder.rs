@@ -14,7 +14,8 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use ftc_net::nic::Nic;
 use ftc_net::server::AliveToken;
 use ftc_packet::ether::MacAddr;
-use ftc_packet::piggyback::{PiggybackLog, PiggybackMessage};
+use ftc_packet::piggyback::{PiggybackLog, PiggybackMessage, TrailerView};
+use ftc_packet::pool::{log_vec_pool, Checkout, Pool};
 use ftc_packet::{packet, Packet};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -30,6 +31,10 @@ pub const MAX_LOGS_PER_PACKET: usize = 32;
 pub struct ForwarderState {
     /// Feedback piggyback logs awaiting a carrier packet.
     pending: Mutex<VecDeque<PiggybackLog>>,
+    /// Recycled staging vectors for attaching pending logs to carriers:
+    /// steady state drains into a pooled vector and returns it after the
+    /// trailer is encoded, so per-packet attachment allocates nothing.
+    staging: Pool<Vec<PiggybackLog>>,
     metrics: Arc<ChainMetrics>,
     /// Model-checker hook: observes feedback ingestion (the wrapped-log leg
     /// of the ring the I1/I4 invariants reason over).
@@ -41,14 +46,23 @@ impl ForwarderState {
     pub fn new(metrics: Arc<ChainMetrics>) -> Arc<ForwarderState> {
         Arc::new(ForwarderState {
             pending: Mutex::new(VecDeque::new()),
+            staging: log_vec_pool(8),
             metrics,
             probe: ProbeSlot::new(),
         })
     }
 
     /// Ingests a feedback message from the buffer.
-    pub fn ingest_feedback(&self, frame: &[u8]) {
-        if let Ok(Some((msg, _))) = PiggybackMessage::decode_trailing(frame) {
+    ///
+    /// The frame is validated with a borrowed [`TrailerView`] first (garbage
+    /// never reaches the allocator), then decoded zero-copy: the pended
+    /// logs' keys/values share the frame's allocation.
+    pub fn ingest_feedback(&self, frame: BytesMut) {
+        if !matches!(TrailerView::parse_trailing(&frame), Ok(Some(_))) {
+            return;
+        }
+        let frame = frame.freeze();
+        if let Ok(Some((msg, _))) = PiggybackMessage::decode_trailing_shared(&frame) {
             let mut pending = self.pending.lock();
             pending.extend(msg.logs);
             let logs = pending.len();
@@ -72,20 +86,14 @@ impl ForwarderState {
         self.pending.lock().clear();
     }
 
-    /// Builds the piggyback message for the next carrier packet.
-    fn next_message(&self, propagating: bool) -> PiggybackMessage {
+    /// Drains up to [`MAX_LOGS_PER_PACKET`] pending logs into a pooled
+    /// staging vector for the next carrier packet.
+    fn stage_pending(&self) -> Checkout<Vec<PiggybackLog>> {
+        let mut staged = self.staging.checkout();
         let mut pending = self.pending.lock();
         let take = pending.len().min(MAX_LOGS_PER_PACKET);
-        let logs: Vec<PiggybackLog> = pending.drain(..take).collect();
-        PiggybackMessage {
-            flags: if propagating {
-                ftc_packet::piggyback::flags::PROPAGATING
-            } else {
-                0
-            },
-            logs,
-            commits: Vec::new(),
-        }
+        staged.extend(pending.drain(..take));
+        staged
     }
 
     /// Processes one external packet: attach pending feedback and dispatch
@@ -95,10 +103,11 @@ impl ForwarderState {
         let Ok(mut pkt) = Packet::from_frame(frame) else {
             return; // not IPv4: drop at ingress
         };
-        let msg = self.next_message(false);
-        if pkt.attach_piggyback(&msg).is_err() {
-            return;
+        let staged = self.stage_pending();
+        if pkt.attach_piggyback_parts(0, &staged, &[]).is_err() {
+            return; // staged logs die with the packet (resent by the buffer)
         }
+        drop(staged); // back to the pool, cleared
         self.metrics.injected.fetch_add(1, Ordering::Relaxed);
         self.metrics.t_forwarder.record(t0.elapsed());
         self.metrics
@@ -112,9 +121,12 @@ impl ForwarderState {
         if self.pending.lock().is_empty() {
             return false;
         }
-        let msg = self.next_message(true);
-        let prop =
-            packet::propagating_packet(MacAddr::from_index(0xF0), MacAddr::from_index(0xF1), &msg);
+        let staged = self.stage_pending();
+        let prop = packet::propagating_packet_from_logs(
+            MacAddr::from_index(0xF0),
+            MacAddr::from_index(0xF1),
+            &staged,
+        );
         self.metrics.propagating.fetch_add(1, Ordering::Relaxed);
         nic.dispatch(prop.into_bytes());
         true
@@ -156,7 +168,7 @@ pub fn spawn_forwarder(
         server.spawn("forwarder-feedback", move |alive: AliveToken| {
             while alive.is_alive() {
                 if let Some(frame) = feedback.recv_timeout(Duration::from_millis(1)) {
-                    state.ingest_feedback(&frame);
+                    state.ingest_feedback(frame);
                 }
             }
         });
@@ -200,7 +212,7 @@ mod tests {
         let fwd = ForwarderState::new(metrics);
         let mut nic = Nic::new(1, 64);
         let rx = nic.take_queue(0);
-        fwd.ingest_feedback(&feedback_frame(3));
+        fwd.ingest_feedback(feedback_frame(3));
         assert_eq!(fwd.pending_len(), 3);
         fwd.handle_ingress(UdpPacketBuilder::new().build().into_bytes(), &nic);
         let (_, msg) = take_one(&rx);
@@ -215,7 +227,7 @@ mod tests {
         let fwd = ForwarderState::new(metrics);
         let mut nic = Nic::new(1, 64);
         let rx = nic.take_queue(0);
-        fwd.ingest_feedback(&feedback_frame(MAX_LOGS_PER_PACKET + 5));
+        fwd.ingest_feedback(feedback_frame(MAX_LOGS_PER_PACKET + 5));
         fwd.handle_ingress(UdpPacketBuilder::new().build().into_bytes(), &nic);
         let (_, m1) = take_one(&rx);
         assert_eq!(m1.logs.len(), MAX_LOGS_PER_PACKET);
@@ -231,7 +243,7 @@ mod tests {
         let mut nic = Nic::new(1, 64);
         let rx = nic.take_queue(0);
         assert!(!fwd.emit_propagating(&nic), "nothing pending: no packet");
-        fwd.ingest_feedback(&feedback_frame(2));
+        fwd.ingest_feedback(feedback_frame(2));
         assert!(fwd.emit_propagating(&nic));
         let (_, msg) = take_one(&rx);
         assert!(msg.is_propagating());

@@ -448,7 +448,9 @@ impl ReplicaState {
             own_log = out.log;
             // Crash point §6(a): the transaction committed locally but its
             // log never leaves the server.
-            if self.probe.observe_with(|| ProbePoint::PrePiggyback { replica: self.idx })
+            if self
+                .probe
+                .observe_with(|| ProbePoint::PrePiggyback { replica: self.idx })
                 == ProbeVerdict::Crash
             {
                 return false;
@@ -507,7 +509,9 @@ impl ReplicaState {
 
         // Crash point §6(b): applies done, message fully assembled, but the
         // frame is never handed to the output port.
-        if self.probe.observe_with(|| ProbePoint::PostApplyPreForward { replica: self.idx })
+        if self
+            .probe
+            .observe_with(|| ProbePoint::PostApplyPreForward { replica: self.idx })
             == ProbeVerdict::Crash
         {
             return false;

@@ -195,7 +195,7 @@ impl SyncChain {
             }
             Step::ForwarderFeedback => match self.feedback_in.recv_timeout(Duration::ZERO) {
                 Some(frame) => {
-                    self.forwarder.ingest_feedback(&frame);
+                    self.forwarder.ingest_feedback(frame);
                     true
                 }
                 None => false,
@@ -638,7 +638,10 @@ mod tests {
         assert_eq!(chain.egress().drain().len(), 5);
         // First attempt: every source refuses (simulated mid-fetch deaths).
         let err = chain.try_fail_and_recover(1, &|_, _| false).unwrap_err();
-        assert!(matches!(err, crate::recovery::RecoveryError::NoSource { .. }));
+        assert!(matches!(
+            err,
+            crate::recovery::RecoveryError::NoSource { .. }
+        ));
         assert!(chain.is_dead(1), "failed recovery leaves the victim dead");
         assert!(!chain.step(Step::Replica(1)), "dead replicas do not step");
         // Retry with sources back: a fresh replacement is built and rewired.

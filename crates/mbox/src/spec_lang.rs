@@ -509,7 +509,9 @@ mod tests {
         let violations = verify_deploy_spec(&spec).unwrap_err();
         assert_eq!(codes(&violations), vec!["buffer-before-tail"]);
         assert!(
-            violations[0].message.contains("attach the buffer after position 2"),
+            violations[0]
+                .message
+                .contains("attach the buffer after position 2"),
             "actionable: {}",
             violations[0].message
         );
@@ -567,7 +569,10 @@ mod tests {
                 .any(|(_, p)| *p == declared_state_prefixes(spec));
             assert!(name_known, "{} missing from the table", spec.name());
         }
-        assert_eq!(declared_state_prefixes(&MbSpec::Passthrough), &[] as &[&str]);
+        assert_eq!(
+            declared_state_prefixes(&MbSpec::Passthrough),
+            &[] as &[&str]
+        );
         assert_eq!(
             declared_state_prefixes(&MbSpec::Monitor { sharing_level: 1 }),
             &["mon:"]

@@ -49,10 +49,12 @@ pub mod ip;
 pub mod l4;
 pub mod packet;
 pub mod piggyback;
+pub mod pool;
 
 pub use flow::FlowKey;
 pub use packet::Packet;
 pub use piggyback::{CommitVector, DepVector, PiggybackLog, PiggybackMessage, SeqNo};
+pub use pool::{Checkout, Pool, Reset};
 
 /// Errors produced while parsing or emitting packet data.
 #[derive(Debug, Clone, PartialEq, Eq)]

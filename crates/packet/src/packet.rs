@@ -3,7 +3,7 @@
 use crate::ether::{self, EthernetView, MacAddr};
 use crate::flow::FlowKey;
 use crate::ip::{self, Ipv4View};
-use crate::piggyback::PiggybackMessage;
+use crate::piggyback::{PiggybackMessage, TrailerView};
 use crate::{WireError, WireResult};
 use bytes::BytesMut;
 
@@ -110,31 +110,59 @@ impl Packet {
 
     /// True if the frame ends in a piggyback trailer.
     pub fn has_piggyback(&self) -> bool {
-        matches!(PiggybackMessage::decode_trailing(&self.data), Ok(Some(_)))
+        matches!(TrailerView::parse_trailing(&self.data), Ok(Some(_)))
+    }
+
+    /// Borrowed, allocation-free view of the piggyback trailer, if present.
+    /// Use this to inspect logs and commit vectors without detaching (and
+    /// without copying a single byte).
+    pub fn piggyback_view(&self) -> WireResult<Option<TrailerView<'_>>> {
+        TrailerView::parse_trailing(&self.data)
     }
 
     /// Appends a piggyback message as a trailer and records its length in
     /// the FTC IP option if the header carries one. The IP total-length
     /// field is left covering only the original datagram.
     pub fn attach_piggyback(&mut self, msg: &PiggybackMessage) -> WireResult<()> {
+        self.attach_piggyback_parts(msg.flags, &msg.logs, &msg.commits)
+    }
+
+    /// Like [`Packet::attach_piggyback`], but serializes straight from
+    /// borrowed parts — no [`PiggybackMessage`] needs to be materialized.
+    /// This is the hot-path variant: the forwarder encodes pooled staging
+    /// vectors through it without moving the logs into a message first.
+    pub fn attach_piggyback_parts(
+        &mut self,
+        flags: u8,
+        logs: &[crate::piggyback::PiggybackLog],
+        commits: &[crate::piggyback::CommitVector],
+    ) -> WireResult<()> {
         debug_assert!(!self.has_piggyback(), "trailer already attached");
-        let len = msg.encode(&mut self.data);
+        let len = crate::piggyback::encode_parts(flags, logs, commits, &mut self.data);
         // Record in the IP option when present; optional otherwise.
         let _ = ip::set_ftc_trailer_len(&mut self.data[ether::HEADER_LEN..], len as u16);
         Ok(())
     }
 
     /// Removes and returns the piggyback trailer, if present.
+    ///
+    /// Zero-copy: the trailer is split off the frame in place and the
+    /// returned message's write keys/values share that one allocation
+    /// instead of being copied out individually.
     pub fn detach_piggyback(&mut self) -> WireResult<Option<PiggybackMessage>> {
-        match PiggybackMessage::decode_trailing(&self.data)? {
-            None => Ok(None),
-            Some((msg, total)) => {
-                let new_len = self.data.len() - total;
-                self.data.truncate(new_len);
-                let _ = ip::set_ftc_trailer_len(&mut self.data[ether::HEADER_LEN..], 0);
-                Ok(Some(msg))
-            }
-        }
+        // Validate before mutating so a corrupt trailer leaves the packet
+        // intact for the caller to drop.
+        let Some(view) = TrailerView::parse_trailing(&self.data)? else {
+            return Ok(None);
+        };
+        let total = view.wire_len();
+        let new_len = self.data.len() - total;
+        let tail = self.data.split_off(new_len).freeze();
+        let _ = ip::set_ftc_trailer_len(&mut self.data[ether::HEADER_LEN..], 0);
+        let msg = PiggybackMessage::decode_trailing_shared(&tail)?
+            .map(|(msg, _)| msg)
+            .expect("trailer validated by parse_trailing");
+        Ok(Some(msg))
     }
 
     /// Replaces the current trailer (if any) with `msg` in one pass.
@@ -147,6 +175,31 @@ impl Packet {
 /// Builds a minimal *propagating packet*: an Ethernet + IPv4 frame whose only
 /// purpose is to carry a piggyback message through the chain (paper §5.1).
 pub fn propagating_packet(src: MacAddr, dst: MacAddr, msg: &PiggybackMessage) -> Packet {
+    debug_assert!(
+        msg.is_propagating(),
+        "propagating packets must carry the flag"
+    );
+    let mut pkt = propagating_header(src, dst);
+    pkt.attach_piggyback(msg).expect("fresh packet");
+    pkt
+}
+
+/// [`propagating_packet`] from borrowed logs: the propagating flag is set
+/// implicitly and the trailer is encoded straight from the slice, so the
+/// forwarder's idle path can carry a pooled staging vector without
+/// materializing a [`PiggybackMessage`].
+pub fn propagating_packet_from_logs(
+    src: MacAddr,
+    dst: MacAddr,
+    logs: &[crate::piggyback::PiggybackLog],
+) -> Packet {
+    let mut pkt = propagating_header(src, dst);
+    pkt.attach_piggyback_parts(crate::piggyback::flags::PROPAGATING, logs, &[])
+        .expect("fresh packet");
+    pkt
+}
+
+fn propagating_header(src: MacAddr, dst: MacAddr) -> Packet {
     let hdr_len = ether::HEADER_LEN + ip::MIN_HEADER_LEN + ip::OPTION_FTC_LEN;
     let mut data = BytesMut::zeroed(hdr_len);
     ether::emit(&mut data, src, dst, ether::ETHERTYPE_IPV4).expect("sized buffer");
@@ -159,13 +212,7 @@ pub fn propagating_packet(src: MacAddr, dst: MacAddr, msg: &PiggybackMessage) ->
         },
     )
     .expect("sized buffer");
-    let mut pkt = Packet { data };
-    debug_assert!(
-        msg.is_propagating(),
-        "propagating packets must carry the flag"
-    );
-    pkt.attach_piggyback(msg).expect("fresh packet");
-    pkt
+    Packet { data }
 }
 
 #[cfg(test)]

@@ -250,161 +250,507 @@ impl PiggybackMessage {
     /// Appends the serialized message to `out` and returns the number of
     /// bytes written.
     pub fn encode(&self, out: &mut BytesMut) -> usize {
-        let start = out.len();
-        out.put_u32(MAGIC);
-        out.put_u8(VERSION);
-        out.put_u8(self.flags);
-        out.put_u16(self.logs.len() as u16);
-        out.put_u16(self.commits.len() as u16);
-        for log in &self.logs {
-            out.put_u16(log.mbox.0);
-            out.put_u16(log.deps.len() as u16);
-            for &(p, s) in log.deps.entries() {
-                out.put_u16(p);
-                out.put_u64(s);
-            }
-            out.put_u16(log.writes.len() as u16);
-            for w in &log.writes {
-                out.put_u16(w.partition);
-                out.put_u16(w.key.len() as u16);
-                out.put_slice(&w.key);
-                out.put_u16(w.value.len() as u16);
-                out.put_slice(&w.value);
-            }
-        }
-        for c in &self.commits {
-            out.put_u16(c.mbox.0);
-            out.put_u16(c.max.len() as u16);
-            for &s in &c.max {
-                out.put_u64(s);
-            }
-        }
-        let len = out.len() - start + 4; // include the tail itself
-        out.put_u16(len as u16);
-        out.put_u16(TAIL_MAGIC);
-        len
+        encode_parts(self.flags, &self.logs, &self.commits, out)
     }
 
     /// Decodes a message that occupies the *last* bytes of `buf`, returning
     /// the message and its total encoded length. Returns `Ok(None)` if the
     /// buffer does not end in a piggyback trailer.
+    ///
+    /// Key/value bytes are copied out of `buf`. On the hot read path prefer
+    /// [`PiggybackMessage::decode_trailing_shared`] (zero-copy) or
+    /// [`TrailerView`] (borrowed, allocation-free).
     pub fn decode_trailing(buf: &[u8]) -> WireResult<Option<(PiggybackMessage, usize)>> {
-        if buf.len() < FRAMING_LEN {
+        let Some((body_start, total)) = locate_trailer(buf)? else {
             return Ok(None);
-        }
-        let tail = &buf[buf.len() - 4..];
-        if u16::from_be_bytes([tail[2], tail[3]]) != TAIL_MAGIC {
-            return Ok(None);
-        }
-        let total = usize::from(u16::from_be_bytes([tail[0], tail[1]]));
-        if total < FRAMING_LEN || total > buf.len() {
-            return Err(WireError::BadLength);
-        }
-        let body = &buf[buf.len() - total..buf.len() - 4];
-        let msg = Self::decode_body(body)?;
+        };
+        let body = &buf[body_start..buf.len() - 4];
+        let msg = decode_body(body, &mut |r| Bytes::copy_from_slice(&body[r.start..r.end]))?;
         Ok(Some((msg, total)))
     }
 
-    fn decode_body(mut b: &[u8]) -> WireResult<PiggybackMessage> {
-        let magic = take_u32(&mut b)?;
-        if magic != MAGIC {
+    /// Zero-copy variant of [`PiggybackMessage::decode_trailing`]: the
+    /// returned message's [`StateWrite`] keys and values are slices sharing
+    /// `buf`'s allocation (reference-count bump, no byte copies).
+    ///
+    /// Accepts and rejects exactly the same inputs as `decode_trailing`
+    /// (`proptest_piggyback_batch` checks the parity).
+    pub fn decode_trailing_shared(buf: &Bytes) -> WireResult<Option<(PiggybackMessage, usize)>> {
+        let Some((body_start, total)) = locate_trailer(buf)? else {
+            return Ok(None);
+        };
+        let body = &buf[body_start..buf.len() - 4];
+        let msg = decode_body(body, &mut |r| {
+            buf.slice(body_start + r.start..body_start + r.end)
+        })?;
+        Ok(Some((msg, total)))
+    }
+}
+
+/// Serializes `logs` as one feedback batch frame and returns the bytes
+/// written. The output is byte-identical to
+/// `PiggybackMessage { flags: 0, logs, commits: vec![] }.encode(out)` but
+/// skips materializing the message: the buffer's log backlog is encoded
+/// straight from a slice (no clone per resend) and the frame header is
+/// amortized across the whole batch.
+pub fn encode_batch(logs: &[PiggybackLog], out: &mut BytesMut) -> usize {
+    encode_parts(0, logs, &[], out)
+}
+
+/// Serialized size in bytes [`encode_batch`] will produce for `logs`.
+pub fn batch_wire_len(logs: &[PiggybackLog]) -> usize {
+    FRAMING_LEN + logs.iter().map(PiggybackLog::wire_len).sum::<usize>()
+}
+
+/// Decodes a feedback batch frame from the tail of `buf`: the logs and the
+/// frame's total length. Accepts exactly what [`encode_batch`] produces plus
+/// any other valid trailer (extra commits are dropped — the feedback path
+/// carries none), with rejection behaviour identical to
+/// [`PiggybackMessage::decode_trailing`].
+pub fn decode_batch(buf: &[u8]) -> WireResult<Option<(Vec<PiggybackLog>, usize)>> {
+    Ok(PiggybackMessage::decode_trailing(buf)?.map(|(msg, total)| (msg.logs, total)))
+}
+
+fn encode_log(log: &PiggybackLog, out: &mut BytesMut) {
+    out.put_u16(log.mbox.0);
+    out.put_u16(log.deps.len() as u16);
+    for &(p, s) in log.deps.entries() {
+        out.put_u16(p);
+        out.put_u64(s);
+    }
+    out.put_u16(log.writes.len() as u16);
+    for w in &log.writes {
+        out.put_u16(w.partition);
+        out.put_u16(w.key.len() as u16);
+        out.put_slice(&w.key);
+        out.put_u16(w.value.len() as u16);
+        out.put_slice(&w.value);
+    }
+}
+
+pub(crate) fn encode_parts(
+    flags: u8,
+    logs: &[PiggybackLog],
+    commits: &[CommitVector],
+    out: &mut BytesMut,
+) -> usize {
+    let start = out.len();
+    out.put_u32(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(flags);
+    out.put_u16(logs.len() as u16);
+    out.put_u16(commits.len() as u16);
+    for log in logs {
+        encode_log(log, out);
+    }
+    for c in commits {
+        out.put_u16(c.mbox.0);
+        out.put_u16(c.max.len() as u16);
+        for &s in &c.max {
+            out.put_u64(s);
+        }
+    }
+    let len = out.len() - start + 4; // include the tail itself
+    out.put_u16(len as u16);
+    out.put_u16(TAIL_MAGIC);
+    len
+}
+
+/// Finds the trailer at the end of `buf`: `Ok(Some((body_start, total)))`
+/// with `total` the whole-frame length including framing, `Ok(None)` when
+/// the buffer does not end in a trailer.
+fn locate_trailer(buf: &[u8]) -> WireResult<Option<(usize, usize)>> {
+    if buf.len() < FRAMING_LEN {
+        return Ok(None);
+    }
+    let tail = &buf[buf.len() - 4..];
+    if u16::from_be_bytes([tail[2], tail[3]]) != TAIL_MAGIC {
+        return Ok(None);
+    }
+    let total = usize::from(u16::from_be_bytes([tail[0], tail[1]]));
+    if total < FRAMING_LEN || total > buf.len() {
+        return Err(WireError::BadLength);
+    }
+    Ok(Some((buf.len() - total, total)))
+}
+
+/// Body decoder, parameterized over how key/value byte strings are
+/// materialized (`mk` gets a body-relative byte range): copied for the
+/// legacy path, shared slices for the zero-copy path.
+fn decode_body(
+    body: &[u8],
+    mk: &mut dyn FnMut(core::ops::Range<usize>) -> Bytes,
+) -> WireResult<PiggybackMessage> {
+    let mut cur = Cursor::new(body);
+    let magic = cur.u32()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if cur.u8()? != VERSION {
+        return Err(WireError::BadMagic);
+    }
+    let flags = cur.u8()?;
+    let n_logs = cur.u16()? as usize;
+    let n_commits = cur.u16()? as usize;
+    let mut logs = Vec::with_capacity(n_logs);
+    for _ in 0..n_logs {
+        let mbox = MboxId(cur.u16()?);
+        let n_deps = cur.u16()? as usize;
+        let mut entries = Vec::with_capacity(n_deps);
+        for _ in 0..n_deps {
+            let p = cur.u16()?;
+            let s = cur.u64()?;
+            entries.push((p, s));
+        }
+        let deps = DepVector::from_entries(entries)?;
+        let n_writes = cur.u16()? as usize;
+        let mut writes = Vec::with_capacity(n_writes);
+        for _ in 0..n_writes {
+            let partition = cur.u16()?;
+            let klen = cur.u16()? as usize;
+            let key = mk(cur.range(klen)?);
+            let vlen = cur.u16()? as usize;
+            let value = mk(cur.range(vlen)?);
+            writes.push(StateWrite {
+                key,
+                value,
+                partition,
+            });
+        }
+        logs.push(PiggybackLog { mbox, deps, writes });
+    }
+    let mut commits = Vec::with_capacity(n_commits);
+    for _ in 0..n_commits {
+        let mbox = MboxId(cur.u16()?);
+        let len = cur.u16()? as usize;
+        let mut max = Vec::with_capacity(len);
+        for _ in 0..len {
+            max.push(cur.u64()?);
+        }
+        commits.push(CommitVector { mbox, max });
+    }
+    if cur.remaining() != 0 {
+        return Err(WireError::BadLength);
+    }
+    Ok(PiggybackMessage {
+        flags,
+        logs,
+        commits,
+    })
+}
+
+/// Position-tracking reader over a byte slice; byte-string fields come back
+/// as ranges so callers decide whether to copy or share them.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn range(&mut self, n: usize) -> WireResult<core::ops::Range<usize>> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let r = self.pos..self.pos + n;
+        self.pos += n;
+        Ok(r)
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> WireResult<u16> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> WireResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(u64::from_be_bytes(a))
+    }
+}
+
+/// A borrowed, allocation-free view of a piggyback trailer.
+///
+/// [`TrailerView::parse_trailing`] validates the whole frame once (same
+/// accept/reject behaviour as [`PiggybackMessage::decode_trailing`], minus
+/// materialization); the iterators then re-walk the validated bytes lazily,
+/// so inspecting a trailer — counting logs, checking applicability, reading
+/// a commit vector — touches no allocator at all. Use [`LogView::to_owned`]
+/// to materialize only the logs that survive inspection.
+#[derive(Debug, Clone, Copy)]
+pub struct TrailerView<'a> {
+    /// Message body after the fixed header (log + commit records).
+    records: &'a [u8],
+    flags: u8,
+    n_logs: u16,
+    n_commits: u16,
+    /// Offset of the first commit record within `records`.
+    commits_at: usize,
+    total: usize,
+}
+
+impl<'a> TrailerView<'a> {
+    /// Parses and validates a trailer at the end of `buf` without copying
+    /// or allocating. `Ok(None)` when the buffer does not end in a trailer.
+    pub fn parse_trailing(buf: &'a [u8]) -> WireResult<Option<TrailerView<'a>>> {
+        let Some((body_start, total)) = locate_trailer(buf)? else {
+            return Ok(None);
+        };
+        let body = &buf[body_start..buf.len() - 4];
+        let mut cur = Cursor::new(body);
+        if cur.u32()? != MAGIC {
             return Err(WireError::BadMagic);
         }
-        if take_u8(&mut b)? != VERSION {
+        if cur.u8()? != VERSION {
             return Err(WireError::BadMagic);
         }
-        let flags = take_u8(&mut b)?;
-        let n_logs = take_u16(&mut b)? as usize;
-        let n_commits = take_u16(&mut b)? as usize;
-        let mut logs = Vec::with_capacity(n_logs);
+        let flags = cur.u8()?;
+        let n_logs = cur.u16()?;
+        let n_commits = cur.u16()?;
+        let records = &body[cur.pos..];
+        let mut rcur = Cursor::new(records);
         for _ in 0..n_logs {
-            let mbox = MboxId(take_u16(&mut b)?);
-            let n_deps = take_u16(&mut b)? as usize;
-            let mut entries = Vec::with_capacity(n_deps);
-            for _ in 0..n_deps {
-                let p = take_u16(&mut b)?;
-                let s = take_u64(&mut b)?;
-                entries.push((p, s));
-            }
-            let deps = DepVector::from_entries(entries)?;
-            let n_writes = take_u16(&mut b)? as usize;
-            let mut writes = Vec::with_capacity(n_writes);
-            for _ in 0..n_writes {
-                let partition = take_u16(&mut b)?;
-                let klen = take_u16(&mut b)? as usize;
-                let key = take_bytes(&mut b, klen)?;
-                let vlen = take_u16(&mut b)? as usize;
-                let value = take_bytes(&mut b, vlen)?;
-                writes.push(StateWrite {
-                    key,
-                    value,
-                    partition,
-                });
-            }
-            logs.push(PiggybackLog { mbox, deps, writes });
+            skip_log(&mut rcur)?;
         }
-        let mut commits = Vec::with_capacity(n_commits);
+        let commits_at = rcur.pos;
         for _ in 0..n_commits {
-            let mbox = MboxId(take_u16(&mut b)?);
-            let len = take_u16(&mut b)? as usize;
-            let mut max = Vec::with_capacity(len);
-            for _ in 0..len {
-                max.push(take_u64(&mut b)?);
-            }
-            commits.push(CommitVector { mbox, max });
+            rcur.u16()?; // mbox
+            let len = rcur.u16()? as usize;
+            rcur.take(len * 8)?;
         }
-        if !b.is_empty() {
+        if rcur.remaining() != 0 {
             return Err(WireError::BadLength);
         }
-        Ok(PiggybackMessage {
+        Ok(Some(TrailerView {
+            records,
             flags,
-            logs,
-            commits,
+            n_logs,
+            n_commits,
+            commits_at,
+            total,
+        }))
+    }
+
+    /// Message flags (see [`flags`]).
+    pub fn flags(&self) -> u8 {
+        self.flags
+    }
+
+    /// True if the propagating flag is set.
+    pub fn is_propagating(&self) -> bool {
+        self.flags & flags::PROPAGATING != 0
+    }
+
+    /// Number of piggyback logs in the message.
+    pub fn log_count(&self) -> usize {
+        usize::from(self.n_logs)
+    }
+
+    /// Number of commit vectors in the message.
+    pub fn commit_count(&self) -> usize {
+        usize::from(self.n_commits)
+    }
+
+    /// Total encoded length of the trailer, including framing.
+    pub fn wire_len(&self) -> usize {
+        self.total
+    }
+
+    /// Iterates the logs without materializing them.
+    pub fn logs(&self) -> impl Iterator<Item = LogView<'a>> + '_ {
+        let mut cur = Cursor::new(&self.records[..self.commits_at]);
+        (0..self.n_logs).map(move |_| {
+            let start = cur.pos;
+            skip_log(&mut cur).expect("validated by parse_trailing");
+            LogView {
+                raw: &cur.buf[start..cur.pos],
+            }
+        })
+    }
+
+    /// Iterates the commit vectors without materializing them.
+    pub fn commits(&self) -> impl Iterator<Item = CommitView<'a>> + '_ {
+        let mut cur = Cursor::new(&self.records[self.commits_at..]);
+        (0..self.n_commits).map(move |_| {
+            let mbox = MboxId(cur.u16().expect("validated by parse_trailing"));
+            let len = cur.u16().expect("validated by parse_trailing") as usize;
+            let max = cur.take(len * 8).expect("validated by parse_trailing");
+            CommitView { mbox, max }
         })
     }
 }
 
-fn take_u8(b: &mut &[u8]) -> WireResult<u8> {
-    let (&v, rest) = b.split_first().ok_or(WireError::Truncated)?;
-    *b = rest;
-    Ok(v)
+/// Skips one log record, validating its framing (field lengths in bounds)
+/// and its dependency vector, so [`TrailerView`] accepts exactly the inputs
+/// the owned decoder accepts.
+fn skip_log(cur: &mut Cursor<'_>) -> WireResult<()> {
+    cur.u16()?; // mbox
+    let n_deps = cur.u16()? as usize;
+    let deps = cur.take(n_deps * 10)?;
+    // Duplicate partitions are rejected like `DepVector::from_entries`;
+    // allocation-free O(n²) is fine, dependency vectors are tiny.
+    for i in 0..n_deps {
+        let pi = u16::from_be_bytes([deps[i * 10], deps[i * 10 + 1]]);
+        for j in i + 1..n_deps {
+            if pi == u16::from_be_bytes([deps[j * 10], deps[j * 10 + 1]]) {
+                return Err(WireError::BadLength);
+            }
+        }
+    }
+    let n_writes = cur.u16()? as usize;
+    for _ in 0..n_writes {
+        cur.u16()?; // partition
+        let klen = cur.u16()? as usize;
+        cur.take(klen)?;
+        let vlen = cur.u16()? as usize;
+        cur.take(vlen)?;
+    }
+    Ok(())
 }
 
-fn take_u16(b: &mut &[u8]) -> WireResult<u16> {
-    if b.len() < 2 {
-        return Err(WireError::Truncated);
-    }
-    let v = u16::from_be_bytes([b[0], b[1]]);
-    *b = &b[2..];
-    Ok(v)
+/// Borrowed view of one piggyback log within a [`TrailerView`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogView<'a> {
+    /// The log's validated wire bytes.
+    raw: &'a [u8],
 }
 
-fn take_u32(b: &mut &[u8]) -> WireResult<u32> {
-    if b.len() < 4 {
-        return Err(WireError::Truncated);
+impl<'a> LogView<'a> {
+    /// The originating middlebox.
+    pub fn mbox(&self) -> MboxId {
+        MboxId(u16::from_be_bytes([self.raw[0], self.raw[1]]))
     }
-    let v = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
-    *b = &b[4..];
-    Ok(v)
+
+    /// Iterates the dependency entries in wire order.
+    pub fn deps(&self) -> impl Iterator<Item = (u16, SeqNo)> + 'a {
+        let mut cur = Cursor::new(self.raw);
+        cur.u16().expect("validated");
+        let n_deps = cur.u16().expect("validated");
+        (0..n_deps).map(move |_| {
+            let p = cur.u16().expect("validated");
+            let s = cur.u64().expect("validated");
+            (p, s)
+        })
+    }
+
+    /// Iterates the state writes, borrowing keys and values.
+    pub fn writes(&self) -> impl Iterator<Item = WriteView<'a>> + 'a {
+        let mut cur = Cursor::new(self.raw);
+        cur.u16().expect("validated");
+        let n_deps = cur.u16().expect("validated") as usize;
+        cur.take(n_deps * 10).expect("validated");
+        let n_writes = cur.u16().expect("validated");
+        (0..n_writes).map(move |_| {
+            let partition = cur.u16().expect("validated");
+            let klen = cur.u16().expect("validated") as usize;
+            let key = cur.take(klen).expect("validated");
+            let vlen = cur.u16().expect("validated") as usize;
+            let value = cur.take(vlen).expect("validated");
+            WriteView {
+                partition,
+                key,
+                value,
+            }
+        })
+    }
+
+    /// Materializes the log (copies keys/values; validates the dependency
+    /// vector exactly like the owned decoder).
+    pub fn to_owned(&self) -> WireResult<PiggybackLog> {
+        let deps = DepVector::from_entries(self.deps().collect())?;
+        let writes = self
+            .writes()
+            .map(|w| StateWrite {
+                key: Bytes::copy_from_slice(w.key),
+                value: Bytes::copy_from_slice(w.value),
+                partition: w.partition,
+            })
+            .collect();
+        Ok(PiggybackLog {
+            mbox: self.mbox(),
+            deps,
+            writes,
+        })
+    }
 }
 
-fn take_u64(b: &mut &[u8]) -> WireResult<u64> {
-    if b.len() < 8 {
-        return Err(WireError::Truncated);
-    }
-    let mut a = [0u8; 8];
-    a.copy_from_slice(&b[..8]);
-    *b = &b[8..];
-    Ok(u64::from_be_bytes(a))
+/// Borrowed view of one state write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteView<'a> {
+    /// The state partition the key hashes to.
+    pub partition: u16,
+    /// State variable key.
+    pub key: &'a [u8],
+    /// New value (empty encodes a deletion).
+    pub value: &'a [u8],
 }
 
-fn take_bytes(b: &mut &[u8], n: usize) -> WireResult<Bytes> {
-    if b.len() < n {
-        return Err(WireError::Truncated);
+/// Borrowed view of one commit vector.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitView<'a> {
+    mbox: MboxId,
+    /// Raw big-endian u64s.
+    max: &'a [u8],
+}
+
+impl CommitView<'_> {
+    /// Which middlebox this commit vector covers.
+    pub fn mbox(&self) -> MboxId {
+        self.mbox
     }
-    let v = Bytes::copy_from_slice(&b[..n]);
-    *b = &b[n..];
-    Ok(v)
+
+    /// Number of per-partition counters.
+    pub fn len(&self) -> usize {
+        self.max.len() / 8
+    }
+
+    /// True when the vector carries no counters.
+    pub fn is_empty(&self) -> bool {
+        self.max.is_empty()
+    }
+
+    /// Iterates the per-partition applied counters.
+    pub fn entries(&self) -> impl Iterator<Item = SeqNo> + '_ {
+        self.max.chunks_exact(8).map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_be_bytes(a)
+        })
+    }
+
+    /// Materializes the commit vector.
+    pub fn to_owned(&self) -> CommitVector {
+        CommitVector {
+            mbox: self.mbox,
+            max: self.entries().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -537,6 +883,97 @@ mod tests {
         max[0] += 1;
         max[2] += 1;
         assert_eq!(max, vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn batch_encoding_matches_message_encoding() {
+        let logs = sample_message().logs;
+        let mut batched = BytesMut::new();
+        let n = encode_batch(&logs, &mut batched);
+        assert_eq!(n, batch_wire_len(&logs));
+        let msg = PiggybackMessage {
+            flags: 0,
+            logs: logs.clone(),
+            commits: vec![],
+        };
+        let mut unbatched = BytesMut::new();
+        msg.encode(&mut unbatched);
+        assert_eq!(&batched[..], &unbatched[..], "byte-identical framing");
+        let (got, total) = decode_batch(&batched).unwrap().unwrap();
+        assert_eq!(total, n);
+        assert_eq!(got, logs);
+    }
+
+    #[test]
+    fn shared_decode_matches_copying_decode() {
+        let msg = sample_message();
+        let mut buf = BytesMut::from(&b"packet payload"[..]);
+        msg.encode(&mut buf);
+        let frozen = buf.freeze();
+        let (shared, n1) = PiggybackMessage::decode_trailing_shared(&frozen)
+            .unwrap()
+            .unwrap();
+        let (copied, n2) = PiggybackMessage::decode_trailing(&frozen).unwrap().unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(shared, copied);
+        assert_eq!(shared, msg);
+    }
+
+    #[test]
+    fn view_exposes_logs_and_commits_without_alloc() {
+        let msg = sample_message();
+        let mut buf = BytesMut::from(&b"xyz"[..]);
+        msg.encode(&mut buf);
+        let view = TrailerView::parse_trailing(&buf).unwrap().unwrap();
+        assert_eq!(view.log_count(), msg.logs.len());
+        assert_eq!(view.commit_count(), msg.commits.len());
+        assert_eq!(view.wire_len(), msg.wire_len());
+        assert!(!view.is_propagating());
+        for (lv, log) in view.logs().zip(&msg.logs) {
+            assert_eq!(lv.mbox(), log.mbox);
+            assert_eq!(
+                lv.deps().collect::<Vec<_>>(),
+                log.deps.entries().to_vec(),
+                "deps borrowed in wire order"
+            );
+            let writes: Vec<_> = lv.writes().collect();
+            assert_eq!(writes.len(), log.writes.len());
+            for (wv, w) in writes.iter().zip(&log.writes) {
+                assert_eq!(wv.partition, w.partition);
+                assert_eq!(wv.key, &w.key[..]);
+                assert_eq!(wv.value, &w.value[..]);
+            }
+            assert_eq!(lv.to_owned().unwrap(), *log);
+        }
+        for (cv, c) in view.commits().zip(&msg.commits) {
+            assert_eq!(cv.mbox(), c.mbox);
+            assert_eq!(cv.entries().collect::<Vec<_>>(), c.max);
+            assert_eq!(cv.to_owned(), *c);
+        }
+    }
+
+    #[test]
+    fn view_rejects_exactly_what_decode_rejects() {
+        let msg = sample_message();
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        // Corrupt every single byte in turn; the view and the decoder must
+        // agree on accept/reject (and on accept, on the parsed message).
+        for i in 0..buf.len() {
+            let mut bad = BytesMut::from(&buf[..]);
+            bad[i] ^= 0xFF;
+            let owned = PiggybackMessage::decode_trailing(&bad);
+            let view = TrailerView::parse_trailing(&bad);
+            match (&owned, &view) {
+                (Ok(Some((m, t1))), Ok(Some(v))) => {
+                    assert_eq!(*t1, v.wire_len(), "flip at byte {i}");
+                    assert_eq!(m.logs.len(), v.log_count(), "flip at byte {i}");
+                }
+                (Ok(None), Ok(None)) => {}
+                (Err(_), Err(_)) => {}
+                _ => panic!("divergence at byte {i}: owned={owned:?} view={view:?}"),
+            }
+        }
     }
 
     #[test]

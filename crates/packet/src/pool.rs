@@ -1,0 +1,259 @@
+//! Reusable-buffer pools for the packet hot path.
+//!
+//! Per-packet work in the forwarder, replicas, and buffer repeatedly needs
+//! short-lived allocations: a scratch [`BytesMut`] to encode a piggyback
+//! trailer, a `Vec<PiggybackLog>` to stage a feedback batch. Allocating
+//! these fresh per packet puts the allocator on the Table-2 critical path.
+//! A [`Pool`] keeps returned objects and hands them back out, so steady
+//! state allocates nothing per packet: the pool warms up over the first
+//! few packets and then recycles.
+//!
+//! The contract is the `Pool`/`Checkout`/`Reset` idiom:
+//!
+//! * [`Reset::reset`] restores an object to its freshly-created observable
+//!   state **without** releasing its backing storage (`clear`, not `new`).
+//! * [`Pool::checkout`] returns a [`Checkout`] smart pointer; dropping it
+//!   resets the object and returns it to the pool.
+//! * [`Checkout::detach`] extracts the object when it must outlive the
+//!   checkout (e.g. a frame handed to a channel); detached objects are
+//!   simply not recycled.
+//!
+//! Correctness: a recycled object is indistinguishable from a fresh one
+//! (`proptest_pool` verifies byte-identical behaviour), so pooling is a
+//! pure performance feature — determinism and the protocol state space are
+//! unaffected.
+
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::BytesMut;
+
+/// Restores an object to its freshly-created observable state while keeping
+/// its backing storage for reuse.
+pub trait Reset {
+    /// Clears all observable state. After `reset`, the object must behave
+    /// identically to one produced by its `Default`/constructor.
+    fn reset(&mut self);
+}
+
+impl Reset for BytesMut {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T> Reset for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// Running counters exposed for tests and the stats CLI.
+#[derive(Debug, Default)]
+struct PoolStats {
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+struct PoolInner<T: Reset> {
+    free: Mutex<Vec<T>>,
+    /// Upper bound on retained objects; beyond it, returns are dropped so a
+    /// burst cannot pin memory forever.
+    cap: usize,
+    stats: PoolStats,
+}
+
+/// A lock-striped-free (single mutex; hold time is one Vec push/pop) object
+/// pool. Clone to share: clones refer to the same pool.
+pub struct Pool<T: Reset> {
+    inner: Arc<PoolInner<T>>,
+    make: Arc<dyn Fn() -> T + Send + Sync>,
+}
+
+impl<T: Reset> Clone for Pool<T> {
+    fn clone(&self) -> Self {
+        Pool {
+            inner: Arc::clone(&self.inner),
+            make: Arc::clone(&self.make),
+        }
+    }
+}
+
+impl<T: Reset> std::fmt::Debug for Pool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("free", &self.inner.free.lock().len())
+            .field("cap", &self.inner.cap)
+            .field("created", &self.inner.stats.created)
+            .field("reused", &self.inner.stats.reused)
+            .finish()
+    }
+}
+
+impl<T: Reset> Pool<T> {
+    /// Creates a pool that builds new objects with `make` and retains at
+    /// most `cap` idle objects.
+    pub fn new(cap: usize, make: impl Fn() -> T + Send + Sync + 'static) -> Pool<T> {
+        Pool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                cap,
+                stats: PoolStats::default(),
+            }),
+            make: Arc::new(make),
+        }
+    }
+
+    /// Takes an object from the pool, constructing one only if the pool is
+    /// empty. The object is already reset.
+    pub fn checkout(&self) -> Checkout<T> {
+        let recycled = self.inner.free.lock().pop();
+        let value = match recycled {
+            Some(v) => {
+                self.inner.stats.reused.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.inner.stats.created.fetch_add(1, Ordering::Relaxed);
+                (self.make)()
+            }
+        };
+        Checkout {
+            value: Some(value),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of idle objects currently retained.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Total objects constructed over the pool's lifetime.
+    pub fn created(&self) -> u64 {
+        self.inner.stats.created.load(Ordering::Relaxed)
+    }
+
+    /// Total checkouts served from recycled objects.
+    pub fn reused(&self) -> u64 {
+        self.inner.stats.reused.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII handle to a pooled object; derefs to `T` and returns the object to
+/// the pool (after [`Reset::reset`]) on drop.
+pub struct Checkout<T: Reset> {
+    value: Option<T>,
+    pool: Arc<PoolInner<T>>,
+}
+
+impl<T: Reset> Checkout<T> {
+    /// Extracts the object, detaching it from the pool (it will not be
+    /// recycled).
+    pub fn detach(mut self) -> T {
+        self.value.take().expect("value present until drop")
+    }
+}
+
+impl<T: Reset> Deref for Checkout<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("value present until drop")
+    }
+}
+
+impl<T: Reset> DerefMut for Checkout<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("value present until drop")
+    }
+}
+
+impl<T: Reset> Drop for Checkout<T> {
+    fn drop(&mut self) {
+        if let Some(mut v) = self.value.take() {
+            v.reset();
+            let mut free = self.pool.free.lock();
+            if free.len() < self.pool.cap {
+                free.push(v);
+            }
+        }
+    }
+}
+
+/// Pool of scratch encode buffers sized for a typical piggyback trailer.
+pub fn bytes_pool(cap: usize) -> Pool<BytesMut> {
+    Pool::new(cap, || BytesMut::with_capacity(512))
+}
+
+/// Pool of log-staging vectors for feedback batches.
+pub fn log_vec_pool(cap: usize) -> Pool<Vec<crate::piggyback::PiggybackLog>> {
+    Pool::new(cap, Vec::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BufMut;
+
+    #[test]
+    fn checkout_recycles_and_resets() {
+        let pool = bytes_pool(8);
+        {
+            let mut b = pool.checkout();
+            b.put_slice(b"dirty bytes");
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1, "dropped checkout returned to pool");
+        let b = pool.checkout();
+        assert!(b.is_empty(), "recycled buffer must be reset");
+        assert!(b.capacity() > 0, "but keeps its allocation");
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn detach_skips_recycling() {
+        let pool = bytes_pool(8);
+        let b = pool.checkout();
+        let owned = b.detach();
+        drop(owned);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn cap_bounds_retention() {
+        let pool = bytes_pool(2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.idle(), 2, "third return dropped at cap");
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_threads() {
+        let pool = bytes_pool(64);
+        let clone = pool.clone();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = clone.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let mut b = p.checkout();
+                        b.put_u64(7);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.created() + pool.reused(), 400);
+        assert!(pool.created() <= 8, "a few objects serve all checkouts");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for batched piggyback serialization.
+//!
+//! [`encode_batch`] is documented as byte-identical to encoding a
+//! `PiggybackMessage { flags: 0, logs, commits: vec![] }`, and
+//! [`decode_batch`] / [`PiggybackMessage::decode_trailing_shared`] as
+//! accepting and rejecting exactly the same inputs as the unbatched
+//! [`PiggybackMessage::decode_trailing`]. These properties pin both claims,
+//! including on truncated and bit-flipped wire images — a divergence would
+//! let the feedback path accept frames the piggyback path rejects (or vice
+//! versa), which is a protocol split-brain.
+
+use bytes::{Bytes, BytesMut};
+use ftc_packet::piggyback::{
+    batch_wire_len, decode_batch, encode_batch, DepVector, MboxId, PiggybackLog, PiggybackMessage,
+    StateWrite,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_dep_vector() -> impl Strategy<Value = DepVector> {
+    proptest::collection::btree_map(0u16..32, 0u64..1_000, 0..5)
+        .prop_map(|m| DepVector::from_entries(m.into_iter().collect()).unwrap())
+}
+
+fn arb_write() -> impl Strategy<Value = StateWrite> {
+    (vec(any::<u8>(), 0..40), vec(any::<u8>(), 0..120), 0u16..32).prop_map(|(k, v, p)| StateWrite {
+        key: Bytes::from(k),
+        value: Bytes::from(v),
+        partition: p,
+    })
+}
+
+fn arb_log() -> impl Strategy<Value = PiggybackLog> {
+    (0u16..8, arb_dep_vector(), vec(arb_write(), 0..4)).prop_map(|(m, deps, writes)| PiggybackLog {
+        mbox: MboxId(m),
+        deps,
+        writes,
+    })
+}
+
+/// Collapses a decode result to a comparable shape: `Ok(None)`,
+/// `Ok(Some(total_len))`, or `Err(())` — the classification that must agree
+/// between the batched and unbatched decoders.
+fn shape<T>(r: Result<Option<(T, usize)>, ftc_packet::WireError>) -> Result<Option<usize>, ()> {
+    match r {
+        Ok(Some((_, total))) => Ok(Some(total)),
+        Ok(None) => Ok(None),
+        Err(_) => Err(()),
+    }
+}
+
+proptest! {
+    /// `encode_batch` is byte-for-byte the unbatched encoding of the same
+    /// logs, and `batch_wire_len` predicts its length exactly.
+    #[test]
+    fn batched_encode_matches_unbatched(
+        logs in vec(arb_log(), 0..6),
+        prefix in vec(any::<u8>(), 0..64),
+    ) {
+        let msg = PiggybackMessage { flags: 0, logs: logs.clone(), commits: Vec::new() };
+
+        let mut batched = BytesMut::from(&prefix[..]);
+        let n_batched = encode_batch(&logs, &mut batched);
+        let mut unbatched = BytesMut::from(&prefix[..]);
+        let n_unbatched = msg.encode(&mut unbatched);
+
+        prop_assert_eq!(n_batched, n_unbatched);
+        prop_assert_eq!(n_batched, batch_wire_len(&logs));
+        prop_assert_eq!(n_batched, msg.wire_len());
+        prop_assert_eq!(&batched[..], &unbatched[..], "batched encoding diverged");
+    }
+
+    /// `decode_batch` round-trips what `encode_batch` wrote, through an
+    /// arbitrary prefix (the batch frame sits at the tail of a datagram).
+    #[test]
+    fn batched_roundtrip(logs in vec(arb_log(), 0..6), prefix in vec(any::<u8>(), 0..64)) {
+        let mut buf = BytesMut::from(&prefix[..]);
+        let n = encode_batch(&logs, &mut buf);
+        let (decoded, total) = decode_batch(&buf).unwrap().unwrap();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(decoded, logs);
+    }
+
+    /// Rejection parity on damaged input: truncate the wire image at an
+    /// arbitrary point and flip an arbitrary byte. All three decoders —
+    /// unbatched, batched, and zero-copy shared — must classify the result
+    /// identically (accept with the same length / reject / not-a-trailer).
+    #[test]
+    fn damaged_frames_reject_identically(
+        logs in vec(arb_log(), 0..5),
+        prefix in vec(any::<u8>(), 0..32),
+        cut in 0usize..80,
+        flip_at in any::<usize>(),
+        flip_mask in any::<u8>(),
+    ) {
+        let mut buf = BytesMut::from(&prefix[..]);
+        encode_batch(&logs, &mut buf);
+        let mut bytes = buf.to_vec();
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        if !bytes.is_empty() {
+            let i = flip_at % bytes.len();
+            bytes[i] ^= flip_mask;
+        }
+
+        let unbatched = shape(PiggybackMessage::decode_trailing(&bytes));
+        let batched = shape(decode_batch(&bytes));
+        let shared_buf = Bytes::from(bytes);
+        let shared = shape(PiggybackMessage::decode_trailing_shared(&shared_buf));
+
+        prop_assert_eq!(&batched, &unbatched, "batched decoder classification diverged");
+        prop_assert_eq!(&shared, &unbatched, "zero-copy decoder classification diverged");
+    }
+
+    /// On *accepted* inputs the decoders also agree on content: the batched
+    /// logs equal the unbatched message's logs, and the zero-copy message
+    /// equals the copying one.
+    #[test]
+    fn accepted_frames_decode_identically(
+        logs in vec(arb_log(), 0..5),
+        commits_as_msg in any::<bool>(),
+        prefix in vec(any::<u8>(), 0..32),
+    ) {
+        // Half the cases go through the full message encoder so the batch
+        // decoder also sees frames it did not itself produce.
+        let msg = PiggybackMessage { flags: 0, logs: logs.clone(), commits: Vec::new() };
+        let mut buf = BytesMut::from(&prefix[..]);
+        if commits_as_msg {
+            msg.encode(&mut buf);
+        } else {
+            encode_batch(&logs, &mut buf);
+        }
+
+        let (via_msg, n_msg) = PiggybackMessage::decode_trailing(&buf).unwrap().unwrap();
+        let (via_batch, n_batch) = decode_batch(&buf).unwrap().unwrap();
+        let frozen = buf.freeze();
+        let (via_shared, n_shared) =
+            PiggybackMessage::decode_trailing_shared(&frozen).unwrap().unwrap();
+
+        prop_assert_eq!(n_batch, n_msg);
+        prop_assert_eq!(n_shared, n_msg);
+        prop_assert_eq!(&via_batch, &via_msg.logs);
+        prop_assert_eq!(&via_shared, &via_msg);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::recorder::{current_thread_id, CommitRecord, HistorySink};
 use crate::txn::{Txn, TxnError, TxnOutput, TxnRecord};
-use crate::{partition_of, DepVector, StateWrite};
+use crate::{partition_of, shard_count, shard_of, shard_span, DepVector, StateWrite};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
@@ -45,6 +45,11 @@ pub(crate) struct PartitionState {
     pub seq: u64,
 }
 
+/// One state partition: the 2PL lock manager cell (owner + condvar) plus the
+/// key/value map and sequence counter it guards. Aligned to two cache lines
+/// so neighbouring partitions' lock words never false-share under the
+/// adjacent-line prefetcher.
+#[repr(align(128))]
 pub(crate) struct Partition {
     pub state: Mutex<PartitionState>,
     pub cv: Condvar,
@@ -61,6 +66,16 @@ impl Partition {
             cv: Condvar::new(),
         }
     }
+}
+
+/// A contiguous group of partitions forming one lock shard. The two-level
+/// key mapping ([`crate::partition_of`]) sends every state variable of a
+/// flow into a single shard, so a packet transaction's lock footprint stays
+/// inside one shard and distinct flows contend on disjoint lock groups.
+pub(crate) struct Shard {
+    /// Global index of `parts[0]`; the shard owns `base..base + parts.len()`.
+    pub base: PartitionId,
+    pub parts: Vec<Partition>,
 }
 
 /// A deep copy of a store's contents, transferred during failure recovery
@@ -105,8 +120,14 @@ impl StoreSnapshot {
 /// assert_eq!(log.writes.len(), 1);
 /// ```
 pub struct StateStore {
-    pub(crate) partitions: Vec<Partition>,
+    /// Lock shards, each owning a contiguous span of the global partition
+    /// index space (see [`crate::shard_span`]).
+    shards: Vec<Shard>,
+    /// Total partition count across all shards.
+    n_partitions: usize,
     /// Wound-wait timestamp source, shared by all transactions on this store.
+    /// Store-wide (not per-shard) so timestamps stay globally comparable and
+    /// wound-wait priority is a single total order.
     pub(crate) ts_gen: AtomicU64,
     /// Statistics.
     pub stats: StoreStats,
@@ -121,11 +142,22 @@ pub struct StateStore {
 }
 
 impl StateStore {
-    /// Creates a store with `partitions` state partitions.
+    /// Creates a store with `partitions` state partitions, grouped into
+    /// [`crate::shard_count`] lock shards.
     pub fn new(partitions: usize) -> Self {
         assert!(partitions > 0 && partitions <= u16::MAX as usize);
+        let shards = shard_count(partitions);
         StateStore {
-            partitions: (0..partitions).map(|_| Partition::new()).collect(),
+            shards: (0..shards)
+                .map(|s| {
+                    let (base, len) = shard_span(s, partitions, shards);
+                    Shard {
+                        base: base as PartitionId,
+                        parts: (0..len).map(|_| Partition::new()).collect(),
+                    }
+                })
+                .collect(),
+            n_partitions: partitions,
             ts_gen: AtomicU64::new(1),
             stats: StoreStats::default(),
             recording: AtomicBool::new(false),
@@ -165,12 +197,51 @@ impl StateStore {
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
-        self.partitions.len()
+        self.n_partitions
+    }
+
+    /// Number of lock shards the partitions are grouped into.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The partition a key maps to.
     pub fn partition_of(&self, key: &[u8]) -> PartitionId {
-        partition_of(key, self.partitions.len())
+        partition_of(key, self.n_partitions)
+    }
+
+    /// The lock shard a key maps to (the flow-prefix level of the mapping).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        shard_of(key, self.n_partitions)
+    }
+
+    /// Resolves a global partition index to its cell in the sharded layout.
+    pub(crate) fn part(&self, p: PartitionId) -> &Partition {
+        let p = p as usize;
+        debug_assert!(p < self.n_partitions);
+        // Inverse of `shard_span`: the first `r` shards hold `q + 1`
+        // partitions, the rest hold `q`.
+        let q = self.n_partitions / self.shards.len();
+        let r = self.n_partitions % self.shards.len();
+        let cut = r * (q + 1);
+        let (s, off) = if p < cut {
+            (p / (q + 1), p % (q + 1))
+        } else {
+            (r + (p - cut) / q, (p - cut) % q)
+        };
+        let shard = &self.shards[s];
+        debug_assert_eq!(
+            shard.base as usize + off,
+            p,
+            "index arithmetic matches layout"
+        );
+        &shard.parts[off]
+    }
+
+    /// Iterates partitions in global index order (shards own contiguous
+    /// spans, so shard order *is* global order).
+    fn parts(&self) -> impl Iterator<Item = &Partition> {
+        self.shards.iter().flat_map(|s| s.parts.iter())
     }
 
     /// Runs `body` as a packet transaction, retrying transparently when it
@@ -210,7 +281,7 @@ impl StateStore {
     /// acquires only the partition's internal mutex, not the 2PL lock).
     pub fn peek(&self, key: &[u8]) -> Option<Bytes> {
         let p = self.partition_of(key);
-        let st = self.partitions[p as usize].state.lock();
+        let st = self.part(p).state.lock();
         st.map.get(key).cloned()
     }
 
@@ -223,7 +294,7 @@ impl StateStore {
     /// The current per-partition sequence vector (the head's dependency
     /// vector state).
     pub fn seq_vector(&self) -> Vec<u64> {
-        self.partitions.iter().map(|p| p.state.lock().seq).collect()
+        self.parts().map(|p| p.state.lock().seq).collect()
     }
 
     /// Applies replicated writes from a piggyback log to this store,
@@ -243,7 +314,7 @@ impl StateStore {
         touched.sort_unstable();
         let mut guards: Vec<(PartitionId, MutexGuard<'_, PartitionState>)> = touched
             .iter()
-            .map(|&p| (p, self.partitions[p as usize].state.lock()))
+            .map(|&p| (p, self.part(p).state.lock()))
             .collect();
         for w in writes {
             let slot = guards
@@ -271,11 +342,16 @@ impl StateStore {
 
     /// Deep-copies the store for recovery state transfer.
     pub fn snapshot(&self) -> StoreSnapshot {
-        let mut maps = Vec::with_capacity(self.partitions.len());
-        let mut seqs = Vec::with_capacity(self.partitions.len());
-        for p in &self.partitions {
+        let mut maps = Vec::with_capacity(self.n_partitions);
+        let mut seqs = Vec::with_capacity(self.n_partitions);
+        for p in self.parts() {
             let st = p.state.lock();
-            maps.push(st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+            let mut entries: Vec<(Bytes, Bytes)> =
+                st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            // Deterministic transfer form: hash-map iteration order differs
+            // between otherwise-identical stores.
+            entries.sort_unstable_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+            maps.push(entries);
             seqs.push(st.seq);
         }
         StoreSnapshot { maps, seqs }
@@ -285,10 +361,10 @@ impl StateStore {
     pub fn restore(&self, snap: &StoreSnapshot) {
         assert_eq!(
             snap.maps.len(),
-            self.partitions.len(),
+            self.n_partitions,
             "partition count mismatch"
         );
-        for (i, p) in self.partitions.iter().enumerate() {
+        for (i, p) in self.parts().enumerate() {
             let mut st = p.state.lock();
             st.map = snap.maps[i].iter().cloned().collect();
             st.seq = snap.seqs[i];
@@ -298,18 +374,15 @@ impl StateStore {
     /// Restores only the per-partition sequence numbers (used when a new
     /// head sets its dependency vector from a fetched `MAX`, paper §5.2).
     pub fn restore_seqs(&self, seqs: &[u64]) {
-        assert_eq!(seqs.len(), self.partitions.len());
-        for (p, &s) in self.partitions.iter().zip(seqs) {
+        assert_eq!(seqs.len(), self.n_partitions);
+        for (p, &s) in self.parts().zip(seqs) {
             p.state.lock().seq = s;
         }
     }
 
     /// Total number of keys across partitions.
     pub fn len(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(|p| p.state.lock().map.len())
-            .sum()
+        self.parts().map(|p| p.state.lock().map.len()).sum()
     }
 
     /// True if no partition holds any key.
@@ -321,7 +394,8 @@ impl StateStore {
 impl std::fmt::Debug for StateStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StateStore")
-            .field("partitions", &self.partitions.len())
+            .field("partitions", &self.n_partitions)
+            .field("shards", &self.shards.len())
             .field("keys", &self.len())
             .finish()
     }
@@ -448,6 +522,33 @@ mod tests {
         assert_eq!(other.len(), 50);
         assert_eq!(other.seq_vector(), store.seq_vector());
         assert_eq!(other.peek(b"k17"), Some(Bytes::from_static(b"v17")));
+    }
+
+    #[test]
+    fn sharded_layout_preserves_global_index_order() {
+        for n in [1usize, 3, 8, 9, 32, 100] {
+            let store = StateStore::new(n);
+            assert_eq!(store.partitions(), n);
+            assert!(store.shards() <= n && store.shards() >= 1);
+            // Stamp each partition through its shard cell and confirm the
+            // flat seq_vector reads it back at the same global index.
+            for p in 0..n {
+                store.part(p as PartitionId).state.lock().seq = p as u64 + 1;
+            }
+            assert_eq!(store.seq_vector(), (1..=n as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn keys_resolve_inside_their_flow_shard() {
+        let store = StateStore::new(32);
+        for i in 0..200u32 {
+            let key = format!("nat:flow:10.0.{}.{}", i / 8, i % 8);
+            let s = store.shard_of(key.as_bytes());
+            let (base, len) = crate::shard_span(s, store.partitions(), store.shards());
+            let p = store.partition_of(key.as_bytes()) as usize;
+            assert!((base..base + len).contains(&p));
+        }
     }
 
     #[test]

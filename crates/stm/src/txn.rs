@@ -105,7 +105,7 @@ impl<'a> Txn<'a> {
         if let Some(v) = self.writes.get(key) {
             return Ok(if v.is_empty() { None } else { Some(v.clone()) });
         }
-        let st = self.store.partitions[p as usize].state.lock();
+        let st = self.store.part(p).state.lock();
         Ok(st.map.get(key).cloned())
     }
 
@@ -158,7 +158,7 @@ impl<'a> Txn<'a> {
             self.rollback();
             return Err(TxnError::Wounded);
         }
-        let part = &self.store.partitions[p as usize];
+        let part = self.store.part(p);
         let mut st = part.state.lock();
         loop {
             match &st.owner {
@@ -184,7 +184,7 @@ impl<'a> Txn<'a> {
                         owner.wounded.store(true, Ordering::SeqCst);
                         let w = owner.waiting_on.load(Ordering::SeqCst);
                         if w != NOT_WAITING && w != p as usize {
-                            self.store.partitions[w].cv.notify_all();
+                            self.store.part(w as PartitionId).cv.notify_all();
                         }
                     }
                     // Wait (timed) for the lock to free, then re-check.
@@ -230,7 +230,7 @@ impl<'a> Txn<'a> {
                 .push((k, v));
         }
         for &p in &self.touched {
-            let mut st = self.store.partitions[p as usize].state.lock();
+            let mut st = self.store.part(p).state.lock();
             deps.push((p, st.seq));
             st.seq += 1;
             if let Some(kvs) = by_part.get(&p) {
@@ -262,7 +262,7 @@ impl<'a> Txn<'a> {
 
     fn release_all(&mut self) {
         for p in self.held.drain(..) {
-            let part = &self.store.partitions[p as usize];
+            let part = self.store.part(p);
             let mut st = part.state.lock();
             debug_assert!(st
                 .owner

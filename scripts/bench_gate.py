@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_*.json against the baseline.
+
+Usage:
+    bench_gate.py BASELINE FRESH [--tolerance 0.10]
+    bench_gate.py --self-test
+
+Both files are `ftc bench` artifacts. The gate fails (exit 1) when the fresh
+throughput drops more than TOLERANCE below the baseline, or when any
+Table-2 stage's p99 rises more than 3x TOLERANCE above it (stage p99 on a
+short run is noisier than aggregate throughput, so it gets a wider band).
+Artifacts from different modes (quick vs full) are never compared: the gate
+refuses rather than producing a meaningless verdict.
+
+`--self-test` checks the comparator itself: it synthesizes a baseline plus a
+deliberately slowed-down fresh result and asserts the gate rejects it, and an
+unchanged result and asserts the gate accepts it. check.sh --bench-gate runs
+the self-test before every real comparison so a broken comparator cannot
+wave regressions through.
+"""
+
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.10
+STAGES = ["transaction", "piggyback", "apply", "forwarder", "buffer"]
+
+
+def compare(baseline, fresh, tolerance):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    if baseline.get("bench") != fresh.get("bench"):
+        return [
+            "artifact mismatch: baseline is %r, fresh is %r"
+            % (baseline.get("bench"), fresh.get("bench"))
+        ]
+    if baseline.get("quick") != fresh.get("quick"):
+        return [
+            "mode mismatch: baseline quick=%s, fresh quick=%s "
+            "(regenerate the baseline with the same mode)"
+            % (baseline.get("quick"), fresh.get("quick"))
+        ]
+
+    base_pps = float(baseline["pps"])
+    fresh_pps = float(fresh["pps"])
+    floor = base_pps * (1.0 - tolerance)
+    if fresh_pps < floor:
+        failures.append(
+            "throughput regression: %.0f pps < %.0f pps "
+            "(baseline %.0f, tolerance %.0f%%)"
+            % (fresh_pps, floor, base_pps, tolerance * 100)
+        )
+
+    p99_tol = 3.0 * tolerance
+    for stage in STAGES:
+        base_stage = baseline.get("stages", {}).get(stage)
+        fresh_stage = fresh.get("stages", {}).get(stage)
+        if not base_stage or not fresh_stage:
+            failures.append("stage %r missing from an artifact" % stage)
+            continue
+        base_p99 = float(base_stage["p99_ns"])
+        fresh_p99 = float(fresh_stage["p99_ns"])
+        if base_p99 > 0 and fresh_p99 > base_p99 * (1.0 + p99_tol):
+            failures.append(
+                "stage %s p99 regression: %d ns > %d ns + %.0f%%"
+                % (stage, fresh_p99, base_p99, p99_tol * 100)
+            )
+    return failures
+
+
+def synthetic(pps, p99_scale=1.0, quick=True):
+    return {
+        "bench": "table2",
+        "quick": quick,
+        "pps": pps,
+        "stages": {
+            s: {"samples": 1000, "p99_ns": int(5000 * p99_scale)} for s in STAGES
+        },
+    }
+
+
+def self_test():
+    base = synthetic(100_000.0)
+    # Unchanged and mildly-noisy runs pass.
+    assert compare(base, synthetic(100_000.0), DEFAULT_TOLERANCE) == []
+    assert compare(base, synthetic(95_000.0, 1.05), DEFAULT_TOLERANCE) == []
+    # A deliberate 20% throughput slowdown must fail.
+    slow = compare(base, synthetic(80_000.0), DEFAULT_TOLERANCE)
+    assert slow, "gate must reject a 20% throughput regression"
+    assert "throughput regression" in slow[0], slow
+    # A doubled stage p99 must fail.
+    tail = compare(base, synthetic(100_000.0, 2.0), DEFAULT_TOLERANCE)
+    assert tail, "gate must reject a 2x p99 regression"
+    # Quick and full artifacts never compare.
+    mixed = compare(base, synthetic(100_000.0, quick=False), DEFAULT_TOLERANCE)
+    assert mixed and "mode mismatch" in mixed[0], mixed
+    print("bench_gate.py: self-test passed")
+
+
+def main(argv):
+    if "--self-test" in argv:
+        self_test()
+        return 0
+    argv = list(argv)
+    tolerance = DEFAULT_TOLERANCE
+    if "--tolerance" in argv:
+        i = argv.index("--tolerance")
+        tolerance = float(argv[i + 1])
+        del argv[i : i + 2]
+    args = [a for a in argv if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(args[0]) as f:
+        baseline = json.load(f)
+    with open(args[1]) as f:
+        fresh = json.load(f)
+    failures = compare(baseline, fresh, tolerance)
+    if failures:
+        for msg in failures:
+            print("bench_gate.py: FAIL: %s" % msg, file=sys.stderr)
+        return 1
+    print(
+        "bench_gate.py: OK (%.0f pps vs baseline %.0f pps, tolerance %.0f%%)"
+        % (float(fresh["pps"]), float(baseline["pps"]), tolerance * 100)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -49,7 +49,9 @@ ROOT = Path(__file__).resolve().parent.parent
 # or poisoning semantics they actually want). Currently empty on purpose.
 STD_MUTEX_ALLOWED: set = set()
 
-SKIP_DIRS = {"target", ".git"}
+# vendor/ holds offline API stand-ins; the parking_lot shim *wraps*
+# std::sync::Mutex by design, so the std-mutex rule does not apply there.
+SKIP_DIRS = {"target", ".git", "vendor"}
 SKIP_PARTS = {"tests", "benches", "examples"}
 
 

@@ -94,7 +94,7 @@ fn randomized_chains_always_release_everything() {
         for i in 0..packets {
             chain.inject(
                 UdpPacketBuilder::new()
-                    .src(Ipv4Addr::new(10, 9, 0, 1), 1000 + rng.gen_range(0..16))
+                    .src(Ipv4Addr::new(10, 9, 0, 1), 1000 + rng.gen_range(0..16u16))
                     .dst(Ipv4Addr::new(10, 10, 0, 1), 80)
                     .ident(i)
                     .build(),
@@ -109,13 +109,81 @@ fn randomized_chains_always_release_everything() {
             "seed {seed}: n={n} f={f} workers={workers}"
         );
         for slot in &chain.replicas {
+            // With sharing_level 1 each worker owns its own counter group
+            // (`mon:packets:g{worker}`), so the invariant is that the groups
+            // SUM to the packet count — not that g0 holds all of it.
+            let counted: u64 = (0..workers)
+                .map(|w| {
+                    slot.state
+                        .own_store
+                        .peek_u64(format!("mon:packets:g{w}").as_bytes())
+                        .unwrap_or(0)
+                })
+                .sum();
             assert_eq!(
-                slot.state.own_store.peek_u64(b"mon:packets:g0"),
-                Some(u64::from(packets)),
+                counted,
+                u64::from(packets),
                 "seed {seed}: replica {} missed packets",
                 slot.state.idx
             );
         }
+    }
+}
+
+/// Minimized regression for the failure `randomized_chains_always_release_
+/// everything` used to hit: a 2-worker replica splits a Monitor's
+/// sharing-level-1 counters across per-worker groups (`g0`, `g1`), and the
+/// old assertion expected all packets in `g0`. The pinned schedule: two
+/// flows hashing to different worker queues, every packet released, and on
+/// EVERY replica the per-group counters sum to the total with an identical
+/// split (flow -> worker mapping is deterministic, so replicas must agree).
+#[test]
+fn per_worker_counter_groups_sum_to_packet_count() {
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![MbSpec::Monitor { sharing_level: 1 }; 2])
+            .with_f(1)
+            .with_workers(2),
+    );
+    let packets = 32u16;
+    for i in 0..packets {
+        chain.inject(
+            UdpPacketBuilder::new()
+                // Alternate between two flows so both worker queues see
+                // traffic (whichever way the RSS hash maps them).
+                .src(Ipv4Addr::new(10, 9, 0, 1), 1000 + (i % 2))
+                .dst(Ipv4Addr::new(10, 10, 0, 1), 80)
+                .ident(i)
+                .build(),
+        );
+    }
+    let got = chain
+        .egress()
+        .collect(packets as usize, Duration::from_secs(20));
+    assert_eq!(got.len(), packets as usize, "all packets must release");
+
+    let split_of = |slot: &ftc::core::chain::ReplicaSlot| -> Vec<u64> {
+        (0..2)
+            .map(|w| {
+                slot.state
+                    .own_store
+                    .peek_u64(format!("mon:packets:g{w}").as_bytes())
+                    .unwrap_or(0)
+            })
+            .collect()
+    };
+    let reference = split_of(&chain.replicas[0]);
+    assert_eq!(
+        reference.iter().sum::<u64>(),
+        u64::from(packets),
+        "groups must sum to the injected packet count"
+    );
+    for slot in &chain.replicas[1..] {
+        assert_eq!(
+            split_of(slot),
+            reference,
+            "replica {}: flow->worker split must match replica 0",
+            slot.state.idx
+        );
     }
 }
 

@@ -1,0 +1,440 @@
+//! Offline stand-in for the `bytes` crate (API-compatible subset).
+//!
+//! The container this repo builds in has no crates-io access, so the
+//! workspace vendors the byte-buffer types it actually uses:
+//!
+//! * [`Bytes`] — an immutable, cheaply cloneable byte slice. Clones share
+//!   the underlying allocation (reference counted), and [`Bytes::slice`]
+//!   produces zero-copy sub-views — the property the FTC zero-copy packet
+//!   read path relies on.
+//! * [`BytesMut`] — a growable, uniquely owned buffer, convertible into a
+//!   shared [`Bytes`] via [`BytesMut::freeze`].
+//! * [`BufMut`] — the big-endian append trait used by the wire encoders.
+//!
+//! Semantics match the real crate for the subset exercised by the
+//! workspace; anything not used here is intentionally absent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; clones and sub-slices share
+/// the allocation.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage — no allocation at all.
+    Static(&'static [u8]),
+    /// A shared window `[start, end)` into a reference-counted allocation.
+    Shared {
+        buf: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Static(&[])
+    }
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(s),
+        }
+    }
+
+    /// Copies `s` into a fresh shared allocation.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared { buf, start, end } => &buf[*start..*end],
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range {len}");
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[lo..hi]),
+            },
+            Repr::Shared { buf, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    buf: Arc::clone(buf),
+                    start: start + lo,
+                    end: start + hi,
+                },
+            },
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared {
+                start: 0,
+                end: v.len(),
+                buf: Arc::new(v),
+            },
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut { vec: vec![0; len] }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Shortens the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Clears the buffer, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Resizes to `len`, filling new space with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.vec.resize(len, fill);
+    }
+
+    /// Splits off and returns the bytes from `at` to the end; `self` keeps
+    /// `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            vec: self.vec.split_off(at),
+        }
+    }
+
+    /// Converts into an immutable shared [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Consumes the buffer and returns the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { vec: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.vec {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Big-endian append operations for wire encoders.
+pub trait BufMut {
+    /// Appends a raw slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_sharing_and_slicing() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        let st = Bytes::from_static(b"hello");
+        assert_eq!(&st.slice(..2)[..], b"he");
+    }
+
+    #[test]
+    fn bytesmut_put_and_freeze() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(1);
+        m.put_u16(0x0203);
+        m.put_u32(0x04050607);
+        m.put_u64(0x08090a0b0c0d0e0f);
+        m.put_slice(b"xy");
+        assert_eq!(m.len(), 1 + 2 + 4 + 8 + 2);
+        let frozen = m.freeze();
+        assert_eq!(frozen[0], 1);
+        assert_eq!(&frozen[frozen.len() - 2..], b"xy");
+    }
+
+    #[test]
+    fn borrow_allows_slice_lookup() {
+        use std::collections::HashMap;
+        let mut map: HashMap<Bytes, u32> = HashMap::new();
+        map.insert(Bytes::from_static(b"k"), 7);
+        assert_eq!(map.get(&b"k"[..]), Some(&7));
+    }
+
+    #[test]
+    fn split_off_behaves_like_vec() {
+        let mut m = BytesMut::from(&b"abcdef"[..]);
+        let tail = m.split_off(2);
+        assert_eq!(&m[..], b"ab");
+        assert_eq!(&tail[..], b"cdef");
+    }
+}

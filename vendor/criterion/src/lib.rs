@@ -1,0 +1,294 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Implements the harness surface the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize` — as a
+//! plain wall-clock timer with mean/min reporting. There is no statistical
+//! regression analysis; the repo's bench gate compares recorded JSON
+//! baselines instead (see `scripts/check.sh --bench-gate`).
+//!
+//! Setting `FTC_BENCH_QUICK=1` collapses warmup and measurement to a
+//! handful of iterations so every bench entry point can run in the test
+//! suite as a smoke check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the shim runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            sample_size: 50,
+            quick: std::env::var("FTC_BENCH_QUICK").map_or(false, |v| v == "1"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("## bench group: {name}");
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            quick: self.quick,
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (mt, ss, quick) = (self.measurement_time, self.sample_size, self.quick);
+        run_bench(name, mt, ss, quick, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    quick: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(
+            &full,
+            self.measurement_time,
+            self.sample_size,
+            self.quick,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting already happened per bench).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    quick: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        // Quick mode: two samples of one iteration — just proves the bench
+        // body runs without error.
+        samples_wanted: if quick { 2 } else { sample_size },
+        iters_per_sample: if quick { 1 } else { 0 },
+        measurement_time,
+        sample_ns: Vec::new(),
+        total_iters: 0,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// Per-benchmark measurement context handed to the closure.
+pub struct Bencher {
+    samples_wanted: usize,
+    /// 0 = auto-calibrate from `measurement_time`.
+    iters_per_sample: u64,
+    measurement_time: Duration,
+    sample_ns: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over many iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run_samples(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run_samples(|iters| {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            elapsed
+        });
+    }
+
+    fn run_samples<F: FnMut(u64) -> Duration>(&mut self, mut timed: F) {
+        let iters = if self.iters_per_sample > 0 {
+            self.iters_per_sample
+        } else {
+            self.calibrate(&mut timed)
+        };
+        for _ in 0..self.samples_wanted {
+            let elapsed = timed(iters);
+            self.sample_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+            self.total_iters += iters;
+        }
+    }
+
+    /// Picks an iteration count so all samples fit in `measurement_time`.
+    fn calibrate<F: FnMut(u64) -> Duration>(&mut self, timed: &mut F) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let elapsed = timed(iters);
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let budget = self.measurement_time.as_secs_f64() / self.samples_wanted as f64;
+                return ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.sample_ns.is_empty() {
+            eprintln!("bench {name:<44} (no samples)");
+            return;
+        }
+        let mean = self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64;
+        let min = self.sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "bench {name:<44} mean {:>12}  min {:>12}  ({} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            self.total_iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_two_tiny_samples() {
+        let mut b = Bencher {
+            samples_wanted: 2,
+            iters_per_sample: 1,
+            measurement_time: Duration::from_secs(1),
+            sample_ns: Vec::new(),
+            total_iters: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 2);
+        assert_eq!(b.sample_ns.len(), 2);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            samples_wanted: 1,
+            iters_per_sample: 3,
+            measurement_time: Duration::from_secs(1),
+            sample_ns: Vec::new(),
+            total_iters: 0,
+        };
+        b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.total_iters, 3);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        std::env::set_var("FTC_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(10)).sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for `crossbeam` (the `channel` module subset FTC uses).
+//!
+//! Provides mpmc bounded/unbounded channels where both [`channel::Sender`]
+//! and [`channel::Receiver`] are `Clone`. A channel disconnects when every
+//! handle on the other side is dropped, matching crossbeam's semantics for
+//! `send`, `try_send`, `recv`, `try_recv` and `recv_timeout`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `usize::MAX` for unbounded channels.
+        cap: usize,
+        /// Signalled when an item is pushed or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when an item is popped or all receivers drop.
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn senders_gone(&self) -> bool {
+            self.senders.load(Ordering::SeqCst) == 0
+        }
+
+        fn receivers_gone(&self) -> bool {
+            self.receivers.load(Ordering::SeqCst) == 0
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// Creates a bounded mpmc channel holding at most `cap` items.
+    /// `bounded(0)` is treated as capacity 1 (this shim has no rendezvous
+    /// mode; the workspace never constructs a zero-capacity channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(cap.max(1))
+    }
+
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent value is handed back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: Send> std::error::Error for TrySendError<T> {}
+
+    /// Error returned by [`Sender::send_timeout`]; the unsent value is
+    /// handed back.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed with the channel still full.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendTimeoutError<T> {}
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// The sending half of a channel. Clone freely; the channel disconnects
+    /// for receivers once every clone is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued, or returns it if every
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &*self.shared;
+            let mut q = shared.lock();
+            loop {
+                if shared.receivers_gone() {
+                    return Err(SendError(value));
+                }
+                if q.len() < shared.cap {
+                    q.push_back(value);
+                    drop(q);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                q = match shared.not_full.wait_timeout(q, Duration::from_millis(50)) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+
+        /// Enqueues without blocking, failing on a full or disconnected
+        /// channel.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let shared = &*self.shared;
+            let mut q = shared.lock();
+            if shared.receivers_gone() {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if q.len() >= shared.cap {
+                return Err(TrySendError::Full(value));
+            }
+            q.push_back(value);
+            drop(q);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocks up to `timeout` for queue space, returning the value on
+        /// timeout or disconnection.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let shared = &*self.shared;
+            let deadline = Instant::now() + timeout;
+            let mut q = shared.lock();
+            loop {
+                if shared.receivers_gone() {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if q.len() < shared.cap {
+                    q.push_back(value);
+                    drop(q);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let wait = (deadline - now).min(Duration::from_millis(50));
+                q = match shared.not_full.wait_timeout(q, wait) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// True if no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake receivers so they observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel. Clone freely; items go to whichever
+    /// clone pops them first (work stealing, not broadcast).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &*self.shared;
+            let mut q = shared.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders_gone() {
+                    return Err(RecvError);
+                }
+                q = match shared.not_empty.wait_timeout(q, Duration::from_millis(50)) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+
+        /// Pops without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &*self.shared;
+            let mut q = shared.lock();
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if shared.senders_gone() {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks up to `timeout` for an item.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Blocks until `deadline` for an item.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let shared = &*self.shared;
+            let mut q = shared.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders_gone() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let wait = (deadline - now).min(Duration::from_millis(50));
+                q = match shared.not_empty.wait_timeout(q, wait) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// True if no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake blocked senders so they observe it.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_and_len() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_try_send_full_then_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            match tx.try_send(2) {
+                Err(TrySendError::Full(2)) => {}
+                other => panic!("expected Full, got {other:?}"),
+            }
+            drop(rx);
+            match tx.try_send(3) {
+                Err(TrySendError::Disconnected(3)) => {}
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn recv_timeout_and_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let producers: Vec<_> = (0..4)
+                .map(|base| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..100 {
+                            tx.send(base * 100 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || {
+                        let mut got = 0usize;
+                        while rx.recv().is_ok() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 400);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_pop() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap().unwrap();
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for `parking_lot` (API-compatible subset).
+//!
+//! Backed by `std::sync` primitives with parking_lot's ergonomics: locks
+//! never return poison errors (a panicked holder just releases), guards
+//! implement `Deref`/`DerefMut`, and [`Condvar`] waits take the guard by
+//! `&mut` instead of by value.
+//!
+//! Performance note: the real parking_lot is faster under heavy
+//! contention; this shim trades that for zero dependencies. The workspace
+//! treats lock hold times as the quantity to minimize (see the sharded
+//! `StateStore`), which keeps the difference second-order.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+/// A mutual-exclusion lock; `lock()` returns the guard directly.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Panics in other holders
+    /// do not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                guard: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; the `Option` lets [`Condvar`] waits move the
+/// std guard out and back while keeping the caller's `&mut` borrow alive.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable working with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.guard.take().expect("guard present");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.guard = Some(g);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.guard.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
+    /// Blocks until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        if timeout.is_zero() {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        self.wait_for(guard, timeout)
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A reader-writer lock; `read()`/`write()` return guards directly.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { guard }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { guard }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_basic_and_condvar_timeout() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        let res = cv.wait_until(&mut g, Instant::now() - Duration::from_millis(1));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !*g {
+            if cv.wait_until(&mut g, deadline).timed_out() {
+                break;
+            }
+        }
+        assert!(*g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn panicked_holder_does_not_poison() {
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die holding the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1, "lock stays usable");
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+}

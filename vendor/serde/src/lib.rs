@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (all JSON
+//! emitted by the CLI is hand-rolled), so the traits here are pure markers
+//! with blanket impls and the derive macros expand to nothing. If a future
+//! change actually serializes through serde, replace this shim with the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` shim. The shim's traits
+//! carry blanket impls, so the derives have nothing to emit.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` shim blanket-implements `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` shim blanket-implements `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
