@@ -111,15 +111,17 @@ impl FtmbChain {
         // The IL input of stage i; stage i's OL forwards into stage i+1.
         let mut il_in: Vec<Arc<InPort>> = Vec::with_capacity(n);
         let mut ol_next: Vec<Arc<OutPort>> = Vec::with_capacity(n);
-        il_in.push(Arc::new(InPort::new(None))); // stage 0 fed by ingress
+        il_in.push(Arc::new(InPort::empty())); // stage 0 fed by ingress
         for i in 0..n - 1 {
-            let mut link = cfg.link.clone();
-            link.seed = link.seed.wrapping_add(100 + i as u64);
-            let (tx, rx) = reliable_pair(link);
-            ol_next.push(Arc::new(OutPort::new(Some(tx))));
-            il_in.push(Arc::new(InPort::new(Some(rx))));
+            let link = cfg
+                .link
+                .clone()
+                .with_seed(cfg.link.seed().wrapping_add(100 + i as u64));
+            let (tx, rx) = reliable_pair(&link);
+            ol_next.push(Arc::new(OutPort::wired(tx)));
+            il_in.push(Arc::new(InPort::wired(rx)));
         }
-        ol_next.push(Arc::new(OutPort::new(None)));
+        ol_next.push(Arc::new(OutPort::empty()));
 
         for (i, spec) in cfg.middleboxes.iter().enumerate() {
             let mbox = spec.build();
@@ -127,17 +129,17 @@ impl FtmbChain {
             let pal_count = Arc::new(AtomicU64::new(0));
 
             // Links: IL→M (data), M→OL (data), M→OL (PAL stream).
-            let (il_to_m_tx, il_to_m_rx) = reliable_pair(cfg.link.clone());
-            let (m_to_ol_tx, m_to_ol_rx) = reliable_pair(cfg.link.clone());
-            let (pal_tx, pal_rx) = reliable_pair(cfg.link.clone());
+            let (il_to_m_tx, il_to_m_rx) = reliable_pair(&cfg.link);
+            let (m_to_ol_tx, m_to_ol_rx) = reliable_pair(&cfg.link);
+            let (pal_tx, pal_rx) = reliable_pair(&cfg.link);
 
             // ---- Master server ------------------------------------------
             let mut master = Server::new(format!("ftmb-m{i}"), ftc_net::RegionId(0));
             let shared = Arc::new(MasterShared {
                 mbox: Arc::clone(&mbox),
                 store: Arc::clone(&store),
-                data_out: Arc::new(OutPort::new(Some(m_to_ol_tx))),
-                pal_out: Arc::new(OutPort::new(Some(pal_tx))),
+                data_out: Arc::new(OutPort::wired(m_to_ol_tx)),
+                pal_out: Arc::new(OutPort::wired(pal_tx)),
                 seq: AtomicU64::new(0),
                 stall_gate: RwLock::new(()),
                 snapshot,
@@ -162,7 +164,7 @@ impl FtmbChain {
                 });
             }
             {
-                let m_in = InPort::new(Some(il_to_m_rx));
+                let m_in = InPort::wired(il_to_m_rx);
                 let nic = Arc::clone(&nic);
                 let shared = Arc::clone(&shared);
                 master.spawn("rx", move |alive: AliveToken| {
@@ -182,7 +184,7 @@ impl FtmbChain {
             // IL: log input (count) and relay to the master.
             {
                 let il_port = Arc::clone(&il_in[i]);
-                let to_m = OutPort::new(Some(il_to_m_tx));
+                let to_m = OutPort::wired(il_to_m_tx);
                 let ingress_rx = if i == 0 {
                     Some(ingress_rx.clone())
                 } else {
@@ -217,8 +219,8 @@ impl FtmbChain {
             // OL: release data packets once their PAL arrived; keep only
             // the last PAL.
             {
-                let data_in = InPort::new(Some(m_to_ol_rx));
-                let pal_in = InPort::new(Some(pal_rx));
+                let data_in = InPort::wired(m_to_ol_rx);
+                let pal_in = InPort::wired(pal_rx);
                 let next = Arc::clone(&ol_next[i]);
                 let egress = egress_tx.clone();
                 let metrics = Arc::clone(&metrics);

@@ -55,15 +55,17 @@ impl NfChain {
         // Inter-server links.
         let mut in_ports: Vec<Arc<InPort>> = Vec::with_capacity(n);
         let mut out_ports: Vec<Arc<OutPort>> = Vec::with_capacity(n);
-        in_ports.push(Arc::new(InPort::new(None))); // stage 0 fed by ingress
+        in_ports.push(Arc::new(InPort::empty())); // stage 0 fed by ingress
         for i in 0..n - 1 {
-            let mut link = cfg.link.clone();
-            link.seed = link.seed.wrapping_add(i as u64 + 1);
-            let (tx, rx) = reliable_pair(link);
-            out_ports.push(Arc::new(OutPort::new(Some(tx))));
-            in_ports.push(Arc::new(InPort::new(Some(rx))));
+            let link = cfg
+                .link
+                .clone()
+                .with_seed(cfg.link.seed().wrapping_add(i as u64 + 1));
+            let (tx, rx) = reliable_pair(&link);
+            out_ports.push(Arc::new(OutPort::wired(tx)));
+            in_ports.push(Arc::new(InPort::wired(rx)));
         }
-        out_ports.push(Arc::new(OutPort::new(None)));
+        out_ports.push(Arc::new(OutPort::empty()));
 
         let mut servers = Vec::with_capacity(n);
         let mut stages = Vec::with_capacity(n);

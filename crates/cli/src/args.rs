@@ -16,6 +16,8 @@ USAGE:
               [--f N] [--workers N] [--rate <Mpps|max>] [--packet-bytes B]
   ftc drill   --chain \"<spec>\" [--f N]
   ftc bench   [--quick] [--seconds S] [--workers N] [--inflight N] [--out FILE]
+              [--remote] [--clients N] [--dir DIR]
+  ftc node    --chain \"<spec>\" --idx N --dir DIR [--f N] [--workers N] [--recover]
   ftc help
 
 CHAIN SPECS (Click-flavoured):
@@ -32,7 +34,11 @@ EXAMPLES:
   ftc compare --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
   ftc sim --chain \"monitor(sharing=8)\" --system ftc --rate max
   ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
-  ftc bench --quick --out BENCH_table2.json";
+  ftc bench --quick --out BENCH_table2.json
+  ftc bench --remote --quick --clients 2
+
+`ftc node` runs one replica as an OS process (normally spawned by the
+parent: `ftc bench --remote` or the programmatic ProcChain deployer).";
 
 /// The selected subcommand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +57,8 @@ pub enum Command {
     Drill,
     /// Run the standing Table-2 benchmark and emit BENCH_table2.json.
     Bench,
+    /// Run one replica as an OS process (spawned by a multi-process parent).
+    Node,
     /// Print usage.
     Help,
 }
@@ -103,7 +111,7 @@ impl ParsedArgs {
 }
 
 /// Flags that take no value; everything else is `--key value`.
-const BOOL_FLAGS: &[&str] = &["json", "quick"];
+const BOOL_FLAGS: &[&str] = &["json", "quick", "recover", "remote"];
 
 /// Parses `argv` (excluding the program name).
 pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
@@ -116,6 +124,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
         Some("sim") => Command::Sim,
         Some("drill") => Command::Drill,
         Some("bench") => Command::Bench,
+        Some("node") => Command::Node,
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,
         Some(other) => return Err(format!("unknown subcommand `{other}`")),
     };

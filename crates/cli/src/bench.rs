@@ -27,8 +27,12 @@ fn stage_json(s: &StageStats) -> String {
 
 /// Runs the benchmark and writes the JSON artifact. `--quick` shortens the
 /// measurement for CI smoke runs (the artifact records which mode produced
-/// it, and the gate refuses to compare across modes).
+/// it, and the gate refuses to compare across modes). `--remote` deploys
+/// the same chain as OS processes over Unix sockets instead of threads.
 pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
+    if args.flag("remote") {
+        return cmd_bench_remote(args);
+    }
     let quick = args.flag("quick");
     let seconds = args.get_f64("seconds", if quick { 0.4 } else { 4.0 })?;
     let workers = args.get_usize("workers", 2)?;
@@ -95,6 +99,105 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
          \"stages\":{{{}}}}}\n",
         report.received,
         report.pps,
+        snap.mean_piggyback_bytes,
+        stages_json.join(","),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `ftc bench --remote`: the Table-2 chain deployed as OS processes (one
+/// `ftc node` child per replica, Unix sockets in between) and driven by
+/// `--clients` concurrent closed-loop drivers. Emits the same JSON schema
+/// as the in-process bench under `"bench":"table2-remote"`, to a separate
+/// default artifact so the in-process bench gate baseline is untouched.
+fn cmd_bench_remote(args: &ParsedArgs) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let seconds = args.get_f64("seconds", if quick { 0.4 } else { 4.0 })?;
+    let workers = args.get_usize("workers", 2)?;
+    let inflight = args.get_usize("inflight", 32)?;
+    let clients = args.get_usize("clients", 2)?.max(1);
+    let out = args
+        .get("out")
+        .unwrap_or("BENCH_table2_remote.json")
+        .to_string();
+    let dir = match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("ftc-bench-remote-{}", std::process::id())),
+    };
+    let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+
+    println!(
+        "ftc bench --remote: MazuNAT -> MazuNAT, f = 1, workers = {workers}, \
+         3 processes over UDS in {}, {clients} clients, {seconds} s closed loop ({} mode)",
+        dir.display(),
+        if quick { "quick" } else { "full" }
+    );
+    let chain = ftc::orch::ProcChain::deploy(ftc::orch::ProcConfig {
+        chain: "mazu_nat(ext=203.0.113.2) -> mazu_nat(ext=203.0.113.3)".to_string(),
+        f: 1,
+        workers,
+        dir,
+        exe,
+    })?;
+
+    let dur = Duration::from_secs_f64(seconds);
+    let (received, pps) = std::thread::scope(|s| {
+        let chain = &chain;
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let runner = TrafficRunner::new(WorkloadConfig {
+                        flows: 64,
+                        frame_len: 256,
+                        ..Default::default()
+                    });
+                    runner.closed_loop(chain, inflight, dur)
+                })
+            })
+            .collect();
+        let mut received = 0u64;
+        let mut pps = 0.0f64;
+        for h in handles {
+            let r = h.join().expect("bench client panicked");
+            received += r.received;
+            pps += r.pps;
+        }
+        (received, pps)
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let snap = chain.merged_snapshot();
+
+    let stages = [
+        ("transaction", snap.transaction),
+        ("piggyback", snap.piggyback),
+        ("apply", snap.apply),
+        ("forwarder", snap.forwarder),
+        ("buffer", snap.buffer),
+    ];
+    println!(
+        "{:<14} {:>9} {:>11} {:>11} {:>11}",
+        "stage", "samples", "mean (ns)", "p50 (ns)", "p99 (ns)"
+    );
+    for (name, s) in &stages {
+        println!(
+            "{name:<14} {:>9} {:>11} {:>11} {:>11}",
+            s.samples, s.mean_ns, s.p50_ns, s.p99_ns
+        );
+    }
+    println!("throughput: {pps:.0} pps sustained over {received} packets");
+
+    let stages_json: Vec<String> = stages
+        .iter()
+        .map(|(name, s)| format!("\"{name}\":{}", stage_json(s)))
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"table2-remote\",\"chain\":\"mazu_nat -> mazu_nat\",\"quick\":{quick},\
+         \"seconds\":{seconds},\"workers\":{workers},\"inflight\":{inflight},\
+         \"clients\":{clients},\
+         \"received\":{received},\"pps\":{pps:.1},\"mean_piggyback_bytes\":{:.1},\
+         \"stages\":{{{}}}}}\n",
         snap.mean_piggyback_bytes,
         stages_json.join(","),
     );

@@ -22,7 +22,29 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), String> {
         Command::Sim => cmd_sim(args),
         Command::Drill => cmd_drill(args),
         Command::Bench => crate::bench::cmd_bench(args),
+        Command::Node => cmd_node(args),
     }
+}
+
+/// Runs one replica as this process — the receiving end of the `ftc node`
+/// processes a multi-process deployment spawns. Blocks until the parent
+/// sends a shutdown request.
+fn cmd_node(args: &ParsedArgs) -> Result<(), String> {
+    let dir = args
+        .get("dir")
+        .ok_or_else(|| "--dir DIR is required".to_string())?;
+    let idx = args.get_usize("idx", usize::MAX)?;
+    if idx == usize::MAX {
+        return Err("--idx N is required".to_string());
+    }
+    ftc::orch::proc::run_node(&ftc::orch::proc::NodeOpts {
+        chain: args.chain()?.to_string(),
+        f: args.get_usize("f", 1)?,
+        workers: args.get_usize("workers", 1)?,
+        idx,
+        dir: std::path::PathBuf::from(dir),
+        recover: args.flag("recover"),
+    })
 }
 
 fn specs_of(args: &ParsedArgs) -> Result<Vec<MbSpec>, String> {
@@ -38,7 +60,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<(), String> {
 
     let mut cfg = ChainConfig::new(specs).with_f(f).with_workers(workers);
     if loss > 0.0 {
-        cfg = cfg.with_link(LinkConfig::lossy(loss, loss / 2.0, 42));
+        cfg = cfg.with_link(Endpoint::lossy(loss, loss / 2.0, 42));
     }
     let names: Vec<&str> = cfg
         .effective_middleboxes()

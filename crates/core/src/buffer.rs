@@ -324,7 +324,7 @@ pub fn spawn_buffer(
 mod tests {
     use super::*;
     use crossbeam::channel;
-    use ftc_net::{reliable_pair, LinkConfig};
+    use ftc_net::{reliable_pair, Endpoint};
     use ftc_packet::builder::UdpPacketBuilder;
     use ftc_packet::piggyback::{CommitVector, MboxId};
 
@@ -337,18 +337,18 @@ mod tests {
 
     fn rig(n: usize, f: usize) -> Rig {
         let (etx, erx) = channel::unbounded();
-        let (ftx, frx) = reliable_pair(LinkConfig::ideal());
+        let (ftx, frx) = reliable_pair(&Endpoint::in_proc());
         let metrics = Arc::new(ChainMetrics::default());
         let buf = BufferState::new(
             RingMath { n, f },
             etx,
-            Arc::new(OutPort::new(Some(ftx))),
+            Arc::new(OutPort::wired(ftx)),
             Arc::clone(&metrics),
         );
         Rig {
             buf,
             egress: erx,
-            feedback_rx: InPort::new(Some(frx)),
+            feedback_rx: InPort::wired(frx),
             metrics,
         }
     }

@@ -7,16 +7,15 @@
 
 use crate::buffer::{spawn_buffer, BufferState};
 use crate::config::ChainConfig;
-use crate::control::{CtrlClient, InPort, OutPort};
+use crate::control::{ctrl_pair, CtrlClient, InPort, OutPort};
 use crate::forwarder::{spawn_forwarder, ForwarderState};
 use crate::metrics::ChainMetrics;
 use crate::replica::{spawn_replica, ReplicaState};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender};
 use ftc_net::nic::Nic;
-use ftc_net::rpc::rpc_pair;
 use ftc_net::topology::{RegionId, Topology};
-use ftc_net::{reliable_pair, LinkConfig, Server};
+use ftc_net::{reliable_pair, Endpoint, Server};
 use ftc_packet::Packet;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -53,7 +52,7 @@ pub struct ReplicaSlot {
     /// Shared data-plane state.
     pub state: Arc<ReplicaState>,
     /// Control-plane client (zero network delay; derive with
-    /// [`ftc_net::rpc::RpcClient::with_delay`] for WAN callers).
+    /// [`CtrlClient::with_delay`] for WAN callers).
     pub ctrl: CtrlClient,
     /// Incoming data link (swappable for rerouting).
     pub in_port: Arc<InPort>,
@@ -178,22 +177,22 @@ impl FtcChain {
         // buffer→forwarder feedback link.
         let mut in_ports: Vec<Arc<InPort>> = Vec::with_capacity(n);
         let mut out_ports: Vec<Arc<OutPort>> = Vec::with_capacity(n);
-        in_ports.push(Arc::new(InPort::new(None))); // r0 is fed by the forwarder directly
+        in_ports.push(Arc::new(InPort::empty())); // r0 is fed by the forwarder directly
         for i in 0..n - 1 {
             let link = Self::link_between(&cfg, &topology, regions[i], regions[i + 1], i as u64);
-            let (tx, rx) = reliable_pair(link);
-            out_ports.push(Arc::new(OutPort::new(Some(tx))));
-            in_ports.push(Arc::new(InPort::new(Some(rx))));
+            let (tx, rx) = reliable_pair(&link);
+            out_ports.push(Arc::new(OutPort::wired(tx)));
+            in_ports.push(Arc::new(InPort::wired(rx)));
         }
         // r_{n-1} → buffer (same server: ideal link).
-        let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
-        out_ports.push(Arc::new(OutPort::new(Some(tail_tx))));
-        let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
+        let (tail_tx, buffer_rx) = reliable_pair(&Endpoint::in_proc());
+        out_ports.push(Arc::new(OutPort::wired(tail_tx)));
+        let buffer_in = Arc::new(InPort::wired(buffer_rx));
         // buffer → forwarder feedback.
         let fb_link = Self::link_between(&cfg, &topology, regions[n - 1], regions[0], 7777);
-        let (fb_tx, fb_rx) = reliable_pair(fb_link);
-        let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
-        let feedback_in = Arc::new(InPort::new(Some(fb_rx)));
+        let (fb_tx, fb_rx) = reliable_pair(&fb_link);
+        let feedback_out = Arc::new(OutPort::wired(fb_tx));
+        let feedback_in = Arc::new(InPort::wired(fb_rx));
 
         // Ingress / egress.
         let (ingress_tx, ingress_rx) = channel::unbounded::<BytesMut>();
@@ -218,7 +217,7 @@ impl FtcChain {
                 Arc::clone(&metrics),
             );
             let (nic, queues) = Self::make_nic(&cfg);
-            let (ctrl_client, ctrl_server) = rpc_pair(Duration::ZERO);
+            let (ctrl_client, ctrl_server) = ctrl_pair(Duration::ZERO);
             spawn_replica(
                 &mut server,
                 Arc::clone(&state),
@@ -277,11 +276,18 @@ impl FtcChain {
         a: RegionId,
         b: RegionId,
         seed_salt: u64,
-    ) -> LinkConfig {
-        let mut link = cfg.link.clone();
-        link.latency += topo.one_way(a, b);
-        link.seed = link.seed.wrapping_add(seed_salt).wrapping_mul(0x9e3779b9);
-        link
+    ) -> Endpoint {
+        if cfg.link.is_sock() {
+            // Socket endpoints carry real network latency; nothing to derive.
+            return cfg.link.clone();
+        }
+        let latency = cfg.link.latency() + topo.one_way(a, b);
+        let seed = cfg
+            .link
+            .seed()
+            .wrapping_add(seed_salt)
+            .wrapping_mul(0x9e3779b9);
+        cfg.link.clone().with_latency(latency).with_seed(seed)
     }
 
     fn make_nic(cfg: &ChainConfig) -> (Arc<Nic>, Vec<Receiver<BytesMut>>) {
@@ -344,10 +350,10 @@ impl FtcChain {
         // config, which may carry a different worker count than the rest of
         // the chain (vertical scaling, §4.3).
         let (nic, queues) = Self::make_nic(&state.cfg);
-        let (ctrl_client, ctrl_server) = rpc_pair(Duration::ZERO);
+        let (ctrl_client, ctrl_server) = ctrl_pair(Duration::ZERO);
 
         // Wire: predecessor → new replica.
-        let in_port = Arc::new(InPort::new(None));
+        let in_port = Arc::new(InPort::empty());
         if idx > 0 {
             let link = Self::link_between(
                 &self.cfg,
@@ -356,7 +362,7 @@ impl FtcChain {
                 region,
                 idx as u64,
             );
-            let (tx, rx) = reliable_pair(link);
+            let (tx, rx) = reliable_pair(&link);
             in_port.install(rx);
             self.replicas[idx - 1].out_port.install(tx);
         }
@@ -371,14 +377,14 @@ impl FtcChain {
                 self.replicas[idx + 1].region,
                 idx as u64 + 1,
             );
-            let (tx, rx) = reliable_pair(link);
+            let (tx, rx) = reliable_pair(&link);
             out_port.install(tx);
             self.replicas[idx + 1].in_port.install(rx);
         } else {
             // New last server: respawn the buffer alongside.
-            let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
+            let (tail_tx, buffer_rx) = reliable_pair(&Endpoint::in_proc());
             out_port.install(tail_tx);
-            let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
+            let buffer_in = Arc::new(InPort::wired(buffer_rx));
             let fb_link = Self::link_between(
                 &self.cfg,
                 &self.topology,
@@ -386,8 +392,8 @@ impl FtcChain {
                 self.replicas[0].region,
                 7777,
             );
-            let (fb_tx, fb_rx) = reliable_pair(fb_link);
-            let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
+            let (fb_tx, fb_rx) = reliable_pair(&fb_link);
+            let feedback_out = Arc::new(OutPort::wired(fb_tx));
             self.feedback_in.install(fb_rx);
             let buffer = BufferState::new(
                 self.cfg.ring(),
@@ -542,7 +548,7 @@ mod tests {
         ];
         let cfg = ChainConfig::new(specs)
             .with_f(1)
-            .with_link(LinkConfig::lossy(0.05, 0.05, 1234));
+            .with_link(Endpoint::lossy(0.05, 0.05, 1234));
         let chain = FtcChain::deploy(cfg);
         for i in 0..50 {
             chain.inject(pkt(i));

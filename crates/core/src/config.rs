@@ -1,7 +1,7 @@
 //! Chain configuration and replication-group ring arithmetic.
 
 use ftc_mbox::MbSpec;
-use ftc_net::LinkConfig;
+use ftc_net::Endpoint;
 use std::time::Duration;
 
 /// Configuration of an FTC chain deployment.
@@ -17,8 +17,10 @@ pub struct ChainConfig {
     pub workers: usize,
     /// Depth of each NIC queue in frames.
     pub nic_queue_depth: usize,
-    /// Impairments of inter-server links.
-    pub link: LinkConfig,
+    /// Transport endpoint template for inter-server links: backend choice
+    /// plus its knobs (impairments for the in-process backend, socket
+    /// options for TCP/UDS).
+    pub link: Endpoint,
     /// Forwarder idle timeout before emitting a propagating packet (§5.1).
     pub propagate_timeout: Duration,
     /// Buffer resend period for uncommitted wrapped logs (self-healing after
@@ -64,7 +66,7 @@ impl ChainConfig {
             partitions: 32,
             workers: 1,
             nic_queue_depth: 4096,
-            link: LinkConfig::ideal(),
+            link: Endpoint::in_proc(),
             propagate_timeout: Duration::from_millis(1),
             resend_period: Duration::from_millis(10),
             mtu: 9000, // jumbo frames, per §7.2
@@ -83,8 +85,8 @@ impl ChainConfig {
         self
     }
 
-    /// Sets the inter-server link impairments.
-    pub fn with_link(mut self, link: LinkConfig) -> Self {
+    /// Sets the inter-server link endpoint (backend and its knobs).
+    pub fn with_link(mut self, link: Endpoint) -> Self {
         self.link = link;
         self
     }
@@ -292,7 +294,7 @@ mod tests {
             .with_nic_queue_depth(128)
             .with_propagate_timeout(Duration::from_millis(2))
             .with_resend_period(Duration::from_millis(20))
-            .with_link(LinkConfig::ideal().with_loss(0.01).with_seed(7));
+            .with_link(Endpoint::in_proc().with_loss(0.01).with_seed(7));
         assert_eq!(cfg.f, 2);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.partitions, 16);
@@ -300,8 +302,8 @@ mod tests {
         assert_eq!(cfg.nic_queue_depth, 128);
         assert_eq!(cfg.propagate_timeout, Duration::from_millis(2));
         assert_eq!(cfg.resend_period, Duration::from_millis(20));
-        assert_eq!(cfg.link.loss, 0.01);
-        assert_eq!(cfg.link.seed, 7);
+        assert_eq!(cfg.link.loss(), 0.01);
+        assert_eq!(cfg.link.seed(), 7);
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl ChainMetrics {
 }
 
 /// Distributional summary of one Table-2 stage.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct StageStats {
     /// Number of samples.
     pub samples: u64,

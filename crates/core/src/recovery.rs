@@ -254,7 +254,7 @@ mod tests {
             idx,
             Arc::clone(&cfg),
             MbSpec::Monitor { sharing_level: 1 }.build(),
-            Arc::new(OutPort::new(None)),
+            Arc::new(OutPort::empty()),
             Arc::new(ChainMetrics::default()),
         )
     }

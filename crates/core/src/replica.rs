@@ -681,6 +681,7 @@ pub fn spawn_replica(
 
     {
         let state = Arc::clone(&state);
+        let mut ctrl = ctrl;
         server.spawn("ctrl", move |alive: AliveToken| {
             while alive.is_alive() {
                 let res = ctrl.serve_next(Duration::from_millis(2), |req| state.serve_ctrl(req));
@@ -697,7 +698,7 @@ mod tests {
     use super::*;
     use crate::config::ChainConfig;
     use ftc_mbox::MbSpec;
-    use ftc_net::{reliable_pair, LinkConfig};
+    use ftc_net::{reliable_pair, Endpoint};
     use ftc_packet::builder::UdpPacketBuilder;
 
     fn mk_state(
@@ -712,11 +713,11 @@ mod tests {
         let mut cfg = ChainConfig::new(mbs).with_f(f);
         cfg.middleboxes[idx] = spec.clone();
         let cfg = Arc::new(cfg);
-        let (tx, rx) = reliable_pair(LinkConfig::ideal());
-        let out = Arc::new(OutPort::new(Some(tx)));
+        let (tx, rx) = reliable_pair(&Endpoint::in_proc());
+        let out = Arc::new(OutPort::wired(tx));
         let metrics = Arc::new(ChainMetrics::default());
         let st = ReplicaState::new(idx, cfg, spec.build(), out, metrics);
-        (st, crate::control::InPort::new(Some(rx)))
+        (st, crate::control::InPort::wired(rx))
     }
 
     fn recv_packet(port: &crate::control::InPort) -> Option<(Packet, PiggybackMessage)> {

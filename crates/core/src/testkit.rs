@@ -21,7 +21,7 @@ use crate::replica::ReplicaState;
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver};
 use ftc_net::nic::Nic;
-use ftc_net::{reliable_pair, LinkConfig};
+use ftc_net::{reliable_pair, Endpoint};
 use ftc_packet::Packet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -68,7 +68,7 @@ impl SyncChain {
     /// links ideal — loss/reorder schedules are expressed through `Step`
     /// ordering instead).
     pub fn new(cfg: ChainConfig) -> SyncChain {
-        let cfg = cfg.with_workers(1).with_link(LinkConfig::ideal());
+        let cfg = cfg.with_workers(1).with_link(Endpoint::in_proc());
         cfg.validate();
         let cfg = Arc::new(cfg);
         let specs = cfg.effective_middleboxes();
@@ -77,18 +77,18 @@ impl SyncChain {
 
         let mut in_ports: Vec<Arc<InPort>> = Vec::with_capacity(n);
         let mut out_ports: Vec<Arc<OutPort>> = Vec::with_capacity(n);
-        in_ports.push(Arc::new(InPort::new(None)));
+        in_ports.push(Arc::new(InPort::empty()));
         for _ in 0..n - 1 {
-            let (tx, rx) = reliable_pair(LinkConfig::ideal());
-            out_ports.push(Arc::new(OutPort::new(Some(tx))));
-            in_ports.push(Arc::new(InPort::new(Some(rx))));
+            let (tx, rx) = reliable_pair(&Endpoint::in_proc());
+            out_ports.push(Arc::new(OutPort::wired(tx)));
+            in_ports.push(Arc::new(InPort::wired(rx)));
         }
-        let (tail_tx, buffer_rx) = reliable_pair(LinkConfig::ideal());
-        out_ports.push(Arc::new(OutPort::new(Some(tail_tx))));
-        let buffer_in = Arc::new(InPort::new(Some(buffer_rx)));
-        let (fb_tx, fb_rx) = reliable_pair(LinkConfig::ideal());
-        let feedback_out = Arc::new(OutPort::new(Some(fb_tx)));
-        let feedback_in = Arc::new(InPort::new(Some(fb_rx)));
+        let (tail_tx, buffer_rx) = reliable_pair(&Endpoint::in_proc());
+        out_ports.push(Arc::new(OutPort::wired(tail_tx)));
+        let buffer_in = Arc::new(InPort::wired(buffer_rx));
+        let (fb_tx, fb_rx) = reliable_pair(&Endpoint::in_proc());
+        let feedback_out = Arc::new(OutPort::wired(fb_tx));
+        let feedback_in = Arc::new(InPort::wired(fb_rx));
 
         let (egress_tx, egress_rx) = channel::unbounded();
         let forwarder = ForwarderState::new(Arc::clone(&metrics));
@@ -288,7 +288,7 @@ impl SyncChain {
             idx,
             cfg,
             spec.build(),
-            Arc::new(OutPort::new(None)),
+            Arc::new(OutPort::empty()),
             Arc::clone(&self.metrics),
         );
         if let Some(probe) = self.probe.lock().as_ref() {
@@ -316,18 +316,18 @@ impl SyncChain {
         let transferred = recover_replica_state(&state, &fetcher)?;
 
         // Rewire: predecessor → new replica → successor (or buffer).
-        let in_port = Arc::new(InPort::new(None));
+        let in_port = Arc::new(InPort::empty());
         if idx > 0 {
-            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            let (tx, rx) = reliable_pair(&Endpoint::in_proc());
             in_port.install(rx);
             self.replicas[idx - 1].out.install(tx);
         }
         if idx < n - 1 {
-            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            let (tx, rx) = reliable_pair(&Endpoint::in_proc());
             state.out.install(tx);
             self.in_ports[idx + 1].install(rx);
         } else {
-            let (tx, rx) = reliable_pair(LinkConfig::ideal());
+            let (tx, rx) = reliable_pair(&Endpoint::in_proc());
             state.out.install(tx);
             self.buffer_in.install(rx);
         }

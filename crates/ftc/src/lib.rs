@@ -69,7 +69,7 @@ pub mod prelude {
     pub use ftc_core::FtcChain;
     pub use ftc_mbox::{Action, MbSpec, Middlebox, ProcCtx};
     pub use ftc_net::topology::{RegionId, Topology};
-    pub use ftc_net::LinkConfig;
+    pub use ftc_net::{Endpoint, PeerAddr};
     pub use ftc_orch::{Orchestrator, OrchestratorConfig};
     pub use ftc_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
     pub use ftc_packet::Packet;

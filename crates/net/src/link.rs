@@ -6,6 +6,7 @@
 //! earlier than their computed delivery time, which is what makes jitter
 //! produce genuine reordering.
 
+use crate::transport::Disconnected;
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -71,42 +72,6 @@ impl LinkConfig {
             ..Default::default()
         }
     }
-
-    /// Sets the fixed one-way propagation delay.
-    pub fn with_latency(mut self, latency: Duration) -> Self {
-        self.latency = latency;
-        self
-    }
-
-    /// Sets the uniform random extra delay bound.
-    pub fn with_jitter(mut self, jitter: Duration) -> Self {
-        self.jitter = jitter;
-        self
-    }
-
-    /// Sets the frame-loss probability.
-    pub fn with_loss(mut self, loss: f64) -> Self {
-        self.loss = loss;
-        self
-    }
-
-    /// Sets the reordering probability.
-    pub fn with_reorder(mut self, reorder: f64) -> Self {
-        self.reorder = reorder;
-        self
-    }
-
-    /// Sets the link bandwidth in bits/s (`None` = infinitely fast).
-    pub fn with_bandwidth(mut self, bps: Option<u64>) -> Self {
-        self.bandwidth_bps = bps;
-        self
-    }
-
-    /// Sets the impairment RNG seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
 }
 
 struct TimedFrame {
@@ -137,18 +102,6 @@ impl Clone for LinkTx {
     }
 }
 
-/// Error returned when the peer has gone away.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Disconnected;
-
-impl core::fmt::Display for Disconnected {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "link peer disconnected")
-    }
-}
-
-impl std::error::Error for Disconnected {}
-
 impl LinkTx {
     /// Sends a frame, applying the configured impairments. A frame eaten by
     /// loss still returns `Ok` (the sender cannot tell — that is the point).
@@ -178,11 +131,6 @@ impl LinkTx {
                 payload,
             })
             .map_err(|_| Disconnected)
-    }
-
-    /// Number of frames queued on the wire (flight + receiver backlog).
-    pub fn in_flight(&self) -> usize {
-        self.tx.len()
     }
 }
 
@@ -268,11 +216,6 @@ impl LinkRx {
             }
         }
     }
-
-    /// Non-blocking receive of a due frame.
-    pub fn try_recv(&mut self) -> Result<Option<BytesMut>, Disconnected> {
-        self.recv_timeout(Duration::ZERO)
-    }
 }
 
 /// Creates a unidirectional link.
@@ -296,7 +239,7 @@ pub fn simplex(cfg: LinkConfig) -> (LinkTx, LinkRx) {
 }
 
 /// One side of a bidirectional link.
-pub struct Endpoint {
+pub struct Duplex {
     /// Transmit half towards the peer.
     pub tx: LinkTx,
     /// Receive half from the peer.
@@ -305,12 +248,12 @@ pub struct Endpoint {
 
 /// Creates a bidirectional link (a pair of independent simplex links with
 /// the same configuration but decorrelated RNG seeds).
-pub fn duplex(cfg: LinkConfig) -> (Endpoint, Endpoint) {
+pub fn duplex(cfg: LinkConfig) -> (Duplex, Duplex) {
     let mut back = cfg.clone();
     back.seed = cfg.seed.wrapping_add(0x9e3779b97f4a7c15);
     let (atx, brx) = simplex(cfg);
     let (btx, arx) = simplex(back);
-    (Endpoint { tx: atx, rx: arx }, Endpoint { tx: btx, rx: brx })
+    (Duplex { tx: atx, rx: arx }, Duplex { tx: btx, rx: brx })
 }
 
 #[cfg(test)]
@@ -319,23 +262,6 @@ mod tests {
 
     fn frame(i: u8) -> BytesMut {
         BytesMut::from(&[i][..])
-    }
-
-    #[test]
-    fn fluent_builders_set_every_field() {
-        let cfg = LinkConfig::ideal()
-            .with_latency(Duration::from_micros(5))
-            .with_jitter(Duration::from_micros(20))
-            .with_loss(0.08)
-            .with_reorder(0.1)
-            .with_bandwidth(Some(1_000_000))
-            .with_seed(99);
-        assert_eq!(cfg.latency, Duration::from_micros(5));
-        assert_eq!(cfg.jitter, Duration::from_micros(20));
-        assert_eq!(cfg.loss, 0.08);
-        assert_eq!(cfg.reorder, 0.1);
-        assert_eq!(cfg.bandwidth_bps, Some(1_000_000));
-        assert_eq!(cfg.seed, 99);
     }
 
     #[test]

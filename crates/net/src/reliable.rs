@@ -1,4 +1,4 @@
-//! Sequenced reliable delivery over lossy links.
+//! Sequenced reliable delivery over lossy raw links.
 //!
 //! The paper assumes reliable state transmission between servers: "for
 //! reliable state transmission between servers, FTC uses sequence numbers,
@@ -9,15 +9,21 @@
 //! stamps transport sequence numbers and buffers unacknowledged frames; a
 //! receiver that delivers in order, NACKs gaps, and acknowledges progress
 //! so the sender can prune.
+//!
+//! Both halves run over any [`RawLink`] — the deterministic in-process
+//! channel or a multiplexed socket stream — and speak the unified
+//! [`ftc_packet::frame`] codec (DATA/ACK/NACK kinds), so the reliable
+//! machinery is backend-agnostic and the wire bytes are identical across
+//! backends. The same machinery that masks simulated loss also recovers
+//! from socket resets: a torn connection degrades into silent frame loss
+//! while the backend redials, and the RTO/NACK path retransmits whatever
+//! the dead connection swallowed.
 
-use crate::link::{duplex, Disconnected, Endpoint, LinkConfig};
-use bytes::{BufMut, BytesMut};
+use crate::transport::{Disconnected, Endpoint, FrameRx, FrameTx, RawLink};
+use bytes::BytesMut;
+use ftc_packet::frame::kind;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
-
-const KIND_DATA: u8 = 1;
-const KIND_ACK: u8 = 2;
-const KIND_NACK: u8 = 3;
 
 /// How often the receiver acknowledges cumulative progress.
 const ACK_EVERY: u64 = 32;
@@ -41,7 +47,7 @@ pub struct ReliableStats {
 
 /// Sending endpoint of a reliable channel.
 pub struct ReliableSender {
-    ep: Endpoint,
+    link: Box<dyn RawLink>,
     next_seq: u64,
     /// seq → (payload, last transmission time); pruned by cumulative ACKs.
     unacked: BTreeMap<u64, (BytesMut, Instant)>,
@@ -51,15 +57,26 @@ pub struct ReliableSender {
 }
 
 impl ReliableSender {
+    /// Wraps a raw link in the sending half of a reliable channel.
+    pub fn over(link: Box<dyn RawLink>) -> ReliableSender {
+        ReliableSender {
+            link,
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            rto: DEFAULT_RTO,
+            stats: ReliableStats::default(),
+        }
+    }
+
     /// Sends a payload with the next sequence number.
     pub fn send(&mut self, payload: BytesMut) -> Result<(), Disconnected> {
         self.process_control()?;
         let seq = self.next_seq;
         self.next_seq += 1;
-        let frame = encode(KIND_DATA, seq, &payload);
+        self.link.send_frame(kind::DATA, seq, &payload)?;
         self.unacked.insert(seq, (payload, Instant::now()));
         self.stats.sent += 1;
-        self.ep.tx.send(frame)
+        Ok(())
     }
 
     /// Handles incoming ACK/NACK control frames and performs RTO-based
@@ -85,19 +102,17 @@ impl ReliableSender {
     }
 
     fn process_control(&mut self) -> Result<(), Disconnected> {
-        while let Some(frame) = self.ep.rx.try_recv()? {
-            if let Some((kind, seq, _)) = decode(&frame) {
-                match kind {
-                    KIND_ACK => {
-                        // Cumulative: everything < seq received.
-                        self.unacked = self.unacked.split_off(&seq);
-                    }
-                    KIND_NACK => {
-                        self.stats.nacks += 1;
-                        self.retransmit(seq)?;
-                    }
-                    _ => {}
+        while let Some(frame) = self.link.try_recv_frame()? {
+            match frame.kind {
+                kind::ACK => {
+                    // Cumulative: everything < seq received.
+                    self.unacked = self.unacked.split_off(&frame.seq);
                 }
+                kind::NACK => {
+                    self.stats.nacks += 1;
+                    self.retransmit(frame.seq)?;
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -106,17 +121,30 @@ impl ReliableSender {
     fn retransmit(&mut self, seq: u64) -> Result<(), Disconnected> {
         if let Some((payload, last)) = self.unacked.get_mut(&seq) {
             *last = Instant::now();
-            let frame = encode(KIND_DATA, seq, payload);
             self.stats.retransmits += 1;
-            self.ep.tx.send(frame)?;
+            self.link.send_frame(kind::DATA, seq, payload)?;
         }
         Ok(())
     }
 }
 
+impl FrameTx for ReliableSender {
+    fn send(&mut self, payload: BytesMut) -> Result<(), Disconnected> {
+        ReliableSender::send(self, payload)
+    }
+
+    fn poll(&mut self) -> Result<(), Disconnected> {
+        ReliableSender::poll(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.unacked_len()
+    }
+}
+
 /// Receiving endpoint of a reliable channel.
 pub struct ReliableReceiver {
-    ep: Endpoint,
+    link: Box<dyn RawLink>,
     /// Next expected sequence number.
     expected: u64,
     /// Out-of-order frames waiting for the gap to fill.
@@ -130,6 +158,18 @@ pub struct ReliableReceiver {
 }
 
 impl ReliableReceiver {
+    /// Wraps a raw link in the receiving half of a reliable channel.
+    pub fn over(link: Box<dyn RawLink>) -> ReliableReceiver {
+        ReliableReceiver {
+            link,
+            expected: 0,
+            ooo: BTreeMap::new(),
+            ready: std::collections::VecDeque::new(),
+            nacked: BTreeMap::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
     /// Receives the next in-order payload, waiting up to `timeout`.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<BytesMut>, Disconnected> {
         let deadline = Instant::now() + timeout;
@@ -139,8 +179,8 @@ impl ReliableReceiver {
             }
             let now = Instant::now();
             let budget = deadline.saturating_duration_since(now);
-            match self.ep.rx.recv_timeout(budget)? {
-                Some(frame) => self.ingest(frame)?,
+            match self.link.recv_frame(budget)? {
+                Some(frame) => self.ingest(frame.kind, frame.seq, &frame.payload)?,
                 None => return Ok(None),
             }
         }
@@ -151,11 +191,8 @@ impl ReliableReceiver {
         self.ooo.len()
     }
 
-    fn ingest(&mut self, frame: BytesMut) -> Result<(), Disconnected> {
-        let Some((kind, seq, payload)) = decode(&frame) else {
-            return Ok(());
-        };
-        if kind != KIND_DATA {
+    fn ingest(&mut self, fkind: u8, seq: u64, payload: &[u8]) -> Result<(), Disconnected> {
+        if fkind != kind::DATA {
             return Ok(());
         }
         if seq < self.expected || self.ooo.contains_key(&seq) {
@@ -164,11 +201,10 @@ impl ReliableReceiver {
             // RTO fired). Re-acknowledge immediately, otherwise a burst
             // that ends short of the next ACK_EVERY boundary is
             // retransmitted forever on an idle link.
-            let ack = encode(KIND_ACK, self.expected, &[]);
-            self.ep.tx.send(ack)?;
+            self.link.send_frame(kind::ACK, self.expected, &[])?;
             return Ok(());
         }
-        self.ooo.insert(seq, payload);
+        self.ooo.insert(seq, BytesMut::from(payload));
         // Deliver the contiguous prefix.
         while let Some(p) = self.ooo.remove(&self.expected) {
             self.ready.push_back(p);
@@ -176,8 +212,7 @@ impl ReliableReceiver {
             self.expected += 1;
             self.stats.delivered += 1;
             if self.expected.is_multiple_of(ACK_EVERY) {
-                let ack = encode(KIND_ACK, self.expected, &[]);
-                self.ep.tx.send(ack)?;
+                self.link.send_frame(kind::ACK, self.expected, &[])?;
             }
         }
         // NACK any remaining gap ("request the predecessor to retransmit").
@@ -191,7 +226,7 @@ impl ReliableReceiver {
                 if stale {
                     self.nacked.insert(missing, now);
                     self.stats.nacks += 1;
-                    self.ep.tx.send(encode(KIND_NACK, missing, &[]))?;
+                    self.link.send_frame(kind::NACK, missing, &[])?;
                 }
             }
         }
@@ -199,42 +234,26 @@ impl ReliableReceiver {
     }
 }
 
-fn encode(kind: u8, seq: u64, payload: &[u8]) -> BytesMut {
-    let mut b = BytesMut::with_capacity(9 + payload.len());
-    b.put_u8(kind);
-    b.put_u64(seq);
-    b.put_slice(payload);
-    b
-}
-
-fn decode(frame: &[u8]) -> Option<(u8, u64, BytesMut)> {
-    if frame.len() < 9 {
-        return None;
+impl FrameRx for ReliableReceiver {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<BytesMut>, Disconnected> {
+        ReliableReceiver::recv_timeout(self, timeout)
     }
-    let kind = frame[0];
-    let seq = u64::from_be_bytes(frame[1..9].try_into().expect("sized"));
-    Some((kind, seq, BytesMut::from(&frame[9..])))
 }
 
-/// Creates a reliable channel over a duplex link with the given impairments.
-pub fn reliable_pair(cfg: LinkConfig) -> (ReliableSender, ReliableReceiver) {
-    let (a, b) = duplex(cfg);
+/// Creates a reliable channel over an in-process duplex link described by
+/// `ep` (stream id 0). Socket-backed channels are wired through
+/// [`crate::sock::SockTransport`] instead.
+pub fn reliable_pair(ep: &Endpoint) -> (ReliableSender, ReliableReceiver) {
+    reliable_pair_on(ep, 0)
+}
+
+/// Like [`reliable_pair`], tagging frames with an explicit stream id so
+/// tests can compare wire bytes against a socket backend's stream.
+pub fn reliable_pair_on(ep: &Endpoint, stream: u16) -> (ReliableSender, ReliableReceiver) {
+    let (a, b) = crate::transport::raw_pair(ep, stream);
     (
-        ReliableSender {
-            ep: a,
-            next_seq: 0,
-            unacked: BTreeMap::new(),
-            rto: DEFAULT_RTO,
-            stats: ReliableStats::default(),
-        },
-        ReliableReceiver {
-            ep: b,
-            expected: 0,
-            ooo: BTreeMap::new(),
-            ready: std::collections::VecDeque::new(),
-            nacked: BTreeMap::new(),
-            stats: ReliableStats::default(),
-        },
+        ReliableSender::over(Box::new(a)),
+        ReliableReceiver::over(Box::new(b)),
     )
 }
 
@@ -252,7 +271,7 @@ mod tests {
 
     #[test]
     fn in_order_delivery_over_ideal_link() {
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::ideal());
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::in_proc());
         for i in 0..100 {
             tx.send(payload(i)).unwrap();
         }
@@ -269,7 +288,7 @@ mod tests {
 
     #[test]
     fn recovers_from_heavy_loss_and_reorder() {
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::lossy(0.25, 0.2, 99));
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::lossy(0.25, 0.2, 99));
         let n = 400u32;
         let mut got = Vec::new();
         let deadline = Instant::now() + Duration::from_secs(20);
@@ -299,7 +318,7 @@ mod tests {
 
     #[test]
     fn acks_prune_sender_buffer() {
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::ideal());
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::in_proc());
         let n = 4 * ACK_EVERY as u32;
         for i in 0..n {
             tx.send(payload(i)).unwrap();
@@ -320,7 +339,7 @@ mod tests {
         // Regression: a burst smaller than ACK_EVERY used to retransmit
         // forever on an idle link because the receiver only ACKed at
         // 32-boundaries; duplicates now trigger an immediate re-ACK.
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::ideal());
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::in_proc());
         for i in 0..5u32 {
             tx.send(BytesMut::from(&i.to_be_bytes()[..])).unwrap();
         }
@@ -345,7 +364,7 @@ mod tests {
     #[test]
     fn duplicates_are_discarded() {
         // Force duplicates via RTO retransmission on a slow-ACK path.
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::ideal());
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::in_proc());
         tx.send(payload(1)).unwrap();
         std::thread::sleep(DEFAULT_RTO + Duration::from_millis(1));
         tx.poll().unwrap(); // retransmits seq 0

@@ -116,6 +116,34 @@ pub fn rpc_pair<Req, Resp>(one_way: Duration) -> (RpcClient<Req, Resp>, RpcServe
     (RpcClient { tx, one_way }, RpcServer { rx })
 }
 
+// The in-process channel RPC doubles as the byte-level transport backend:
+// `Bytes → Bytes` instances implement the object-safe caller/responder
+// traits that `ftc-core`'s typed control-plane wrappers are built on.
+
+impl crate::transport::RpcCaller for RpcClient<bytes::Bytes, bytes::Bytes> {
+    fn call_bytes(&self, req: bytes::Bytes, timeout: Duration) -> Result<bytes::Bytes, RpcError> {
+        self.call(req, timeout)
+    }
+
+    fn with_delay(&self, one_way: Duration) -> Box<dyn crate::transport::RpcCaller> {
+        Box::new(RpcClient::with_delay(self, one_way))
+    }
+
+    fn clone_caller(&self) -> Box<dyn crate::transport::RpcCaller> {
+        Box::new(self.clone())
+    }
+}
+
+impl crate::transport::RpcResponder for RpcServer<bytes::Bytes, bytes::Bytes> {
+    fn serve_next_bytes(
+        &mut self,
+        timeout: Duration,
+        handler: &mut dyn FnMut(bytes::Bytes) -> bytes::Bytes,
+    ) -> Result<bool, RpcError> {
+        self.serve_next(timeout, handler)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

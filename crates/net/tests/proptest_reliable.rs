@@ -2,7 +2,7 @@
 //! of loss, reorder and jitter, delivery is exactly-once and in order.
 
 use bytes::BytesMut;
-use ftc_net::{reliable_pair, LinkConfig};
+use ftc_net::{reliable_pair, Endpoint};
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -17,15 +17,13 @@ proptest! {
         seed in any::<u64>(),
         n in 1u32..120,
     ) {
-        let cfg = LinkConfig {
-            latency: Duration::from_micros(5),
-            jitter: Duration::from_micros(jitter_us),
-            loss,
-            reorder,
-            bandwidth_bps: None,
-            seed,
-        };
-        let (mut tx, mut rx) = reliable_pair(cfg);
+        let ep = Endpoint::in_proc()
+            .with_latency(Duration::from_micros(5))
+            .with_jitter(Duration::from_micros(jitter_us))
+            .with_loss(loss)
+            .with_reorder(reorder)
+            .with_seed(seed);
+        let (mut tx, mut rx) = reliable_pair(&ep);
         let mut got: Vec<u32> = Vec::new();
         let deadline = Instant::now() + Duration::from_secs(20);
         let mut sent = 0u32;
@@ -53,7 +51,7 @@ proptest! {
         loss in 0.0f64..0.2,
         seed in any::<u64>(),
     ) {
-        let (mut tx, mut rx) = reliable_pair(LinkConfig::lossy(loss, 0.1, seed));
+        let (mut tx, mut rx) = reliable_pair(&Endpoint::lossy(loss, 0.1, seed));
         for i in 0..300u32 {
             tx.send(BytesMut::from(&i.to_be_bytes()[..])).unwrap();
             tx.poll().unwrap();

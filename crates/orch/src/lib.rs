@@ -20,7 +20,9 @@
 
 pub mod detector;
 pub mod orchestrator;
+pub mod proc;
 pub mod testkit;
 
 pub use detector::detect_failures;
 pub use orchestrator::{spawn_monitor, Orchestrator, OrchestratorConfig, RecoveryReport};
+pub use proc::{NodeOpts, ProcChain, ProcConfig};

@@ -138,7 +138,7 @@ impl Orchestrator {
             idx,
             Arc::clone(&self.chain.cfg),
             spec.build(),
-            Arc::new(OutPort::new(None)),
+            Arc::new(OutPort::empty()),
             Arc::clone(&self.chain.metrics),
         );
         let initialization = t0.elapsed();
@@ -223,7 +223,7 @@ impl Orchestrator {
             idx,
             Arc::new(cfg),
             spec.build(),
-            Arc::new(OutPort::new(None)),
+            Arc::new(OutPort::empty()),
             Arc::clone(&self.chain.metrics),
         );
         let initialization = t0.elapsed();

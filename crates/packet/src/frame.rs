@@ -1,0 +1,248 @@
+//! The unified length-prefixed frame codec.
+//!
+//! One codec frames *every* byte stream in the workspace: the reliable
+//! sequenced channel between replicas (DATA/ACK/NACK), the multiplexed
+//! socket connection between node processes (stream ids pick the logical
+//! channel sharing one socket), and the control-plane RPC layer (`seq`
+//! doubles as the correlation id for pipelined requests). Because both the
+//! in-process and socket transports emit these exact bytes, the two
+//! backends are byte-identical at the frame level — a property pinned by
+//! `proptest_transport_parity`.
+//!
+//! # Wire layout
+//!
+//! ```text
+//! +----------+--------+------------+---------+=================+
+//! | len: u32 | kind:u8| stream:u16 | seq:u64 | payload ...     |
+//! +----------+--------+------------+---------+=================+
+//!  big-endian           big-endian  big-endian
+//! ```
+//!
+//! `len` counts everything after itself (`kind` + `stream` + `seq` +
+//! payload), so a stream reader needs exactly four bytes before it knows
+//! how much more to wait for. All integers are big-endian.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{WireError, WireResult};
+
+/// Frame kind namespace, shared by every layer that rides the codec so a
+/// single demultiplexer can route a connection's frames.
+pub mod kind {
+    /// Reliable-channel payload frame.
+    pub const DATA: u8 = 1;
+    /// Reliable-channel cumulative acknowledgement.
+    pub const ACK: u8 = 2;
+    /// Reliable-channel negative acknowledgement (selective resend request).
+    pub const NACK: u8 = 3;
+    /// Control-plane RPC request (`seq` = correlation id).
+    pub const RPC_REQ: u8 = 4;
+    /// Control-plane RPC response (`seq` = correlation id).
+    pub const RPC_RESP: u8 = 5;
+    /// Connection preamble naming the dialing peer and stream map.
+    pub const HELLO: u8 = 6;
+}
+
+/// Bytes in the `len` prefix.
+pub const LEN_PREFIX: usize = 4;
+/// Bytes in the header after the `len` prefix (`kind` + `stream` + `seq`).
+pub const HEADER_AFTER_LEN: usize = 1 + 2 + 8;
+/// Total header bytes preceding the payload.
+pub const HEADER_LEN: usize = LEN_PREFIX + HEADER_AFTER_LEN;
+
+/// Upper bound on a frame's payload, as a corruption tripwire: a garbled
+/// length prefix otherwise turns into an attempt to buffer gigabytes.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// A decoded frame. The payload is a refcounted slice of the receive
+/// buffer (zero-copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (see [`kind`]).
+    pub kind: u8,
+    /// Logical stream id multiplexed onto one connection.
+    pub stream: u16,
+    /// Sequence number / RPC correlation id.
+    pub seq: u64,
+    /// Frame payload.
+    pub payload: Bytes,
+}
+
+/// Total encoded size of a frame carrying `payload_len` bytes.
+pub fn wire_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len
+}
+
+/// Append one encoded frame to `buf`.
+pub fn encode_into(buf: &mut BytesMut, kind: u8, stream: u16, seq: u64, payload: &[u8]) {
+    buf.reserve(wire_len(payload.len()));
+    buf.put_u32((HEADER_AFTER_LEN + payload.len()) as u32);
+    buf.put_u8(kind);
+    buf.put_u16(stream);
+    buf.put_u64(seq);
+    buf.put_slice(payload);
+}
+
+/// Encode one frame into a fresh buffer.
+pub fn encode(kind: u8, stream: u16, seq: u64, payload: &[u8]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(wire_len(payload.len()));
+    encode_into(&mut buf, kind, stream, seq, payload);
+    buf
+}
+
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn read_u16(b: &[u8]) -> u16 {
+    u16::from_be_bytes([b[0], b[1]])
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Decode the frame at the start of `buf`.
+///
+/// Returns `Ok(None)` if `buf` holds only a prefix of a frame (read more
+/// bytes), `Ok(Some((frame, consumed)))` on success, and `Err` if the
+/// bytes cannot be a frame (length prefix out of bounds).
+pub fn decode(buf: &[u8]) -> WireResult<Option<(Frame, usize)>> {
+    if buf.len() < LEN_PREFIX {
+        return Ok(None);
+    }
+    let body_len = read_u32(buf) as usize;
+    if !(HEADER_AFTER_LEN..=HEADER_AFTER_LEN + MAX_PAYLOAD).contains(&body_len) {
+        return Err(WireError::BadLength);
+    }
+    let total = LEN_PREFIX + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = Bytes::copy_from_slice(&buf[HEADER_LEN..total]);
+    Ok(Some((
+        Frame {
+            kind: buf[LEN_PREFIX],
+            stream: read_u16(&buf[LEN_PREFIX + 1..]),
+            seq: read_u64(&buf[LEN_PREFIX + 3..]),
+            payload,
+        },
+        total,
+    )))
+}
+
+/// Incremental decoder for byte streams delivered in arbitrary chunks
+/// (socket reads, partial writes). Feed bytes with [`extend`], drain
+/// complete frames with [`next_frame`]; frame payloads are zero-copy slices of
+/// the accumulated buffer.
+///
+/// [`extend`]: FrameDecoder::extend
+/// [`next_frame`]: FrameDecoder::next_frame
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feed raw bytes from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// corrupt and the connection should be torn down.
+    pub fn next_frame(&mut self) -> WireResult<Option<Frame>> {
+        if self.buf.len() < LEN_PREFIX {
+            return Ok(None);
+        }
+        let body_len = read_u32(self.buf.as_ref()) as usize;
+        if !(HEADER_AFTER_LEN..=HEADER_AFTER_LEN + MAX_PAYLOAD).contains(&body_len) {
+            return Err(WireError::BadLength);
+        }
+        let total = LEN_PREFIX + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let tail = self.buf.split_off(total);
+        let frame_bytes = std::mem::replace(&mut self.buf, tail).freeze();
+        let b = frame_bytes.as_slice();
+        Ok(Some(Frame {
+            kind: b[LEN_PREFIX],
+            stream: read_u16(&b[LEN_PREFIX + 1..]),
+            seq: read_u64(&b[LEN_PREFIX + 3..]),
+            payload: frame_bytes.slice(HEADER_LEN..),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let enc = encode(kind::DATA, 7, 42, b"hello");
+        let (frame, used) = decode(enc.as_ref()).unwrap().unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(frame.kind, kind::DATA);
+        assert_eq!(frame.stream, 7);
+        assert_eq!(frame.seq, 42);
+        assert_eq!(frame.payload.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let enc = encode(kind::ACK, 0, u64::MAX, b"");
+        let (frame, used) = decode(enc.as_ref()).unwrap().unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(frame.seq, u64::MAX);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let mut enc = encode(kind::RPC_REQ, 3, 9, b"abc");
+        encode_into(&mut enc, kind::RPC_RESP, 3, 9, b"defgh");
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in enc.as_ref() {
+            dec.extend(&[*b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload.as_slice(), b"abc");
+        assert_eq!(out[1].kind, kind::RPC_RESP);
+        assert_eq!(out[1].payload.as_slice(), b"defgh");
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn bad_length_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::to_be_bytes(2)); // shorter than the fixed header
+        assert_eq!(dec.next_frame(), Err(WireError::BadLength));
+        let huge = (HEADER_AFTER_LEN + MAX_PAYLOAD + 1) as u32;
+        assert_eq!(decode(&u32::to_be_bytes(huge)), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn incomplete_frame_waits_for_more() {
+        let enc = encode(kind::DATA, 1, 2, b"payload");
+        assert_eq!(decode(&enc.as_ref()[..3]).unwrap(), None);
+        assert_eq!(decode(&enc.as_ref()[..enc.len() - 1]).unwrap(), None);
+    }
+}

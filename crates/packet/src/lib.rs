@@ -44,6 +44,7 @@ pub mod builder;
 pub mod checksum;
 pub mod ether;
 pub mod flow;
+pub mod frame;
 pub mod icmp;
 pub mod ip;
 pub mod l4;

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Forbidden-pattern gate for the concurrency core.
 
-Greps can't see context; this script can see just enough. Three rules,
-each motivated by a past or feared class of concurrency bug:
+Greps can't see context; this script can see just enough. Each rule is
+motivated by a past or feared class of concurrency bug:
 
 1. ``std-mutex``   — ``std::sync::Mutex``/``RwLock`` outside approved
                      modules. Production code must use ``parking_lot``
@@ -30,6 +30,20 @@ each motivated by a past or feared class of concurrency bug:
                      steps. Modeled delays (WAN RTT emulation, heartbeat
                      cadence) are exempt via ``// forbidden-ok:
                      thread-sleep`` with the reason alongside.
+6. ``block-on``    — ``block_on`` in the data-plane crates
+                     (``crates/{packet,net,core,stm}``). The socket
+                     backend runs its I/O on dedicated reader/dialer
+                     threads precisely so the packet path never parks a
+                     worker on a future; bridging into async from a hot
+                     path reintroduces the head-of-line stall the
+                     thread-per-task design exists to avoid.
+7. ``sock-unwrap`` — ``.unwrap()`` in the socket transport
+                     (``crates/net/src/sock.rs``). Every syscall there
+                     can fail at any moment — a peer process is entitled
+                     to die mid-write — and an unwrap turns a routine
+                     connection reset into a dead reader thread. Handle
+                     the error (redial, drop the conn, surface
+                     ``Disconnected``) or ``.expect()`` with a proof.
 
 Test code is exempt: ``#[cfg(test)]`` blocks are stripped by brace
 matching, and ``tests/``, ``benches/``, ``examples/`` trees are skipped.
@@ -101,6 +115,14 @@ PROTOCOL_CRATES = {
     ("crates", "orch", "src"),
 }
 
+# Crates on (or under) the packet hot path: no async bridging here.
+DATA_PLANE_CRATES = {
+    ("crates", "packet", "src"),
+    ("crates", "net", "src"),
+    ("crates", "core", "src"),
+    ("crates", "stm", "src"),
+}
+
 
 def check_file(rel, violations):
     text = (ROOT / rel).read_text()
@@ -108,6 +130,8 @@ def check_file(rel, violations):
     flags = atomic_bool_fields(text)
     in_packet_hot_path = rel.parts[:3] == ("crates", "packet", "src")
     in_protocol_crate = rel.parts[:3] in PROTOCOL_CRATES
+    in_data_plane = rel.parts[:3] in DATA_PLANE_CRATES
+    in_sock_module = rel.parts[:3] == ("crates", "net", "src") and rel.name == "sock.rs"
     in_testkit = rel.name == "testkit.rs"
 
     prev = ""
@@ -157,6 +181,20 @@ def check_file(rel, violations):
             and not exempt("thread-sleep")
         ):
             violations.append((rel, lineno, "thread-sleep", line.strip()))
+
+        if (
+            in_data_plane
+            and re.search(r"\bblock_on\s*\(", code)
+            and not exempt("block-on")
+        ):
+            violations.append((rel, lineno, "block-on", line.strip()))
+
+        if (
+            in_sock_module
+            and re.search(r"\.unwrap\(\)", code)
+            and not exempt("sock-unwrap")
+        ):
+            violations.append((rel, lineno, "sock-unwrap", line.strip()))
 
         prev = line
 

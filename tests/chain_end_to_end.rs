@@ -128,7 +128,7 @@ fn chain_survives_loss_reorder_and_multithreading() {
     ])
     .with_f(1)
     .with_workers(2)
-    .with_link(LinkConfig::lossy(0.08, 0.1, 2024));
+    .with_link(Endpoint::lossy(0.08, 0.1, 2024));
     let chain = FtcChain::deploy(cfg);
     let n = 150;
     for i in 0..n {

@@ -16,7 +16,7 @@ fn lossy_links_multi_seed_stress() {
         .with_f(1)
         .with_workers(2)
         .with_link(
-            LinkConfig::ideal()
+            Endpoint::in_proc()
                 .with_latency(Duration::from_micros(5))
                 .with_jitter(Duration::from_micros(20))
                 .with_loss(0.08)

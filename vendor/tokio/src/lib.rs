@@ -1,0 +1,36 @@
+//! Offline in-tree stand-in for the `tokio` crate.
+//!
+//! The container that builds this repository has no crates.io access, so this
+//! crate re-implements the narrow tokio API subset that `ftc-net`'s socket
+//! backend uses. It is **not** an event-driven reactor; the execution model
+//! is deliberately simple and honest about its trade-offs:
+//!
+//! - **Thread-per-task scheduler.** [`spawn`] starts a dedicated OS thread
+//!   that drives the future to completion with a thread-parker waker.
+//!   [`runtime::Runtime::block_on`] drives a future on the caller's thread.
+//! - **Blocking-in-poll I/O.** [`net`] sockets wrap `std::net` /
+//!   `std::os::unix::net` and perform ordinary blocking syscalls inside
+//!   `poll`. Because every task owns a thread, blocking a poll only blocks
+//!   that task. There is no epoll/kqueue reactor (that would require `libc`,
+//!   which is not vendored), so a blocked read is cancelled by shutting the
+//!   socket down from another task (see [`net::CancelHandle`]), not by
+//!   dropping the future.
+//! - **Waker-correct channels.** [`sync::mpsc`] and [`sync::oneshot`] are
+//!   condvar-backed and wake pending receivers properly, so they behave the
+//!   same under `block_on` and under spawned tasks.
+//! - **No `timeout`.** `tokio::time::timeout` cannot be implemented honestly
+//!   when polls may block, so it is intentionally absent; callers use
+//!   socket-level deadlines (`recv_timeout` on channels, shutdown on
+//!   sockets) instead.
+//!
+//! Read/write methods are inherent `async fn`s on the stream types rather
+//! than `AsyncReadExt`/`AsyncWriteExt` extension-trait methods; call sites
+//! look the same minus the trait imports.
+
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;

@@ -1,0 +1,276 @@
+//! TCP and Unix-domain-socket types wrapping `std::net` /
+//! `std::os::unix::net` with blocking-in-poll I/O.
+//!
+//! Deviations from tokio, documented in `vendor/README.md`:
+//!
+//! - Read/write methods are inherent `async fn`s (no `AsyncReadExt` /
+//!   `AsyncWriteExt` traits).
+//! - `into_split` on both stream kinds returns the *same*
+//!   [`OwnedReadHalf`] / [`OwnedWriteHalf`] pair (internally an enum over
+//!   TCP/UDS), so transport code holds halves uniformly across backends.
+//! - Dropping a future does not cancel in-flight I/O; use
+//!   [`CancelHandle::cancel`] (socket shutdown) to unblock a reader from
+//!   another task.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::path::Path;
+
+/// Internal socket handle, unifying TCP and UDS for shared halves.
+#[derive(Debug)]
+enum Io {
+    Tcp(std::net::TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Io {
+    fn try_clone(&self) -> io::Result<Io> {
+        match self {
+            Io::Tcp(s) => s.try_clone().map(Io::Tcp),
+            Io::Unix(s) => s.try_clone().map(Io::Unix),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Io::Tcp(s) => s.read(buf),
+            Io::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        match self {
+            Io::Tcp(s) => s.read_exact(buf),
+            Io::Unix(s) => s.read_exact(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Io::Tcp(s) => s.write_all(buf),
+            Io::Unix(s) => s.write_all(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Io::Tcp(s) => s.flush(),
+            Io::Unix(s) => s.flush(),
+        }
+    }
+
+    fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Io::Tcp(s) => s.shutdown(how),
+            Io::Unix(s) => s.shutdown(how),
+        }
+    }
+}
+
+/// Handle that unblocks a task stuck in a read/write on the same socket by
+/// shutting the socket down. This is the stand-in's cancellation mechanism
+/// (futures cannot be dropped mid-blocking-poll).
+#[derive(Debug)]
+pub struct CancelHandle {
+    io: Io,
+}
+
+impl CancelHandle {
+    /// Shut the socket down in both directions; blocked reads return
+    /// `Ok(0)` / an error and blocked writes fail. Idempotent; errors are
+    /// ignored (the peer may already be gone).
+    pub fn cancel(&self) {
+        let _ = self.io.shutdown(Shutdown::Both);
+    }
+}
+
+/// Owned read half of a TCP or UDS stream.
+#[derive(Debug)]
+pub struct OwnedReadHalf {
+    io: Io,
+}
+
+impl OwnedReadHalf {
+    /// Read up to `buf.len()` bytes; `Ok(0)` means EOF.
+    pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.io.read(buf)
+    }
+
+    /// Read exactly `buf.len()` bytes or fail.
+    pub async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.io.read_exact(buf)
+    }
+
+    /// Obtain a cancellation handle for this socket.
+    pub fn cancel_handle(&self) -> io::Result<CancelHandle> {
+        Ok(CancelHandle {
+            io: self.io.try_clone()?,
+        })
+    }
+}
+
+/// Owned write half of a TCP or UDS stream.
+#[derive(Debug)]
+pub struct OwnedWriteHalf {
+    io: Io,
+}
+
+impl OwnedWriteHalf {
+    /// Write the whole buffer or fail.
+    pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.io.write_all(buf)
+    }
+
+    /// Flush buffered writes (a no-op for raw sockets).
+    pub async fn flush(&mut self) -> io::Result<()> {
+        self.io.flush()
+    }
+
+    /// Shut down the write direction, signalling EOF to the peer.
+    pub async fn shutdown(&mut self) -> io::Result<()> {
+        self.io.shutdown(Shutdown::Write)
+    }
+
+    /// Obtain a cancellation handle for this socket.
+    pub fn cancel_handle(&self) -> io::Result<CancelHandle> {
+        Ok(CancelHandle {
+            io: self.io.try_clone()?,
+        })
+    }
+}
+
+fn split(io: Io) -> io::Result<(OwnedReadHalf, OwnedWriteHalf)> {
+    let clone = io.try_clone()?;
+    Ok((OwnedReadHalf { io }, OwnedWriteHalf { io: clone }))
+}
+
+/// TCP stream.
+#[derive(Debug)]
+pub struct TcpStream {
+    io: Io,
+}
+
+impl TcpStream {
+    /// Connect to `addr` (blocking-in-poll).
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let s = std::net::TcpStream::connect(addr)?;
+        Ok(TcpStream { io: Io::Tcp(s) })
+    }
+
+    /// Wrap an already-connected `std` stream. (The real tokio requires the
+    /// socket to be in non-blocking mode; the stand-in's I/O is blocking by
+    /// design, so the socket is used as-is.)
+    pub fn from_std(s: std::net::TcpStream) -> io::Result<TcpStream> {
+        Ok(TcpStream { io: Io::Tcp(s) })
+    }
+
+    /// Set `TCP_NODELAY`.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        match &self.io {
+            Io::Tcp(s) => s.set_nodelay(nodelay),
+            Io::Unix(_) => Ok(()),
+        }
+    }
+
+    /// Local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        match &self.io {
+            Io::Tcp(s) => s.local_addr(),
+            Io::Unix(_) => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
+        }
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        match &self.io {
+            Io::Tcp(s) => s.peer_addr(),
+            Io::Unix(_) => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
+        }
+    }
+
+    /// Split into independently owned read/write halves (via `try_clone`).
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        split(self.io).expect("failed to clone socket handle for split")
+    }
+}
+
+/// TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        Ok(TcpListener {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    /// Wrap an already-bound `std` listener.
+    pub fn from_std(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        Ok(TcpListener { inner })
+    }
+
+    /// Accept one connection (blocking-in-poll).
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (s, addr) = self.inner.accept()?;
+        Ok((TcpStream { io: Io::Tcp(s) }, addr))
+    }
+
+    /// The bound local address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// Unix-domain stream.
+#[derive(Debug)]
+pub struct UnixStream {
+    io: Io,
+}
+
+impl UnixStream {
+    /// Connect to the socket at `path` (blocking-in-poll).
+    pub async fn connect<P: AsRef<Path>>(path: P) -> io::Result<UnixStream> {
+        let s = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(UnixStream { io: Io::Unix(s) })
+    }
+
+    /// Wrap an already-connected `std` stream.
+    pub fn from_std(s: std::os::unix::net::UnixStream) -> io::Result<UnixStream> {
+        Ok(UnixStream { io: Io::Unix(s) })
+    }
+
+    /// Split into independently owned read/write halves (via `try_clone`).
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        split(self.io).expect("failed to clone socket handle for split")
+    }
+}
+
+/// Unix-domain listener.
+#[derive(Debug)]
+pub struct UnixListener {
+    inner: std::os::unix::net::UnixListener,
+}
+
+impl UnixListener {
+    /// Bind to `path` (the path must not already exist).
+    pub fn bind<P: AsRef<Path>>(path: P) -> io::Result<UnixListener> {
+        Ok(UnixListener {
+            inner: std::os::unix::net::UnixListener::bind(path)?,
+        })
+    }
+
+    /// Wrap an already-bound `std` listener.
+    pub fn from_std(inner: std::os::unix::net::UnixListener) -> io::Result<UnixListener> {
+        Ok(UnixListener { inner })
+    }
+
+    /// Accept one connection (blocking-in-poll).
+    pub async fn accept(&self) -> io::Result<(UnixStream, std::os::unix::net::SocketAddr)> {
+        let (s, addr) = self.inner.accept()?;
+        Ok((UnixStream { io: Io::Unix(s) }, addr))
+    }
+}

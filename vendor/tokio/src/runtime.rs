@@ -1,0 +1,75 @@
+//! Runtime construction. The stand-in scheduler is thread-per-task, so the
+//! runtime itself carries no state — `Builder` knobs are accepted and
+//! ignored, `block_on` drives the future on the caller's thread, and
+//! `spawn` delegates to [`crate::task::spawn`].
+
+use std::future::Future;
+use std::io;
+
+use crate::task::{self, JoinHandle};
+
+/// Handle-less stand-in runtime.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// Create a runtime (infallible in the stand-in).
+    pub fn new() -> io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    /// Drive `fut` to completion on the current thread.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        task::block_on(fut)
+    }
+
+    /// Spawn a task onto its own OS thread.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        task::spawn(fut)
+    }
+}
+
+/// Builder mirroring tokio's; every knob is accepted and ignored because
+/// the stand-in has no worker pool or reactor to configure.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    /// Multi-thread flavor (the stand-in is always thread-per-task).
+    pub fn new_multi_thread() -> Builder {
+        Builder { _priv: () }
+    }
+
+    /// Current-thread flavor (identical to multi-thread here).
+    pub fn new_current_thread() -> Builder {
+        Builder { _priv: () }
+    }
+
+    /// Accepted and ignored.
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    /// Accepted and ignored (there is no reactor or timer driver to enable).
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn thread_name(&mut self, _name: impl Into<String>) -> &mut Builder {
+        self
+    }
+
+    /// Build the runtime (infallible in the stand-in).
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        Runtime::new()
+    }
+}

@@ -1,0 +1,427 @@
+//! Synchronization primitives: condvar-backed `mpsc` and `oneshot`
+//! channels. Receive futures block inside `poll`, which is safe in the
+//! thread-per-task scheduler; senders always notify the condvar so blocked
+//! receivers wake promptly.
+
+/// Multi-producer, single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        buf: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        recv_cv: Condvar,
+        send_cv: Condvar,
+    }
+
+    /// Error returned by `send` when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    /// Error returned by `try_send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Closed(T),
+    }
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Sending half; cheaply cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("mpsc lock poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.shared.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        fn push(&self, value: T, block: bool) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            loop {
+                if !inner.rx_alive {
+                    return Err(TrySendError::Closed(value));
+                }
+                let full = inner.cap.is_some_and(|c| inner.buf.len() >= c);
+                if !full {
+                    inner.buf.push_back(value);
+                    self.shared.recv_cv.notify_one();
+                    return Ok(());
+                }
+                if !block {
+                    return Err(TrySendError::Full(value));
+                }
+                inner = self.shared.send_cv.wait(inner).expect("mpsc lock poisoned");
+            }
+        }
+
+        /// Send a value, waiting for capacity if the channel is bounded.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.push(value, true).map_err(|e| match e {
+                TrySendError::Closed(v) | TrySendError::Full(v) => SendError(v),
+            })
+        }
+
+        /// Send without waiting for capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.push(value, false)
+        }
+
+        /// Blocking send, usable from synchronous code.
+        pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+            self.push(value, true).map_err(|e| match e {
+                TrySendError::Closed(v) | TrySendError::Full(v) => SendError(v),
+            })
+        }
+
+        /// True if the receiver has been dropped.
+        pub fn is_closed(&self) -> bool {
+            !self
+                .shared
+                .inner
+                .lock()
+                .expect("mpsc lock poisoned")
+                .rx_alive
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            inner.rx_alive = false;
+            self.shared.send_cv.notify_all();
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value; `None` once all senders are gone and the
+        /// queue is drained. Blocks inside `poll` (thread-per-task model).
+        pub async fn recv(&mut self) -> Option<T> {
+            RecvFuture { rx: self }.await
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            match inner.buf.pop_front() {
+                Some(v) => {
+                    self.shared.send_cv.notify_one();
+                    Ok(v)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive, usable from synchronous code.
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            self.recv_deadline(None)
+        }
+
+        /// Stand-in extra: blocking receive with a timeout. Returns `None`
+        /// on both channel close and timeout; pair with `try_recv` when the
+        /// distinction matters.
+        pub fn recv_timeout(&mut self, timeout: Duration) -> Option<T> {
+            self.recv_deadline(Some(Instant::now() + timeout))
+        }
+
+        fn recv_deadline(&mut self, deadline: Option<Instant>) -> Option<T> {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            loop {
+                if let Some(v) = inner.buf.pop_front() {
+                    self.shared.send_cv.notify_one();
+                    return Some(v);
+                }
+                if inner.senders == 0 {
+                    return None;
+                }
+                match deadline {
+                    None => {
+                        inner = self.shared.recv_cv.wait(inner).expect("mpsc lock poisoned");
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return None;
+                        }
+                        let (guard, _) = self
+                            .shared
+                            .recv_cv
+                            .wait_timeout(inner, d - now)
+                            .expect("mpsc lock poisoned");
+                        inner = guard;
+                    }
+                }
+            }
+        }
+
+        /// Close the channel from the receiving side; senders see `Closed`.
+        pub fn close(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("mpsc lock poisoned");
+            inner.rx_alive = false;
+            self.shared.send_cv.notify_all();
+        }
+    }
+
+    struct RecvFuture<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for RecvFuture<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
+            Poll::Ready(self.rx.recv_deadline(None))
+        }
+    }
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                cap,
+                senders: 1,
+                rx_alive: true,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Create a bounded channel.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc bound must be positive");
+        shared(Some(cap))
+    }
+
+    /// Unbounded sender (same type as bounded in the stand-in).
+    pub type UnboundedSender<T> = Sender<T>;
+    /// Unbounded receiver (same type as bounded in the stand-in).
+    pub type UnboundedReceiver<T> = Receiver<T>;
+
+    /// Create an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        shared(None)
+    }
+}
+
+/// One-shot channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll};
+    use std::time::{Duration, Instant};
+
+    enum Slot<T> {
+        Empty,
+        Value(T),
+        SenderDropped,
+        Taken,
+    }
+
+    struct Shared<T> {
+        slot: Mutex<Slot<T>>,
+        cv: Condvar,
+    }
+
+    /// Error returned when the sender is dropped without sending.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing sent yet.
+        Empty,
+        /// Sender dropped without sending.
+        Closed,
+    }
+
+    /// Sending half; consumed by `send`.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+        sent: bool,
+    }
+
+    impl<T> Sender<T> {
+        /// Send the value; errors with it if the receiver is gone.
+        pub fn send(mut self, value: T) -> Result<(), T> {
+            let mut slot = self.shared.slot.lock().expect("oneshot lock poisoned");
+            if Arc::strong_count(&self.shared) == 1 {
+                return Err(value);
+            }
+            *slot = Slot::Value(value);
+            self.sent = true;
+            self.shared.cv.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if !self.sent {
+                let mut slot = self.shared.slot.lock().expect("oneshot lock poisoned");
+                if matches!(*slot, Slot::Empty) {
+                    *slot = Slot::SenderDropped;
+                }
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    /// Receiving half; awaiting it yields the sent value.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// True once a value (or sender-drop) is observable without blocking.
+        pub fn is_terminated(&self) -> bool {
+            !matches!(
+                *self.shared.slot.lock().expect("oneshot lock poisoned"),
+                Slot::Empty
+            )
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut slot = self.shared.slot.lock().expect("oneshot lock poisoned");
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Value(v) => Ok(v),
+                Slot::SenderDropped => Err(TryRecvError::Closed),
+                prev @ Slot::Empty => {
+                    *slot = prev;
+                    Err(TryRecvError::Empty)
+                }
+                Slot::Taken => Err(TryRecvError::Closed),
+            }
+        }
+
+        /// Blocking receive, usable from synchronous code.
+        pub fn blocking_recv(self) -> Result<T, RecvError> {
+            self.recv_deadline(None)
+        }
+
+        /// Stand-in extra: blocking receive with a timeout.
+        pub fn recv_timeout(self, timeout: Duration) -> Result<T, RecvError> {
+            self.recv_deadline(Some(Instant::now() + timeout))
+        }
+
+        fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvError> {
+            let mut slot = self.shared.slot.lock().expect("oneshot lock poisoned");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Value(v) => return Ok(v),
+                    Slot::SenderDropped | Slot::Taken => return Err(RecvError(())),
+                    prev @ Slot::Empty => *slot = prev,
+                }
+                match deadline {
+                    None => {
+                        slot = self.shared.cv.wait(slot).expect("oneshot lock poisoned");
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(RecvError(()));
+                        }
+                        let (guard, _) = self
+                            .shared
+                            .cv
+                            .wait_timeout(slot, d - now)
+                            .expect("oneshot lock poisoned");
+                        slot = guard;
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            Poll::Ready(self.recv_deadline(None))
+        }
+    }
+
+    /// Create a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot::Empty),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+                sent: false,
+            },
+            Receiver { shared },
+        )
+    }
+}

@@ -1,0 +1,128 @@
+//! Task spawning. Every spawned task runs on its own OS thread.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+use crate::sync::oneshot;
+
+/// Waker that unparks the thread driving the future.
+struct ThreadUnparker(Thread);
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drive a future to completion on the current thread.
+///
+/// Because the stand-in's leaf futures block inside `poll`, this usually
+/// completes in a single poll; the park/unpark loop exists so that
+/// hand-written cooperative futures also work.
+pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadUnparker(thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = Box::pin(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => thread::park(),
+        }
+    }
+}
+
+/// Error returned when a task's thread panicked before producing a value.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task panicked before completing")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+///
+/// Dropping the handle detaches the task (the thread keeps running), same
+/// as tokio.
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has produced its value (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.rx.is_terminated()
+    }
+
+    /// Stand-in deviation: threads cannot be cancelled from outside, so
+    /// `abort` merely detaches. Cancel blocked I/O via
+    /// [`crate::net::CancelHandle`] instead.
+    pub fn abort(&self) {}
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.rx)
+            .poll(cx)
+            .map(|r| r.map_err(|_| JoinError(())))
+    }
+}
+
+/// Spawn a future onto its own OS thread.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = oneshot::channel();
+    thread::Builder::new()
+        .name("tokio-task".into())
+        .spawn(move || {
+            let out = block_on(fut);
+            let _ = tx.send(out);
+        })
+        .expect("failed to spawn tokio stand-in task thread");
+    JoinHandle { rx }
+}
+
+/// Run a blocking closure on a dedicated thread.
+///
+/// In this stand-in every task already owns a thread, so this is just
+/// [`spawn`] around the closure.
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    spawn(async move { f() })
+}
+
+/// Yield execution back to the scheduler once.
+pub async fn yield_now() {
+    struct YieldOnce(bool);
+    impl Future for YieldOnce {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldOnce(false).await
+}

@@ -1,0 +1,11 @@
+//! Time utilities. `sleep` blocks the task's thread inside `poll`, which is
+//! correct in the thread-per-task model. `tokio::time::timeout` is
+//! intentionally absent: it cannot be implemented honestly when polls may
+//! block, so callers use channel `recv_timeout` / socket shutdown instead.
+
+pub use std::time::{Duration, Instant};
+
+/// Sleep for `dur` (blocks the task's thread).
+pub async fn sleep(dur: Duration) {
+    std::thread::sleep(dur);
+}
