@@ -23,6 +23,11 @@
 //!   release-implies-replication, post-recovery convergence, ring
 //!   re-formation, and `MAX`-vector monotonicity — plus the abstract
 //!   deployment model backing the static/dynamic agreement property.
+//! * [`async_check`] — the async-transport model checker: drives the real
+//!   socket backend (`ftc_net::sock`) under the vendored tokio's
+//!   deterministic executor through seeded task-interleaving × fault
+//!   schedules, checking exactly-once delivery, RPC correlation,
+//!   reconnect convergence, and quiescence (T1–T4).
 //!
 //! [`audit`] runs the whole battery. Typical use in a test:
 //!
@@ -44,11 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_check;
 pub mod convergence;
 pub mod history;
 pub mod protocol;
 pub mod serializability;
 
+pub use async_check::{AsyncCheckConfig, TransportReport, TransportWitness};
 pub use convergence::ConvergenceReport;
 pub use history::{AppliedLog, CommittedTxn, History, Recorder};
 pub use protocol::{

@@ -1,0 +1,37 @@
+//! Sabotage self-test: with `--features sabotage` the reliable sender
+//! drops its resend queue when retransmission comes due (a deliberate
+//! reconnect bug in `ftc-net`). The async-transport checker's T3 property
+//! must catch it on reset plans and print a witness that [`replay`]
+//! reproduces exactly. Run via `check.sh --transport-check` as a separate
+//! cargo invocation — never alongside the default tests (cargo feature
+//! unification would infect every other ftc-net test with the bug).
+
+#![cfg(feature = "sabotage")]
+
+use ftc_audit::async_check::{explore, replay, AsyncCheckConfig};
+
+#[test]
+fn sabotage_is_caught_with_replayable_witness() {
+    let cfg = AsyncCheckConfig::default();
+    let report = explore(&cfg);
+    eprintln!("{report}");
+    assert!(
+        !report.passed(),
+        "checker failed to catch the sabotaged resend queue: {report}"
+    );
+    let w = report
+        .witnesses
+        .iter()
+        .find(|w| w.property == "T3")
+        .unwrap_or_else(|| {
+            panic!("expected a T3 (frame acknowledged-by-nobody) witness, got: {report}")
+        });
+    // The printed witness must replay to the same failure.
+    let spec = w.to_string();
+    let again = replay(&spec)
+        .expect("witness spec parses")
+        .unwrap_or_else(|| panic!("witness did not reproduce on replay: {spec}"));
+    assert_eq!(again.plan, w.plan);
+    assert_eq!(again.seed, w.seed);
+    assert_eq!(again.property, w.property, "replayed verdict diverged");
+}

@@ -1,0 +1,33 @@
+//! Transport clock: the one place the socket backend and the reliable
+//! layer read time or sleep.
+//!
+//! Normally these are `Instant::now()` and `std::thread::sleep`. When the
+//! vendored tokio's [det mode](tokio::det) is active on the current thread
+//! (the async-transport model checker), `now` reads the virtual clock and
+//! `block_sleep` runs deterministic executor steps while virtual time
+//! advances — so RTO retransmission, dial backoff, and call deadlines are
+//! explored deterministically instead of racing the wall clock.
+
+use std::time::{Duration, Instant};
+
+/// Current instant: wall clock normally, virtual clock under det mode.
+#[inline]
+pub fn now() -> Instant {
+    tokio::time::now()
+}
+
+/// Sleep `dur`: thread sleep normally, cooperative virtual-time wait under
+/// det mode (the deterministic executor keeps running while time passes).
+pub fn block_sleep(dur: Duration) {
+    if tokio::det::active() {
+        tokio::det::block_sleep(dur);
+    } else {
+        std::thread::sleep(dur); // forbidden-ok: thread-sleep
+    }
+}
+
+/// Elapsed virtual-or-wall time since `earlier`.
+#[inline]
+pub fn since(earlier: Instant) -> Duration {
+    now().saturating_duration_since(earlier)
+}

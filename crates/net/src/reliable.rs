@@ -74,7 +74,7 @@ impl ReliableSender {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.link.send_frame(kind::DATA, seq, &payload)?;
-        self.unacked.insert(seq, (payload, Instant::now()));
+        self.unacked.insert(seq, (payload, crate::clock::now()));
         self.stats.sent += 1;
         Ok(())
     }
@@ -83,12 +83,22 @@ impl ReliableSender {
     /// retransmission. Call periodically (e.g. on idle).
     pub fn poll(&mut self) -> Result<(), Disconnected> {
         self.process_control()?;
-        let now = Instant::now();
+        let now = crate::clock::now();
         let mut due: Vec<u64> = Vec::new();
         for (&seq, (_, last)) in &self.unacked {
             if now.duration_since(*last) >= self.rto {
                 due.push(seq);
             }
+        }
+        // Bug fixture for the async-transport model checker: the moment a
+        // retransmission comes due, forget the resend queue instead. Any
+        // frame whose first transmission was swallowed by a reset is then
+        // acknowledged-by-nobody and never delivered — the checker's T3
+        // property must catch this with a replayable witness.
+        #[cfg(feature = "sabotage-drop-resend")]
+        if !due.is_empty() {
+            self.unacked.clear();
+            return Ok(());
         }
         for seq in due {
             self.retransmit(seq)?;
@@ -120,7 +130,7 @@ impl ReliableSender {
 
     fn retransmit(&mut self, seq: u64) -> Result<(), Disconnected> {
         if let Some((payload, last)) = self.unacked.get_mut(&seq) {
-            *last = Instant::now();
+            *last = crate::clock::now();
             self.stats.retransmits += 1;
             self.link.send_frame(kind::DATA, seq, payload)?;
         }
@@ -172,12 +182,12 @@ impl ReliableReceiver {
 
     /// Receives the next in-order payload, waiting up to `timeout`.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<BytesMut>, Disconnected> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::clock::now() + timeout;
         loop {
             if let Some(p) = self.ready.pop_front() {
                 return Ok(Some(p));
             }
-            let now = Instant::now();
+            let now = crate::clock::now();
             let budget = deadline.saturating_duration_since(now);
             match self.link.recv_frame(budget)? {
                 Some(frame) => self.ingest(frame.kind, frame.seq, &frame.payload)?,
@@ -217,7 +227,7 @@ impl ReliableReceiver {
         }
         // NACK any remaining gap ("request the predecessor to retransmit").
         if let Some((&first_ooo, _)) = self.ooo.iter().next() {
-            let now = Instant::now();
+            let now = crate::clock::now();
             for missing in self.expected..first_ooo {
                 let stale = self
                     .nacked

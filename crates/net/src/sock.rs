@@ -35,7 +35,19 @@
 //! pending calls, and because correlation is per-frame the channel is
 //! fully pipelined — concurrent callers share one connection without
 //! head-of-line blocking at the protocol level.
+//!
+//! # Deterministic checking
+//!
+//! The same backend runs unmodified under the vendored tokio's [det
+//! mode](tokio::det): [`PeerAddr::Sim`] endpoints ride in-memory
+//! `tokio::sim` streams, every blocking wait in this module branches to a
+//! cooperative det-executor wait (`det::block_until` / [`tokio::det::IdleWait`]),
+//! and time flows through [`crate::clock`] (virtual under det mode). That
+//! is what lets `ftc_audit::async_check` drive *this* code — reconnect,
+//! demux, RPC correlation — through seeded interleaving × fault schedules
+//! and replay any failure from a `(plan, seed)` witness.
 
+use crate::clock;
 use crate::transport::{
     Disconnected, Endpoint, FrameRx, FrameTx, PeerAddr, RawLink, RpcCaller, RpcResponder, SockOpts,
     Transport,
@@ -50,8 +62,10 @@ use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+use tokio::det;
 use tokio::net::{OwnedReadHalf, OwnedWriteHalf, TcpListener, TcpStream, UnixListener, UnixStream};
 use tokio::runtime::Runtime;
+use tokio::sim;
 use tokio::sync::mpsc;
 
 /// One live connection: a queue into the writer task plus liveness state.
@@ -168,6 +182,7 @@ impl Shared {
                 let s = std::os::unix::net::UnixStream::connect(p)?;
                 Ok(UnixStream::from_std(s)?.into_split())
             }
+            PeerAddr::Sim(name) => Ok(sim::connect(name)?.into_split()),
         }
     }
 
@@ -194,18 +209,18 @@ impl Shared {
             }
             if !patient {
                 if let Some(t) = slot.last_attempt {
-                    if t.elapsed() < opts.retry_backoff {
+                    if clock::since(t) < opts.retry_backoff {
                         return None;
                     }
                 }
             }
-            slot.last_attempt = Some(Instant::now());
+            slot.last_attempt = Some(clock::now());
         }
         // Connect without holding the cache lock; a concurrent dial to the
         // same peer may race us, in which case the last connection stored
         // wins and the loser is torn down by its peer's idle close — the
         // reliable layer tolerates either.
-        let deadline = Instant::now() + opts.connect_timeout;
+        let deadline = clock::now() + opts.connect_timeout;
         let mut backoff = opts.retry_backoff;
         loop {
             match self.connect_once(addr) {
@@ -217,11 +232,11 @@ impl Shared {
                     let mut cache = self.dial.lock();
                     let slot = cache.entry(addr.clone()).or_default();
                     slot.conn = Some(Arc::clone(&conn));
-                    slot.last_attempt = Some(Instant::now());
+                    slot.last_attempt = Some(clock::now());
                     return Some(conn);
                 }
-                Err(_) if patient && Instant::now() + backoff < deadline => {
-                    std::thread::sleep(backoff); // forbidden-ok: thread-sleep
+                Err(_) if patient && clock::now() + backoff < deadline => {
+                    clock::block_sleep(backoff);
                     backoff = (backoff * 2).min(opts.max_backoff);
                 }
                 Err(_) => return None,
@@ -266,6 +281,10 @@ async fn reader_task(mut read: OwnedReadHalf, shared: Arc<Shared>, conn: Arc<Con
                         .entry(f.stream)
                         .or_insert_with(|| shared.router.queue_tx(f.stream));
                     let _ = tx.send(f);
+                    // Crossbeam queues are invisible to the det executor's
+                    // progress tracking; a parked dispatcher task must be
+                    // woken to see this frame. No-op outside det mode.
+                    det::note_progress();
                 }
                 Ok(None) => break,
                 // Corrupt stream: tear the connection down; the reliable
@@ -297,6 +316,7 @@ impl SockNode {
         enum Listener {
             Tcp(TcpListener),
             Uds(UnixListener),
+            Sim(sim::SimListener),
         }
         let (listener, local) = match addr {
             PeerAddr::Tcp(a) => {
@@ -309,6 +329,7 @@ impl SockNode {
                 let l = UnixListener::from_std(std::os::unix::net::UnixListener::bind(p)?)?;
                 (Listener::Uds(l), addr.clone())
             }
+            PeerAddr::Sim(name) => (Listener::Sim(sim::SimListener::bind(name)?), addr.clone()),
         };
         let shared = Arc::new(Shared {
             rt,
@@ -329,6 +350,10 @@ impl SockNode {
                         Err(_) => break,
                     },
                     Listener::Uds(l) => match l.accept().await {
+                        Ok((s, _)) => s.into_split(),
+                        Err(_) => break,
+                    },
+                    Listener::Sim(l) => match l.accept().await {
                         Ok((s, _)) => s.into_split(),
                         Err(_) => break,
                     },
@@ -415,6 +440,21 @@ impl RawLink for SockRawLink {
                 Err(TryRecvError::Disconnected) => Err(Disconnected),
             };
         }
+        if det::active() {
+            // Cooperative wait: run det-executor steps (reader/writer
+            // tasks, virtual time) until a frame lands or the virtual
+            // timeout passes. Never blocks the executor thread.
+            let rxq = &self.rxq;
+            return match det::block_until(Some(timeout), || match rxq.try_recv() {
+                Ok(f) => Some(Ok(f)),
+                Err(TryRecvError::Disconnected) => Some(Err(Disconnected)),
+                Err(TryRecvError::Empty) => None,
+            }) {
+                Some(Ok(f)) => Ok(Some(f)),
+                Some(Err(d)) => Err(d),
+                None => Ok(None),
+            };
+        }
         match self.rxq.recv_timeout(timeout) {
             Ok(f) => Ok(Some(f)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -455,17 +495,36 @@ impl SockRpcCaller {
                 // Exit once every caller clone is gone.
                 let Some(state) = weak.upgrade() else { break };
                 drop(state);
-                match rxq.recv_timeout(Duration::from_millis(100)) {
-                    Ok(f) if f.kind == kind::RPC_RESP => {
-                        if let Some(state) = weak.upgrade() {
-                            if let Some(tx) = state.pending.lock().remove(&f.seq) {
-                                let _ = tx.send(f.payload);
-                            }
+                let f = if det::active() {
+                    // Det mode: an async task must not block in poll, so
+                    // try_recv and park on activity-or-timer instead of
+                    // the condvar-backed recv_timeout.
+                    match rxq.try_recv() {
+                        Ok(f) => f,
+                        Err(TryRecvError::Empty) => {
+                            det::idle_wait(Duration::from_millis(100)).await;
+                            continue;
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                    }
+                } else {
+                    // The non-det runtime is thread-per-task — this poll
+                    // owns its thread and a bounded condvar wait is the
+                    // cheapest wakeup; det mode takes the branch above.
+                    // async-ok: blocking is the non-det execution model
+                    match rxq.recv_timeout(Duration::from_millis(100)) {
+                        Ok(f) => f,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                };
+                if f.kind == kind::RPC_RESP {
+                    if let Some(state) = weak.upgrade() {
+                        if let Some(tx) = state.pending.lock().remove(&f.seq) {
+                            let _ = tx.send(f.payload);
+                            det::note_progress();
                         }
                     }
-                    Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         });
@@ -478,37 +537,123 @@ impl SockRpcCaller {
     }
 }
 
-impl RpcCaller for SockRpcCaller {
-    fn call_bytes(&self, req: Bytes, timeout: Duration) -> Result<Bytes, crate::rpc::RpcError> {
-        let deadline = Instant::now() + timeout;
+impl SockRpcCaller {
+    /// Build a concrete caller over `node` toward `peer` (a socket
+    /// endpoint), dispatcher task started. [`Transport::rpc_caller`] is the
+    /// trait-object path; this constructor additionally exposes
+    /// [`SockRpcCaller::call_start`] for pipelined calls driven from one
+    /// thread (the async-transport checker's T2 property needs that).
+    pub fn connect(node: &SockNode, peer: &Endpoint, stream: u16) -> SockRpcCaller {
+        let parts = SockTransport::peer_parts(peer);
+        let _ = node.shared.dial(&parts.0, &parts.1, true);
+        SockRpcCaller::new(node, parts, stream)
+    }
+
+    /// Start a call without blocking: register the correlation id, encode
+    /// the request, and attempt a first send. Drive the returned handle
+    /// with [`PendingCall::try_complete`] — this is how concurrent calls
+    /// pipeline over one connection from a single driver thread (the
+    /// async-transport checker exercises exactly this path).
+    pub fn call_start(&self, req: Bytes, timeout: Duration) -> PendingCall {
         let id = self.state.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::bounded(1);
         self.state.pending.lock().insert(id, tx);
-        let buf = frame::encode(kind::RPC_REQ, self.stream, id, &req);
+        let wire = frame::encode(kind::RPC_REQ, self.stream, id, &req);
+        let mut call = PendingCall {
+            shared: Arc::clone(&self.shared),
+            state: Arc::clone(&self.state),
+            peer: self.peer.clone(),
+            id,
+            rx,
+            wire,
+            sent: false,
+            deadline: clock::now() + timeout,
+        };
+        call.try_send();
+        call
+    }
+}
+
+/// An in-flight pipelined RPC call started by [`SockRpcCaller::call_start`].
+/// Resolves at most once; drop it to abandon the call (the correlation-id
+/// entry is cleaned up either way).
+pub struct PendingCall {
+    shared: Arc<Shared>,
+    state: Arc<RpcState>,
+    peer: (PeerAddr, SockOpts),
+    id: u64,
+    rx: Receiver<Bytes>,
+    wire: BytesMut,
+    sent: bool,
+    deadline: Instant,
+}
+
+impl PendingCall {
+    /// The correlation id carried in the request frame's `seq` field.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Hand the request to a live connection if that has not succeeded
+    /// yet. Redials impatiently (rate-limited by the endpoint's
+    /// `retry_backoff`), so a reset before the send costs a redial, not an
+    /// error.
+    fn try_send(&mut self) -> bool {
+        if self.sent {
+            return true;
+        }
+        self.sent = self
+            .shared
+            .dial(&self.peer.0, &self.peer.1, false)
+            .map(|conn| conn.send(self.wire.clone()))
+            .unwrap_or(false);
+        self.sent
+    }
+
+    /// Non-blocking progress check: retries the send while unsent, then
+    /// looks for the correlated response. `None` = still pending;
+    /// `Some(Err(Timeout))` once the call budget is exhausted.
+    pub fn try_complete(&mut self) -> Option<Result<Bytes, crate::rpc::RpcError>> {
+        self.try_send();
+        match self.rx.try_recv() {
+            Ok(resp) => Some(Ok(resp)),
+            Err(TryRecvError::Empty) if clock::now() < self.deadline => None,
+            Err(_) => {
+                self.state.pending.lock().remove(&self.id);
+                Some(Err(crate::rpc::RpcError::Timeout))
+            }
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        self.state.pending.lock().remove(&self.id);
+    }
+}
+
+impl RpcCaller for SockRpcCaller {
+    fn call_bytes(&self, req: Bytes, timeout: Duration) -> Result<Bytes, crate::rpc::RpcError> {
+        let mut call = self.call_start(req, timeout);
+        if det::active() {
+            // Cooperative wait: det-executor steps run the dispatcher,
+            // reader, and writer tasks while this call resolves.
+            return det::block_until(Some(timeout), || call.try_complete())
+                .unwrap_or(Err(crate::rpc::RpcError::Timeout));
+        }
         // Keep trying to hand the request to a live connection until the
         // call budget runs out — a reset mid-call costs a redial, not an
         // error, as long as the peer comes back in time.
-        loop {
-            let sent = self
-                .shared
-                .dial(&self.peer.0, &self.peer.1, false)
-                .map(|conn| conn.send(buf.clone()))
-                .unwrap_or(false);
-            if sent {
-                break;
-            }
-            if Instant::now() + Duration::from_millis(5) >= deadline {
-                self.state.pending.lock().remove(&id);
+        while !call.sent {
+            if Instant::now() + Duration::from_millis(5) >= call.deadline {
                 return Err(crate::rpc::RpcError::Timeout);
             }
-            std::thread::sleep(Duration::from_millis(5)); // forbidden-ok: thread-sleep
+            clock::block_sleep(Duration::from_millis(5));
+            call.try_send();
         }
-        match rx.recv_deadline(deadline) {
+        match call.rx.recv_deadline(call.deadline) {
             Ok(resp) => Ok(resp),
-            Err(_) => {
-                self.state.pending.lock().remove(&id);
-                Err(crate::rpc::RpcError::Timeout)
-            }
+            Err(_) => Err(crate::rpc::RpcError::Timeout),
         }
     }
 
@@ -542,10 +687,27 @@ impl RpcResponder for SockRpcResponder {
         timeout: Duration,
         handler: &mut dyn FnMut(Bytes) -> Bytes,
     ) -> Result<bool, crate::rpc::RpcError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = clock::now() + timeout;
         loop {
-            let budget = deadline.saturating_duration_since(Instant::now());
-            match self.rxq.recv_timeout(budget) {
+            let next = if det::active() {
+                // Cooperative pop: step the det executor until a frame for
+                // this stream arrives or the (virtual) budget runs out.
+                let rxq = &self.rxq;
+                let budget = deadline.saturating_duration_since(clock::now());
+                match det::block_until(Some(budget), || match rxq.try_recv() {
+                    Ok(f) => Some(Ok(f)),
+                    Err(TryRecvError::Disconnected) => Some(Err(())),
+                    Err(TryRecvError::Empty) => None,
+                }) {
+                    Some(Ok(f)) => Ok(f),
+                    Some(Err(())) => Err(RecvTimeoutError::Disconnected),
+                    None => Err(RecvTimeoutError::Timeout),
+                }
+            } else {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                self.rxq.recv_timeout(budget)
+            };
+            match next {
                 Ok(f) if f.kind == kind::RPC_REQ => {
                     let resp = handler(f.payload);
                     if let Some(conn) = self.shared.router.source(self.stream) {

@@ -55,14 +55,21 @@ pub enum PeerAddr {
     Tcp(SocketAddr),
     /// Unix-domain socket path.
     Uds(PathBuf),
+    /// In-memory simulated socket (det-mode model checking only): a name
+    /// in the thread-local `tokio::sim` registry. Dials resolve within the
+    /// same thread, which is exactly what the deterministic explorer needs.
+    Sim(String),
 }
 
 impl PeerAddr {
     /// Parses `"uds:<path>"`, `"tcp:<ip>:<port>"`, a bare `<ip>:<port>`,
-    /// or a bare filesystem path (containing `/`).
+    /// a bare filesystem path (containing `/`), or `"sim:<name>"`.
     pub fn parse(s: &str) -> Result<PeerAddr, String> {
         if let Some(path) = s.strip_prefix("uds:") {
             return Ok(PeerAddr::Uds(PathBuf::from(path)));
+        }
+        if let Some(name) = s.strip_prefix("sim:") {
+            return Ok(PeerAddr::Sim(name.to_string()));
         }
         let bare = s.strip_prefix("tcp:").unwrap_or(s);
         if let Ok(addr) = bare.parse::<SocketAddr>() {
@@ -82,6 +89,7 @@ impl core::fmt::Display for PeerAddr {
         match self {
             PeerAddr::Tcp(a) => write!(f, "tcp:{a}"),
             PeerAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+            PeerAddr::Sim(n) => write!(f, "sim:{n}"),
         }
     }
 }
@@ -553,6 +561,11 @@ mod tests {
             PeerAddr::parse("127.0.0.1:9000").unwrap(),
             PeerAddr::Tcp(_)
         ));
+        assert_eq!(
+            PeerAddr::parse("sim:node-a").unwrap(),
+            PeerAddr::Sim("node-a".to_string())
+        );
+        assert_eq!(PeerAddr::Sim("x".into()).to_string(), "sim:x");
         assert!(PeerAddr::parse("not-an-addr").is_err());
     }
 

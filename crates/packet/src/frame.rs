@@ -41,6 +41,14 @@ pub mod kind {
     pub const RPC_RESP: u8 = 5;
     /// Connection preamble naming the dialing peer and stream map.
     pub const HELLO: u8 = 6;
+
+    /// True for kinds inside the known namespace. Decoders reject frames
+    /// outside it ([`crate::WireError::BadKind`]): an unknown kind means
+    /// the stream is desynchronized (e.g. resumed mid-frame after a torn
+    /// connection) and must be torn down, not routed.
+    pub fn is_known(k: u8) -> bool {
+        (DATA..=HELLO).contains(&k)
+    }
 }
 
 /// Bytes in the `len` prefix.
@@ -115,6 +123,11 @@ pub fn decode(buf: &[u8]) -> WireResult<Option<(Frame, usize)>> {
     if !(HEADER_AFTER_LEN..=HEADER_AFTER_LEN + MAX_PAYLOAD).contains(&body_len) {
         return Err(WireError::BadLength);
     }
+    // Reject unknown kinds as soon as the kind byte is visible — before
+    // waiting for (and buffering) a possibly huge declared payload.
+    if buf.len() > LEN_PREFIX && !kind::is_known(buf[LEN_PREFIX]) {
+        return Err(WireError::BadKind(buf[LEN_PREFIX]));
+    }
     let total = LEN_PREFIX + body_len;
     if buf.len() < total {
         return Ok(None);
@@ -170,6 +183,9 @@ impl FrameDecoder {
         let body_len = read_u32(self.buf.as_ref()) as usize;
         if !(HEADER_AFTER_LEN..=HEADER_AFTER_LEN + MAX_PAYLOAD).contains(&body_len) {
             return Err(WireError::BadLength);
+        }
+        if self.buf.len() > LEN_PREFIX && !kind::is_known(self.buf[LEN_PREFIX]) {
+            return Err(WireError::BadKind(self.buf[LEN_PREFIX]));
         }
         let total = LEN_PREFIX + body_len;
         if self.buf.len() < total {

@@ -70,6 +70,9 @@ pub enum WireError {
     BadChecksum,
     /// An unsupported protocol or option was encountered.
     Unsupported,
+    /// A frame header names a kind outside the known namespace
+    /// ([`frame::kind`]); the stream is desynchronized or corrupt.
+    BadKind(u8),
 }
 
 impl core::fmt::Display for WireError {
@@ -80,6 +83,7 @@ impl core::fmt::Display for WireError {
             WireError::BadMagic => write!(f, "bad magic or version"),
             WireError::BadChecksum => write!(f, "checksum mismatch"),
             WireError::Unsupported => write!(f, "unsupported protocol or option"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
         }
     }
 }

@@ -1,0 +1,193 @@
+//! Property tests for the unified frame codec against malformed input.
+//!
+//! The socket backend feeds `FrameDecoder` raw bytes from connections that
+//! can be cut mid-frame, resumed desynchronized, or corrupted; the decoder
+//! must fail *cleanly* on every such stream — report `Ok(None)` (need more
+//! bytes) or a typed `WireError`, never panic, never consume past the
+//! bytes it was given, and never buffer an attacker-declared length.
+
+use bytes::BufMut;
+use ftc_packet::frame::{
+    self, decode, kind, FrameDecoder, HEADER_AFTER_LEN, LEN_PREFIX, MAX_PAYLOAD,
+};
+use ftc_packet::WireError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn known_kind() -> impl Strategy<Value = u8> {
+    kind::DATA..=kind::HELLO
+}
+
+/// Any byte outside the known kind namespace (1..=6): shift known values
+/// past the top of the namespace, leave the rest as-is.
+fn unknown_kind() -> impl Strategy<Value = u8> {
+    any::<u8>().prop_map(|k| {
+        if kind::is_known(k) {
+            k + kind::HELLO
+        } else {
+            k
+        }
+    })
+}
+
+proptest! {
+    /// Valid frames survive arbitrary re-chunking byte-for-byte.
+    #[test]
+    fn roundtrip_under_arbitrary_chunking(
+        frames in vec(
+            (known_kind(), any::<u16>(), any::<u64>(), vec(any::<u8>(), 0..64)),
+            1..8,
+        ),
+        chunk in 1usize..32,
+    ) {
+        let mut wire = bytes::BytesMut::new();
+        for (k, stream, seq, payload) in &frames {
+            frame::encode_into(&mut wire, *k, *stream, *seq, payload);
+        }
+        let mut out = Vec::new();
+        let mut dec = FrameDecoder::new();
+        for piece in wire.as_ref().chunks(chunk) {
+            dec.extend(piece);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        prop_assert_eq!(out.len(), frames.len());
+        for (f, (k, stream, seq, payload)) in out.iter().zip(&frames) {
+            prop_assert_eq!(f.kind, *k);
+            prop_assert_eq!(f.stream, *stream);
+            prop_assert_eq!(f.seq, *seq);
+            prop_assert_eq!(f.payload.as_slice(), &payload[..]);
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated frame — cut anywhere, length prefix included — is
+    /// "need more bytes", never an error, panic, or phantom frame.
+    #[test]
+    fn truncation_is_incomplete_not_corrupt(
+        stream in any::<u16>(),
+        seq in any::<u64>(),
+        payload in vec(any::<u8>(), 0..64),
+        cut in 0usize..4096,
+    ) {
+        let wire = frame::encode(kind::DATA, stream, seq, &payload);
+        let cut = cut % wire.len(); // always a strict prefix
+        prop_assert_eq!(decode(&wire.as_ref()[..cut]).unwrap(), None);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire.as_ref()[..cut]);
+        prop_assert_eq!(dec.next_frame().unwrap(), None);
+        prop_assert_eq!(dec.pending(), cut, "decoder must not consume a partial frame");
+    }
+
+    /// An oversized declared length is rejected from the 4-byte prefix
+    /// alone — before any attempt to buffer the declared payload.
+    #[test]
+    fn oversized_declared_length_is_rejected_early(
+        excess in 1u64..=(u32::MAX as u64 - (HEADER_AFTER_LEN + MAX_PAYLOAD) as u64),
+        tail in vec(any::<u8>(), 0..32),
+    ) {
+        let bad_len = (HEADER_AFTER_LEN + MAX_PAYLOAD) as u64 + excess;
+        let mut wire = bytes::BytesMut::new();
+        wire.put_u32(bad_len as u32);
+        wire.extend_from_slice(&tail);
+        prop_assert_eq!(decode(wire.as_ref()), Err(WireError::BadLength));
+        let mut dec = FrameDecoder::new();
+        dec.extend(wire.as_ref());
+        prop_assert_eq!(dec.next_frame(), Err(WireError::BadLength));
+    }
+
+    /// Undersized lengths (shorter than the fixed header) are equally
+    /// corrupt — a zero or tiny prefix must not underflow the payload
+    /// arithmetic.
+    #[test]
+    fn undersized_declared_length_is_rejected(
+        body_len in 0u32..HEADER_AFTER_LEN as u32,
+        tail in vec(any::<u8>(), 0..32),
+    ) {
+        let mut wire = bytes::BytesMut::new();
+        wire.put_u32(body_len);
+        wire.extend_from_slice(&tail);
+        prop_assert_eq!(decode(wire.as_ref()), Err(WireError::BadLength));
+    }
+
+    /// A plausible length followed by an unknown kind byte is rejected as
+    /// soon as the kind is visible, even if the declared payload never
+    /// arrives — a desynchronized stream must not stall waiting for
+    /// garbage to complete.
+    #[test]
+    fn unknown_kind_is_rejected_before_payload(
+        k in unknown_kind(),
+        stream in any::<u16>(),
+        seq in any::<u64>(),
+        payload in vec(any::<u8>(), 0..64),
+        deliver_header_only in any::<bool>(),
+    ) {
+        let wire = frame::encode(k, stream, seq, &payload);
+        let cut = if deliver_header_only { LEN_PREFIX + 1 } else { wire.len() };
+        prop_assert_eq!(
+            decode(&wire.as_ref()[..cut]),
+            Err(WireError::BadKind(k))
+        );
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire.as_ref()[..cut]);
+        prop_assert_eq!(dec.next_frame(), Err(WireError::BadKind(k)));
+    }
+
+    /// A reset mid-frame followed by a new connection's bytes (stream
+    /// resumed at an arbitrary offset) errors cleanly or resynchronizes —
+    /// it never panics and never yields a frame that was not encoded.
+    #[test]
+    fn mid_frame_reset_fails_cleanly(
+        payload in vec(any::<u8>(), 1..64),
+        cut in 1usize..16,
+        next_payload in vec(any::<u8>(), 0..64),
+    ) {
+        let first = frame::encode(kind::DATA, 1, 1, &payload);
+        let cut = cut.min(first.len() - 1);
+        let second = frame::encode(kind::ACK, 2, 9, &next_payload);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&first.as_ref()[..cut]); // torn connection: frame cut short
+        dec.extend(second.as_ref()); // bytes from the replacement connection
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => {
+                    // Any frame that does come out must be internally
+                    // consistent — a known kind and a payload the decoder
+                    // actually holds.
+                    prop_assert!(kind::is_known(f.kind));
+                }
+                Ok(None) => break,
+                Err(_) => break, // clean typed error: connection torn down
+            }
+        }
+    }
+
+    /// Pure fuzz: arbitrary bytes in arbitrary chunks never panic the
+    /// decoder, and every outcome is a clean verdict.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        data in vec(any::<u8>(), 0..256),
+        chunk in 1usize..32,
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut corrupt = false;
+        for piece in data.chunks(chunk) {
+            if corrupt {
+                break; // a real connection is torn down at first error
+            }
+            dec.extend(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => {
+                        corrupt = true;
+                        break;
+                    }
+                }
+            }
+            prop_assert!(dec.pending() <= data.len());
+        }
+    }
+}

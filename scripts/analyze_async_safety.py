@@ -1,0 +1,498 @@
+#!/usr/bin/env python3
+"""Static async-safety analyzer for the socket backend and data plane.
+
+The async-transport model checker (``ftc_audit::async_check``) explores
+the socket backend dynamically; this script is the static half of the same
+contract. The det-mode executor polls every task on one thread, so a
+single blocking call inside a task poll wedges the whole schedule — and in
+production (thread-per-task) the same call turns a pipelined connection
+into a head-of-line stall. The analyzer derives three things from source,
+brace- and ``await``-aware rather than line-regex-based:
+
+1. ``lock-cycle``   — a **lock-acquisition-order graph**: within each
+                      function body, acquiring lock B while a guard on
+                      lock A is live adds edge A→B (guards tracked by
+                      ``let`` binding to the end of their enclosing brace
+                      scope, or an explicit ``drop(guard)``). A cycle in
+                      the union graph is a deadlock two threads can
+                      actually reach.
+2. ``await-guard``  — an ``.await`` while a lock guard is live inside an
+                      ``async fn`` or ``async`` block. Across an await the
+                      task can be parked indefinitely; under the det
+                      executor every other task needing that parking_lot
+                      lock then blocks a poll (the one thing det mode
+                      cannot recover from), and in production it holds the
+                      lock across arbitrary I/O latency.
+3. ``async-blocking`` — a blocking call (``std::thread::sleep``, sync
+                      ``std::net``/``std::os::unix::net`` constructors,
+                      sync channel ``recv``/``recv_timeout``/
+                      ``recv_deadline`` without ``.await``, ``block_on``,
+                      det-mode driver waits) lexically inside an async
+                      context, or inside a named function reachable from
+                      one through the call graph (name-based, resolved
+                      against functions defined in the scanned tree).
+
+Rule 3 subsumes the old regex-only ``block-on`` rule that used to live in
+``forbidden_patterns.py`` (rule 6): ``block_on`` in the data-plane crates
+(``crates/{packet,net,core,stm}``) is still flagged *anywhere*, not just
+in async context, because parking a packet-path worker on a future
+reintroduces the head-of-line stall the thread-per-task design avoids.
+
+``// async-ok: <reason>`` on the flagged line or the line directly above
+exempts that line (say why alongside — e.g. a branch that provably runs
+only under the thread-per-task scheduler). Test blocks (``#[cfg(test)]``)
+are stripped the same way the sibling scripts do. Exit 0 = clean,
+1 = findings. ``--self-test`` runs the analyses against embedded
+known-bad and known-clean fixtures.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SKIP_DIRS = {"target", ".git", "vendor"}
+SKIP_PARTS = {"tests", "benches", "examples"}
+
+# Crates on (or under) the packet hot path: block_on is forbidden here
+# outright, async context or not (migrated from forbidden_patterns rule 6).
+DATA_PLANE_CRATES = {
+    ("crates", "packet", "src"),
+    ("crates", "net", "src"),
+    ("crates", "core", "src"),
+    ("crates", "stm", "src"),
+}
+
+# (rule-tag, pattern) pairs for calls that park the calling thread. The
+# sync-recv pattern is await-aware at the use site (an async channel's
+# `rx.recv().await` is fine; a crossbeam `rx.recv_timeout(..)` is not).
+BLOCKING_CALLS = [
+    ("thread-sleep", re.compile(r"\bthread\s*::\s*sleep\s*\(")),
+    ("block-on", re.compile(r"\bblock_on\s*\(")),
+    ("det-driver-wait", re.compile(r"\b(?:det\s*::\s*)?(?:block_until|block_sleep)\s*\(")),
+    ("sync-net", re.compile(r"\bstd::net::(?:TcpStream|TcpListener|UdpSocket)\b")),
+    ("sync-uds", re.compile(r"\bstd::os::unix::net::Unix(?:Stream|Listener)\b")),
+    ("sync-recv", re.compile(r"\.\s*recv(?:_timeout|_deadline)?\s*\(")),
+]
+
+LOCK_ACQUIRE = re.compile(r"([\w.\(\)\s]*?)(\w+)\s*\.\s*(?:lock|read|write)\s*\(\s*\)")
+AWAIT = re.compile(r"\.\s*await\b")
+FN_DEF = re.compile(r"^\s*(?:pub(?:\([\w:\s]+\))?\s+)?(?:const\s+)?(async\s+)?fn\s+(\w+)")
+ASYNC_BLOCK = re.compile(r"\basync\s+(?:move\s+)?\{")
+# Call-graph edges are deliberately narrow: free/path calls (`helper(..)`,
+# `frame::decode(..)`) and `self.method(..)` only. A method call on any
+# other receiver (`rx.recv()`, `conn.send()`) is NOT an edge — resolving
+# those by bare name links every `recv` in the tree to every other and
+# drowns the report in phantom chains; the dangerous ones are already
+# caught point-blank by the blocking-pattern table at the call site.
+FREE_CALL = re.compile(r"(?<![\w.])([a-z_][a-z0-9_]*)\s*\(")
+SELF_METHOD = re.compile(r"\bself\s*\.\s*([a-z_][a-z0-9_]*)\s*\(")
+
+RUST_KEYWORDS = {
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in",
+    "move", "ref", "mut", "as", "use", "where", "impl", "dyn", "box",
+    "unsafe", "else", "continue", "break", "struct", "enum", "type",
+}
+
+# Names defined so many times across the tree that a name-based edge says
+# nothing (`reader_task` calling `FrameDecoder::new` is not a path into
+# every other type's `new`). Calls to these are not followed as edges.
+NONSPECIFIC_CALLEES = {
+    "new", "default", "clone", "drop", "len", "is_empty", "min", "max",
+    "get", "insert", "remove", "push", "iter", "name", "send", "recv",
+}
+
+
+def strip_test_blocks(lines):
+    """Yields (lineno, line) outside #[cfg(test)] item blocks."""
+    i, n = 0, len(lines)
+    while i < n:
+        if re.search(r"#\[cfg\(test\)\]", lines[i]):
+            depth, opened = 0, False
+            while i < n:
+                for ch in lines[i]:
+                    if ch == "{":
+                        depth += 1
+                        opened = True
+                    elif ch == "}":
+                        depth -= 1
+                if opened and depth <= 0:
+                    break
+                i += 1
+            i += 1
+            continue
+        yield i + 1, lines[i]
+        i += 1
+
+
+def split_code(line):
+    """The code part of a line (before any // comment)."""
+    return line.split("//")[0] if "//" in line else line
+
+
+def exempt(line, prev):
+    return "async-ok:" in line or "async-ok:" in prev
+
+
+class FnBody:
+    """One function (or synthetic async-block root) with its code lines."""
+
+    def __init__(self, name, rel, is_async, lines):
+        self.name = name
+        self.rel = rel
+        self.is_async = is_async
+        self.lines = lines  # [(lineno, raw_line)]
+        self.calls = set()
+        self.blocking = []  # [(lineno, rule, stripped_line)]
+
+    def qual(self):
+        return f"{self.rel}:{self.name}"
+
+
+def parse_functions(rel, text):
+    """-> list of FnBody: every fn, plus synthetic roots for async blocks.
+
+    Bodies are brace-matched from the fn signature; an ``async {}`` block
+    inside a sync fn becomes its own async root (the enclosing fn keeps
+    the lines too, which only makes the analysis more conservative).
+    """
+    code_lines = [(no, line) for no, line in strip_test_blocks(text.splitlines())]
+    fns = []
+    i = 0
+    while i < len(code_lines):
+        no, line = code_lines[i]
+        m = FN_DEF.match(split_code(line))
+        if not m:
+            i += 1
+            continue
+        is_async, name = bool(m.group(1)), m.group(2)
+        depth, opened, body = 0, False, []
+        while i < len(code_lines):
+            bno, bline = code_lines[i]
+            body.append((bno, bline))
+            for ch in split_code(bline):
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+            if opened and depth <= 0:
+                break
+            i += 1
+        fns.append(FnBody(name, rel, is_async, body))
+        i += 1
+    # Synthetic async roots for async blocks inside sync fns.
+    for fn in list(fns):
+        if fn.is_async:
+            continue
+        j = 0
+        blocks = 0
+        while j < len(fn.lines):
+            no, line = fn.lines[j]
+            if ASYNC_BLOCK.search(split_code(line)):
+                depth, opened, sub = 0, False, []
+                while j < len(fn.lines):
+                    bno, bline = fn.lines[j]
+                    sub.append((bno, bline))
+                    for ch in split_code(bline):
+                        if ch == "{":
+                            depth += 1
+                            opened = True
+                        elif ch == "}":
+                            depth -= 1
+                    if opened and depth <= 0:
+                        break
+                    j += 1
+                blocks += 1
+                fns.append(
+                    FnBody(f"{fn.name}::async_block_{blocks}", fn.rel, True, sub)
+                )
+            j += 1
+    return fns
+
+
+def analyze_fn(fn, findings, lock_edges):
+    """Per-function pass: calls, blocking sites, guard scopes, lock edges."""
+    in_data_plane = Path(fn.rel).parts[:3] in DATA_PLANE_CRATES
+    guards = []  # live guards: [name or None, lock_id, brace_depth]
+    depth = 0
+    prev = ""
+    for no, raw in fn.lines:
+        code = split_code(raw)
+        is_sig = bool(FN_DEF.match(code))
+
+        # Collect callee names for the reachability graph.
+        for callee in FREE_CALL.findall(code) + SELF_METHOD.findall(code):
+            if callee not in RUST_KEYWORDS and callee not in NONSPECIFIC_CALLEES:
+                fn.calls.add(callee)
+
+        # Blocking-call sites (await-aware for channel recv). A fn
+        # signature line is a definition, not a call — `pub fn
+        # block_sleep(..)` must not flag itself.
+        for rule, pat in BLOCKING_CALLS if not is_sig else []:
+            m = pat.search(code)
+            if not m:
+                continue
+            if rule == "sync-recv" and AWAIT.search(code[m.end():]):
+                continue  # async recv: `rx.recv().await`
+            if rule == "block-on" and in_data_plane and not exempt(raw, prev):
+                findings.append(
+                    f"{fn.rel}:{no}: [async-blocking] `block_on` in a "
+                    f"data-plane crate (fn `{fn.name}`): parking a packet-"
+                    "path worker on a future reintroduces head-of-line "
+                    f"blocking — {raw.strip()}"
+                )
+            if not exempt(raw, prev):
+                fn.blocking.append((no, rule, raw.strip()))
+
+        # Guard-scope tracking by brace depth.
+        entry_depth = depth
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+        guards = [g for g in guards if g[2] <= min(entry_depth, depth)]
+        dm = re.search(r"\bdrop\s*\(\s*(\w+)\s*\)", code)
+        if dm:
+            guards = [g for g in guards if g[0] != dm.group(1)]
+
+        for am in LOCK_ACQUIRE.finditer(code):
+            lock_id = am.group(2)
+            if lock_id in ("self", "std"):
+                continue
+            crate = Path(fn.rel).parts[1] if len(Path(fn.rel).parts) > 1 else fn.rel
+            qualified = f"{crate}:{lock_id}"
+            for _, held, _ in guards:
+                if held != qualified:
+                    lock_edges.setdefault((held, qualified), f"{fn.rel}:{no}")
+            bm = re.match(r"\s*let\s+(?:mut\s+)?(\w+)\s*=", code)
+            if bm and not re.search(
+                rf"{re.escape(am.group(0))}\s*\.", code
+            ):  # `let g = x.lock();` binds a guard; `x.lock().f()` is a temporary
+                guards.append((bm.group(1), qualified, entry_depth))
+
+        # Await while a guard is live (async contexts only).
+        if fn.is_async and AWAIT.search(code) and guards and not exempt(raw, prev):
+            held = ", ".join(sorted({g[1] for g in guards}))
+            findings.append(
+                f"{fn.rel}:{no}: [await-guard] `.await` in async fn "
+                f"`{fn.name}` while holding lock guard(s) {held}: the task "
+                "can park indefinitely with the lock held, stalling every "
+                f"det-executor poll that needs it — {raw.strip()}"
+            )
+        prev = raw
+
+
+def find_lock_cycles(lock_edges):
+    """DFS cycle detection over the acquisition-order graph."""
+    graph = {}
+    for (a, b), site in lock_edges.items():
+        graph.setdefault(a, []).append((b, site))
+    findings = []
+    seen_cycles = set()
+
+    def dfs(node, stack, sites):
+        for nxt, site in graph.get(node, []):
+            if nxt in stack:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    path = " -> ".join(cycle)
+                    where = "; ".join(sites + [site])
+                    findings.append(
+                        f"[lock-cycle] lock acquisition order cycle "
+                        f"{path} (edges at {where}): two threads taking "
+                        "these locks in opposite orders deadlock"
+                    )
+                continue
+            dfs(nxt, stack + [nxt], sites + [site])
+
+    for node in list(graph):
+        dfs(node, [node], [])
+    return findings
+
+
+def find_async_blocking(fns):
+    """BFS from async roots through the name-based call graph."""
+    by_name = {}
+    for fn in fns:
+        by_name.setdefault(fn.name, []).append(fn)
+    findings = []
+    reported = set()
+    for root in fns:
+        if not root.is_async:
+            continue
+        # Direct blocking sites in the async body itself.
+        for no, rule, line in root.blocking:
+            key = (root.rel, no)
+            if key not in reported:
+                reported.add(key)
+                findings.append(
+                    f"{root.rel}:{no}: [async-blocking] {rule} inside async "
+                    f"`{root.name}`: blocks the det-executor poll (and a "
+                    f"production worker thread) — {line}"
+                )
+        # Reachable named functions with blocking sites.
+        seen = {root.name}
+        frontier = [(root, [root.name])]
+        while frontier:
+            fn, path = frontier.pop()
+            for callee in sorted(fn.calls):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                for target in by_name.get(callee, []):
+                    for no, rule, line in target.blocking:
+                        key = (target.rel, no)
+                        if key not in reported:
+                            reported.add(key)
+                            chain = " -> ".join(path + [callee])
+                            findings.append(
+                                f"{target.rel}:{no}: [async-blocking] {rule} "
+                                f"reachable from async `{root.name}` via "
+                                f"{chain}: blocks the det-executor poll — "
+                                f"{line}"
+                            )
+                    frontier.append((target, path + [callee]))
+    return findings
+
+
+def rust_sources():
+    for path in sorted(ROOT.rglob("*.rs")):
+        rel = path.relative_to(ROOT)
+        parts = set(rel.parts)
+        if parts & SKIP_DIRS or parts & SKIP_PARTS:
+            continue
+        yield rel
+
+
+def run(files):
+    """-> findings for {relname: text}."""
+    findings = []
+    lock_edges = {}
+    all_fns = []
+    for rel, text in files.items():
+        for fn in parse_functions(rel, text):
+            analyze_fn(fn, findings, lock_edges)
+            all_fns.append(fn)
+    findings.extend(find_lock_cycles(lock_edges))
+    findings.extend(find_async_blocking(all_fns))
+    return findings, len(all_fns)
+
+
+def self_test():
+    """Each analysis must catch its planted bug and pass its clean twin."""
+    lock_cycle = {
+        "crates/net/src/x.rs": (
+            "fn ship(&self) {\n"
+            "    let a = self.dial.lock();\n"
+            "    let b = self.conns.lock();\n"
+            "    b.push(a.take());\n"
+            "}\n"
+            "fn recover(&self) {\n"
+            "    let b = self.conns.lock();\n"
+            "    let a = self.dial.lock();\n"
+            "    a.merge(b.drain());\n"
+            "}\n"
+        )
+    }
+    await_guard = {
+        "crates/net/src/x.rs": (
+            "async fn route(&self) {\n"
+            "    let pending = self.state.pending.lock();\n"
+            "    self.out.send(f).await;\n"
+            "    pending.remove(&f.seq);\n"
+            "}\n"
+        )
+    }
+    blocking_reachable = {
+        "crates/net/src/x.rs": (
+            "fn settle(&self) {\n"
+            "    std::thread::sleep(self.backoff);\n"
+            "}\n"
+            "async fn pump(&self) {\n"
+            "    loop { self.settle(); }\n"
+            "}\n"
+        )
+    }
+    block_on_sync = {
+        "crates/net/src/x.rs": (
+            "fn bridge(&self) {\n"
+            "    self.rt.block_on(self.fut());\n"
+            "}\n"
+        )
+    }
+    sync_recv_in_async_block = {
+        "crates/net/src/x.rs": (
+            "fn spawn_pump(&self) {\n"
+            "    self.rt.spawn(async move {\n"
+            "        let f = rxq.recv_timeout(BUDGET);\n"
+            "    });\n"
+            "}\n"
+        )
+    }
+    cases = [
+        (lock_cycle, "[lock-cycle]"),
+        (await_guard, "[await-guard]"),
+        (blocking_reachable, "[async-blocking] thread-sleep reachable"),
+        (block_on_sync, "[async-blocking] `block_on` in a data-plane"),
+        (sync_recv_in_async_block, "[async-blocking] sync-recv inside async"),
+    ]
+    for files, expect in cases:
+        got, _ = run(files)
+        assert any(expect in f for f in got), (
+            f"self-test: expected a finding containing {expect!r}, got {got!r}"
+        )
+    clean = {
+        "crates/net/src/x.rs": (
+            # Consistent lock order, guard dropped before await, async
+            # recv, annotated thread-per-task branch.
+            "fn ship(&self) {\n"
+            "    let a = self.dial.lock();\n"
+            "    let b = self.conns.lock();\n"
+            "}\n"
+            "fn reuse(&self) {\n"
+            "    let a = self.dial.lock();\n"
+            "    let b = self.conns.lock();\n"
+            "}\n"
+            "async fn route(&self) {\n"
+            "    {\n"
+            "        let pending = self.state.pending.lock();\n"
+            "        pending.insert(id, tx);\n"
+            "    }\n"
+            "    while let Some(f) = rx.recv().await {\n"
+            "        // async-ok: thread-per-task branch, det mode uses try_recv\n"
+            "        let g = rxq.recv_timeout(BUDGET);\n"
+            "    }\n"
+            "}\n"
+        )
+    }
+    got, _ = run(clean)
+    assert not got, f"self-test: clean fixture flagged: {got!r}"
+    print("analyze_async_safety: self-test ok")
+
+
+def main():
+    if "--self-test" in sys.argv:
+        self_test()
+        return 0
+    files = {str(rel): (ROOT / rel).read_text() for rel in rust_sources()}
+    findings, nfns = run(files)
+    if findings:
+        for f in findings:
+            print(f"analyze_async_safety: {f}")
+        print(f"analyze_async_safety: {len(findings)} finding(s)")
+        return 1
+    print(
+        f"analyze_async_safety: clean — {len(files)} files, {nfns} functions, "
+        "no lock cycles, no awaits under guards, no blocking calls in async "
+        "reach"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

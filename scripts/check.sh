@@ -16,15 +16,22 @@
 # committed BENCH_baseline_quick.json; >10% throughput regression fails,
 # override with FTC_BENCH_TOLERANCE=0.25):
 #   scripts/check.sh --bench-gate
+#
+# Async-transport model checker (deterministic interleaving x fault
+# schedules over the real socket backend, ~1 second at the PR-gate bound;
+# FTC_TRANSPORT_DEEP=1 raises the bound — CI runs the deep sweep nightly):
+#   scripts/check.sh --transport-check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_PROTOCOL=0
 RUN_BENCH_GATE=0
+RUN_TRANSPORT=0
 for arg in "$@"; do
     case "$arg" in
     --protocol) RUN_PROTOCOL=1 ;;
     --bench-gate) RUN_BENCH_GATE=1 ;;
+    --transport-check) RUN_TRANSPORT=1 ;;
     *)
         echo "check.sh: unknown argument: $arg" >&2
         exit 2
@@ -37,6 +44,8 @@ cargo fmt --all -- --check
 python3 scripts/forbidden_patterns.py
 python3 scripts/analyze_state_access.py --self-test
 python3 scripts/analyze_state_access.py
+python3 scripts/analyze_async_safety.py --self-test
+python3 scripts/analyze_async_safety.py
 
 if [[ "$RUN_PROTOCOL" == "1" ]]; then
     echo "check.sh: protocol model checker (f=1 exhaustive)"
@@ -54,6 +63,24 @@ if [[ "$RUN_BENCH_GATE" == "1" ]]; then
     python3 scripts/bench_gate.py \
         BENCH_baseline_quick.json target/BENCH_fresh_quick.json \
         --tolerance "${FTC_BENCH_TOLERANCE:-0.10}"
+fi
+
+if [[ "$RUN_TRANSPORT" == "1" ]]; then
+    if [[ "${FTC_TRANSPORT_DEEP:-0}" == "1" ]]; then
+        echo "check.sh: async-transport model checker (deep nightly bound)"
+        FTC_TRANSPORT_DEEP=1 cargo test -q -p ftc-audit --release \
+            --test async_transport -- --nocapture
+    else
+        echo "check.sh: async-transport model checker (PR gate bound)"
+        FTC_TRANSPORT_GATE=1 cargo test -q -p ftc-audit --release \
+            --test async_transport -- --nocapture
+    fi
+    # Sabotage self-test: the checker must catch the planted reconnect bug
+    # with a replayable witness. Separate cargo invocation on purpose —
+    # feature unification would poison every other ftc-net test.
+    echo "check.sh: async-transport sabotage fixture (T3 must fire)"
+    cargo test -q -p ftc-audit --release --features sabotage \
+        --test async_sabotage
 fi
 
 if [[ "${CHECK_MIRI:-0}" == "1" ]]; then

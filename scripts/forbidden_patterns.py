@@ -30,14 +30,7 @@ motivated by a past or feared class of concurrency bug:
                      steps. Modeled delays (WAN RTT emulation, heartbeat
                      cadence) are exempt via ``// forbidden-ok:
                      thread-sleep`` with the reason alongside.
-6. ``block-on``    — ``block_on`` in the data-plane crates
-                     (``crates/{packet,net,core,stm}``). The socket
-                     backend runs its I/O on dedicated reader/dialer
-                     threads precisely so the packet path never parks a
-                     worker on a future; bridging into async from a hot
-                     path reintroduces the head-of-line stall the
-                     thread-per-task design exists to avoid.
-7. ``sock-unwrap`` — ``.unwrap()`` in the socket transport
+6. ``sock-unwrap`` — ``.unwrap()`` in the socket transport
                      (``crates/net/src/sock.rs``). Every syscall there
                      can fail at any moment — a peer process is entitled
                      to die mid-write — and an unwrap turns a routine
@@ -115,22 +108,12 @@ PROTOCOL_CRATES = {
     ("crates", "orch", "src"),
 }
 
-# Crates on (or under) the packet hot path: no async bridging here.
-DATA_PLANE_CRATES = {
-    ("crates", "packet", "src"),
-    ("crates", "net", "src"),
-    ("crates", "core", "src"),
-    ("crates", "stm", "src"),
-}
-
-
 def check_file(rel, violations):
     text = (ROOT / rel).read_text()
     lines = text.splitlines()
     flags = atomic_bool_fields(text)
     in_packet_hot_path = rel.parts[:3] == ("crates", "packet", "src")
     in_protocol_crate = rel.parts[:3] in PROTOCOL_CRATES
-    in_data_plane = rel.parts[:3] in DATA_PLANE_CRATES
     in_sock_module = rel.parts[:3] == ("crates", "net", "src") and rel.name == "sock.rs"
     in_testkit = rel.name == "testkit.rs"
 
@@ -182,12 +165,10 @@ def check_file(rel, violations):
         ):
             violations.append((rel, lineno, "thread-sleep", line.strip()))
 
-        if (
-            in_data_plane
-            and re.search(r"\bblock_on\s*\(", code)
-            and not exempt("block-on")
-        ):
-            violations.append((rel, lineno, "block-on", line.strip()))
+        # The old regex-only ``block-on`` rule lived here; it moved to
+        # ``analyze_async_safety.py``, which still forbids ``block_on`` in
+        # the data-plane crates but does it brace/await-aware, alongside
+        # the lock-order and blocking-reachability analyses.
 
         if (
             in_sock_module

@@ -1,0 +1,536 @@
+//! Deterministic single-threaded scheduler mode ("det mode").
+//!
+//! The stand-in's default execution model is thread-per-task with
+//! blocking-in-poll I/O, which is honest but impossible to model-check: OS
+//! thread interleavings are not replayable. Det mode replaces it, per
+//! thread, with a seedable step-executor so that an exploration harness
+//! (`ftc_audit::async_check`) can drive the *real* socket backend through
+//! chosen interleavings:
+//!
+//! - **Explicit ready-queue.** [`enter`] installs a thread-local core;
+//!   while it is active, `tokio::spawn` enqueues the future here instead of
+//!   starting a thread. One task is polled per [`step`], picked by the
+//!   seeded chooser among all runnable tasks.
+//! - **Progress-generation parking.** A task whose poll returns `Pending`
+//!   is parked against the current *progress generation*. Any state change
+//!   that could unblock someone (channel send, sim-socket write, socket
+//!   shutdown) calls [`note_progress`], bumping the generation; every
+//!   parked task becomes runnable again and re-polls. This is coarser than
+//!   per-resource wakers but cannot miss a wakeup, which is what matters
+//!   for exploration soundness. Futures that call `cx.waker().wake*()`
+//!   (e.g. `yield_now`) are also re-queued directly.
+//! - **Virtual time.** [`now`]/[`now_ns`] read a virtual clock that only
+//!   advances when the executor is otherwise idle (or via [`block_sleep`]).
+//!   Timers registered by `tokio::time::sleep` live on the parked task
+//!   entries; when no task is runnable the clock jumps to the earliest
+//!   deadline. Backoff/RTO logic therefore runs at full speed and fully
+//!   deterministically.
+//! - **Seeded choice.** Every nondeterministic decision — which task to
+//!   poll, how many bytes a sim read returns — funnels through [`choose`],
+//!   backed by a splitmix/xorshift generator seeded at [`enter`]. A
+//!   schedule is therefore reproduced exactly by re-running with the same
+//!   seed (plus the same externally-applied fault plan); witnesses are
+//!   `(plan, seed)` pairs, no trace serialization needed. [`trace_hash`]
+//!   fingerprints the choice stream so harnesses can count *distinct*
+//!   interleavings.
+//! - **Step budget.** [`enter`] takes a poll budget; exceeding it marks the
+//!   run [`budget_exhausted`], which the harness reports as a
+//!   livelock/deadlock verdict (invariant T4).
+//!
+//! Driver code (the harness itself, or `sock.rs`'s blocking entry points
+//! such as RPC waits) must not block the executor thread; it cooperates via
+//! [`block_until`] / [`block_sleep`], which run executor steps while
+//! polling a condition. Those helpers panic if called from inside a task
+//! poll — a task that needs to wait must return `Pending` instead.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[derive(Debug)]
+enum TaskState {
+    /// Explicitly runnable (fresh spawn or woken via waker).
+    Ready,
+    /// Parked after a `Pending` poll; runnable again once the progress
+    /// generation moves past `gen` or the optional timer deadline is due.
+    Parked { gen: u64, timer_ns: Option<u64> },
+    /// Completed; slot retained so task ids stay stable.
+    Done,
+}
+
+struct TaskEntry {
+    fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    state: TaskState,
+}
+
+struct Core {
+    base: Instant,
+    now_ns: u64,
+    gen: u64,
+    tasks: Vec<TaskEntry>,
+    rng: u64,
+    steps: u64,
+    step_budget: u64,
+    budget_exhausted: bool,
+    choices: u64,
+    trace_hash: u64,
+    in_poll: bool,
+    timer_req: Option<u64>,
+}
+
+thread_local! {
+    static CORE: RefCell<Option<Core>> = const { RefCell::new(None) };
+    static WOKEN: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Waker handed to det-mode task polls: wake == "mark that task Ready".
+/// Pushes to a side list (not the core) so `wake_by_ref` from inside a poll
+/// cannot re-enter the core's `RefCell`.
+struct TaskWaker(usize);
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        WOKEN.with(|w| w.borrow_mut().push(self.0));
+    }
+}
+
+/// Guard for an active det-mode session; dropping it tears the executor
+/// down (dropping all task futures) and clears the sim-socket registry.
+#[derive(Debug)]
+pub struct DetGuard {
+    _priv: (),
+}
+
+impl Drop for DetGuard {
+    fn drop(&mut self) {
+        CORE.with(|c| c.borrow_mut().take());
+        WOKEN.with(|w| w.borrow_mut().clear());
+        crate::sim::reset();
+    }
+}
+
+/// Enter det mode on this thread with the given choice seed and poll
+/// budget. Panics if det mode is already active (no nesting).
+pub fn enter(seed: u64, step_budget: u64) -> DetGuard {
+    CORE.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "det::enter: det mode already active on this thread"
+        );
+        // splitmix64 scramble so that nearby seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        *slot = Some(Core {
+            base: Instant::now(),
+            now_ns: 0,
+            gen: 0,
+            tasks: Vec::new(),
+            rng: z | 1,
+            steps: 0,
+            step_budget,
+            budget_exhausted: false,
+            choices: 0,
+            trace_hash: FNV_OFFSET,
+            in_poll: false,
+            timer_req: None,
+        });
+    });
+    crate::sim::reset();
+    DetGuard { _priv: () }
+}
+
+/// True while det mode is active on this thread.
+pub fn active() -> bool {
+    CORE.with(|c| c.borrow().is_some())
+}
+
+fn with_core<R>(f: impl FnOnce(&mut Core) -> R) -> R {
+    CORE.with(|c| {
+        let mut slot = c.borrow_mut();
+        let core = slot.as_mut().expect("det mode not active");
+        f(core)
+    })
+}
+
+/// Virtual now as nanoseconds since [`enter`].
+pub fn now_ns() -> u64 {
+    with_core(|c| c.now_ns)
+}
+
+/// Virtual clock: a fixed base `Instant` (captured at [`enter`]) plus the
+/// virtual offset, so code mixing `Instant` arithmetic keeps working.
+pub fn now() -> Instant {
+    with_core(|c| c.base + Duration::from_nanos(c.now_ns))
+}
+
+/// Record a state change that could unblock a parked task: bump the
+/// progress generation. Cheap no-op when det mode is inactive.
+pub fn note_progress() {
+    CORE.with(|c| {
+        if let Some(core) = c.borrow_mut().as_mut() {
+            core.gen += 1;
+        }
+    });
+}
+
+fn next_choice(core: &mut Core, n: u32) -> u32 {
+    // xorshift64* step.
+    let mut x = core.rng;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    core.rng = x;
+    let v = ((x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 33) as u32 % n.max(1);
+    core.choices += 1;
+    core.trace_hash = (core.trace_hash ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+    v
+}
+
+/// Draw one schedule decision in `0..n`. Every source of nondeterminism in
+/// a det run funnels through here, which is what makes `(plan, seed)`
+/// witnesses replayable.
+pub fn choose(n: u32) -> u32 {
+    with_core(|c| next_choice(c, n))
+}
+
+/// Number of choices drawn so far this run.
+pub fn choices() -> u64 {
+    with_core(|c| c.choices)
+}
+
+/// FNV fingerprint of the choice stream; two runs with equal hashes took
+/// the same decisions at every branch point.
+pub fn trace_hash() -> u64 {
+    with_core(|c| c.trace_hash)
+}
+
+/// Task polls executed so far this run.
+pub fn steps() -> u64 {
+    with_core(|c| c.steps)
+}
+
+/// True once the poll budget has been exceeded (T4: livelock verdict).
+pub fn budget_exhausted() -> bool {
+    with_core(|c| c.budget_exhausted)
+}
+
+/// Register a virtual-time wakeup for the task currently being polled.
+/// Called by det-aware leaf futures (`time::sleep`, [`idle_wait`]).
+pub(crate) fn request_timer(deadline_ns: u64) {
+    with_core(|c| {
+        debug_assert!(c.in_poll, "request_timer outside a task poll");
+        c.timer_req = Some(match c.timer_req {
+            Some(t) => t.min(deadline_ns),
+            None => deadline_ns,
+        });
+    });
+}
+
+/// Spawn a boxed future onto the det executor.
+pub(crate) fn spawn_boxed(fut: Pin<Box<dyn Future<Output = ()>>>) {
+    with_core(|c| {
+        c.tasks.push(TaskEntry {
+            fut: Some(fut),
+            state: TaskState::Ready,
+        });
+    });
+}
+
+fn eligible_ids(core: &Core) -> Vec<usize> {
+    core.tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t.state {
+            TaskState::Ready => true,
+            TaskState::Parked { gen, timer_ns } => {
+                gen < core.gen || timer_ns.is_some_and(|d| d <= core.now_ns)
+            }
+            TaskState::Done => false,
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Poll one eligible task, chooser-picked. Returns false if none is
+/// eligible at the current virtual time or the budget is spent.
+fn poll_one_eligible() -> bool {
+    let picked = with_core(|core| {
+        if core.budget_exhausted {
+            return None;
+        }
+        let elig = eligible_ids(core);
+        if elig.is_empty() {
+            return None;
+        }
+        if core.steps >= core.step_budget {
+            core.budget_exhausted = true;
+            return None;
+        }
+        core.steps += 1;
+        let idx = elig[next_choice(core, elig.len() as u32) as usize];
+        core.in_poll = true;
+        core.timer_req = None;
+        Some((
+            idx,
+            core.tasks[idx]
+                .fut
+                .take()
+                .expect("eligible task without future"),
+        ))
+    });
+    let Some((idx, mut fut)) = picked else {
+        return false;
+    };
+    let waker = Waker::from(Arc::new(TaskWaker(idx)));
+    let mut cx = Context::from_waker(&waker);
+    let res = fut.as_mut().poll(&mut cx);
+    with_core(|core| {
+        core.in_poll = false;
+        match res {
+            Poll::Ready(()) => core.tasks[idx].state = TaskState::Done,
+            Poll::Pending => {
+                core.tasks[idx].fut = Some(fut);
+                core.tasks[idx].state = TaskState::Parked {
+                    gen: core.gen,
+                    timer_ns: core.timer_req.take(),
+                };
+            }
+        }
+        WOKEN.with(|w| {
+            for id in w.borrow_mut().drain(..) {
+                if matches!(core.tasks[id].state, TaskState::Parked { .. }) {
+                    core.tasks[id].state = TaskState::Ready;
+                }
+            }
+        });
+    });
+    true
+}
+
+fn next_timer_ns() -> Option<u64> {
+    with_core(|core| {
+        core.tasks
+            .iter()
+            .filter_map(|t| match t.state {
+                TaskState::Parked { timer_ns, .. } => timer_ns,
+                _ => None,
+            })
+            .min()
+    })
+}
+
+fn advance_to(target_ns: u64) {
+    with_core(|core| {
+        if target_ns > core.now_ns {
+            core.now_ns = target_ns;
+        }
+    });
+}
+
+/// Advance the virtual clock by `dur` without running tasks (timers due in
+/// the window become runnable on the next step).
+pub fn advance(dur: Duration) {
+    let target = now_ns().saturating_add(dur.as_nanos() as u64);
+    advance_to(target);
+}
+
+/// One executor step for exploration harnesses: poll one eligible task, or
+/// — if none — jump virtual time to the earliest timer. Returns false when
+/// fully idle (quiesced: nothing runnable, no timers) or out of budget.
+pub fn step() -> bool {
+    if poll_one_eligible() {
+        return true;
+    }
+    if budget_exhausted() {
+        return false;
+    }
+    match next_timer_ns() {
+        Some(t) => {
+            advance_to(t);
+            // The timer's owner becomes eligible; poll it now so `step`
+            // always makes real progress when it returns true.
+            poll_one_eligible()
+        }
+        None => false,
+    }
+}
+
+/// True when no task is runnable at the *current* virtual instant.
+/// Pending periodic timers (e.g. idle housekeeping loops) do not count:
+/// quiescence means the system only moves again if time moves.
+pub fn quiesced_now() -> bool {
+    with_core(|c| !c.budget_exhausted && eligible_ids(c).is_empty())
+}
+
+/// Cooperatively wait (driver side) until `cond` yields a value, running
+/// executor steps and advancing virtual time as needed. `timeout` is in
+/// virtual time; `None` waits until the executor fully quiesces. Returns
+/// `None` on timeout, quiescence without progress, or budget exhaustion.
+///
+/// Panics if called from inside a task poll — tasks must return `Pending`.
+pub fn block_until<T>(timeout: Option<Duration>, mut cond: impl FnMut() -> Option<T>) -> Option<T> {
+    with_core(|c| {
+        assert!(
+            !c.in_poll,
+            "det::block_until called from inside a task poll; return Pending instead"
+        )
+    });
+    let deadline = timeout.map(|d| now_ns().saturating_add(d.as_nanos() as u64));
+    loop {
+        if let Some(v) = cond() {
+            return Some(v);
+        }
+        if budget_exhausted() {
+            return None;
+        }
+        if let Some(d) = deadline {
+            if now_ns() >= d {
+                return None;
+            }
+        }
+        if poll_one_eligible() {
+            continue;
+        }
+        // Idle at this instant: advance virtual time to the next timer,
+        // capped at the caller's deadline.
+        let target = match (next_timer_ns(), deadline) {
+            (Some(t), Some(d)) => t.min(d),
+            (Some(t), None) => t,
+            (None, Some(d)) => d,
+            // No timers, no deadline, nothing runnable: true deadlock with
+            // respect to `cond`.
+            (None, None) => return None,
+        };
+        advance_to(target);
+    }
+}
+
+/// Driver-side virtual sleep: run the executor while the clock advances by
+/// `dur`. The det-mode replacement for `std::thread::sleep` in backoff
+/// loops.
+pub fn block_sleep(dur: Duration) {
+    let target = now_ns().saturating_add(dur.as_nanos() as u64);
+    let _ = block_until(
+        Some(dur),
+        || if now_ns() >= target { Some(()) } else { None },
+    );
+    advance_to(target);
+}
+
+/// Task-side "wait for activity or a timeout": parks the calling task until
+/// the progress generation moves or `dur` of virtual time elapses,
+/// whichever is first. Det-mode replacement for idle `recv_timeout` loops.
+pub fn idle_wait(dur: Duration) -> IdleWait {
+    IdleWait { dur, armed: false }
+}
+
+/// Future returned by [`idle_wait`].
+#[derive(Debug)]
+pub struct IdleWait {
+    dur: Duration,
+    armed: bool,
+}
+
+impl Future for IdleWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if !active() {
+            return Poll::Ready(());
+        }
+        if self.armed {
+            // Re-polled because the generation moved or the timer fired.
+            Poll::Ready(())
+        } else {
+            self.armed = true;
+            let deadline = now_ns().saturating_add(self.dur.as_nanos() as u64);
+            request_timer(deadline);
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::mpsc;
+
+    #[test]
+    fn spawn_and_quiesce() {
+        let _g = enter(1, 10_000);
+        let (tx, mut rx) = mpsc::unbounded_channel::<u32>();
+        crate::spawn(async move {
+            tx.send(7).await.unwrap();
+        });
+        let got = block_until(None, || rx.try_recv().ok());
+        assert_eq!(got, Some(7));
+        while step() {}
+        assert!(quiesced_now());
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut hashes = Vec::new();
+        for _ in 0..2 {
+            let _g = enter(42, 10_000);
+            for n in 2..10 {
+                let _ = choose(n);
+            }
+            hashes.push(trace_hash());
+        }
+        assert_eq!(hashes[0], hashes[1]);
+        let _g = enter(43, 10_000);
+        for n in 2..10 {
+            let _ = choose(n);
+        }
+        assert_ne!(hashes[0], trace_hash(), "different seed should diverge");
+    }
+
+    #[test]
+    fn virtual_sleep_is_instant_and_ordered() {
+        let _g = enter(3, 10_000);
+        let (tx, mut rx) = mpsc::unbounded_channel::<u32>();
+        let tx2 = tx.clone();
+        crate::spawn(async move {
+            crate::time::sleep(Duration::from_secs(5)).await;
+            tx.send(2).await.unwrap();
+        });
+        crate::spawn(async move {
+            crate::time::sleep(Duration::from_secs(1)).await;
+            tx2.send(1).await.unwrap();
+        });
+        let wall = Instant::now();
+        let a = block_until(None, || rx.try_recv().ok());
+        let b = block_until(None, || rx.try_recv().ok());
+        assert_eq!((a, b), (Some(1), Some(2)), "timers fire in deadline order");
+        assert!(now_ns() >= 5_000_000_000);
+        assert!(
+            wall.elapsed() < Duration::from_secs(1),
+            "virtual, not wall time"
+        );
+    }
+
+    #[test]
+    fn budget_flags_livelock() {
+        let _g = enter(9, 64);
+        crate::spawn(async {
+            loop {
+                crate::task::yield_now().await;
+            }
+        });
+        while step() {}
+        assert!(budget_exhausted());
+    }
+}

@@ -26,9 +26,20 @@
 //! Read/write methods are inherent `async fn`s on the stream types rather
 //! than `AsyncReadExt`/`AsyncWriteExt` extension-trait methods; call sites
 //! look the same minus the trait imports.
+//!
+//! There is a second execution mode: [`det`] installs a thread-local
+//! deterministic single-threaded step-executor with virtual time and a
+//! seeded scheduler, and [`sim`] provides in-memory sockets with fault
+//! injection. While det mode is active on a thread, `spawn`, the channels,
+//! `time::sleep`, and sim-socket I/O all route through the deterministic
+//! core, so model-checking harnesses can replay exact interleavings from a
+//! `(plan, seed)` pair. Real TCP/UDS sockets are not det-aware; det-mode
+//! runs use [`sim`] streams.
 
+pub mod det;
 pub mod net;
 pub mod runtime;
+pub mod sim;
 pub mod sync;
 pub mod task;
 pub mod time;

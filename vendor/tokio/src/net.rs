@@ -16,11 +16,15 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
 use std::path::Path;
 
-/// Internal socket handle, unifying TCP and UDS for shared halves.
+use crate::sim::SimStream;
+
+/// Internal socket handle, unifying TCP, UDS, and [det-mode
+/// sim](crate::sim) streams so transport code holds halves uniformly.
 #[derive(Debug)]
 enum Io {
     Tcp(std::net::TcpStream),
     Unix(std::os::unix::net::UnixStream),
+    Sim(SimStream),
 }
 
 impl Io {
@@ -28,20 +32,25 @@ impl Io {
         match self {
             Io::Tcp(s) => s.try_clone().map(Io::Tcp),
             Io::Unix(s) => s.try_clone().map(Io::Unix),
+            Io::Sim(s) => Ok(Io::Sim(s.clone())),
         }
     }
 
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+    /// Blocking read for the OS-socket variants; sim reads go through the
+    /// async path in [`OwnedReadHalf::read`] instead.
+    fn read_blocking(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {
             Io::Tcp(s) => s.read(buf),
             Io::Unix(s) => s.read(buf),
+            Io::Sim(_) => unreachable!("sim reads use the poll-based path"),
         }
     }
 
-    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+    fn read_exact_blocking(&mut self, buf: &mut [u8]) -> io::Result<()> {
         match self {
             Io::Tcp(s) => s.read_exact(buf),
             Io::Unix(s) => s.read_exact(buf),
+            Io::Sim(_) => unreachable!("sim reads use the poll-based path"),
         }
     }
 
@@ -49,6 +58,7 @@ impl Io {
         match self {
             Io::Tcp(s) => s.write_all(buf),
             Io::Unix(s) => s.write_all(buf),
+            Io::Sim(s) => s.write_all(buf),
         }
     }
 
@@ -56,6 +66,7 @@ impl Io {
         match self {
             Io::Tcp(s) => s.flush(),
             Io::Unix(s) => s.flush(),
+            Io::Sim(_) => Ok(()),
         }
     }
 
@@ -63,8 +74,25 @@ impl Io {
         match self {
             Io::Tcp(s) => s.shutdown(how),
             Io::Unix(s) => s.shutdown(how),
+            Io::Sim(s) => {
+                match how {
+                    Shutdown::Write => s.shutdown_write(),
+                    Shutdown::Read | Shutdown::Both => s.shutdown_both(),
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// Split a det-mode sim stream into the unified owned halves.
+pub(crate) fn sim_split(s: SimStream) -> (OwnedReadHalf, OwnedWriteHalf) {
+    (
+        OwnedReadHalf {
+            io: Io::Sim(s.clone()),
+        },
+        OwnedWriteHalf { io: Io::Sim(s) },
+    )
 }
 
 /// Handle that unblocks a task stuck in a read/write on the same socket by
@@ -91,14 +119,34 @@ pub struct OwnedReadHalf {
 }
 
 impl OwnedReadHalf {
-    /// Read up to `buf.len()` bytes; `Ok(0)` means EOF.
+    /// Read up to `buf.len()` bytes; `Ok(0)` means EOF. Blocking-in-poll
+    /// for OS sockets; parks the task (det executor) for sim streams.
     pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.io.read(buf)
+        match &mut self.io {
+            Io::Sim(s) => s.read(buf).await,
+            io => io.read_blocking(buf),
+        }
     }
 
     /// Read exactly `buf.len()` bytes or fail.
     pub async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
-        self.io.read_exact(buf)
+        match &mut self.io {
+            Io::Sim(s) => {
+                let mut filled = 0;
+                while filled < buf.len() {
+                    let n = s.read(&mut buf[filled..]).await?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "sim stream closed mid read_exact",
+                        ));
+                    }
+                    filled += n;
+                }
+                Ok(())
+            }
+            io => io.read_exact_blocking(buf),
+        }
     }
 
     /// Obtain a cancellation handle for this socket.
@@ -168,7 +216,7 @@ impl TcpStream {
     pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
         match &self.io {
             Io::Tcp(s) => s.set_nodelay(nodelay),
-            Io::Unix(_) => Ok(()),
+            _ => Ok(()),
         }
     }
 
@@ -176,7 +224,7 @@ impl TcpStream {
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         match &self.io {
             Io::Tcp(s) => s.local_addr(),
-            Io::Unix(_) => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
+            _ => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
         }
     }
 
@@ -184,7 +232,7 @@ impl TcpStream {
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
         match &self.io {
             Io::Tcp(s) => s.peer_addr(),
-            Io::Unix(_) => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
+            _ => Err(io::Error::new(io::ErrorKind::Other, "not a TCP socket")),
         }
     }
 

@@ -1,0 +1,440 @@
+//! In-memory simulated sockets for [det mode](crate::det).
+//!
+//! A thread-local registry maps string names ("sim addresses") to
+//! listeners; `connect` pairs a client stream with a pending server stream
+//! synchronously, and all bytes move through in-memory per-direction
+//! buffers. Nothing here touches the OS, so a det-mode exploration run is
+//! hermetic: the registry is reset on every [`crate::det::enter`] and the
+//! same names can be reused run after run.
+//!
+//! Fault hooks for exploration harnesses:
+//!
+//! - [`refuse_next`]: make the next N dials to a name fail with
+//!   `ConnectionRefused` (exercises backoff/redial).
+//! - [`cut_conn`] / [`cut_all`]: break an established connection — buffered
+//!   bytes already written are still delivered, then readers see EOF and
+//!   writers get `BrokenPipe` (the same observable sequence as a peer
+//!   reset under the stand-in's shutdown-based cancellation).
+//! - [`cut_conn_after`]: break a connection automatically after N more
+//!   bytes are written in one direction — the partial-write fault, which
+//!   lands mid-frame at any byte offset the harness picks.
+//! - Short reads: when det mode is active, every read returns a
+//!   chooser-picked prefix of the buffered bytes, so frame-decoder
+//!   re-entry at arbitrary split points is explored for free.
+//!
+//! The registry is `thread_local!` because det mode is single-threaded by
+//! construction; two tests exploring concurrently from different threads
+//! get disjoint sim worlds.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::det;
+use crate::net::{OwnedReadHalf, OwnedWriteHalf};
+
+#[derive(Debug, Default)]
+struct DirState {
+    buf: VecDeque<u8>,
+    /// Writer gone (or connection cut): readers drain `buf` then see EOF.
+    closed: bool,
+    /// Partial-write fault: break the whole connection after this many
+    /// more bytes are accepted in this direction.
+    cut_after: Option<usize>,
+}
+
+/// One established sim connection: two independent directed byte pipes.
+/// Uses `std::sync::Mutex` (not `RefCell`) because stream halves are held
+/// by spawned futures, which must be `Send` to satisfy the spawn bounds —
+/// even though det mode never actually crosses threads.
+#[derive(Debug, Default)]
+pub(crate) struct SimConn {
+    c2s: Mutex<DirState>,
+    s2c: Mutex<DirState>,
+}
+
+impl SimConn {
+    /// Break the connection: both directions stop accepting writes and
+    /// readers see EOF after draining what was already delivered.
+    fn break_conn(&self) {
+        self.c2s.lock().unwrap().closed = true;
+        self.s2c.lock().unwrap().closed = true;
+        det::note_progress();
+    }
+}
+
+/// One endpoint of a sim connection. Cloning yields another handle to the
+/// same endpoint (the sim analogue of `try_clone`).
+#[derive(Debug, Clone)]
+pub struct SimStream {
+    conn: Arc<SimConn>,
+    client: bool,
+}
+
+impl SimStream {
+    fn out_dir(&self) -> &Mutex<DirState> {
+        if self.client {
+            &self.conn.c2s
+        } else {
+            &self.conn.s2c
+        }
+    }
+
+    fn in_dir(&self) -> &Mutex<DirState> {
+        if self.client {
+            &self.conn.s2c
+        } else {
+            &self.conn.c2s
+        }
+    }
+
+    /// Append the whole buffer to the outgoing pipe, honouring any armed
+    /// partial-write cut.
+    pub(crate) fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        let cut = {
+            let mut dir = self.out_dir().lock().unwrap();
+            if dir.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "sim conn closed"));
+            }
+            match dir.cut_after {
+                Some(rem) if buf.len() >= rem => {
+                    dir.buf.extend(&buf[..rem]);
+                    dir.cut_after = None;
+                    true
+                }
+                Some(rem) => {
+                    dir.buf.extend(buf);
+                    dir.cut_after = Some(rem - buf.len());
+                    false
+                }
+                None => {
+                    dir.buf.extend(buf);
+                    false
+                }
+            }
+        };
+        if cut {
+            self.conn.break_conn();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "sim conn cut mid-write",
+            ));
+        }
+        det::note_progress();
+        Ok(())
+    }
+
+    /// Non-blocking read attempt: `Ok(Some(n))` bytes copied, `Ok(None)`
+    /// would block, `Ok(Some(0))` EOF. In det mode the returned size is a
+    /// chooser-picked prefix of what is buffered (short-read exploration).
+    pub(crate) fn try_read(&self, buf: &mut [u8]) -> io::Result<Option<usize>> {
+        let mut dir = self.in_dir().lock().unwrap();
+        if dir.buf.is_empty() {
+            return if dir.closed { Ok(Some(0)) } else { Ok(None) };
+        }
+        if buf.is_empty() {
+            return Ok(Some(0));
+        }
+        let avail = dir.buf.len().min(buf.len());
+        let n = if det::active() && avail > 1 {
+            // Candidate split points: a 1-byte trickle, a small prefix
+            // (frame-header-ish), and everything available. Bounded to
+            // three so the schedule space stays explorable.
+            let mut cands = vec![1usize, avail.min(4), avail];
+            cands.sort_unstable();
+            cands.dedup();
+            let pick = det::choose(cands.len() as u32) as usize;
+            cands[pick]
+        } else {
+            avail
+        };
+        for (i, slot) in buf.iter_mut().enumerate().take(n) {
+            *slot = dir.buf.pop_front().expect("sim read underrun");
+            debug_assert!(i < n);
+        }
+        Ok(Some(n))
+    }
+
+    /// Read into `buf`, completing when bytes (or EOF/reset) are available.
+    pub(crate) fn read<'a>(&'a self, buf: &'a mut [u8]) -> SimRead<'a> {
+        SimRead { stream: self, buf }
+    }
+
+    /// Close the outgoing direction (EOF for the peer's reader).
+    pub(crate) fn shutdown_write(&self) {
+        self.out_dir().lock().unwrap().closed = true;
+        det::note_progress();
+    }
+
+    /// Break the connection in both directions (CancelHandle semantics).
+    pub(crate) fn shutdown_both(&self) {
+        self.conn.break_conn();
+    }
+
+    /// Split into the unified owned halves used by `ftc-net`.
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        crate::net::sim_split(self)
+    }
+}
+
+/// Future returned by [`SimStream::read`]; parks the task until bytes,
+/// EOF, or a reset arrive.
+#[derive(Debug)]
+pub(crate) struct SimRead<'a> {
+    stream: &'a SimStream,
+    buf: &'a mut [u8],
+}
+
+impl std::future::Future for SimRead<'_> {
+    type Output = io::Result<usize>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<io::Result<usize>> {
+        let me = self.get_mut();
+        match me.stream.try_read(me.buf) {
+            Ok(Some(n)) => std::task::Poll::Ready(Ok(n)),
+            Ok(None) => std::task::Poll::Pending,
+            Err(e) => std::task::Poll::Ready(Err(e)),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ListenerSlot {
+    pending: VecDeque<SimStream>,
+    refuse: u32,
+    open: bool,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    listeners: HashMap<String, ListenerSlot>,
+    conns: Vec<Arc<SimConn>>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Clear the registry. Called on every `det::enter`/`DetGuard` drop so
+/// exploration runs are hermetic.
+pub(crate) fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}
+
+/// Listener bound to a sim name; accept yields the server-side stream.
+#[derive(Debug)]
+pub struct SimListener {
+    name: String,
+}
+
+impl SimListener {
+    /// Bind `name`. Fails with `AddrInUse` if the name is already bound in
+    /// this thread's registry.
+    pub fn bind(name: &str) -> io::Result<SimListener> {
+        REGISTRY.with(|r| {
+            let mut reg = r.borrow_mut();
+            let slot = reg.listeners.entry(name.to_string()).or_default();
+            if slot.open {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("sim name {name:?} already bound"),
+                ));
+            }
+            slot.open = true;
+            Ok(SimListener {
+                name: name.to_string(),
+            })
+        })
+    }
+
+    /// Accept one pending connection (parks until a dial arrives).
+    pub async fn accept(&self) -> io::Result<(SimStream, String)> {
+        SimAccept { name: &self.name }.await
+    }
+}
+
+struct SimAccept<'a> {
+    name: &'a str,
+}
+
+impl std::future::Future for SimAccept<'_> {
+    type Output = io::Result<(SimStream, String)>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        REGISTRY.with(|r| {
+            let mut reg = r.borrow_mut();
+            match reg.listeners.get_mut(self.name) {
+                Some(slot) => match slot.pending.pop_front() {
+                    Some(s) => std::task::Poll::Ready(Ok((s, self.name.to_string()))),
+                    None if !slot.open => std::task::Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        "sim listener closed",
+                    ))),
+                    None => std::task::Poll::Pending,
+                },
+                None => std::task::Poll::Ready(Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "sim listener gone",
+                ))),
+            }
+        })
+    }
+}
+
+/// Dial `name`: synchronous (the registry is local). Honours
+/// [`refuse_next`] counts; unbound names refuse.
+pub fn connect(name: &str) -> io::Result<SimStream> {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        let Some(slot) = reg.listeners.get_mut(name) else {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("no sim listener at {name:?}"),
+            ));
+        };
+        if !slot.open {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("sim listener at {name:?} closed"),
+            ));
+        }
+        if slot.refuse > 0 {
+            slot.refuse -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("sim dial to {name:?} refused (fault injection)"),
+            ));
+        }
+        let conn = Arc::new(SimConn::default());
+        slot.pending.push_back(SimStream {
+            conn: Arc::clone(&conn),
+            client: false,
+        });
+        reg.conns.push(Arc::clone(&conn));
+        det::note_progress();
+        Ok(SimStream { conn, client: true })
+    })
+}
+
+/// Make the next `n` dials to `name` fail with `ConnectionRefused`.
+pub fn refuse_next(name: &str, n: u32) {
+    REGISTRY.with(|r| {
+        r.borrow_mut()
+            .listeners
+            .entry(name.to_string())
+            .or_default()
+            .refuse = n;
+    });
+}
+
+/// Number of connections established so far this run (cut ones included).
+pub fn conn_count() -> usize {
+    REGISTRY.with(|r| r.borrow().conns.len())
+}
+
+/// Break connection `idx` (establishment order) in both directions.
+pub fn cut_conn(idx: usize) {
+    let conn = REGISTRY.with(|r| r.borrow().conns.get(idx).cloned());
+    if let Some(c) = conn {
+        c.break_conn();
+    }
+}
+
+/// Arm a partial-write fault on connection `idx`: after `after` more bytes
+/// are written in the chosen direction, the connection breaks mid-write.
+pub fn cut_conn_after(idx: usize, client_to_server: bool, after: usize) {
+    REGISTRY.with(|r| {
+        if let Some(c) = r.borrow().conns.get(idx) {
+            let dir = if client_to_server { &c.c2s } else { &c.s2c };
+            dir.lock().unwrap().cut_after = Some(after);
+        }
+    });
+}
+
+/// Break every connection established so far.
+pub fn cut_all() {
+    let conns = REGISTRY.with(|r| r.borrow().conns.clone());
+    for c in conns {
+        c.break_conn();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll_once<F: std::future::Future>(fut: F) -> std::task::Poll<F::Output> {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: std::sync::Arc<Self>) {}
+        }
+        let waker = std::task::Waker::from(std::sync::Arc::new(Noop));
+        let mut cx = std::task::Context::from_waker(&waker);
+        let mut fut = Box::pin(fut);
+        fut.as_mut().poll(&mut cx)
+    }
+
+    #[test]
+    fn connect_write_read_roundtrip() {
+        let _g = det::enter(5, 10_000);
+        let l = SimListener::bind("a").unwrap();
+        let client = connect("a").unwrap();
+        client.write_all(b"hello").unwrap();
+        // The dial queued the server end synchronously, so accept is ready.
+        let std::task::Poll::Ready(Ok((server, _))) = poll_once(l.accept()) else {
+            panic!("accept should be ready after a queued dial");
+        };
+        let mut buf = [0u8; 16];
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            match server.try_read(&mut buf).unwrap() {
+                Some(n) => got.extend_from_slice(&buf[..n]),
+                None => break,
+            }
+        }
+        assert_eq!(&got, b"hello");
+    }
+
+    #[test]
+    fn refuse_then_accept() {
+        let _g = det::enter(6, 10_000);
+        let _l = SimListener::bind("b").unwrap();
+        refuse_next("b", 2);
+        assert!(connect("b").is_err());
+        assert!(connect("b").is_err());
+        assert!(connect("b").is_ok());
+    }
+
+    #[test]
+    fn cut_after_breaks_mid_write() {
+        let _g = det::enter(7, 10_000);
+        let _l = SimListener::bind("c").unwrap();
+        let client = connect("c").unwrap();
+        cut_conn_after(0, true, 3);
+        let err = client.write_all(b"abcdef").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The 3 bytes before the cut were delivered; then EOF.
+        let server = SimStream {
+            conn: REGISTRY.with(|r| r.borrow().conns[0].clone()),
+            client: false,
+        };
+        let mut buf = [0u8; 8];
+        let mut got = Vec::new();
+        loop {
+            match server.try_read(&mut buf).unwrap() {
+                Some(0) => break,
+                Some(n) => got.extend_from_slice(&buf[..n]),
+                None => panic!("cut conn must EOF, not block"),
+            }
+        }
+        assert_eq!(&got, b"abc");
+        assert!(client.write_all(b"x").is_err());
+    }
+}

@@ -77,6 +77,9 @@ pub mod mpsc {
             inner.senders -= 1;
             if inner.senders == 0 {
                 self.shared.recv_cv.notify_all();
+                drop(inner);
+                // A det-parked receiver must wake to observe disconnection.
+                crate::det::note_progress();
             }
         }
     }
@@ -92,11 +95,18 @@ pub mod mpsc {
                 if !full {
                     inner.buf.push_back(value);
                     self.shared.recv_cv.notify_one();
+                    drop(inner);
+                    // Wake det-parked receivers (no-op outside det mode).
+                    crate::det::note_progress();
                     return Ok(());
                 }
                 if !block {
                     return Err(TrySendError::Full(value));
                 }
+                assert!(
+                    !crate::det::active(),
+                    "blocking send on a full bounded mpsc is unsupported in det mode"
+                );
                 inner = self.shared.send_cv.wait(inner).expect("mpsc lock poisoned");
             }
         }
@@ -222,6 +232,15 @@ pub mod mpsc {
         type Output = Option<T>;
 
         fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
+            if crate::det::active() {
+                // Det mode: never block inside poll — park the task and
+                // let a sender's progress bump re-schedule it.
+                return match self.rx.try_recv() {
+                    Ok(v) => Poll::Ready(Some(v)),
+                    Err(TryRecvError::Disconnected) => Poll::Ready(None),
+                    Err(TryRecvError::Empty) => Poll::Pending,
+                };
+            }
             Poll::Ready(self.rx.recv_deadline(None))
         }
     }
@@ -319,6 +338,9 @@ pub mod oneshot {
             *slot = Slot::Value(value);
             self.sent = true;
             self.shared.cv.notify_all();
+            drop(slot);
+            // Wake det-parked receivers (no-op outside det mode).
+            crate::det::note_progress();
             Ok(())
         }
     }
@@ -331,6 +353,8 @@ pub mod oneshot {
                     *slot = Slot::SenderDropped;
                 }
                 self.shared.cv.notify_all();
+                drop(slot);
+                crate::det::note_progress();
             }
         }
     }
@@ -405,7 +429,16 @@ pub mod oneshot {
     impl<T> Future for Receiver<T> {
         type Output = Result<T, RecvError>;
 
-        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if crate::det::active() {
+                // Det mode: never block inside poll — park until the
+                // sender's progress bump re-schedules this task.
+                return match self.try_recv() {
+                    Ok(v) => Poll::Ready(Ok(v)),
+                    Err(TryRecvError::Closed) => Poll::Ready(Err(RecvError(()))),
+                    Err(TryRecvError::Empty) => Poll::Pending,
+                };
+            }
             Poll::Ready(self.recv_deadline(None))
         }
     }

@@ -30,6 +30,21 @@ pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
     let waker = Waker::from(Arc::new(ThreadUnparker(thread::current())));
     let mut cx = Context::from_waker(&waker);
     let mut fut = Box::pin(fut);
+    if crate::det::active() {
+        // Det mode: drive the executor instead of parking the thread —
+        // the wakeups this future is waiting for come from det tasks.
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    assert!(
+                        crate::det::step(),
+                        "block_on would deadlock: det executor quiesced with the future pending"
+                    );
+                }
+            }
+        }
+    }
     loop {
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(v) => return v,
@@ -80,13 +95,21 @@ impl<T> Future for JoinHandle<T> {
     }
 }
 
-/// Spawn a future onto its own OS thread.
+/// Spawn a future onto its own OS thread — or, in [det
+/// mode](crate::det), onto the deterministic executor's ready queue.
 pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
 where
     F: Future + Send + 'static,
     F::Output: Send + 'static,
 {
     let (tx, rx) = oneshot::channel();
+    if crate::det::active() {
+        crate::det::spawn_boxed(Box::pin(async move {
+            let out = fut.await;
+            let _ = tx.send(out);
+        }));
+        return JoinHandle { rx };
+    }
     thread::Builder::new()
         .name("tokio-task".into())
         .spawn(move || {

@@ -2,10 +2,64 @@
 //! correct in the thread-per-task model. `tokio::time::timeout` is
 //! intentionally absent: it cannot be implemented honestly when polls may
 //! block, so callers use channel `recv_timeout` / socket shutdown instead.
+//!
+//! In [det mode](crate::det) both functions switch to virtual time:
+//! [`sleep`] registers a timer on the deterministic executor and parks the
+//! task, and [`now`] reads the virtual clock (which only advances when the
+//! executor is idle). Time-based logic — backoff, RTO retransmission —
+//! therefore runs instantly and reproducibly during exploration.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
 
 pub use std::time::{Duration, Instant};
 
-/// Sleep for `dur` (blocks the task's thread).
+use crate::det;
+
+/// Current instant: `Instant::now()` normally, the virtual clock in det
+/// mode. Transport code uses this instead of `Instant::now()` directly so
+/// that deadlines and backoff are deterministic under exploration.
+pub fn now() -> Instant {
+    if det::active() {
+        det::now()
+    } else {
+        Instant::now()
+    }
+}
+
+/// Sleep for `dur`. Blocks the task's thread normally; parks the task on a
+/// virtual-time timer in det mode.
 pub async fn sleep(dur: Duration) {
-    std::thread::sleep(dur);
+    if det::active() {
+        DetSleep {
+            dur,
+            deadline_ns: None,
+        }
+        .await
+    } else {
+        std::thread::sleep(dur);
+    }
+}
+
+struct DetSleep {
+    dur: Duration,
+    deadline_ns: Option<u64>,
+}
+
+impl Future for DetSleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let dur = self.dur;
+        let deadline = *self
+            .deadline_ns
+            .get_or_insert_with(|| det::now_ns().saturating_add(dur.as_nanos() as u64));
+        if det::now_ns() >= deadline {
+            Poll::Ready(())
+        } else {
+            det::request_timer(deadline);
+            Poll::Pending
+        }
+    }
 }
