@@ -23,6 +23,14 @@
 //!   release-implies-replication, post-recovery convergence, ring
 //!   re-formation, and `MAX`-vector monotonicity — plus the abstract
 //!   deployment model backing the static/dynamic agreement property.
+//! * [`reconfig`] — the crash-during-reconfiguration model checker:
+//!   executes the scale/migrate/splice handshake of
+//!   [`ftc_core::reconfig`] on the same miniature chain while
+//!   fail-stopping each participant at each phase, applies the documented
+//!   repair, and checks I1–I4 plus the reconfiguration invariants I5
+//!   (exactly one serviceable owner per flow partition at every
+//!   observable point) and I6 (migrated state equals the sealed
+//!   committed prefix).
 //! * [`async_check`] — the async-transport model checker: drives the real
 //!   socket backend (`ftc_net::sock`) under the vendored tokio's
 //!   deterministic executor through seeded task-interleaving × fault
@@ -53,6 +61,7 @@ pub mod async_check;
 pub mod convergence;
 pub mod history;
 pub mod protocol;
+pub mod reconfig;
 pub mod serializability;
 
 pub use async_check::{AsyncCheckConfig, TransportReport, TransportWitness};
@@ -61,6 +70,7 @@ pub use history::{AppliedLog, CommittedTxn, History, Recorder};
 pub use protocol::{
     check_abstract_deploy, explore, AbstractWitness, ProtocolCheckConfig, ProtocolReport, Witness,
 };
+pub use reconfig::{explore_reconfig, replay, ReconfigCheckConfig, ReconfigReport};
 pub use serializability::{SerializabilityReport, Violation};
 
 /// Number of adversarial replay schedules [`audit`] runs.

@@ -375,7 +375,8 @@ fn crash_matrix(n: usize, f: usize, triggers: usize) -> Vec<CrashCase> {
 }
 
 /// All permutations of `items` (Heap's algorithm, deterministic order).
-fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
+/// Shared with the reconfiguration checker in [`crate::reconfig`].
+pub(crate) fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
     let mut out = Vec::new();
     let mut a = items.to_vec();
     let n = a.len();
@@ -770,7 +771,7 @@ impl Runner {
 
 /// Sorts each partition's entries so snapshot comparison is independent of
 /// `HashMap` iteration order.
-fn canonical(mut snap: StoreSnapshot) -> StoreSnapshot {
+pub(crate) fn canonical(mut snap: StoreSnapshot) -> StoreSnapshot {
     for part in &mut snap.maps {
         part.sort();
     }

@@ -1,0 +1,1148 @@
+//! Crash-during-reconfiguration model checker.
+//!
+//! [`crate::protocol`] explores crashes during *steady-state* packet
+//! processing and recovery. This module explores the other half of ROADMAP
+//! item 2: crashes during **planned reconfiguration** — the four-phase
+//! scale/migrate/splice handshake of [`ftc_core::reconfig`] — where the
+//! protocol's obligation is not just "traffic resumes" but "ownership of
+//! every flow partition is handed over exactly once".
+//!
+//! Each schedule in the matrix builds a fresh deterministic
+//! [`SyncChain`], warms it with traffic, executes one reconfiguration
+//! operation while a [`ProtocolProbe`] fail-stops a chosen participant
+//! (source, destination, or orchestrator) at a chosen phase — for the
+//! transfer phase, after a chosen number of partitions — then applies the
+//! documented repair for that failure (§5.2 recovery for fail-stopped
+//! positions, a plain retry for rolled-back attempts, nothing for
+//! roll-forward cases), injects post traffic under a permuted actor
+//! interleaving, and checks:
+//!
+//! * **I1 — release implies replication**: same as the steady-state
+//!   checker; every release observed during warm/post traffic must be
+//!   covered by every live member of the owning replication group.
+//! * **I2 — group convergence**: at final quiescence every replicated copy
+//!   equals its head's committed prefix, byte for byte.
+//! * **I3 — structure and liveness**: the ring re-forms on the final
+//!   topology, nothing stays fail-stopped or paused, the buffer drains,
+//!   and *every* injected packet egresses exactly once (reconfigurations
+//!   run on a quiesced chain, so unlike mid-traffic crashes no packet may
+//!   be lost).
+//! * **I4 — `MAX`-vector monotonicity**: across a migrate/scale handover
+//!   no surviving position's applied-prefix vector moves backwards.
+//! * **I5 — single serviceable owner**: folding the
+//!   [`ClaimSample`](ftc_core::ClaimSample) trace recorded at every probe
+//!   point, at most one instance is serviceable (alive ∧ claimed ∧
+//!   unsealed) per `(position, partition)` at every observable point, and
+//!   exactly one at final quiescence. The `sabotage-skip-release` fixture
+//!   in `ftc-core` (enabled here through the `reconfig-sabotage` feature)
+//!   re-opens the source's claims after the destination switched and must
+//!   make this invariant fire.
+//! * **I6 — transferred = committed prefix**: after a completed (or
+//!   rolled-forward) migrate/scale, the new owner's own store equals the
+//!   [`SealRecord`](ftc_core::SealRecord) captured when the source sealed
+//!   — nothing lost, nothing duplicated. Checked *before* post traffic
+//!   touches the store. The per-position packet counters of the monitor
+//!   chain extend the same check across splices, where whole-chain state
+//!   carries over by identity.
+//!
+//! Witnesses carry the schedule label (`case/permN`); [`replay`] re-runs
+//! exactly that schedule from the label for debugging.
+
+use crate::protocol::{canonical, permutations, Witness};
+use ftc_core::testkit::{Step, SyncChain};
+use ftc_core::{
+    ChainConfig, ClaimSample, ProbePoint, ProbeVerdict, ProtocolProbe, ReconfigActor,
+    ReconfigFailure, ReconfigOp, ReconfigPhase, ReconfigRun,
+};
+use ftc_mbox::MbSpec;
+use ftc_packet::builder::UdpPacketBuilder;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Cap on stored witnesses (the count in the report keeps growing).
+const WITNESS_CAP: usize = 64;
+
+/// Bound on clean retries of a rolled-back operation before the checker
+/// calls the retry loop divergent.
+const RETRY_CAP: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Configuration and crash matrix
+// ---------------------------------------------------------------------------
+
+/// What to explore.
+#[derive(Debug, Clone)]
+pub struct ReconfigCheckConfig {
+    /// The chain under test (stateful middleboxes make I6 meaningful; the
+    /// per-position counter check needs `Monitor { sharing_level: 1 }`).
+    pub specs: Vec<MbSpec>,
+    /// Tolerated failures.
+    pub f: usize,
+    /// State partitions per store (also the number of transfer chunks).
+    pub partitions: usize,
+    /// Packets injected and drained before the reconfiguration.
+    pub warm: usize,
+    /// Packets injected after the operation + repair (traffic resumes).
+    pub post: usize,
+    /// For transfer-phase crashes: fire after this many partitions moved
+    /// (each entry multiplies the matrix; must be `< partitions`).
+    pub transfer_triggers: Vec<usize>,
+    /// `false`: migrate at every position but scale/splice only mid-chain
+    /// (the PR gate). `true`: every operation at every position (nightly).
+    pub all_sites: bool,
+    /// Cap on actor interleavings (`None` = all permutations of the
+    /// replicas + buffer); capped runs stride-sample for diversity.
+    pub perm_limit: Option<usize>,
+    /// Per-drive round budget; exhausting it is a liveness witness.
+    pub max_rounds: usize,
+    /// The middlebox spliced in by `splice-in` cases.
+    pub splice_spec: MbSpec,
+}
+
+impl ReconfigCheckConfig {
+    /// The PR-gate configuration: a 3-monitor, `f = 1` chain; migrations
+    /// at every position plus mid-chain scale and splices, every crash
+    /// variant, all 24 interleavings of the four steppable actors —
+    /// 56 crash cases × 24 interleavings = 1344 schedules.
+    pub fn pr_gate() -> ReconfigCheckConfig {
+        ReconfigCheckConfig {
+            specs: vec![MbSpec::Monitor { sharing_level: 1 }; 3],
+            f: 1,
+            partitions: 8,
+            warm: 3,
+            post: 2,
+            transfer_triggers: vec![0, 2],
+            all_sites: false,
+            perm_limit: None,
+            max_rounds: 5000,
+            splice_spec: MbSpec::Monitor { sharing_level: 1 },
+        }
+    }
+
+    /// The nightly configuration (`FTC_RECONFIG_DEEP=1`): every operation
+    /// at every position and a denser transfer-trigger grid — 144 crash
+    /// cases × 24 interleavings = 3456 schedules.
+    pub fn nightly_deep() -> ReconfigCheckConfig {
+        ReconfigCheckConfig {
+            transfer_triggers: vec![0, 1, 2, 3, 6],
+            all_sites: true,
+            ..ReconfigCheckConfig::pr_gate()
+        }
+    }
+}
+
+/// One reconfiguration operation at one chain position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpSite {
+    op: ReconfigOp,
+    pos: usize,
+}
+
+impl OpSite {
+    fn label(&self) -> String {
+        format!("{}@{}", self.op.label(), self.pos)
+    }
+}
+
+/// A participant crash armed for one schedule: fail-stop `role` at its
+/// `trigger`-th observation of `(op, phase)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CrashSpec {
+    role: ReconfigActor,
+    phase: ReconfigPhase,
+    trigger: usize,
+}
+
+/// One case in the exploration matrix: an operation, optionally crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReconfigCase {
+    site: OpSite,
+    crash: Option<CrashSpec>,
+}
+
+impl ReconfigCase {
+    fn label(&self) -> String {
+        match self.crash {
+            None => format!("{}/clean", self.site.label()),
+            Some(c) => format!(
+                "{}/crash[{}@{}#{}]",
+                self.site.label(),
+                c.role.label(),
+                c.phase.label(),
+                c.trigger
+            ),
+        }
+    }
+}
+
+/// Builds the crash matrix for an `n`-middlebox chain.
+///
+/// Handover operations (migrate/scale) get every participant × phase
+/// combination the handshake exposes: orchestrator or source at prepare,
+/// either transfer side after each configured partition count,
+/// orchestrator or destination at the switch commit point, and the
+/// orchestrator at release (the roll-forward case). Splices get the
+/// whole-chain analogues, with the transfer trigger selecting *which* old
+/// instance dies mid-snapshot.
+fn case_matrix(cfg: &ReconfigCheckConfig, n: usize) -> Vec<ReconfigCase> {
+    let mut sites: Vec<OpSite> = (0..n)
+        .map(|pos| OpSite {
+            op: ReconfigOp::Migrate,
+            pos,
+        })
+        .collect();
+    let scale_sites: Vec<usize> = if cfg.all_sites {
+        (0..n).collect()
+    } else {
+        vec![n / 2]
+    };
+    sites.extend(scale_sites.into_iter().map(|pos| OpSite {
+        op: ReconfigOp::Scale,
+        pos,
+    }));
+
+    let handover_fixed = [
+        (ReconfigActor::Orchestrator, ReconfigPhase::Prepare),
+        (ReconfigActor::Source, ReconfigPhase::Prepare),
+        (ReconfigActor::Orchestrator, ReconfigPhase::Switch),
+        (ReconfigActor::Destination, ReconfigPhase::Switch),
+        (ReconfigActor::Orchestrator, ReconfigPhase::Release),
+    ];
+    let mut cases = Vec::new();
+    for site in sites {
+        cases.push(ReconfigCase { site, crash: None });
+        for (role, phase) in handover_fixed {
+            cases.push(ReconfigCase {
+                site,
+                crash: Some(CrashSpec {
+                    role,
+                    phase,
+                    trigger: 0,
+                }),
+            });
+        }
+        for &t in &cfg.transfer_triggers {
+            for role in [ReconfigActor::Source, ReconfigActor::Destination] {
+                cases.push(ReconfigCase {
+                    site,
+                    crash: Some(CrashSpec {
+                        role,
+                        phase: ReconfigPhase::Transfer,
+                        trigger: t,
+                    }),
+                });
+            }
+        }
+    }
+
+    let splice_positions: Vec<usize> = if cfg.all_sites {
+        (0..n).collect()
+    } else {
+        vec![n / 2]
+    };
+    let splice_fixed = [
+        (ReconfigActor::Orchestrator, ReconfigPhase::Prepare),
+        (ReconfigActor::Orchestrator, ReconfigPhase::Switch),
+        (ReconfigActor::Destination, ReconfigPhase::Switch),
+        (ReconfigActor::Orchestrator, ReconfigPhase::Release),
+    ];
+    for op in [ReconfigOp::SpliceIn, ReconfigOp::SpliceOut] {
+        for &pos in &splice_positions {
+            let site = OpSite { op, pos };
+            cases.push(ReconfigCase { site, crash: None });
+            for (role, phase) in splice_fixed {
+                cases.push(ReconfigCase {
+                    site,
+                    crash: Some(CrashSpec {
+                        role,
+                        phase,
+                        trigger: 0,
+                    }),
+                });
+            }
+            // The splice transfer point fires once per old instance, so
+            // the trigger picks the victim position.
+            for victim in 0..n {
+                cases.push(ReconfigCase {
+                    site,
+                    crash: Some(CrashSpec {
+                        role: ReconfigActor::Source,
+                        phase: ReconfigPhase::Transfer,
+                        trigger: victim,
+                    }),
+                });
+            }
+        }
+    }
+    cases
+}
+
+// ---------------------------------------------------------------------------
+// Probe: reconfiguration-point crashes + release observations
+// ---------------------------------------------------------------------------
+
+/// One `BufferRelease` observation: per released request, the replica
+/// position and its `(partition, seq)` log entries.
+type ReleaseBatch = Vec<(usize, Vec<(u16, u64)>)>;
+
+#[derive(Default)]
+struct ProbeInner {
+    /// Armed crash, matched against `(op, phase, role)` observations.
+    target: Option<(ReconfigOp, CrashSpec)>,
+    seen: usize,
+    fired: bool,
+    /// Buffer releases observed since the last harvest (for I1).
+    releases: Vec<ReleaseBatch>,
+}
+
+/// The checker's [`ProtocolProbe`]: crashes a reconfiguration participant
+/// at its `trigger`-th matching observation and records buffer releases.
+struct ReconfigProbe {
+    inner: Mutex<ProbeInner>,
+}
+
+impl ReconfigProbe {
+    fn new() -> Arc<ReconfigProbe> {
+        Arc::new(ReconfigProbe {
+            inner: Mutex::new(ProbeInner::default()),
+        })
+    }
+
+    fn arm(&self, op: ReconfigOp, crash: CrashSpec) {
+        let mut g = self.inner.lock();
+        g.target = Some((op, crash));
+        g.seen = 0;
+    }
+
+    fn disarm(&self) {
+        self.inner.lock().target = None;
+    }
+
+    fn fired(&self) -> bool {
+        self.inner.lock().fired
+    }
+
+    fn drain_releases(&self) -> Vec<ReleaseBatch> {
+        std::mem::take(&mut self.inner.lock().releases)
+    }
+}
+
+impl ProtocolProbe for ReconfigProbe {
+    fn on_step(&self, point: ProbePoint) -> ProbeVerdict {
+        let mut g = self.inner.lock();
+        if let ProbePoint::BufferRelease { reqs } = &point {
+            g.releases.push(reqs.clone());
+            return ProbeVerdict::Continue;
+        }
+        let ProbePoint::Reconfig {
+            op, phase, role, ..
+        } = point
+        else {
+            return ProbeVerdict::Continue;
+        };
+        let Some((t_op, t)) = g.target else {
+            return ProbeVerdict::Continue;
+        };
+        if op != t_op || phase != t.phase || role != t.role {
+            return ProbeVerdict::Continue;
+        }
+        if g.seen < t.trigger {
+            g.seen += 1;
+            return ProbeVerdict::Continue;
+        }
+        g.target = None;
+        g.fired = true;
+        ProbeVerdict::Crash
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Aggregate result of a reconfiguration exploration.
+#[derive(Debug, Default)]
+pub struct ReconfigReport {
+    /// Schedules executed (crash cases × interleavings).
+    pub schedules: usize,
+    /// Distinct crash cases in the matrix.
+    pub crash_cases: usize,
+    /// Actor interleavings per crash case.
+    pub interleavings: usize,
+    /// Productive state transitions explored across all schedules.
+    pub steps: usize,
+    /// Schedules on which the armed participant crash actually fired.
+    pub crashes_fired: usize,
+    /// Rolled-back attempts that were retried cleanly.
+    pub retries: usize,
+    /// Schedules on which the operation (eventually) committed.
+    pub ops_completed: usize,
+    /// Packets released across all schedules.
+    pub releases: usize,
+    /// Total invariant violations found (may exceed `witnesses.len()`).
+    pub violations: usize,
+    /// Stored witnesses, capped at [`WITNESS_CAP`].
+    pub witnesses: Vec<Witness>,
+}
+
+impl ReconfigReport {
+    /// True when no schedule violated any invariant.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// One-line summary for test output and CI logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "explored {} schedules ({} crash cases × {} interleavings), \
+             {} state transitions, {} crashes fired, {} retries, \
+             {} ops committed, {} packets released, {} violation(s)",
+            self.schedules,
+            self.crash_cases,
+            self.interleavings,
+            self.steps,
+            self.crashes_fired,
+            self.retries,
+            self.ops_completed,
+            self.releases,
+            self.violations,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-schedule executor
+// ---------------------------------------------------------------------------
+
+struct Exec<'a> {
+    cfg: &'a ReconfigCheckConfig,
+    chain: SyncChain,
+    probe: Arc<ReconfigProbe>,
+    label: String,
+    /// Replica count of the initial topology (splices change it).
+    base_n: usize,
+    next_ident: u16,
+    released: usize,
+    steps: usize,
+    retries: usize,
+    completed: bool,
+    budget_blown: bool,
+    /// Claim samples from every attempt, folded into I5 at the end.
+    trace: Vec<ClaimSample>,
+    /// I4 baseline: `(holder, mbox) → MAX vector` captured before the op.
+    baseline: HashMap<(usize, usize), Vec<u64>>,
+    witnesses: Vec<Witness>,
+    violations: usize,
+}
+
+impl Exec<'_> {
+    fn witness(&mut self, invariant: &'static str, detail: String) {
+        self.violations += 1;
+        if self.witnesses.len() < WITNESS_CAP {
+            self.witnesses.push(Witness {
+                invariant,
+                schedule: self.label.clone(),
+                detail,
+            });
+        }
+    }
+
+    fn inject(&mut self, count: usize) {
+        for _ in 0..count {
+            self.next_ident = self.next_ident.wrapping_add(1);
+            let pkt = UdpPacketBuilder::new()
+                .src(Ipv4Addr::new(10, 2, 0, 1), 1000 + self.next_ident % 4000)
+                .dst(Ipv4Addr::new(10, 3, 0, 1), 80)
+                .ident(self.next_ident)
+                .build();
+            self.chain.inject(pkt);
+        }
+    }
+
+    /// Checks I1 for every release recorded since the last call and counts
+    /// egressed packets. Releases only happen while the topology is stable
+    /// (reconfigurations run on a quiesced chain), so the ring arithmetic
+    /// of the *current* configuration applies.
+    fn harvest(&mut self) {
+        let ring = self.chain.replicas[0].cfg.ring();
+        for reqs in self.probe.drain_releases() {
+            for (m, deps) in &reqs {
+                for r in ring.group(*m) {
+                    if self.chain.is_dead(r) {
+                        continue; // mid-replacement, excused as in `protocol`
+                    }
+                    let vec = if r == *m {
+                        self.chain.replicas[r].own_store.seq_vector()
+                    } else {
+                        match self.chain.replicas[r].replicated.get(m) {
+                            Some(g) => g.max.vector(),
+                            None => {
+                                self.witness(
+                                    "I1",
+                                    format!(
+                                        "live replica r{r} holds no replicated \
+                                         store for mbox {m} at release time"
+                                    ),
+                                );
+                                continue;
+                            }
+                        }
+                    };
+                    for &(p, seq) in deps {
+                        let have = vec.get(p as usize).copied().unwrap_or(0);
+                        if have <= seq {
+                            self.witness(
+                                "I1",
+                                format!(
+                                    "released a packet depending on mbox {m} \
+                                     partition {p} seq {seq}, but live group \
+                                     member r{r} has only applied {have}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.released += self.chain.egress().drain().len();
+    }
+
+    /// Steps actors in `perm` order (plus any replicas a splice added
+    /// beyond the permuted set, and the forwarder feedback) until
+    /// quiescence or the round budget runs out.
+    fn drive(&mut self, perm: &[Step]) {
+        for _ in 0..self.cfg.max_rounds {
+            let mut progressed = false;
+            for &actor in perm {
+                if self.chain.step(actor) {
+                    self.steps += 1;
+                    progressed = true;
+                }
+            }
+            for i in self.base_n..self.chain.replicas.len() {
+                if self.chain.step(Step::Replica(i)) {
+                    self.steps += 1;
+                    progressed = true;
+                }
+            }
+            if self.chain.step(Step::ForwarderFeedback) {
+                self.steps += 1;
+                progressed = true;
+            }
+            self.harvest();
+            if !progressed {
+                self.chain.step(Step::BufferTimer);
+                let timer_work = self.chain.step(Step::ForwarderTimer);
+                let more = {
+                    let b = self.chain.step(Step::Buffer);
+                    let r = self.chain.step(Step::Replica(0));
+                    b || r
+                };
+                self.harvest();
+                if !timer_work && !more {
+                    return;
+                }
+                self.steps += 1;
+            }
+        }
+        if !self.budget_blown {
+            self.budget_blown = true;
+            self.witness(
+                "liveness",
+                format!(
+                    "round budget {} exhausted before quiescence",
+                    self.cfg.max_rounds
+                ),
+            );
+        }
+    }
+
+    fn run_op(&mut self, site: OpSite) -> ReconfigRun {
+        match site.op {
+            ReconfigOp::Migrate => self.chain.migrate_mbox(site.pos),
+            ReconfigOp::Scale => self.chain.scale_mbox(site.pos),
+            ReconfigOp::SpliceIn => self.chain.splice_in(site.pos, self.cfg.splice_spec.clone()),
+            ReconfigOp::SpliceOut => self.chain.splice_out(site.pos),
+        }
+    }
+
+    /// §5.2-recovers every fail-stopped position (the documented repair
+    /// for source crashes and post-commit destination crashes).
+    fn recover_dead(&mut self) {
+        for i in 0..self.chain.replicas.len() {
+            if self.chain.is_dead(i) {
+                if let Err(e) = self.chain.try_fail_and_recover(i, &|_, _| true) {
+                    self.witness(
+                        "I3",
+                        format!(
+                            "§5.2 recovery of fail-stopped position r{i} after \
+                             a reconfiguration crash did not heal the ring: {e}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Executes the operation and applies the documented repair for its
+    /// failure class, retrying rolled-back attempts with the probe
+    /// disarmed. Every attempt's claim trace is kept for the I5 fold.
+    fn execute_and_repair(&mut self, site: OpSite) {
+        for attempt in 0.. {
+            let run = self.run_op(site);
+            self.trace.extend(run.trace.iter().cloned());
+            match run.outcome {
+                Ok(_) => {
+                    self.completed = true;
+                    self.check_i6(&run);
+                    return;
+                }
+                Err(failure) => {
+                    self.probe.disarm();
+                    match failure {
+                        // The position fail-stopped (pre-commit source
+                        // death on the old topology, or a post-commit
+                        // destination death on the new one): §5.2 repairs.
+                        ReconfigFailure::SourceCrashed { .. }
+                        | ReconfigFailure::DestinationCrashed {
+                            phase: ReconfigPhase::Switch,
+                        } => {
+                            self.recover_dead();
+                            return;
+                        }
+                        // Past the commit point the operation rolls
+                        // forward: the new owner already serves and the
+                        // sealed source is merely never decommissioned.
+                        // I6 must still hold on the state it received.
+                        ReconfigFailure::OrchestratorCrashed {
+                            phase: ReconfigPhase::Release,
+                        } => {
+                            self.completed = true;
+                            self.check_i6(&run);
+                            return;
+                        }
+                        // Rolled back with the old configuration intact:
+                        // the documented recovery is a plain retry.
+                        ReconfigFailure::DestinationCrashed { .. }
+                        | ReconfigFailure::OrchestratorCrashed { .. }
+                        | ReconfigFailure::NotQuiescent => {
+                            if attempt + 1 >= RETRY_CAP {
+                                self.witness(
+                                    "liveness",
+                                    format!(
+                                        "operation still failing after \
+                                         {RETRY_CAP} attempts: {failure}"
+                                    ),
+                                );
+                                return;
+                            }
+                            self.retries += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// I6: the new owner's own store equals the committed prefix sealed at
+    /// the source — nothing lost, nothing duplicated. Runs before post
+    /// traffic. Splices carry state by identity and are covered by the
+    /// counter check in [`Self::check_final`] instead.
+    fn check_i6(&mut self, run: &ReconfigRun) {
+        if !matches!(run.op, ReconfigOp::Migrate | ReconfigOp::Scale) {
+            return;
+        }
+        let Some(seal) = &run.seal else {
+            self.witness(
+                "I6",
+                "handover committed without capturing a seal record".into(),
+            );
+            return;
+        };
+        let dest = &self.chain.replicas[run.position];
+        let got_seqs = dest.own_store.seq_vector();
+        if got_seqs != seal.seqs {
+            self.witness(
+                "I6",
+                format!(
+                    "migrated seq vector {got_seqs:?} differs from the sealed \
+                     committed prefix {:?} at position {}",
+                    seal.seqs, run.position
+                ),
+            );
+        } else if canonical(dest.own_store.snapshot()) != canonical(seal.snapshot.clone()) {
+            self.witness(
+                "I6",
+                format!(
+                    "migrated store content at position {} diverges from the \
+                     sealed snapshot despite equal seq vectors",
+                    run.position
+                ),
+            );
+        }
+    }
+
+    /// Captures the I4 baseline before a handover (positions are stable
+    /// across migrate/scale; splices renumber them, so I4 is skipped
+    /// there and convergence is covered by I2 + the counter check).
+    fn capture_i4(&mut self) {
+        for (r, rep) in self.chain.replicas.iter().enumerate() {
+            self.baseline.insert((r, r), rep.own_store.seq_vector());
+            for (m, g) in &rep.replicated {
+                self.baseline.insert((r, *m), g.max.vector());
+            }
+        }
+    }
+
+    fn check_i4(&mut self) {
+        let entries: Vec<((usize, usize), Vec<u64>)> =
+            self.baseline.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for ((r, m), before) in entries {
+            let rep = &self.chain.replicas[r];
+            let after = if m == r {
+                rep.own_store.seq_vector()
+            } else {
+                match rep.replicated.get(&m) {
+                    Some(g) => g.max.vector(),
+                    None => continue, // structural damage — I3 reports it
+                }
+            };
+            for (p, (&b, &a)) in before.iter().zip(after.iter()).enumerate() {
+                if a < b {
+                    self.witness(
+                        "I4",
+                        format!(
+                            "position r{r}'s MAX vector for mbox {m} moved \
+                             backwards across the handover: partition {p} \
+                             went {b} → {a}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// I5: fold every recorded claim sample (at most one serviceable owner
+    /// per `(position, partition)` at every observable point) and the
+    /// final claim views (exactly one at completion).
+    fn check_i5(&mut self) {
+        let trace = std::mem::take(&mut self.trace);
+        for (si, sample) in trace.iter().enumerate() {
+            let mut positions: Vec<usize> = sample.views.iter().map(|v| v.position).collect();
+            positions.sort_unstable();
+            positions.dedup();
+            let parts = sample
+                .views
+                .iter()
+                .map(|v| v.flags.len())
+                .max()
+                .unwrap_or(0);
+            for &pos in &positions {
+                for p in 0..parts as u16 {
+                    let owners = sample.serviceable_count(pos, p);
+                    if owners > 1 {
+                        self.witness(
+                            "I5",
+                            format!(
+                                "sample {si} ({} {} point at the {}): {owners} \
+                                 serviceable owners of position {pos} \
+                                 partition {p} — ownership was not handed \
+                                 over exactly once",
+                                sample.op.label(),
+                                sample.phase.label(),
+                                sample.role.label(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let views = self.chain.claim_views();
+        for pos in 0..self.chain.replicas.len() {
+            let parts = views
+                .iter()
+                .filter(|v| v.position == pos)
+                .map(|v| v.flags.len())
+                .max()
+                .unwrap_or(0);
+            for p in 0..parts as u16 {
+                let owners = views
+                    .iter()
+                    .filter(|v| v.position == pos && v.serviceable(p))
+                    .count();
+                if owners != 1 {
+                    self.witness(
+                        "I5",
+                        format!(
+                            "at final quiescence position {pos} partition {p} \
+                             has {owners} serviceable owner(s), want exactly 1"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Final checks: I2 convergence, I3 structure/liveness/exact delivery,
+    /// and the cross-operation packet-counter preservation check.
+    fn check_final(&mut self, site: OpSite, total_expected: usize) {
+        if self.budget_blown {
+            return; // liveness witness recorded; state is mid-flight
+        }
+        let n = self.chain.replicas.len();
+        if self.chain.held() != 0 {
+            self.witness(
+                "I3",
+                format!(
+                    "{} packet(s) still withheld by the buffer at final \
+                     quiescence",
+                    self.chain.held()
+                ),
+            );
+        }
+        if self.released != total_expected {
+            self.witness(
+                "I3",
+                format!(
+                    "released {} packets, expected exactly {total_expected} \
+                     (reconfigurations run quiesced — no in-flight loss is \
+                     possible)",
+                    self.released
+                ),
+            );
+        }
+        let ring = self.chain.replicas[0].cfg.ring();
+        for i in 0..n {
+            if self.chain.is_dead(i) {
+                self.witness("I3", format!("position r{i} still fail-stopped at the end"));
+                continue;
+            }
+            if self.chain.replicas[i].is_paused() {
+                self.witness(
+                    "I3",
+                    format!("position r{i} still paused at the end (seal never lifted)"),
+                );
+            }
+            let claimed_idx = self.chain.replicas[i].idx;
+            if claimed_idx != i {
+                self.witness(
+                    "I3",
+                    format!("instance at ring position {i} believes it is r{claimed_idx}"),
+                );
+            }
+            let mut want = ring.replicated_by(i);
+            want.sort_unstable();
+            let mut got: Vec<usize> = self.chain.replicas[i].replicated.keys().copied().collect();
+            got.sort_unstable();
+            if got != want {
+                self.witness(
+                    "I3",
+                    format!(
+                        "r{i} replicates groups {got:?} after the \
+                         reconfiguration, ring arithmetic requires {want:?}"
+                    ),
+                );
+            }
+        }
+        // I2: every replicated copy equals its head's committed prefix.
+        for m in 0..n {
+            let head_vec = self.chain.replicas[m].own_store.seq_vector();
+            let head_snap = canonical(self.chain.replicas[m].own_store.snapshot());
+            for r in ring.group(m) {
+                if r == m {
+                    continue;
+                }
+                let Some((member_vec, member_snap)) = self.chain.replicas[r]
+                    .replicated
+                    .get(&m)
+                    .map(|g| (g.max.vector(), g.store.snapshot()))
+                else {
+                    continue; // reported by the structure check above
+                };
+                if member_vec != head_vec {
+                    self.witness(
+                        "I2",
+                        format!(
+                            "r{r}'s applied prefix for mbox {m} is \
+                             {member_vec:?}, head committed {head_vec:?}"
+                        ),
+                    );
+                } else if canonical(member_snap) != head_snap {
+                    self.witness(
+                        "I2",
+                        format!(
+                            "r{r}'s replicated store for mbox {m} diverges \
+                             from the head's content despite equal vectors"
+                        ),
+                    );
+                }
+            }
+        }
+        // State preservation across the whole schedule: every monitor
+        // instance that lived through the warm traffic must count all
+        // packets; an instance spliced in afterwards counts only the post
+        // leg. Catches state silently dropped (or double-applied) by any
+        // reconfiguration path, including splices where I6 has no seal.
+        let spliced_in_pos = (n > self.base_n).then_some(site.pos);
+        let specs = self.chain.replicas[0].cfg.effective_middleboxes();
+        for (i, spec) in specs.iter().enumerate() {
+            if !matches!(spec, MbSpec::Monitor { sharing_level: 1 }) {
+                continue;
+            }
+            let expect = if spliced_in_pos == Some(i) {
+                self.cfg.post
+            } else {
+                total_expected
+            } as u64;
+            let got = self.chain.replicas[i]
+                .own_store
+                .peek_u64(b"mon:packets:g0")
+                .unwrap_or(0);
+            if got != expect {
+                self.witness(
+                    "I6",
+                    format!(
+                        "position {i}'s packet counter is {got} after the \
+                         schedule, expected {expect} — state was lost or \
+                         duplicated across the reconfiguration"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+fn run_schedule<'a>(
+    cfg: &'a ReconfigCheckConfig,
+    case: &ReconfigCase,
+    perm: &[Step],
+    perm_idx: usize,
+) -> Exec<'a> {
+    let chain_cfg = ChainConfig::new(cfg.specs.clone())
+        .with_f(cfg.f)
+        .with_partitions(cfg.partitions);
+    let base_n = chain_cfg.effective_middleboxes().len();
+    let chain = SyncChain::new(chain_cfg);
+    let probe = ReconfigProbe::new();
+    chain.install_probe(Arc::clone(&probe) as Arc<dyn ProtocolProbe>);
+    let mut exec = Exec {
+        cfg,
+        chain,
+        probe,
+        label: format!("{}/perm{}", case.label(), perm_idx),
+        base_n,
+        next_ident: 0,
+        released: 0,
+        steps: 0,
+        retries: 0,
+        completed: false,
+        budget_blown: false,
+        trace: Vec::new(),
+        baseline: HashMap::new(),
+        witnesses: Vec::new(),
+        violations: 0,
+    };
+
+    exec.inject(cfg.warm);
+    exec.drive(perm);
+
+    let handover = matches!(case.site.op, ReconfigOp::Migrate | ReconfigOp::Scale);
+    if handover {
+        exec.capture_i4();
+    }
+    if let Some(crash) = case.crash {
+        exec.probe.arm(case.site.op, crash);
+    }
+    exec.execute_and_repair(case.site);
+    if let Some(crash) = case.crash {
+        if !exec.probe.fired() {
+            exec.witness(
+                "coverage",
+                format!(
+                    "armed crash {}@{}#{} never fired — the matrix no longer \
+                     reaches this point",
+                    crash.role.label(),
+                    crash.phase.label(),
+                    crash.trigger
+                ),
+            );
+        }
+    }
+    exec.probe.disarm();
+    if handover {
+        exec.check_i4();
+    }
+
+    exec.inject(cfg.post);
+    exec.drive(perm);
+    exec.check_i5();
+    exec.check_final(case.site, cfg.warm + cfg.post);
+    exec
+}
+
+fn interleavings(cfg: &ReconfigCheckConfig, base_n: usize) -> Vec<Vec<Step>> {
+    let mut actors: Vec<Step> = (0..base_n).map(Step::Replica).collect();
+    actors.push(Step::Buffer);
+    let mut perms = permutations(&actors);
+    if let Some(limit) = cfg.perm_limit {
+        if perms.len() > limit {
+            let stride = perms.len() / limit;
+            perms = perms
+                .into_iter()
+                .step_by(stride.max(1))
+                .take(limit)
+                .collect();
+        }
+    }
+    perms
+}
+
+/// Runs the full exploration: every crash case in the reconfiguration
+/// matrix × every (sampled) actor interleaving, with I1–I6 checked on
+/// every schedule.
+pub fn explore_reconfig(cfg: &ReconfigCheckConfig) -> ReconfigReport {
+    let base_n = ChainConfig::new(cfg.specs.clone())
+        .with_f(cfg.f)
+        .effective_middleboxes()
+        .len();
+    let perms = interleavings(cfg, base_n);
+    let cases = case_matrix(cfg, base_n);
+
+    let mut report = ReconfigReport {
+        crash_cases: cases.len(),
+        interleavings: perms.len(),
+        ..ReconfigReport::default()
+    };
+    for case in &cases {
+        for (perm_idx, perm) in perms.iter().enumerate() {
+            let exec = run_schedule(cfg, case, perm, perm_idx);
+            report.schedules += 1;
+            report.steps += exec.steps;
+            report.releases += exec.released;
+            report.retries += exec.retries;
+            report.violations += exec.violations;
+            if exec.probe.fired() {
+                report.crashes_fired += 1;
+            }
+            if exec.completed {
+                report.ops_completed += 1;
+            }
+            for w in exec.witnesses {
+                if report.witnesses.len() < WITNESS_CAP {
+                    report.witnesses.push(w);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Re-runs exactly one schedule from a witness label (`case/permN`),
+/// returning its single-schedule report. Panics if the label does not
+/// name a schedule of `cfg`'s matrix — labels are only portable between
+/// identical configurations.
+pub fn replay(cfg: &ReconfigCheckConfig, schedule: &str) -> ReconfigReport {
+    let base_n = ChainConfig::new(cfg.specs.clone())
+        .with_f(cfg.f)
+        .effective_middleboxes()
+        .len();
+    let perms = interleavings(cfg, base_n);
+    let cases = case_matrix(cfg, base_n);
+    for case in &cases {
+        for (perm_idx, perm) in perms.iter().enumerate() {
+            if format!("{}/perm{}", case.label(), perm_idx) != schedule {
+                continue;
+            }
+            let exec = run_schedule(cfg, case, perm, perm_idx);
+            let mut report = ReconfigReport {
+                schedules: 1,
+                crash_cases: 1,
+                interleavings: 1,
+                steps: exec.steps,
+                releases: exec.released,
+                retries: exec.retries,
+                violations: exec.violations,
+                witnesses: exec.witnesses,
+                ..ReconfigReport::default()
+            };
+            if exec.probe.fired() {
+                report.crashes_fired = 1;
+            }
+            if exec.completed {
+                report.ops_completed = 1;
+            }
+            return report;
+        }
+    }
+    panic!("schedule {schedule:?} is not in the matrix of this configuration");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> ReconfigCheckConfig {
+        ReconfigCheckConfig {
+            perm_limit: Some(2),
+            ..ReconfigCheckConfig::pr_gate()
+        }
+    }
+
+    #[test]
+    fn pr_gate_matrix_meets_the_schedule_floor() {
+        let cfg = ReconfigCheckConfig::pr_gate();
+        let cases = case_matrix(&cfg, 3);
+        let perms = interleavings(&cfg, 3);
+        assert_eq!(cases.len(), 56, "4 handover ops × 10 + 2 splice ops × 8");
+        assert_eq!(perms.len(), 24);
+        assert!(
+            cases.len() * perms.len() >= 1000,
+            "PR gate must explore ≥ 1000 schedules"
+        );
+        let labels: std::collections::BTreeSet<String> = cases.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), cases.len(), "case labels must be distinct");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "reconfig-sabotage", ignore)]
+    fn mini_exploration_is_violation_free() {
+        let report = explore_reconfig(&mini());
+        assert!(report.ok(), "unexpected witnesses: {:#?}", report.witnesses);
+        assert!(report.schedules > 0 && report.steps > 0);
+        assert!(
+            report.crashes_fired > 0 && report.retries > 0,
+            "the matrix must crash participants and exercise retries: {}",
+            report.summary()
+        );
+        // Every schedule either commits the operation (clean, rolled
+        // forward, or retried to completion) or fail-stops a position and
+        // repairs it with §5.2 recovery instead — both classes must occur.
+        assert!(
+            report.ops_completed > 0 && report.ops_completed < report.schedules,
+            "matrix must exercise both committed and recovered outcomes: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    #[cfg_attr(feature = "reconfig-sabotage", ignore)]
+    fn replay_reproduces_a_clean_schedule() {
+        let cfg = mini();
+        let report = replay(&cfg, "migrate@0/clean/perm0");
+        assert_eq!(report.schedules, 1);
+        assert!(report.ok(), "witnesses: {:#?}", report.witnesses);
+        assert_eq!(report.ops_completed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the matrix")]
+    fn replay_rejects_unknown_labels() {
+        replay(&mini(), "migrate@9/clean/perm999");
+    }
+}

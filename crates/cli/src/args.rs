@@ -15,8 +15,10 @@ USAGE:
   ftc sim     --chain \"<spec>\" --system <ftc|nf|ftmb|ftmb-snap>
               [--f N] [--workers N] [--rate <Mpps|max>] [--packet-bytes B]
   ftc drill   --chain \"<spec>\" [--f N]
+  ftc reconfig --chain \"<spec>\" --idx N (--scale W | --migrate R)
+              [--f N] [--workers N] [--packets N]
   ftc bench   [--quick] [--seconds S] [--workers N] [--inflight N] [--out FILE]
-              [--remote] [--clients N] [--dir DIR]
+              [--remote] [--clients N] [--dir DIR] [--reconfig]
   ftc node    --chain \"<spec>\" --idx N --dir DIR [--f N] [--workers N] [--recover]
   ftc help
 
@@ -34,8 +36,15 @@ EXAMPLES:
   ftc compare --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
   ftc sim --chain \"monitor(sharing=8)\" --system ftc --rate max
   ftc drill --chain \"firewall -> monitor -> simple_nat(ext=198.51.100.1)\"
+  ftc reconfig --chain \"monitor -> monitor\" --idx 1 --scale 2
   ftc bench --quick --out BENCH_table2.json
   ftc bench --remote --quick --clients 2
+  ftc bench --quick --reconfig
+
+`ftc reconfig` performs a live four-phase handover (prepare, transfer,
+switch, release): `--scale W` rescales replica N to W workers, `--migrate R`
+moves it to region R. `ftc bench --reconfig` additionally measures the
+Table-2 chain scaling 2 -> 3 -> 2 workers under load.
 
 `ftc node` runs one replica as an OS process (normally spawned by the
 parent: `ftc bench --remote` or the programmatic ProcChain deployer).";
@@ -55,6 +64,8 @@ pub enum Command {
     Sim,
     /// Failover drill.
     Drill,
+    /// Live reconfiguration: scale or migrate one replica via handover.
+    Reconfig,
     /// Run the standing Table-2 benchmark and emit BENCH_table2.json.
     Bench,
     /// Run one replica as an OS process (spawned by a multi-process parent).
@@ -111,7 +122,7 @@ impl ParsedArgs {
 }
 
 /// Flags that take no value; everything else is `--key value`.
-const BOOL_FLAGS: &[&str] = &["json", "quick", "recover", "remote"];
+const BOOL_FLAGS: &[&str] = &["json", "quick", "reconfig", "recover", "remote"];
 
 /// Parses `argv` (excluding the program name).
 pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
@@ -123,6 +134,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, String> {
         Some("compare") => Command::Compare,
         Some("sim") => Command::Sim,
         Some("drill") => Command::Drill,
+        Some("reconfig") => Command::Reconfig,
         Some("bench") => Command::Bench,
         Some("node") => Command::Node,
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,

@@ -13,7 +13,7 @@ use ftc::core::metrics::StageStats;
 use ftc::prelude::*;
 use ftc::traffic::WorkloadConfig;
 use std::net::Ipv4Addr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The Table-2 stages in report order.
 const STAGES: [&str; 5] = ["transaction", "piggyback", "apply", "forwarder", "buffer"];
@@ -88,6 +88,12 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
         report.pps, report.received
     );
 
+    let reconfig_json = if args.flag("reconfig") {
+        format!(",\"reconfig\":{}", bench_reconfig(seconds, inflight)?)
+    } else {
+        String::new()
+    };
+
     let stages_json: Vec<String> = stages
         .iter()
         .map(|(name, s)| format!("\"{name}\":{}", stage_json(s)))
@@ -96,7 +102,7 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
         "{{\"bench\":\"table2\",\"chain\":\"mazu_nat -> mazu_nat\",\"quick\":{quick},\
          \"seconds\":{seconds},\"workers\":{workers},\"inflight\":{inflight},\
          \"received\":{},\"pps\":{:.1},\"mean_piggyback_bytes\":{:.1},\
-         \"stages\":{{{}}}}}\n",
+         \"stages\":{{{}}}{reconfig_json}}}\n",
         report.received,
         report.pps,
         snap.mean_piggyback_bytes,
@@ -105,6 +111,154 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Closed-loop driving (same shape as `TrafficRunner::closed_loop`) until
+/// the window closes; returns packets received. `in_flight` carries the
+/// credit across calls so a window can resume after a handover.
+fn drive_window(
+    chain: &FtcChain,
+    egress: &Egress,
+    wl: &mut Workload,
+    inflight: usize,
+    in_flight: &mut usize,
+    start: Instant,
+    window: Duration,
+) -> usize {
+    let mut received = 0usize;
+    while start.elapsed() < window {
+        while *in_flight < inflight {
+            chain.inject(wl.next_packet());
+            *in_flight += 1;
+        }
+        while egress.recv(Duration::from_micros(200)).is_some() {
+            received += 1;
+            *in_flight = in_flight.saturating_sub(1);
+            if *in_flight >= inflight {
+                break;
+            }
+        }
+    }
+    received
+}
+
+/// One closed-loop measurement window against a healthy chain.
+fn windowed_pps(chain: &FtcChain, wl: &mut Workload, inflight: usize, window: Duration) -> f64 {
+    let egress = chain.egress();
+    let start = Instant::now();
+    let mut in_flight = 0usize;
+    let received = drive_window(chain, &egress, wl, inflight, &mut in_flight, start, window);
+    received as f64 / start.elapsed().as_secs_f64()
+}
+
+fn report_json(r: &ftc::orch::ReconfigReport) -> String {
+    format!(
+        "{{\"prepare_ns\":{},\"transfer_ns\":{},\"switch_ns\":{},\"release_ns\":{},\
+         \"total_ns\":{},\"bytes\":{}}}",
+        r.prepare.as_nanos(),
+        r.transfer.as_nanos(),
+        r.switch.as_nanos(),
+        r.release.as_nanos(),
+        r.total().as_nanos(),
+        r.bytes_transferred,
+    )
+}
+
+/// `ftc bench --reconfig`: the Table-2 chain scaling its second MazuNAT
+/// 2 -> 3 -> 2 workers *under load*. Each handover window injects a burst
+/// right before [`Orchestrator::scale_instance`] so the four-phase
+/// handshake runs with traffic in flight; in-flight packets parked at the
+/// quiescing source are lost (§4.1 semantics, like any planned outage), so
+/// the window's throughput is the *dip* the reconfiguration costs.
+/// Recovery time is the handover total reported per phase. Returns the
+/// `"reconfig"` JSON object embedded into the bench artifact.
+fn bench_reconfig(seconds: f64, inflight: usize) -> Result<String, String> {
+    const IDX: usize = 1;
+    let window = Duration::from_secs_f64((seconds / 4.0).max(0.2));
+    println!(
+        "ftc bench --reconfig: scaling r{IDX} 2 -> 3 -> 2 workers under load \
+         ({window:.1?} windows)"
+    );
+    let chain = FtcChain::deploy(
+        ChainConfig::new(vec![
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 2),
+            },
+            MbSpec::MazuNat {
+                external_ip: Ipv4Addr::new(203, 0, 113, 3),
+            },
+        ])
+        .with_f(1)
+        .with_workers(2),
+    );
+    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+    let mut wl = Workload::new(WorkloadConfig {
+        flows: 64,
+        frame_len: 256,
+        ..Default::default()
+    });
+
+    // A handover window: burst in flight, scale, then keep the load on
+    // until the window closes. Whatever the quiescing source discarded is
+    // written off (in-flight credit reset), charging the loss and the
+    // stall to this window's throughput.
+    let handover = |orch: &mut Orchestrator,
+                    wl: &mut Workload,
+                    workers: usize|
+     -> Result<(f64, ftc::orch::ReconfigReport), String> {
+        let egress = orch.chain.egress();
+        let start = Instant::now();
+        for _ in 0..inflight {
+            orch.chain.inject(wl.next_packet());
+        }
+        let report = orch
+            .scale_instance(IDX, workers)
+            .map_err(|e| format!("scale of r{IDX} to {workers} workers failed: {e}"))?;
+        let mut received = egress.collect(inflight, Duration::from_millis(100)).len();
+        let mut in_flight = 0usize;
+        received += drive_window(
+            &orch.chain,
+            &egress,
+            wl,
+            inflight,
+            &mut in_flight,
+            start,
+            window,
+        );
+        Ok((received as f64 / start.elapsed().as_secs_f64(), report))
+    };
+
+    let pps_before = windowed_pps(&orch.chain, &mut wl, inflight, window);
+    let (pps_dip_up, up) = handover(&mut orch, &mut wl, 3)?;
+    let pps_scaled = windowed_pps(&orch.chain, &mut wl, inflight, window);
+    let (pps_dip_down, down) = handover(&mut orch, &mut wl, 2)?;
+    let pps_after = windowed_pps(&orch.chain, &mut wl, inflight, window);
+
+    let dip = pps_dip_up.min(pps_dip_down);
+    println!(
+        "reconfig: {pps_before:.0} pps before, dip to {dip:.0} pps \
+         ({:.0}% of steady), {pps_scaled:.0} pps at 3 workers, \
+         {pps_after:.0} pps after",
+        if pps_before > 0.0 {
+            100.0 * dip / pps_before
+        } else {
+            0.0
+        },
+    );
+    println!(
+        "reconfig: scale-up handover {:.1?} ({} B state), scale-down {:.1?} ({} B)",
+        up.total(),
+        up.bytes_transferred,
+        down.total(),
+        down.bytes_transferred,
+    );
+    Ok(format!(
+        "{{\"path\":[2,3,2],\"pps_before\":{pps_before:.1},\"pps_dip_up\":{pps_dip_up:.1},\
+         \"pps_scaled\":{pps_scaled:.1},\"pps_dip_down\":{pps_dip_down:.1},\
+         \"pps_after\":{pps_after:.1},\"scale_up\":{},\"scale_down\":{}}}",
+        report_json(&up),
+        report_json(&down),
+    ))
 }
 
 /// `ftc bench --remote`: the Table-2 chain deployed as OS processes (one
@@ -233,6 +387,46 @@ mod tests {
         assert!(body.contains("\"pps\":"));
         for stage in STAGES {
             assert!(body.contains(&format!("\"{stage}\":")), "missing {stage}");
+        }
+        assert!(
+            !body.contains("\"reconfig\":"),
+            "no reconfig section without --reconfig"
+        );
+    }
+
+    #[test]
+    fn bench_reconfig_embeds_handover_section() {
+        let out = std::env::temp_dir().join(format!(
+            "ftc_bench_reconfig_test_{}.json",
+            std::process::id()
+        ));
+        let argv: Vec<String> = [
+            "bench",
+            "--quick",
+            "--reconfig",
+            "--seconds",
+            "0.2",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_bench(&parse_args(&argv).unwrap()).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(body.contains("\"reconfig\":{\"path\":[2,3,2]"));
+        for key in [
+            "\"pps_before\":",
+            "\"pps_dip_up\":",
+            "\"pps_scaled\":",
+            "\"pps_dip_down\":",
+            "\"pps_after\":",
+            "\"scale_up\":",
+            "\"scale_down\":",
+            "\"total_ns\":",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
         }
     }
 }

@@ -21,6 +21,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), String> {
         Command::Compare => cmd_compare(args),
         Command::Sim => cmd_sim(args),
         Command::Drill => cmd_drill(args),
+        Command::Reconfig => cmd_reconfig(args),
         Command::Bench => crate::bench::cmd_bench(args),
         Command::Node => cmd_node(args),
     }
@@ -394,6 +395,91 @@ fn cmd_drill(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `ftc reconfig`: one planned four-phase handover on a live chain —
+/// `--scale W` replaces the replica with a W-worker instance, `--migrate R`
+/// moves it to region R. State carries over; traffic resumes afterwards.
+fn cmd_reconfig(args: &ParsedArgs) -> Result<(), String> {
+    let specs = specs_of(args)?;
+    let f = args.get_usize("f", 1)?;
+    let workers = args.get_usize("workers", 1)?;
+    let packets = args.get_usize("packets", 200)?;
+    let idx = args.get_usize("idx", usize::MAX)?;
+    if idx == usize::MAX {
+        return Err("--idx N is required".to_string());
+    }
+
+    let chain = FtcChain::deploy(ChainConfig::new(specs).with_f(f).with_workers(workers));
+    let n = chain.len();
+    if idx >= n {
+        return Err(format!("--idx {idx} out of range (chain has {n} replicas)"));
+    }
+    let mut orch = Orchestrator::new(chain, OrchestratorConfig::default());
+
+    let mut wl = Workload::new(WorkloadConfig::default());
+    for _ in 0..packets {
+        orch.chain.inject(wl.next_packet());
+    }
+    let warmed = orch
+        .chain
+        .egress()
+        .collect(packets, Duration::from_secs(30))
+        .len();
+    println!("warmed up with {warmed}/{packets} packets");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let report = match (args.get("scale"), args.get("migrate")) {
+        (Some(w), None) => {
+            let w: usize = w
+                .parse()
+                .map_err(|_| format!("--scale expects a worker count, got `{w}`"))?;
+            if w == 0 {
+                return Err("--scale needs at least 1 worker".to_string());
+            }
+            println!("scaling r{idx} to {w} worker(s)…");
+            orch.scale_instance(idx, w)
+                .map_err(|e| format!("scale of r{idx} failed: {e}"))?
+        }
+        (None, Some(r)) => {
+            let r: usize = r
+                .parse()
+                .map_err(|_| format!("--migrate expects a region index, got `{r}`"))?;
+            let regions = orch.chain.topology.regions();
+            if r >= regions {
+                return Err(format!(
+                    "--migrate {r} out of range (topology has {regions} region(s))"
+                ));
+            }
+            println!("migrating r{idx} to region {r}…");
+            orch.migrate_instance(idx, ftc::net::RegionId(r))
+                .map_err(|e| format!("migration of r{idx} failed: {e}"))?
+        }
+        _ => return Err("reconfig needs exactly one of --scale W or --migrate R".to_string()),
+    };
+    println!(
+        "{} of r{} complete in {:.1?}: prepare {:.1?}, transfer {:.1?} / {} B, \
+         switch {:.1?}, release {:.1?}",
+        report.op.label(),
+        report.position,
+        report.total(),
+        report.prepare,
+        report.transfer,
+        report.bytes_transferred,
+        report.switch,
+        report.release,
+    );
+
+    for _ in 0..50 {
+        orch.chain.inject(wl.next_packet());
+    }
+    let got = orch
+        .chain
+        .egress()
+        .collect(50, Duration::from_secs(30))
+        .len();
+    println!("post-reconfiguration traffic: {got}/50 released");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +521,26 @@ mod tests {
     #[test]
     fn trace_rejects_out_of_range_kill() {
         let err = run_cmd("trace --chain monitor --packets 5 --kill 9").unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn reconfig_scale_command_works() {
+        run_cmd("reconfig --chain monitor->monitor --idx 1 --scale 2 --packets 40").unwrap();
+    }
+
+    #[test]
+    fn reconfig_needs_exactly_one_operation() {
+        let err = run_cmd("reconfig --chain monitor->monitor --idx 1 --packets 5").unwrap_err();
+        assert!(err.contains("--scale"));
+    }
+
+    #[test]
+    fn reconfig_rejects_unknown_region_and_bad_idx() {
+        let err = run_cmd("reconfig --chain monitor->monitor --idx 0 --migrate 9 --packets 5")
+            .unwrap_err();
+        assert!(err.contains("out of range"));
+        let err = run_cmd("reconfig --chain monitor --idx 7 --scale 2").unwrap_err();
         assert!(err.contains("out of range"));
     }
 

@@ -48,6 +48,7 @@ pub mod hist;
 pub mod journal;
 pub mod metrics;
 pub mod probe;
+pub mod reconfig;
 pub mod recovery;
 pub mod replica;
 pub mod testkit;
@@ -58,3 +59,7 @@ pub use hist::Histogram;
 pub use journal::{Event, EventKind, EventSource, Journal, RecoveryTimeline};
 pub use metrics::{ChainMetrics, MetricsSnapshot};
 pub use probe::{ProbePoint, ProbeSlot, ProbeVerdict, ProtocolProbe};
+pub use reconfig::{
+    ClaimSample, ClaimView, ReconfigActor, ReconfigFailure, ReconfigOp, ReconfigPhase, ReconfigRun,
+    ReconfigStats, SealRecord,
+};

@@ -75,6 +75,23 @@ pub enum ProbePoint {
         /// The middlebox whose state is fetched.
         mbox: usize,
     },
+    /// A planned-reconfiguration step (scale/migrate/splice handshake,
+    /// [`crate::reconfig`]) reached an observable point. A `Crash` verdict
+    /// fail-stops `role` — the source or destination instance, or the
+    /// orchestrator driving the handshake — at exactly that point, which
+    /// is the case split of the crash-during-reconfiguration matrix.
+    /// During the transfer phase the point fires once per partition moved,
+    /// so triggers can select "after `k` partitions landed".
+    Reconfig {
+        /// The operation in progress.
+        op: crate::reconfig::ReconfigOp,
+        /// The handshake phase.
+        phase: crate::reconfig::ReconfigPhase,
+        /// The participant at this point (the crash victim on `Crash`).
+        role: crate::reconfig::ReconfigActor,
+        /// The (primary) ring position being reconfigured.
+        mbox: usize,
+    },
 }
 
 /// What the probe wants the component to do at a [`ProbePoint`].

@@ -15,14 +15,20 @@ use crate::config::ChainConfig;
 use crate::control::{InPort, OutPort};
 use crate::forwarder::ForwarderState;
 use crate::metrics::ChainMetrics;
-use crate::probe::ProtocolProbe;
+use crate::probe::{ProbeVerdict, ProtocolProbe};
+use crate::reconfig::{
+    ClaimSample, ClaimView, ReconfigActor, ReconfigFailure, ReconfigOp, ReconfigPhase, ReconfigRun,
+    ReconfigStats, SealRecord, TransferInterrupt,
+};
 use crate::recovery::RecoveryError;
 use crate::replica::ReplicaState;
 use bytes::BytesMut;
-use crossbeam::channel::{self, Receiver};
+use crossbeam::channel::{self, Receiver, Sender};
+use ftc_mbox::MbSpec;
 use ftc_net::nic::Nic;
 use ftc_net::{reliable_pair, Endpoint};
 use ftc_packet::Packet;
+use ftc_stm::PartitionExport;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -57,8 +63,16 @@ pub struct SyncChain {
     buffer_in: Arc<InPort>,
     feedback_in: Arc<InPort>,
     egress: Receiver<Packet>,
+    /// Sender side of the egress channel, kept so a splice can carry
+    /// undrained egress packets across the topology swap.
+    egress_tx: Sender<Packet>,
     /// Fail-stopped replicas: stepping them is a no-op until recovered.
     dead: Vec<AtomicBool>,
+    /// Instances decommissioned by a reconfiguration. Kept (not dropped)
+    /// because the I5 single-owner invariant must observe their claim
+    /// tables: a retired-but-alive instance that still claims partitions
+    /// is exactly the bug class the checker exists for.
+    retired: Vec<Arc<ReplicaState>>,
     /// The chain-wide probe, re-installed on replacement replicas.
     probe: parking_lot::Mutex<Option<Arc<dyn ProtocolProbe>>>,
 }
@@ -92,7 +106,12 @@ impl SyncChain {
 
         let (egress_tx, egress_rx) = channel::unbounded();
         let forwarder = ForwarderState::new(Arc::clone(&metrics));
-        let buffer = BufferState::new(cfg.ring(), egress_tx, feedback_out, Arc::clone(&metrics));
+        let buffer = BufferState::new(
+            cfg.ring(),
+            egress_tx.clone(),
+            feedback_out,
+            Arc::clone(&metrics),
+        );
 
         let mut replicas = Vec::with_capacity(n);
         let mut nics = Vec::with_capacity(n);
@@ -122,7 +141,9 @@ impl SyncChain {
             buffer_in,
             feedback_in,
             egress: egress_rx,
+            egress_tx,
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            retired: Vec::new(),
             probe: parking_lot::Mutex::new(None),
         }
     }
@@ -178,6 +199,11 @@ impl SyncChain {
                 if self.is_dead(i) {
                     // Fail-stopped: frames headed here die with the server
                     // (the rewire on recovery discards the stale ports).
+                    return false;
+                }
+                if self.replicas[i].is_paused() {
+                    // Quiesced (§4.1 / a handover prepare): frames back up
+                    // in the in-port, exactly like the threaded rx loop.
                     return false;
                 }
                 let mut progressed = false;
@@ -346,6 +372,600 @@ impl SyncChain {
         Ok(transferred)
     }
 
+    /// Every instance's [`ClaimView`] — the chain's current replicas,
+    /// retired instances, and any `extra` in-flight ones — for the I5
+    /// single-serviceable-owner fold.
+    fn reconfig_views(&self, extra: &[(&'static str, &Arc<ReplicaState>)]) -> Vec<ClaimView> {
+        let mut views = Vec::with_capacity(self.replicas.len() + self.retired.len() + extra.len());
+        for (i, r) in self.replicas.iter().enumerate() {
+            views.push(ClaimView {
+                position: r.idx,
+                tag: "chain",
+                alive: !self.is_dead(i),
+                flags: r.claims.view(),
+            });
+        }
+        for r in &self.retired {
+            views.push(ClaimView {
+                position: r.idx,
+                tag: "retired",
+                alive: true,
+                flags: r.claims.view(),
+            });
+        }
+        for (tag, r) in extra {
+            views.push(ClaimView {
+                position: r.idx,
+                tag,
+                alive: true,
+                flags: r.claims.view(),
+            });
+        }
+        views
+    }
+
+    /// Reports one reconfiguration probe point and appends the claim-table
+    /// state *at that point* to `trace`. The verdict decides whether the
+    /// named actor fail-stops there.
+    // audit: the signature mirrors ProbePoint::Reconfig plus trace + extras
+    #[allow(clippy::too_many_arguments)]
+    fn reconfig_point(
+        &self,
+        trace: &mut Vec<ClaimSample>,
+        op: ReconfigOp,
+        phase: ReconfigPhase,
+        role: ReconfigActor,
+        mbox: usize,
+        extra: &[(&'static str, &Arc<ReplicaState>)],
+    ) -> ProbeVerdict {
+        let verdict = match self.probe.lock().as_ref() {
+            Some(p) => p.on_step(crate::probe::ProbePoint::Reconfig {
+                op,
+                phase,
+                role,
+                mbox,
+            }),
+            None => ProbeVerdict::Continue,
+        };
+        trace.push(ClaimSample {
+            op,
+            phase,
+            role,
+            views: self.reconfig_views(extra),
+        });
+        verdict
+    }
+
+    /// Migrates the instance at ring position `idx` onto a fresh replica
+    /// via the four-phase handover of [`crate::reconfig`]. See
+    /// [`Self::scale_mbox`] for the scale flavor of the same handshake.
+    ///
+    /// Unlike [`Self::fail_and_recover`], this is a *planned* handover: the
+    /// source is drained, not killed, so no frame is lost — the position's
+    /// ports, NIC and queue carry straight over to the new instance. An
+    /// installed probe can crash any participant at any
+    /// [`Reconfig`](crate::ProbePoint::Reconfig) point; each failure leaves
+    /// the chain in the defined state documented on
+    /// [`ReconfigFailure`].
+    pub fn migrate_mbox(&mut self, idx: usize) -> ReconfigRun {
+        self.handover(idx, ReconfigOp::Migrate)
+    }
+
+    /// Scales the instance at `idx` through the same handover as
+    /// [`Self::migrate_mbox`]. `SyncChain` pins every instance to one
+    /// worker (determinism), so here the operation exercises the protocol
+    /// only; the threaded orchestrator engine applies the real
+    /// worker-count change with this same phase structure.
+    pub fn scale_mbox(&mut self, idx: usize) -> ReconfigRun {
+        self.handover(idx, ReconfigOp::Scale)
+    }
+
+    fn handover(&mut self, idx: usize, op: ReconfigOp) -> ReconfigRun {
+        use crate::journal::{EventKind, EventSource};
+        let mut trace: Vec<ClaimSample> = Vec::new();
+        let fail = |outcome: ReconfigFailure, trace: Vec<ClaimSample>, seal| ReconfigRun {
+            op,
+            position: idx,
+            outcome: Err(outcome),
+            trace,
+            seal,
+        };
+
+        // --- Prepare ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Prepare,
+            ReconfigActor::Orchestrator,
+            idx,
+            &[],
+        ) == ProbeVerdict::Crash
+        {
+            // The driver died before touching the chain: nothing to undo.
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Prepare,
+                },
+                trace,
+                None,
+            );
+        }
+        self.metrics.journal.record(
+            EventSource::Orchestrator,
+            EventKind::RespawnIssued {
+                replica: idx as u16,
+            },
+        );
+        let src = Arc::clone(&self.replicas[idx]);
+        src.begin_handover();
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Prepare,
+            ReconfigActor::Source,
+            idx,
+            &[],
+        ) == ProbeVerdict::Crash
+        {
+            // The freshly quiesced source died: the position fail-stops
+            // and standard §5.2 recovery (from the group) applies.
+            self.mark_dead(idx);
+            return fail(
+                ReconfigFailure::SourceCrashed {
+                    phase: ReconfigPhase::Prepare,
+                },
+                trace,
+                None,
+            );
+        }
+        // The committed prefix at the seal: what I6 says must arrive.
+        let seal = SealRecord {
+            snapshot: src.own_store.snapshot(),
+            seqs: src.own_store.seq_vector(),
+        };
+
+        // Fresh destination at the same position, sharing the source's
+        // wired out-port (a planned handover loses no frames). It claims
+        // nothing until the switch commits.
+        let cfg = Arc::clone(&src.cfg);
+        let spec = cfg.effective_middleboxes()[idx].clone();
+        let dest = ReplicaState::new(
+            idx,
+            cfg,
+            spec.build(),
+            Arc::clone(&src.out),
+            Arc::clone(&self.metrics),
+        );
+        dest.claims.unclaim_all();
+        if let Some(p) = self.probe.lock().as_ref() {
+            dest.probe.install(Arc::clone(p));
+        }
+
+        // --- Transfer --- the own store moves one partition at a time
+        // through the wire codec; either side can die after each chunk.
+        let mut transferred = 0usize;
+        let mut interrupt: Option<TransferInterrupt> = None;
+        for p in 0..src.own_store.partitions() as u16 {
+            let wire = src.own_store.export_partition(p).encode();
+            transferred += wire.len();
+            if self.reconfig_point(
+                &mut trace,
+                op,
+                ReconfigPhase::Transfer,
+                ReconfigActor::Source,
+                idx,
+                &[("incoming", &dest)],
+            ) == ProbeVerdict::Crash
+            {
+                interrupt = Some(TransferInterrupt::Source(p));
+                break;
+            }
+            let ex = PartitionExport::decode(&wire).expect("self-encoded export");
+            dest.own_store.import_partition(&ex);
+            if self.reconfig_point(
+                &mut trace,
+                op,
+                ReconfigPhase::Transfer,
+                ReconfigActor::Destination,
+                idx,
+                &[("incoming", &dest)],
+            ) == ProbeVerdict::Crash
+            {
+                interrupt = Some(TransferInterrupt::Destination(p));
+                break;
+            }
+        }
+        match interrupt {
+            Some(TransferInterrupt::Source(_)) => {
+                // Half-exported source dies: the abandoned destination is
+                // discarded and the position fail-stops; §5.2 recovery
+                // rebuilds it from the replication group.
+                self.mark_dead(idx);
+                return fail(
+                    ReconfigFailure::SourceCrashed {
+                        phase: ReconfigPhase::Transfer,
+                    },
+                    trace,
+                    Some(seal),
+                );
+            }
+            Some(TransferInterrupt::Destination(_)) => {
+                // Half-imported destination dies: discard it and resume
+                // the source — old configuration intact, retry at will.
+                src.abort_handover();
+                return fail(
+                    ReconfigFailure::DestinationCrashed {
+                        phase: ReconfigPhase::Transfer,
+                    },
+                    trace,
+                    Some(seal),
+                );
+            }
+            None => {}
+        }
+        // The f replicated groups move as snapshots + MAX vectors, exactly
+        // what a recovery fetch would serve.
+        for (m, g) in &src.replicated {
+            dest.restore_replicated(*m, &g.store.snapshot(), g.max.vector());
+        }
+
+        // --- Switch: the commit point ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Switch,
+            ReconfigActor::Orchestrator,
+            idx,
+            &[("incoming", &dest)],
+        ) == ProbeVerdict::Crash
+        {
+            // Before the commit point the operation rolls back.
+            src.abort_handover();
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Switch,
+                },
+                trace,
+                Some(seal),
+            );
+        }
+        dest.claims.claim_all();
+        self.replicas[idx] = Arc::clone(&dest);
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Switch,
+            ReconfigActor::Destination,
+            idx,
+            &[("outgoing", &src)],
+        ) == ProbeVerdict::Crash
+        {
+            // The new owner died right after the commit point: roll
+            // forward — retire the superseded source, fail-stop the
+            // position on the *new* configuration, recover per §5.2.
+            src.retire();
+            self.retired.push(src);
+            self.mark_dead(idx);
+            return fail(
+                ReconfigFailure::DestinationCrashed {
+                    phase: ReconfigPhase::Switch,
+                },
+                trace,
+                Some(seal),
+            );
+        }
+
+        // --- Release ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Release,
+            ReconfigActor::Orchestrator,
+            idx,
+            &[("outgoing", &src)],
+        ) == ProbeVerdict::Crash
+        {
+            // Past the commit point: roll forward. The destination
+            // serves; the sealed source is merely never decommissioned —
+            // sealed claims are not serviceable, so I5 holds.
+            self.retired.push(src);
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Release,
+                },
+                trace,
+                Some(seal),
+            );
+        }
+        #[cfg(feature = "sabotage-skip-release")]
+        {
+            // Sabotage: the release message is lost and the source's
+            // failure-assumption timeout treats the migration as failed —
+            // it re-opens its claims and resumes — while the destination
+            // has already switched. Two serviceable owners: I5 must fire.
+            src.abort_handover();
+            self.retired.push(src);
+            trace.push(ClaimSample {
+                op,
+                phase: ReconfigPhase::Release,
+                role: ReconfigActor::Source,
+                views: self.reconfig_views(&[]),
+            });
+            return ReconfigRun {
+                op,
+                position: idx,
+                outcome: Ok(ReconfigStats {
+                    transferred,
+                    partitions: self.replicas[idx].own_store.partitions(),
+                }),
+                trace,
+                seal: Some(seal),
+            };
+        }
+        #[cfg(not(feature = "sabotage-skip-release"))]
+        {
+            src.retire();
+            self.retired.push(src);
+            trace.push(ClaimSample {
+                op,
+                phase: ReconfigPhase::Release,
+                role: ReconfigActor::Orchestrator,
+                views: self.reconfig_views(&[]),
+            });
+            self.metrics.journal.record(
+                EventSource::Orchestrator,
+                EventKind::TrafficResumed {
+                    replica: idx as u16,
+                },
+            );
+            ReconfigRun {
+                op,
+                position: idx,
+                outcome: Ok(ReconfigStats {
+                    transferred,
+                    partitions: self.replicas[idx].own_store.partitions(),
+                }),
+                trace,
+                seal: Some(seal),
+            }
+        }
+    }
+
+    /// Splices `spec` into the live chain at position `pos` (later
+    /// middleboxes shift right). See [`Self::splice_out`].
+    pub fn splice_in(&mut self, pos: usize, spec: MbSpec) -> ReconfigRun {
+        self.splice(ReconfigOp::SpliceIn, pos, Some(spec))
+    }
+
+    /// Splices the middlebox at `pos` out of the live chain (later
+    /// middleboxes shift left; the result must still satisfy
+    /// `len ≥ f + 1`).
+    pub fn splice_out(&mut self, pos: usize) -> ReconfigRun {
+        self.splice(ReconfigOp::SpliceOut, pos, None)
+    }
+
+    /// A splice re-stitches every ring link, so it runs as a phased
+    /// whole-chain rebuild with state carryover: quiesce + seal everyone
+    /// (prepare), snapshot each instance's committed prefix (transfer),
+    /// build the new topology and restore state by middlebox identity,
+    /// re-seeding replicated groups from the own snapshots — consistent
+    /// at quiescence (switch), then retire the old instances (release).
+    /// Undrained egress packets are carried across the swap.
+    fn splice(&mut self, op: ReconfigOp, pos: usize, insert: Option<MbSpec>) -> ReconfigRun {
+        let mut trace: Vec<ClaimSample> = Vec::new();
+        let fail = |outcome: ReconfigFailure, trace: Vec<ClaimSample>| ReconfigRun {
+            op,
+            position: pos,
+            outcome: Err(outcome),
+            trace,
+            seal: None,
+        };
+
+        // --- Prepare ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Prepare,
+            ReconfigActor::Orchestrator,
+            pos,
+            &[],
+        ) == ProbeVerdict::Crash
+        {
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Prepare,
+                },
+                trace,
+            );
+        }
+        // Drain the whole chain; a splice only proceeds from a fully
+        // live, empty-pipeline state (retryable abort otherwise).
+        self.run_to_quiescence(5000);
+        let n_old = self.replicas.len();
+        if (0..n_old).any(|i| self.is_dead(i)) || self.held() != 0 {
+            return fail(ReconfigFailure::NotQuiescent, trace);
+        }
+        for r in &self.replicas {
+            r.begin_handover();
+        }
+
+        // --- Transfer ---
+        let mut snaps = Vec::with_capacity(n_old);
+        for i in 0..n_old {
+            let r = Arc::clone(&self.replicas[i]);
+            snaps.push((r.own_store.snapshot(), r.own_store.seq_vector()));
+            if self.reconfig_point(
+                &mut trace,
+                op,
+                ReconfigPhase::Transfer,
+                ReconfigActor::Source,
+                i,
+                &[],
+            ) == ProbeVerdict::Crash
+            {
+                // Old instance `i` died mid-snapshot: abort the splice
+                // (everyone else resumes) and fall back to §5.2 recovery
+                // for the dead position on the old topology.
+                for (j, other) in self.replicas.iter().enumerate() {
+                    if j != i {
+                        other.abort_handover();
+                    }
+                }
+                self.mark_dead(i);
+                return fail(
+                    ReconfigFailure::SourceCrashed {
+                        phase: ReconfigPhase::Transfer,
+                    },
+                    trace,
+                );
+            }
+        }
+
+        // --- Switch: the commit point ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Switch,
+            ReconfigActor::Orchestrator,
+            pos,
+            &[],
+        ) == ProbeVerdict::Crash
+        {
+            // Before the commit point: roll back, old chain resumes.
+            for r in &self.replicas {
+                r.abort_handover();
+            }
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Switch,
+                },
+                trace,
+            );
+        }
+        // Old position -> new position (None = spliced out).
+        let map = |i: usize| -> Option<usize> {
+            match op {
+                ReconfigOp::SpliceIn => Some(if i < pos { i } else { i + 1 }),
+                ReconfigOp::SpliceOut if i == pos => None,
+                ReconfigOp::SpliceOut => Some(if i < pos { i } else { i - 1 }),
+                _ => unreachable!("splice ops only"),
+            }
+        };
+        let cfg = Arc::clone(&self.replicas[0].cfg);
+        let mut specs = cfg.effective_middleboxes();
+        match insert {
+            Some(spec) => specs.insert(pos, spec),
+            None => {
+                specs.remove(pos);
+            }
+        }
+        let mut new_cfg = (*cfg).clone();
+        new_cfg.middleboxes = specs;
+        let fresh = SyncChain::new(new_cfg);
+        if let Some(p) = self.probe.lock().as_ref() {
+            fresh.install_probe(Arc::clone(p));
+        }
+        // Carry each surviving instance's committed prefix over, then
+        // re-seed the replicated groups from the own snapshots (equal at
+        // quiescence: every committed write is in its head's own store).
+        let mut transferred = 0usize;
+        for (i, (snap, seqs)) in snaps.iter().enumerate() {
+            if let Some(ni) = map(i) {
+                transferred += snap.byte_size();
+                fresh.replicas[ni].own_store.restore(snap);
+                fresh.replicas[ni].own_store.restore_seqs(seqs);
+            }
+        }
+        let inv: std::collections::HashMap<usize, usize> = (0..n_old)
+            .filter_map(|i| map(i).map(|ni| (ni, i)))
+            .collect();
+        for r in &fresh.replicas {
+            let mboxes: Vec<usize> = r.replicated.keys().copied().collect();
+            for m in mboxes {
+                if let Some(&oi) = inv.get(&m) {
+                    r.restore_replicated(m, &snaps[oi].0, snaps[oi].1.clone());
+                }
+                // A spliced-in middlebox starts empty: nothing to seed.
+            }
+        }
+        // Swap the topology in; carry undrained egress packets across.
+        let old = std::mem::replace(self, fresh);
+        self.retired = old.retired;
+        while let Ok(pkt) = old.egress.try_recv() {
+            let _ = self.egress_tx.send(pkt);
+        }
+        let old_replicas = old.replicas;
+        let extras: Vec<(&'static str, &Arc<ReplicaState>)> =
+            old_replicas.iter().map(|r| ("outgoing", r)).collect();
+        let dpos = pos.min(self.replicas.len() - 1);
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Switch,
+            ReconfigActor::Destination,
+            dpos,
+            &extras,
+        ) == ProbeVerdict::Crash
+        {
+            // A fresh instance died right at the commit point: roll
+            // forward — the restarted driver finishes the release, the
+            // dead position is recovered per §5.2 on the new topology.
+            for r in &old_replicas {
+                r.retire();
+            }
+            self.retired.extend(old_replicas);
+            self.mark_dead(dpos);
+            return fail(
+                ReconfigFailure::DestinationCrashed {
+                    phase: ReconfigPhase::Switch,
+                },
+                trace,
+            );
+        }
+
+        // --- Release ---
+        if self.reconfig_point(
+            &mut trace,
+            op,
+            ReconfigPhase::Release,
+            ReconfigActor::Orchestrator,
+            pos,
+            &extras,
+        ) == ProbeVerdict::Crash
+        {
+            // Roll forward: the new chain serves; the old instances stay
+            // sealed (never serviceable), merely undecommissioned.
+            self.retired.extend(old_replicas);
+            return fail(
+                ReconfigFailure::OrchestratorCrashed {
+                    phase: ReconfigPhase::Release,
+                },
+                trace,
+            );
+        }
+        for r in &old_replicas {
+            r.retire();
+        }
+        self.retired.extend(old_replicas);
+        trace.push(ClaimSample {
+            op,
+            phase: ReconfigPhase::Release,
+            role: ReconfigActor::Orchestrator,
+            views: self.reconfig_views(&[]),
+        });
+        let partitions = self.replicas[0].own_store.partitions() * n_old;
+        ReconfigRun {
+            op,
+            position: pos,
+            outcome: Ok(ReconfigStats {
+                transferred,
+                partitions,
+            }),
+            trace,
+            seal: None,
+        }
+    }
+
     /// Returns a handle to the chain's egress (same API as
     /// [`FtcChain::egress`](crate::FtcChain::egress)).
     pub fn egress(&self) -> Egress {
@@ -355,6 +975,14 @@ impl SyncChain {
     /// Packets currently withheld by the buffer.
     pub fn held(&self) -> usize {
         self.buffer.held_len()
+    }
+
+    /// Every instance's current [`ClaimView`] — the wired chain replicas
+    /// plus all retired instances. The reconfiguration model checker folds
+    /// this at final quiescence into the I5 completion condition: exactly
+    /// one serviceable owner per `(position, partition)`.
+    pub fn claim_views(&self) -> Vec<ClaimView> {
+        self.reconfig_views(&[])
     }
 }
 
@@ -374,6 +1002,20 @@ pub enum CrashPhase {
     PostForward,
     /// The *replacement* dies mid-state-fetch; recovery restarts fresh.
     DuringRecovery,
+    /// A planned-reconfiguration crash ([`crate::reconfig`]): fail-stop
+    /// `role` at its `trigger`-th observation of the `(op, phase)` probe
+    /// point. The victim position is the [`CrashPoint::victim`] field, as
+    /// for every other phase — this is the one enumeration shared by the
+    /// integration-test kill skeletons and the `ftc-audit`
+    /// reconfiguration model checker.
+    Reconfig {
+        /// The operation under way when the crash fires.
+        op: crate::reconfig::ReconfigOp,
+        /// The handshake phase to crash in.
+        phase: crate::reconfig::ReconfigPhase,
+        /// The participant to kill.
+        role: crate::reconfig::ReconfigActor,
+    },
 }
 
 /// One crash in a [`CrashSchedule`].
@@ -655,6 +1297,89 @@ mod tests {
         assert_eq!(
             chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
             Some(10)
+        );
+    }
+
+    #[test]
+    fn clean_migrate_preserves_committed_prefix_and_traffic() {
+        let mut chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        for i in 0..10 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.egress().drain().len(), 10);
+        let run = chain.migrate_mbox(1);
+        let stats = run.outcome.expect("clean handover succeeds");
+        assert!(stats.transferred > 0);
+        // I6: the destination holds exactly the sealed committed prefix.
+        let seal = run.seal.expect("sealed");
+        assert_eq!(chain.replicas[1].own_store.snapshot(), seal.snapshot);
+        assert_eq!(chain.replicas[1].own_store.seq_vector(), seal.seqs);
+        // I5 at completion: exactly one serviceable owner per partition.
+        for sample in &run.trace {
+            for p in 0..chain.replicas[1].own_store.partitions() as u16 {
+                assert!(sample.serviceable_count(1, p) <= 1, "{sample:?}");
+            }
+        }
+        let last = run.trace.last().unwrap();
+        assert_eq!(last.serviceable_count(1, 0), 1);
+        // The new instance serves: traffic flows and state continues.
+        for i in 10..20 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.egress().drain().len(), 10);
+        assert_eq!(
+            chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn splice_in_then_out_round_trips_the_chain() {
+        let mut chain = SyncChain::new(ChainConfig::ch_n(3, 1).with_f(1));
+        for i in 0..8 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(1000);
+        assert_eq!(chain.egress().drain().len(), 8);
+        let run = chain.splice_in(1, MbSpec::Monitor { sharing_level: 1 });
+        run.outcome.expect("clean splice-in succeeds");
+        assert_eq!(chain.replicas.len(), 4);
+        // Carried state: the old position-1 monitor now sits at 2.
+        assert_eq!(
+            chain.replicas[2].own_store.peek_u64(b"mon:packets:g0"),
+            Some(8)
+        );
+        assert_eq!(
+            chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
+            None
+        );
+        for i in 8..14 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(2000);
+        assert_eq!(chain.egress().drain().len(), 6);
+        assert_eq!(
+            chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
+            Some(6),
+            "spliced-in middlebox counts from zero"
+        );
+        assert_eq!(
+            chain.replicas[2].own_store.peek_u64(b"mon:packets:g0"),
+            Some(14)
+        );
+        let run = chain.splice_out(1);
+        run.outcome.expect("clean splice-out succeeds");
+        assert_eq!(chain.replicas.len(), 3);
+        for i in 14..20 {
+            chain.inject(pkt(i));
+        }
+        chain.run_to_quiescence(2000);
+        assert_eq!(chain.egress().drain().len(), 6);
+        assert_eq!(
+            chain.replicas[1].own_store.peek_u64(b"mon:packets:g0"),
+            Some(20)
         );
     }
 

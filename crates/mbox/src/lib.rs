@@ -41,6 +41,7 @@ pub use middlebox::{Action, MbSpec, Middlebox, ProcCtx};
 pub use monitor::Monitor;
 pub use nat::{MazuNat, SimpleNat};
 pub use spec_lang::{
-    declared_state_prefixes, parse_chain, verify_deploy_spec, DeploySpec, SpecViolation,
-    DECLARED_STATE_PREFIXES,
+    check_migration_manifest, declared_state_prefixes, migration_manifest, parse_chain,
+    spec_kind_name, verify_deploy_spec, verify_migration_spec, DeploySpec, SpecViolation,
+    DECLARED_STATE_PREFIXES, MIGRATION_MANIFEST,
 };

@@ -230,10 +230,11 @@ pub const DECLARED_STATE_PREFIXES: &[(&str, &[&str])] = &[
     ("passthrough", &[]),
 ];
 
-/// The declared state-key prefixes for one spec (see
-/// [`DECLARED_STATE_PREFIXES`]). Empty means stateless.
-pub fn declared_state_prefixes(spec: &MbSpec) -> &'static [&'static str] {
-    let name = match spec {
+/// The spec-language name of a middlebox kind (the key used by
+/// [`DECLARED_STATE_PREFIXES`], [`MIGRATION_MANIFEST`], and the static
+/// analyzers in `scripts/`).
+pub fn spec_kind_name(spec: &MbSpec) -> &'static str {
+    match spec {
         MbSpec::Monitor { .. } => "monitor",
         MbSpec::Gen { .. } => "gen",
         MbSpec::Ids { .. } => "ids",
@@ -242,12 +243,118 @@ pub fn declared_state_prefixes(spec: &MbSpec) -> &'static [&'static str] {
         MbSpec::SimpleNat { .. } => "simple_nat",
         MbSpec::Firewall { .. } => "firewall",
         MbSpec::Passthrough => "passthrough",
-    };
+    }
+}
+
+/// The declared state-key prefixes for one spec (see
+/// [`DECLARED_STATE_PREFIXES`]). Empty means stateless.
+pub fn declared_state_prefixes(spec: &MbSpec) -> &'static [&'static str] {
+    let name = spec_kind_name(spec);
     DECLARED_STATE_PREFIXES
         .iter()
         .find(|(n, _)| *n == name)
         .map(|(_, p)| *p)
         .unwrap_or(&[])
+}
+
+/// Per-middlebox *migration manifests*: the state-key prefixes a planned
+/// reconfiguration (an `ftc_core::reconfig`-style handover) transfers to
+/// the destination instance. A migration is **complete** only when the
+/// manifest covers every declared state prefix — any declared prefix
+/// missing here is state the handover would silently leave behind on the
+/// retired source, which is exactly the bug class the
+/// migration-completeness lint (`scripts/analyze_migration.py` statically,
+/// [`verify_migration_spec`] at deploy time) exists to reject.
+pub const MIGRATION_MANIFEST: &[(&str, &[&str])] = &[
+    ("monitor", &["mon:"]),
+    ("gen", &["gen:"]),
+    ("ids", &["ids:"]),
+    ("lb", &["lb:"]),
+    ("mazu_nat", &["mazu:"]),
+    ("simple_nat", &["snat:"]),
+    ("firewall", &[]),
+    ("passthrough", &[]),
+];
+
+/// The migration manifest for one spec (see [`MIGRATION_MANIFEST`]).
+/// Empty means the kind migrates no state (stateless stages).
+pub fn migration_manifest(spec: &MbSpec) -> &'static [&'static str] {
+    let name = spec_kind_name(spec);
+    MIGRATION_MANIFEST
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| *p)
+        .unwrap_or(&[])
+}
+
+/// Checks one middlebox kind's migration manifest against its declared
+/// state prefixes. Violations:
+///
+/// * `migration-missing-prefix` — a declared prefix the manifest omits:
+///   migrating this kind would strand that state on the retired source
+///   (the destination starts serving with a partial committed prefix,
+///   violating I6).
+/// * `migration-unknown-prefix` — a manifested prefix nobody declares:
+///   either the manifest is stale or the state escaped the
+///   [`DECLARED_STATE_PREFIXES`] contract.
+///
+/// The table-backed wrapper is [`verify_migration_spec`]; this function
+/// takes the sets explicitly so tests (and the static/dynamic agreement
+/// property) can feed deliberately incomplete fixtures.
+pub fn check_migration_manifest(
+    name: &str,
+    declared: &[&str],
+    manifest: &[&str],
+) -> Vec<SpecViolation> {
+    let mut violations = Vec::new();
+    for p in declared {
+        if !manifest.contains(p) {
+            violations.push(SpecViolation {
+                code: "migration-missing-prefix",
+                message: format!(
+                    "`{name}` declares state under `{p}` but its migration \
+                     manifest omits it: a handover would transfer a partial \
+                     committed prefix and strand `{p}` state on the retired \
+                     source (I6 violation); add `{p}` to `{name}` in \
+                     MIGRATION_MANIFEST"
+                ),
+            });
+        }
+    }
+    for p in manifest {
+        if !declared.contains(p) {
+            violations.push(SpecViolation {
+                code: "migration-unknown-prefix",
+                message: format!(
+                    "`{name}` manifests `{p}` for migration but declares no \
+                     such state prefix: remove the stale manifest entry or \
+                     declare `{p}` in DECLARED_STATE_PREFIXES"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// Statically verifies that every middlebox in `specs` has a *complete*
+/// migration manifest: each declared state prefix is covered, no unknown
+/// prefixes are manifested. Run before accepting a chain for deployment —
+/// a chain passing [`verify_deploy_spec`] can still be unsafe to
+/// reconfigure if a stage's manifest lags its declared state.
+pub fn verify_migration_spec(specs: &[MbSpec]) -> Result<(), Vec<SpecViolation>> {
+    let mut violations = Vec::new();
+    for spec in specs {
+        violations.extend(check_migration_manifest(
+            spec_kind_name(spec),
+            declared_state_prefixes(spec),
+            migration_manifest(spec),
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 /// A full deployment description: the chain plus the replication topology
@@ -577,6 +684,39 @@ mod tests {
             declared_state_prefixes(&MbSpec::Monitor { sharing_level: 1 }),
             &["mon:"]
         );
+    }
+
+    #[test]
+    fn every_declared_prefix_is_in_the_migration_manifest() {
+        let all = parse_chain(
+            "monitor -> gen -> mazu_nat(ext=1.2.3.4) -> simple_nat(ext=1.2.3.4) \
+             -> ids -> lb(backends=10.0.0.1) -> firewall -> passthrough",
+        )
+        .unwrap();
+        assert_eq!(all.len(), MIGRATION_MANIFEST.len());
+        verify_migration_spec(&all).unwrap();
+    }
+
+    #[test]
+    fn incomplete_manifest_fixture_is_rejected() {
+        // The fixture middlebox: declares two state prefixes, manifests
+        // only one — the skipped `conn:` prefix is exactly the stranded
+        // -state bug the lint exists for.
+        let violations = check_migration_manifest("leaky_nat", &["conn:", "ports:"], &["ports:"]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, "migration-missing-prefix");
+        assert!(
+            violations[0].message.contains("strand `conn:` state"),
+            "actionable: {}",
+            violations[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_manifest_prefix_is_rejected() {
+        let violations = check_migration_manifest("monitor", &["mon:"], &["mon:", "ghost:"]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, "migration-unknown-prefix");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Static/dynamic agreement for the migration-completeness lint.
+//!
+//! The static side ([`ftc_mbox::check_migration_manifest`]) rejects a
+//! manifest that omits a declared state prefix. The dynamic side is what
+//! actually happens during a handover: only state whose prefix is in the
+//! manifest reaches the destination store. The property forced here is
+//! that the two judgments coincide on every randomly generated
+//! (declared, manifest, state) triple:
+//!
+//! * the lint reports `migration-missing-prefix` **iff** a
+//!   manifest-filtered migration strands at least one key on the source;
+//! * `migration-unknown-prefix` never corresponds to dynamic loss (a
+//!   stale extra entry transfers nothing extra — it is a table bug, not a
+//!   state bug), so it is excluded from the loss equivalence and checked
+//!   separately.
+//!
+//! This is the proptest the ISSUE's static-analysis tentpole calls for:
+//! if either side drifts (the lint stops seeing a prefix, or the transfer
+//! machinery starts moving undeclared state), the equivalence breaks.
+
+use bytes::Bytes;
+use ftc_mbox::check_migration_manifest;
+use ftc_stm::StateStore;
+use proptest::prelude::*;
+
+/// The prefix universe the generator draws from. Realistic shapes: short
+/// lowercase tags with the `:` separator the key grammar uses.
+const UNIVERSE: &[&str] = &[
+    "mon:", "gen:", "ids:", "lb:", "mazu:", "snat:", "conn:", "ports:",
+];
+
+/// Dynamic model of a manifest-filtered handover: every key of `src`
+/// whose prefix is in `manifest` lands in `dst`; everything else stays
+/// behind. Returns the number of stranded keys.
+fn migrate_filtered(src: &StateStore, dst: &StateStore, manifest: &[&str]) -> usize {
+    let snap = src.snapshot();
+    let mut stranded = 0;
+    for (key, value) in snap.maps.iter().flatten() {
+        if manifest
+            .iter()
+            .any(|p| key.len() >= p.len() && &key[..p.len()] == p.as_bytes())
+        {
+            dst.transaction(|txn| {
+                txn.write(key.clone(), value.clone())?;
+                Ok(())
+            });
+        } else {
+            stranded += 1;
+        }
+    }
+    stranded
+}
+
+fn subset_strategy() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::collection::vec(any::<bool>(), UNIVERSE.len()).prop_map(|mask| {
+        UNIVERSE
+            .iter()
+            .zip(mask)
+            .filter_map(|(p, keep)| keep.then_some(*p))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Static missing-prefix rejection ⇔ dynamic state stranding, over
+    /// random declared sets, random manifests, and random key traffic
+    /// under the declared prefixes.
+    #[test]
+    fn static_reject_iff_dynamic_strands_state(
+        declared in subset_strategy(),
+        manifest in subset_strategy(),
+        // Keys written per declared prefix (at least one, so every
+        // declared prefix is actually live in the store).
+        per_prefix in 1usize..4,
+    ) {
+        // --- dynamic side -------------------------------------------------
+        let src = StateStore::new(8);
+        for p in &declared {
+            for i in 0..per_prefix {
+                let key = Bytes::from(format!("{p}k{i}"));
+                src.transaction(|txn| {
+                    txn.write_u64(key.clone(), i as u64 + 1)?;
+                    Ok(())
+                });
+            }
+        }
+        let dst = StateStore::new(8);
+        let stranded = migrate_filtered(&src, &dst, &manifest);
+
+        // --- static side --------------------------------------------------
+        let violations = check_migration_manifest("fixture", &declared, &manifest);
+        let missing: Vec<_> = violations
+            .iter()
+            .filter(|v| v.code == "migration-missing-prefix")
+            .collect();
+        let unknown: Vec<_> = violations
+            .iter()
+            .filter(|v| v.code == "migration-unknown-prefix")
+            .collect();
+
+        // Agreement: the lint flags a missing prefix iff the filtered
+        // migration stranded keys, and the counts line up (every missing
+        // prefix strands exactly `per_prefix` keys).
+        prop_assert_eq!(
+            !missing.is_empty(),
+            stranded > 0,
+            "static verdict diverged from dynamic loss: missing={:?} stranded={}",
+            missing,
+            stranded
+        );
+        prop_assert_eq!(missing.len() * per_prefix, stranded);
+
+        // Unknown-prefix findings are exactly the manifest entries nobody
+        // declared — and never imply dynamic loss.
+        let expect_unknown = manifest.iter().filter(|p| !declared.contains(p)).count();
+        prop_assert_eq!(unknown.len(), expect_unknown);
+
+        // A complete manifest migrates the store verbatim (keys and
+        // values; sequence vectors are re-issued by the destination's own
+        // commits, matching the handover's restore path).
+        if missing.is_empty() {
+            let moved: usize = dst.snapshot().maps.iter().map(|m| m.len()).sum();
+            prop_assert_eq!(moved, declared.len() * per_prefix);
+        }
+    }
+}

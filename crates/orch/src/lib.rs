@@ -21,8 +21,10 @@
 pub mod detector;
 pub mod orchestrator;
 pub mod proc;
+pub mod reconfig;
 pub mod testkit;
 
 pub use detector::detect_failures;
 pub use orchestrator::{spawn_monitor, Orchestrator, OrchestratorConfig, RecoveryReport};
 pub use proc::{NodeOpts, ProcChain, ProcConfig};
+pub use reconfig::{ReconfigError, ReconfigReport};

@@ -68,7 +68,14 @@ impl RecoveryReport {
 pub struct Orchestrator {
     /// The managed chain.
     pub chain: FtcChain,
-    cfg: OrchestratorConfig,
+    /// Step-granular hook for the planned-reconfiguration handshake
+    /// ([`crate::reconfig`]): every phase of a handover reports a
+    /// [`ProbePoint::Reconfig`](ftc_core::probe::ProbePoint) here, and a
+    /// `Crash` verdict fail-stops that participant at that exact point.
+    /// Empty in production; tests install probes to exercise the
+    /// rollback/roll-forward paths.
+    pub reconfig_probe: ftc_core::probe::ProbeSlot,
+    pub(crate) cfg: OrchestratorConfig,
     detector: FailureDetector,
 }
 
@@ -79,6 +86,7 @@ impl Orchestrator {
         let detector = FailureDetector::new(n, cfg.miss_threshold, cfg.heartbeat_timeout);
         Orchestrator {
             chain,
+            reconfig_probe: ftc_core::probe::ProbeSlot::new(),
             cfg,
             detector,
         }
@@ -179,7 +187,7 @@ impl Orchestrator {
     }
 
     /// Sends [`CtrlReq::Resume`] to the given replicas (best effort).
-    fn resume_replicas(&self, sources: &[usize]) {
+    pub(crate) fn resume_replicas(&self, sources: &[usize]) {
         for &src in sources {
             if let Some(slot) = self.chain.replicas.get(src) {
                 let _ = slot.ctrl.call(CtrlReq::Resume, self.cfg.fetch_timeout);
@@ -193,94 +201,33 @@ impl Orchestrator {
     /// different number of CPU cores", and "a middlebox and its replicas
     /// can also run with a different number of threads").
     ///
-    /// This is a *planned* replacement: state is fetched from the live
-    /// instance itself (the freshest copy), the old server is fail-stopped,
-    /// and traffic is rerouted through the replacement. Packets in flight
-    /// at the old instance during the switch are dropped, exactly as during
-    /// unplanned recovery.
+    /// This is a *planned* replacement, executed as the four-phase
+    /// [`crate::reconfig`] handshake (prepare → transfer → switch →
+    /// release): state is fetched from the live instance itself (the
+    /// freshest copy), the old server is fail-stopped at the switch
+    /// commit point, and traffic is rerouted through the replacement.
+    /// Packets in flight at the old instance during the switch are
+    /// dropped, exactly as during unplanned recovery.
+    ///
+    /// The phased engine ([`Orchestrator::scale_instance`]) is the real
+    /// implementation; this wrapper keeps the Fig-13-shaped
+    /// [`RecoveryReport`] for callers that time rescales like recoveries.
     pub fn rescale(&mut self, idx: usize, workers: usize) -> Result<RecoveryReport, RecoveryError> {
-        assert!(workers >= 1);
-        let region = self.chain.replicas[idx].region;
-        let ring = self.chain.cfg.ring();
-        self.journal(EventKind::RespawnIssued {
-            replica: idx as u16,
-        });
-
-        // Initialization: spawn the resized instance.
-        let t0 = Instant::now();
-        // WAN RTT + spawn-cost emulation (a modeled delay, not a poll).
-        // forbidden-ok: thread-sleep
-        std::thread::sleep(
-            self.chain
-                .topology
-                .rtt(self.cfg.region, region)
-                .saturating_add(self.cfg.spawn_cost),
-        );
-        let spec = &self.chain.cfg.effective_middleboxes()[idx];
-        let mut cfg = (*self.chain.cfg).clone();
-        cfg.workers = workers;
-        let state = ReplicaState::new(
-            idx,
-            Arc::new(cfg),
-            spec.build(),
-            Arc::new(OutPort::empty()),
-            Arc::clone(&self.chain.metrics),
-        );
-        let initialization = t0.elapsed();
-
-        // State transfer: the old instance is alive and is its own best
-        // source; fall back to group members if it stops answering.
-        let t1 = Instant::now();
-        self.journal(EventKind::StateFetchStarted {
-            replica: idx as u16,
-        });
-        let bytes = {
-            let old = self.chain.replicas[idx].ctrl.clone();
-            let timeout = self.cfg.fetch_timeout;
-            let mut total = 0usize;
-            let mut groups: Vec<usize> = Vec::with_capacity(ring.f + 1);
-            if ring.f > 0 {
-                groups.push(idx);
+        match self.scale_instance(idx, workers) {
+            Ok(r) => Ok(RecoveryReport {
+                initialization: r.prepare,
+                state_recovery: r.transfer,
+                rerouting: r.switch + r.release,
+                bytes_transferred: r.bytes_transferred,
+            }),
+            Err(crate::reconfig::ReconfigError::Fetch(e)) => Err(e),
+            // Participant crashes only occur with a probe installed; probe
+            // -driven tests call the phased engine directly. Map the
+            // fail-stopped position onto the recovery vocabulary.
+            Err(crate::reconfig::ReconfigError::Failed(_)) => {
+                Err(RecoveryError::Aborted { mbox: idx })
             }
-            groups.extend(ring.replicated_by(idx));
-            let mut fetched = Vec::new();
-            for m in groups {
-                match old.call(CtrlReq::FetchState { mbox: m }, timeout) {
-                    Ok(CtrlResp::State { snapshot, max }) => fetched.push((m, snapshot, max)),
-                    _ => return Err(RecoveryError::NoSource { mbox: m }),
-                }
-            }
-            for (m, snapshot, max) in fetched {
-                total += snapshot.byte_size();
-                if m == idx {
-                    state.restore_own(&snapshot, &max);
-                } else {
-                    state.restore_replicated(m, &snapshot, max);
-                }
-            }
-            total
-        };
-        self.journal(EventKind::StateFetchFinished {
-            replica: idx as u16,
-            bytes: bytes as u64,
-        });
-        let state_recovery = t1.elapsed();
-
-        // Reroute: retire the old server, wire in the replacement.
-        let t2 = Instant::now();
-        self.chain.kill(idx);
-        self.chain.respawn(idx, region, state);
-        self.journal(EventKind::TrafficResumed {
-            replica: idx as u16,
-        });
-        let rerouting = t2.elapsed();
-
-        Ok(RecoveryReport {
-            initialization,
-            state_recovery,
-            rerouting,
-            bytes_transferred: bytes,
-        })
+        }
     }
 
     /// Fetches every group's state in parallel threads, then restores.
@@ -367,7 +314,7 @@ impl Orchestrator {
     }
 
     /// Records a journal event attributed to the orchestrator.
-    fn journal(&self, kind: EventKind) {
+    pub(crate) fn journal(&self, kind: EventKind) {
         self.chain
             .metrics
             .journal

@@ -111,12 +111,21 @@ impl CrashTarget for OrchCrashTarget {
     }
 
     fn crash(&mut self, point: &CrashPoint) {
-        assert_eq!(
-            point.phase,
-            CrashPhase::Quiesced,
-            "OrchCrashTarget executes quiesced kills; step-granular phases \
-             belong to the protocol model checker's SyncChain executor"
-        );
+        match point.phase {
+            CrashPhase::Quiesced => {}
+            CrashPhase::Reconfig { .. } => panic!(
+                "OrchCrashTarget executes quiesced kills; reconfiguration \
+                 crash phases belong to the ftc-audit reconfig checker's \
+                 SyncChain executor — drive the threaded handshake through \
+                 Orchestrator::{{migrate_instance,scale_instance}} with a \
+                 probe on Orchestrator::reconfig_probe instead"
+            ),
+            _ => panic!(
+                "OrchCrashTarget executes quiesced kills; step-granular \
+                 phases belong to the protocol model checker's SyncChain \
+                 executor"
+            ),
+        }
         self.orch.chain.kill(point.victim);
         let report = self
             .orch

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod max_vector;
+mod migrate;
 #[cfg(feature = "loom")]
 pub mod model;
 mod recorder;
@@ -28,6 +29,7 @@ mod store;
 mod txn;
 
 pub use max_vector::{ApplyOutcome, MaxVector, TryApply};
+pub use migrate::{ClaimTable, InstanceId, MigrateCodecError, PartitionExport};
 pub use recorder::{CommitRecord, HistorySink};
 pub use store::{PartitionId, StateStore, StoreSnapshot, StoreStats};
 pub use txn::{Txn, TxnError, TxnLog, TxnOutput};

@@ -1,0 +1,401 @@
+//! State-migration primitives: partition export/import and ownership claims.
+//!
+//! Planned reconfiguration (ROADMAP item 2; `ftc-core::reconfig`) moves the
+//! flow partitions of a middlebox between instances with a
+//! prepare → transfer → switch-ownership → release handshake. The pieces
+//! that belong to the state layer live here:
+//!
+//! * [`PartitionExport`] — the transfer unit: one partition's key/value map
+//!   plus its sequence number, captured atomically under the partition's
+//!   internal mutex. Its byte codec is *strict*: any truncated or torn
+//!   frame fails to decode rather than yielding a plausible-but-wrong
+//!   export (pinned by `proptest_migration_frames`).
+//! * [`ClaimTable`] — an instance's *local view* of which partitions it
+//!   owns and which are sealed mid-handshake. Each instance has its own
+//!   table; the migration invariant I5 ("every flow partition has exactly
+//!   one owner at every observable point") is a statement about the union
+//!   of these local views, which is exactly what diverges when a
+//!   reconfiguration protocol is buggy (e.g. the release phase is skipped
+//!   and the source un-seals itself on a timeout).
+
+use crate::store::{PartitionId, StateStore};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Identity of one instance of a (possibly scaled-out) middlebox.
+pub type InstanceId = u32;
+
+/// One partition's contents in transfer form: the committed key/value map
+/// and the partition sequence number at the moment of export.
+///
+/// Entries are key-sorted so two exports of identical state are
+/// byte-identical (hash-map iteration order is not deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionExport {
+    /// Global partition index.
+    pub partition: PartitionId,
+    /// The partition's sequence number (count of committed writing
+    /// transactions) at export time — the committed prefix marker that
+    /// invariant I6 compares across the transfer.
+    pub seq: u64,
+    /// Key-sorted `(key, value)` pairs.
+    pub entries: Vec<(Bytes, Bytes)>,
+}
+
+impl PartitionExport {
+    /// Total payload size in bytes (keys + values), for transfer accounting.
+    pub fn byte_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len())
+            .sum::<usize>()
+            + 8
+    }
+
+    /// Serializes the export. Layout (all integers big-endian):
+    ///
+    /// ```text
+    /// [partition: u16][seq: u64][count: u32]
+    ///   count x ( [klen: u32][key][vlen: u32][value] )
+    /// ```
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16 + self.byte_size());
+        b.put_u16(self.partition);
+        b.put_u64(self.seq);
+        b.put_u32(self.entries.len() as u32);
+        for (k, v) in &self.entries {
+            b.put_u32(k.len() as u32);
+            b.put_slice(k);
+            b.put_u32(v.len() as u32);
+            b.put_slice(v);
+        }
+        b.freeze()
+    }
+
+    /// Decodes an export, rejecting truncated, torn, or padded buffers:
+    /// a transfer frame either round-trips exactly or errors out.
+    pub fn decode(mut b: &[u8]) -> Result<PartitionExport, MigrateCodecError> {
+        if b.remaining() < 2 + 8 + 4 {
+            return Err(MigrateCodecError::Truncated);
+        }
+        let partition = b.get_u16();
+        let seq = b.get_u64();
+        let count = b.get_u32() as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let k = take_chunk(&mut b)?;
+            let v = take_chunk(&mut b)?;
+            entries.push((k, v));
+        }
+        if b.has_remaining() {
+            return Err(MigrateCodecError::TrailingBytes(b.remaining()));
+        }
+        Ok(PartitionExport {
+            partition,
+            seq,
+            entries,
+        })
+    }
+}
+
+fn take_chunk(b: &mut &[u8]) -> Result<Bytes, MigrateCodecError> {
+    if b.remaining() < 4 {
+        return Err(MigrateCodecError::Truncated);
+    }
+    let len = b.get_u32() as usize;
+    if b.remaining() < len {
+        return Err(MigrateCodecError::Truncated);
+    }
+    let out = Bytes::copy_from_slice(&b[..len]);
+    b.advance(len);
+    Ok(out)
+}
+
+/// Why a transfer frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateCodecError {
+    /// The buffer ends before the declared contents (torn write or cut
+    /// connection mid-frame).
+    Truncated,
+    /// Bytes remain after the declared contents (frame boundary slipped).
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for MigrateCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateCodecError::Truncated => write!(f, "transfer frame truncated"),
+            MigrateCodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after transfer frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateCodecError {}
+
+/// An instance's local view of partition ownership during reconfiguration.
+///
+/// `claimed` means "this instance believes it owns the partition and may
+/// process packets against it"; `sealed` means "ownership is mine but a
+/// handshake is in progress — refuse processing until released or
+/// aborted". A partition is *serviceable* here iff claimed and not sealed.
+///
+/// The table is deliberately per-instance (not shared): a correct
+/// handshake keeps the union of all tables consistent, and the protocol
+/// model checker verifies exactly that (invariant I5).
+#[derive(Debug)]
+pub struct ClaimTable {
+    claimed: Vec<AtomicBool>,
+    sealed: Vec<AtomicBool>,
+}
+
+impl ClaimTable {
+    /// A table over `partitions` partitions, all initially claimed
+    /// (`claimed = true`, the primary instance) or unclaimed (a fresh
+    /// scale-out / replacement instance).
+    pub fn new(partitions: usize, claimed: bool) -> ClaimTable {
+        ClaimTable {
+            claimed: (0..partitions).map(|_| AtomicBool::new(claimed)).collect(),
+            sealed: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of partitions covered.
+    pub fn partitions(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// True if this instance claims ownership of `p`.
+    pub fn is_claimed(&self, p: PartitionId) -> bool {
+        self.claimed[p as usize].load(Ordering::SeqCst)
+    }
+
+    /// True if `p` is sealed (handshake in progress).
+    pub fn is_sealed(&self, p: PartitionId) -> bool {
+        self.sealed[p as usize].load(Ordering::SeqCst)
+    }
+
+    /// True if this instance may process packets against `p` right now.
+    pub fn serviceable(&self, p: PartitionId) -> bool {
+        self.is_claimed(p) && !self.is_sealed(p)
+    }
+
+    /// Claims ownership of `p` (switch-ownership phase, destination side).
+    pub fn claim(&self, p: PartitionId) {
+        self.claimed[p as usize].store(true, Ordering::SeqCst);
+    }
+
+    /// Drops the claim on `p` (release phase, source side).
+    pub fn unclaim(&self, p: PartitionId) {
+        self.claimed[p as usize].store(false, Ordering::SeqCst);
+    }
+
+    /// Seals `p` for an in-progress handshake.
+    pub fn seal(&self, p: PartitionId) {
+        self.sealed[p as usize].store(true, Ordering::SeqCst);
+    }
+
+    /// Unseals `p` (release at the destination, or abort at the source).
+    pub fn unseal(&self, p: PartitionId) {
+        self.sealed[p as usize].store(false, Ordering::SeqCst);
+    }
+
+    /// Claims every partition.
+    pub fn claim_all(&self) {
+        for p in &self.claimed {
+            p.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Drops every claim.
+    pub fn unclaim_all(&self) {
+        for p in &self.claimed {
+            p.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Seals every partition.
+    pub fn seal_all(&self) {
+        for p in &self.sealed {
+            p.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Unseals every partition.
+    pub fn unseal_all(&self) {
+        for p in &self.sealed {
+            p.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of partitions this instance currently claims.
+    pub fn claimed_count(&self) -> usize {
+        self.claimed
+            .iter()
+            .filter(|c| c.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Per-partition `(claimed, sealed)` flags — the observable the
+    /// protocol checker folds across instances when checking I5.
+    pub fn view(&self) -> Vec<(bool, bool)> {
+        self.claimed
+            .iter()
+            .zip(&self.sealed)
+            .map(|(c, s)| (c.load(Ordering::SeqCst), s.load(Ordering::SeqCst)))
+            .collect()
+    }
+}
+
+impl StateStore {
+    /// Exports one partition in transfer form (entries key-sorted, sequence
+    /// number captured under the same lock as the map — the committed
+    /// prefix is atomic).
+    pub fn export_partition(&self, p: PartitionId) -> PartitionExport {
+        let st = self.part(p).state.lock();
+        let mut entries: Vec<(Bytes, Bytes)> =
+            st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_unstable_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        PartitionExport {
+            partition: p,
+            seq: st.seq,
+            entries,
+        }
+    }
+
+    /// Replaces one partition's contents from a transfer export. Imports
+    /// are idempotent: re-importing after a crashed transfer converges to
+    /// the same state (the map and sequence number are *replaced*, not
+    /// merged).
+    pub fn import_partition(&self, ex: &PartitionExport) {
+        let mut st = self.part(ex.partition).state.lock();
+        st.map = ex.entries.iter().cloned().collect();
+        st.seq = ex.seq;
+    }
+
+    /// Drops one partition's contents (release phase at the source: the
+    /// migrated copy must not linger as a stale double).
+    pub fn clear_partition(&self, p: PartitionId) {
+        let mut st = self.part(p).state.lock();
+        st.map.clear();
+        st.seq = 0;
+    }
+
+    /// The sequence number of one partition (the per-partition committed
+    /// prefix marker).
+    pub fn partition_seq(&self, p: PartitionId) -> u64 {
+        self.part(p).state.lock().seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_store() -> StateStore {
+        let store = StateStore::new(8);
+        for i in 0..40u32 {
+            let key = Bytes::from(format!("mig:k:{i}"));
+            store.transaction(|txn| {
+                txn.write(key.clone(), Bytes::from(format!("v{i}")))?;
+                Ok(())
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn export_import_roundtrips_every_partition() {
+        let src = populated_store();
+        let dst = StateStore::new(8);
+        for p in 0..src.partitions() as PartitionId {
+            let ex = src.export_partition(p);
+            dst.import_partition(&ex);
+        }
+        assert_eq!(dst.snapshot(), src.snapshot());
+        assert_eq!(dst.seq_vector(), src.seq_vector());
+    }
+
+    #[test]
+    fn export_codec_roundtrips_byte_identically() {
+        let src = populated_store();
+        for p in 0..src.partitions() as PartitionId {
+            let ex = src.export_partition(p);
+            let bytes = ex.encode();
+            let back = PartitionExport::decode(bytes.as_ref()).unwrap();
+            assert_eq!(back, ex);
+            assert_eq!(back.encode(), bytes, "re-encode must be identical");
+        }
+    }
+
+    #[test]
+    fn torn_frames_never_decode() {
+        let src = populated_store();
+        let ex = src.export_partition(src.partition_of(b"mig:k:0"));
+        let bytes = ex.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                PartitionExport::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert_eq!(
+            PartitionExport::decode(&padded),
+            Err(MigrateCodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn import_is_idempotent_and_replaces() {
+        let src = populated_store();
+        let dst = StateStore::new(8);
+        let p = src.partition_of(b"mig:k:3");
+        // Pre-existing junk in the destination partition must not survive.
+        dst.transaction(|txn| {
+            txn.write(Bytes::from_static(b"mig:k:3"), Bytes::from_static(b"stale"))?;
+            Ok(())
+        });
+        let ex = src.export_partition(p);
+        dst.import_partition(&ex);
+        dst.import_partition(&ex);
+        assert_eq!(dst.export_partition(p), ex);
+    }
+
+    #[test]
+    fn clear_partition_empties_map_and_seq() {
+        let src = populated_store();
+        let p = src.partition_of(b"mig:k:7");
+        assert!(src.partition_seq(p) > 0);
+        src.clear_partition(p);
+        assert_eq!(src.partition_seq(p), 0);
+        assert!(src.export_partition(p).entries.is_empty());
+    }
+
+    #[test]
+    fn claim_table_tracks_serviceability() {
+        let t = ClaimTable::new(4, true);
+        assert_eq!(t.partitions(), 4);
+        assert_eq!(t.claimed_count(), 4);
+        assert!(t.serviceable(2));
+        t.seal(2);
+        assert!(!t.serviceable(2), "sealed partitions are not serviceable");
+        assert!(t.is_claimed(2), "sealing does not drop the claim");
+        t.unseal(2);
+        assert!(t.serviceable(2));
+        t.unclaim(2);
+        assert!(!t.serviceable(2));
+        assert_eq!(t.claimed_count(), 3);
+
+        let fresh = ClaimTable::new(4, false);
+        assert_eq!(fresh.claimed_count(), 0);
+        fresh.claim_all();
+        fresh.seal_all();
+        assert_eq!(fresh.view(), vec![(true, true); 4]);
+        fresh.unseal_all();
+        fresh.unclaim_all();
+        assert_eq!(fresh.view(), vec![(false, false); 4]);
+    }
+}

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Static migration-completeness verifier.
+
+A live handover (``ftc reconfig``) moves a middlebox instance's state by
+exporting the flow partitions the migration manifest names. If
+``MIGRATION_MANIFEST`` in ``crates/mbox/src/spec_lang.rs`` omits a prefix
+a middlebox actually uses, the transfer silently strands that state on
+the retired source — the destination answers from a partial store and
+invariant **I6** (migrated state = committed prefix at source) breaks at
+runtime with no error anywhere.
+
+This lint rules that out statically, from two inputs:
+
+1. The per-middlebox access sets from ``analyze_state_access.py --json``
+   (declared prefixes plus the read/write sets *derived from source*) —
+   run via a subprocess by default, or loaded from a file given as a
+   positional argument.
+2. ``MIGRATION_MANIFEST`` parsed out of spec_lang.rs with the same
+   table grammar ``analyze_state_access.py`` uses for
+   ``DECLARED_STATE_PREFIXES``.
+
+Checks, per middlebox:
+
+* every **declared** prefix is in the manifest — a declared-but-
+  unmanifested prefix is exactly a migration path that skips a state
+  prefix (rejected with the stranded-state message);
+* every **derived write** prefix is in the manifest — catches the case
+  where source grows a write the declaration table missed but the
+  manifest check in Rust can't see (defense in depth over the derived
+  sets, not just the declared table);
+* every manifest prefix is declared — a stale extra entry is a table
+  bug (it transfers nothing), flagged so the tables can't drift apart;
+* every middlebox with an access row has a manifest row and vice versa.
+
+The dual dynamic check lives in
+``crates/mbox/tests/migration_agreement.rs``: a proptest forcing that
+this static verdict coincides with whether a manifest-filtered transfer
+actually strands keys. Exit 0 = complete; 1 = violations.
+``--self-test`` runs the checker against an embedded fixture middlebox
+that omits a declared prefix (must be rejected) plus a clean case.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SPEC_LANG = ROOT / "crates" / "mbox" / "src" / "spec_lang.rs"
+ACCESS_ANALYZER = ROOT / "scripts" / "analyze_state_access.py"
+
+
+def parse_manifest(spec_lang_text):
+    """The name -> prefixes table from MIGRATION_MANIFEST."""
+    m = re.search(r"MIGRATION_MANIFEST[^=]*=\s*&\[(.*?)\];", spec_lang_text, re.S)
+    if not m:
+        raise SystemExit(
+            "analyze_migration: MIGRATION_MANIFEST not found in "
+            f"{SPEC_LANG.relative_to(ROOT)} — the migration lint and the "
+            "runtime manifest have lost their shared table"
+        )
+    manifest = {}
+    for name, prefixes in re.findall(
+        r'\(\s*"(\w+)"\s*,\s*&\[(.*?)\]\s*\)', m.group(1), re.S
+    ):
+        manifest[name] = set(re.findall(r'"([^"]+)"', prefixes))
+    return manifest
+
+
+def check(access, manifest):
+    """-> violation strings for {name: {declared,reads,writes}} vs manifest."""
+    violations = []
+    for name, sets in access.items():
+        row = manifest.get(name)
+        if row is None:
+            violations.append(
+                f"{name}: middlebox has no row in MIGRATION_MANIFEST "
+                f"({SPEC_LANG.relative_to(ROOT)}); a handover of `{name}` "
+                "would transfer nothing — add a row (empty for stateless "
+                "stages)"
+            )
+            continue
+        declared = set(sets.get("declared", []))
+        writes = set(sets.get("writes", []))
+        for p in sorted(declared - row):
+            violations.append(
+                f"{name}: declared prefix `{p}` is missing from the "
+                f"migration manifest — a handover would strand `{p}` state "
+                f"on the retired source (I6 violation); add `{p}` to "
+                f"`{name}` in MIGRATION_MANIFEST"
+            )
+        for p in sorted(writes - declared - row):
+            violations.append(
+                f"{name}: source writes under prefix `{p}` but neither the "
+                "declaration table nor the migration manifest lists it — "
+                f"a handover would strand `{p}` state on the retired source"
+            )
+        for p in sorted(row - declared):
+            violations.append(
+                f"{name}: manifest lists prefix `{p}` that is never "
+                "declared — a stale entry transfers nothing; remove it or "
+                "declare the prefix"
+            )
+    for name in sorted(set(manifest) - set(access)):
+        violations.append(
+            f"{name}: MIGRATION_MANIFEST row has no middlebox in the "
+            "access report — remove the stale row or fix the analyzer's "
+            "module map"
+        )
+    return violations
+
+
+def self_test():
+    """The checker must reject each planted incompleteness."""
+    # 1. Fixture middlebox omitting a declared prefix from its manifest:
+    #    `leaky_nat` declares conn:/ports: but only manifests ports:.
+    access = {
+        "leaky_nat": {
+            "declared": ["conn:", "ports:"],
+            "reads": ["conn:"],
+            "writes": ["conn:", "ports:"],
+        }
+    }
+    manifest = {"leaky_nat": {"ports:"}}
+    got = check(access, manifest)
+    assert any(
+        "strand `conn:` state" in v and "I6 violation" in v for v in got
+    ), f"self-test: missing-prefix fixture not rejected: {got!r}"
+
+    # 2. A derived write the declaration table missed must still be caught.
+    access = {
+        "drifty": {"declared": ["d:"], "reads": [], "writes": ["d:", "rogue:"]}
+    }
+    got = check(access, {"drifty": {"d:"}})
+    assert any(
+        "neither the declaration table nor the migration manifest" in v
+        for v in got
+    ), f"self-test: undeclared-write fixture not rejected: {got!r}"
+
+    # 3. Stale manifest entry and missing rows.
+    got = check(
+        {"a": {"declared": ["a:"], "reads": [], "writes": ["a:"]}},
+        {"a": {"a:", "ghost:"}, "b": {"b:"}},
+    )
+    assert any("never declared" in v for v in got), got
+    assert any("no middlebox in the access report" in v for v in got), got
+    got = check({"c": {"declared": [], "reads": [], "writes": []}}, {})
+    assert any("no row in MIGRATION_MANIFEST" in v for v in got), got
+
+    # 4. A complete manifest passes.
+    access = {
+        "nat": {"declared": ["n:"], "reads": ["n:"], "writes": ["n:"]},
+        "fw": {"declared": [], "reads": [], "writes": []},
+    }
+    got = check(access, {"nat": {"n:"}, "fw": set()})
+    assert not got, f"self-test: complete manifest flagged: {got!r}"
+    print("analyze_migration: self-test ok")
+
+
+def load_access_report(args):
+    """The access sets: from a JSON file argument, or the analyzer."""
+    paths = [a for a in args if not a.startswith("-")]
+    if paths:
+        return json.loads(Path(paths[0]).read_text())
+    proc = subprocess.run(
+        [sys.executable, str(ACCESS_ANALYZER), "--json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        raise SystemExit(
+            "analyze_migration: analyze_state_access.py --json failed — "
+            "fix the state-access contract first"
+        )
+    return json.loads(proc.stdout)
+
+
+def main():
+    if "--self-test" in sys.argv:
+        self_test()
+        return 0
+    access = load_access_report(sys.argv[1:])
+    manifest = parse_manifest(SPEC_LANG.read_text())
+    violations = check(access, manifest)
+    if violations:
+        for v in violations:
+            print(f"analyze_migration: {v}")
+        print(f"analyze_migration: {len(violations)} violation(s)")
+        return 1
+    total = sum(len(p) for p in manifest.values())
+    print(
+        f"analyze_migration: complete — {len(manifest)} middleboxes, "
+        f"{total} manifested prefixes cover every declared prefix and "
+        "every derived write"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,13 @@ from its source:
 Test blocks (``#[cfg(test)]``) are stripped the same way
 ``forbidden_patterns.py`` does. Exit 0 = contract holds; 1 = violations.
 ``--self-test`` runs the detector against embedded bad fixtures.
+``--json`` emits the derived access sets as machine-readable JSON on
+stdout (one object per middlebox: declared / reads / writes, all sorted)
+— the input contract of ``analyze_migration.py``, which checks the
+migration manifests against exactly these sets.
 """
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -288,6 +293,23 @@ def self_test():
     print("analyze_state_access: self-test ok")
 
 
+def access_report(declared, modules_text):
+    """The machine-readable per-middlebox access sets for ``--json``."""
+    report = {}
+    for name, texts in modules_text.items():
+        reads, writes = set(), set()
+        for text in texts:
+            r, w = derive_accesses(text)
+            reads |= r
+            writes |= w
+        report[name] = {
+            "declared": sorted(declared.get(name, set())),
+            "reads": sorted(reads),
+            "writes": sorted(writes),
+        }
+    return report
+
+
 def main():
     if "--self-test" in sys.argv:
         self_test()
@@ -303,6 +325,10 @@ def main():
                 return 1
             texts.append(path.read_text())
         modules_text[name] = texts
+    if "--json" in sys.argv:
+        json.dump(access_report(declared, modules_text), sys.stdout, indent=2)
+        print()
+        return 0
     violations = check(declared, modules_text)
     if violations:
         for v in violations:

@@ -21,17 +21,24 @@
 # schedules over the real socket backend, ~1 second at the PR-gate bound;
 # FTC_TRANSPORT_DEEP=1 raises the bound — CI runs the deep sweep nightly):
 #   scripts/check.sh --transport-check
+#
+# Reconfiguration model checker (crash matrix over the scale/migrate/
+# splice handshake, I1-I6 with replayable witnesses; ~1000+ schedules at
+# the PR-gate bound, FTC_RECONFIG_DEEP=1 widens the matrix — CI nightly):
+#   scripts/check.sh --reconfig-check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_PROTOCOL=0
 RUN_BENCH_GATE=0
 RUN_TRANSPORT=0
+RUN_RECONFIG=0
 for arg in "$@"; do
     case "$arg" in
     --protocol) RUN_PROTOCOL=1 ;;
     --bench-gate) RUN_BENCH_GATE=1 ;;
     --transport-check) RUN_TRANSPORT=1 ;;
+    --reconfig-check) RUN_RECONFIG=1 ;;
     *)
         echo "check.sh: unknown argument: $arg" >&2
         exit 2
@@ -46,6 +53,8 @@ python3 scripts/analyze_state_access.py --self-test
 python3 scripts/analyze_state_access.py
 python3 scripts/analyze_async_safety.py --self-test
 python3 scripts/analyze_async_safety.py
+python3 scripts/analyze_migration.py --self-test
+python3 scripts/analyze_migration.py
 
 if [[ "$RUN_PROTOCOL" == "1" ]]; then
     echo "check.sh: protocol model checker (f=1 exhaustive)"
@@ -81,6 +90,24 @@ if [[ "$RUN_TRANSPORT" == "1" ]]; then
     echo "check.sh: async-transport sabotage fixture (T3 must fire)"
     cargo test -q -p ftc-audit --release --features sabotage \
         --test async_sabotage
+fi
+
+if [[ "$RUN_RECONFIG" == "1" ]]; then
+    if [[ "${FTC_RECONFIG_DEEP:-0}" == "1" ]]; then
+        echo "check.sh: reconfiguration model checker (deep nightly matrix)"
+        FTC_RECONFIG_DEEP=1 cargo test -q -p ftc-audit --release \
+            --test reconfig_explorer -- --nocapture
+    else
+        echo "check.sh: reconfiguration model checker (PR gate matrix)"
+        cargo test -q -p ftc-audit --release \
+            --test reconfig_explorer -- --nocapture
+    fi
+    # Sabotage self-test: skipping the release step must trip I5 (single
+    # ownership) with a replayable witness. Separate cargo invocation on
+    # purpose — feature unification would poison every other ftc-core test.
+    echo "check.sh: reconfiguration sabotage fixture (I5 must fire)"
+    cargo test -q -p ftc-audit --release --features reconfig-sabotage \
+        --test reconfig_sabotage
 fi
 
 if [[ "${CHECK_MIRI:-0}" == "1" ]]; then
