@@ -1,6 +1,6 @@
 //! Recording committed histories from live stores.
 
-use ftc_stm::{CommitRecord, DepVector, HistorySink, StateStore, StateWrite};
+use ftc_stm::{CommitRecord, DepVector, HistorySink, StateBackend, StateStore, StateWrite};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -114,6 +114,15 @@ impl Recorder {
 
     /// Creates a recorder and attaches it to `store`.
     pub fn attach(store: &StateStore) -> Arc<Recorder> {
+        let rec = Recorder::new();
+        store.set_recorder(Arc::<Recorder>::clone(&rec));
+        rec
+    }
+
+    /// Creates a recorder and attaches it to any [`StateBackend`] engine
+    /// (the tap is part of the backend contract, so the same audit runs
+    /// against 2PL and epoch-batched stores alike).
+    pub fn attach_backend(store: &dyn StateBackend) -> Arc<Recorder> {
         let rec = Recorder::new();
         store.set_recorder(Arc::<Recorder>::clone(&rec));
         rec

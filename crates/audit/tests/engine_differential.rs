@@ -1,0 +1,214 @@
+//! Differential audit of the two state engines (DESIGN.md §13).
+//!
+//! [`StateBackend`] promises the 2PL and epoch-batched engines are
+//! *observationally identical*: the same transaction bodies commit with
+//! the same log shape, bump the same sequence numbers, and leave the same
+//! state. These tests force that promise three ways:
+//!
+//! * **Sequential byte-identity** — a single-threaded history produces
+//!   byte-identical `TxnLog`s (dependency vectors and write sets), equal
+//!   snapshots, and equal sequence vectors on both engines, including
+//!   delete paths.
+//! * **Concurrent differential** — the same randomized transaction plans
+//!   run contended (exercising wound-wait aborts on 2PL and
+//!   requeue/re-execution on batched); each engine's recorded history
+//!   must pass the full serializability + convergence audit, and because
+//!   the bodies are commutative read-modify-write increments, both
+//!   engines must converge to the same snapshot and sequence vector.
+//! * **Contended battery** — the `audit_e2e` shared-counter workload,
+//!   rerun on the batched engine: the direct-serialization-graph checker
+//!   and adversarial convergence replay accept a real multi-threaded
+//!   optimistic run, and no increment is lost.
+
+use bytes::Bytes;
+use ftc_audit::{audit, Recorder};
+use ftc_stm::{EngineKind, StateBackend, StateBackendExt, TxnLog};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PARTITIONS: usize = 8;
+/// Small key space so concurrent plans actually collide.
+const KEYS: u16 = 12;
+const THREADS: usize = 3;
+
+fn key(k: u16) -> Bytes {
+    // Middlebox-shaped keys spread over the standard prefixes.
+    const PREFIXES: &[&str] = &["mon:", "gen:", "ids:", "lb:"];
+    Bytes::from(format!("{}k{}", PREFIXES[k as usize % PREFIXES.len()], k))
+}
+
+/// One transaction body: read some keys, then increment some counters.
+/// Increments commute, so any serializable execution of a fixed plan set
+/// reaches the same final state.
+#[derive(Debug, Clone)]
+struct TxnPlan {
+    reads: Vec<u16>,
+    incs: Vec<(u16, u64)>,
+    deletes: Vec<u16>,
+}
+
+fn arb_plan(with_deletes: bool) -> impl Strategy<Value = TxnPlan> {
+    let deletes = if with_deletes {
+        pvec(0..KEYS, 0..2).boxed()
+    } else {
+        Just(Vec::new()).boxed()
+    };
+    (
+        pvec(0..KEYS, 0..3),
+        pvec((0..KEYS, 1..100u64), 0..3),
+        deletes,
+    )
+        .prop_map(|(reads, incs, deletes)| TxnPlan {
+            reads,
+            incs,
+            deletes,
+        })
+}
+
+fn run_plan(store: &dyn StateBackend, plan: &TxnPlan) -> Option<TxnLog> {
+    store
+        .transaction(|txn| {
+            for &k in &plan.reads {
+                txn.read_u64(&key(k))?;
+            }
+            for &(k, d) in &plan.incs {
+                let c = txn.read_u64(&key(k))?.unwrap_or(0);
+                txn.write_u64(key(k), c + d)?;
+            }
+            for &k in &plan.deletes {
+                txn.delete(key(k))?;
+            }
+            Ok(())
+        })
+        .log
+}
+
+/// Runs `plans` across [`THREADS`] worker threads (thread `t` executes
+/// plans `t, t + THREADS, ...` in order) and returns the backend plus the
+/// recorded history tap.
+fn run_concurrent(kind: EngineKind, plans: &[TxnPlan]) -> (Arc<dyn StateBackend>, Arc<Recorder>) {
+    let store = kind.build(PARTITIONS);
+    let rec = Recorder::attach_backend(&*store);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for plan in plans.iter().skip(t).step_by(THREADS) {
+                    run_plan(&*store, plan);
+                }
+            });
+        }
+    });
+    (store, rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-threaded, both engines execute the identical history — the
+    /// piggyback logs (dependency vectors *and* write sets, deletions
+    /// included) must be byte-identical transaction by transaction.
+    #[test]
+    fn sequential_histories_are_byte_identical_across_engines(
+        plans in pvec(arb_plan(true), 0..24),
+    ) {
+        let stores: Vec<Arc<dyn StateBackend>> =
+            EngineKind::ALL.iter().map(|k| k.build(PARTITIONS)).collect();
+        for plan in &plans {
+            let logs: Vec<Option<TxnLog>> =
+                stores.iter().map(|s| run_plan(&**s, plan)).collect();
+            prop_assert_eq!(&logs[0], &logs[1], "diverging log for {:?}", plan);
+        }
+        prop_assert_eq!(stores[0].snapshot(), stores[1].snapshot());
+        prop_assert_eq!(stores[0].seq_vector(), stores[1].seq_vector());
+        for p in 0..PARTITIONS as u16 {
+            prop_assert_eq!(
+                &stores[0].export_partition(p).encode()[..],
+                &stores[1].export_partition(p).encode()[..],
+                "export frames must be engine-independent (partition {})", p
+            );
+        }
+    }
+
+    /// Concurrent differential: the same plans, contended on each engine.
+    /// Both recorded histories must be serializable with converging
+    /// replays, and (increments being commutative) both engines must end
+    /// in the same state with the same per-partition commit counts.
+    #[test]
+    fn concurrent_runs_audit_clean_and_converge_across_engines(
+        plans in pvec(arb_plan(false), 1..32),
+    ) {
+        let mut results = Vec::new();
+        for kind in EngineKind::ALL {
+            let (store, rec) = run_concurrent(kind, &plans);
+            let history = rec.history();
+            let writing = plans.iter().filter(|p| !p.incs.is_empty()).count();
+            prop_assert_eq!(
+                history.len(), writing,
+                "{}: every writing plan commits exactly once", kind
+            );
+            let report = audit(&history, &store.snapshot(), PARTITIONS);
+            prop_assert!(report.passed(), "{} audit failed:\n{}", kind, report);
+            results.push((kind, store));
+        }
+        let (_, ref two) = results[0];
+        let (_, ref bat) = results[1];
+        prop_assert_eq!(two.snapshot(), bat.snapshot());
+        prop_assert_eq!(two.seq_vector(), bat.seq_vector());
+    }
+}
+
+const BATTERY_THREADS: usize = 4;
+const BATTERY_TXNS: u64 = 50;
+
+/// The `audit_e2e` contended workload on a given engine: every thread
+/// hammers one shared counter (forcing aborts/requeues on one partition)
+/// and writes a private key per iteration.
+fn contended_run(kind: EngineKind) -> (Arc<dyn StateBackend>, Arc<Recorder>) {
+    let store = kind.build(PARTITIONS);
+    let rec = Recorder::attach_backend(&*store);
+    std::thread::scope(|s| {
+        for t in 0..BATTERY_THREADS {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                let shared = Bytes::from_static(b"shared-counter");
+                for i in 0..BATTERY_TXNS {
+                    store.transaction(|txn| {
+                        let c = txn.read_u64(&shared)?.unwrap_or(0);
+                        txn.write_u64(shared.clone(), c + 1)?;
+                        txn.write_u64(Bytes::from(format!("t{t}:i{i}")), i)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    (store, rec)
+}
+
+#[test]
+fn batched_contended_run_passes_full_audit() {
+    let (store, rec) = contended_run(EngineKind::Batched);
+    let history = rec.history();
+    let total = BATTERY_THREADS as u64 * BATTERY_TXNS;
+    assert_eq!(history.len(), total as usize);
+
+    let report = audit(&history, &store.snapshot(), PARTITIONS);
+    assert!(report.passed(), "audit failed:\n{report}");
+    let order = report.serializability.serial_order.as_ref().unwrap();
+    assert_eq!(order.len(), history.len());
+
+    // No lost updates: every committed increment is visible exactly once.
+    assert_eq!(store.peek_u64(b"shared-counter"), Some(total));
+    let (commits, _aborts, _applied) = store.stats_snapshot();
+    assert_eq!(commits, total);
+}
+
+#[test]
+fn both_engines_reach_the_same_contended_final_state() {
+    let (two, _) = contended_run(EngineKind::TwoPl);
+    let (bat, _) = contended_run(EngineKind::Batched);
+    assert_eq!(two.snapshot(), bat.snapshot());
+    assert_eq!(two.seq_vector(), bat.seq_vector());
+}

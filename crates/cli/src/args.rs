@@ -18,7 +18,8 @@ USAGE:
   ftc reconfig --chain \"<spec>\" --idx N (--scale W | --migrate R)
               [--f N] [--workers N] [--packets N]
   ftc bench   [--quick] [--seconds S] [--workers N] [--inflight N] [--out FILE]
-              [--remote] [--clients N] [--dir DIR] [--reconfig]
+              [--engine twopl|batched] [--remote] [--clients N] [--dir DIR]
+              [--reconfig]
   ftc node    --chain \"<spec>\" --idx N --dir DIR [--f N] [--workers N] [--recover]
   ftc help
 

@@ -7,6 +7,13 @@
 //! `scripts/check.sh --bench-gate` compares against, so the bench trajectory
 //! is tracked in-tree: a hot-path regression shows up as a failing gate, not
 //! as an anecdote.
+//!
+//! `--engine {twopl,batched}` selects the state engine the measured chain
+//! deploys with (default `twopl`, the gate baseline). Every run also emits
+//! an `"engines"` section — a Figure-6-style sharing-level sweep (Monitor
+//! at sharing 1/2/4/8, both engines) quantifying where the epoch-batched
+//! engine beats 2PL. The gate compares only the baseline `pps`/`stages`
+//! keys, so the sweep is informational trajectory data, not a gate input.
 
 use crate::args::ParsedArgs;
 use ftc::core::metrics::StageStats;
@@ -37,11 +44,16 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
     let seconds = args.get_f64("seconds", if quick { 0.4 } else { 4.0 })?;
     let workers = args.get_usize("workers", 2)?;
     let inflight = args.get_usize("inflight", 32)?;
+    let engine = args
+        .get("engine")
+        .unwrap_or(EngineKind::TwoPl.name())
+        .parse::<EngineKind>()
+        .map_err(|e| e.to_string())?;
     let out = args.get("out").unwrap_or("BENCH_table2.json").to_string();
 
     println!(
         "ftc bench: MazuNAT -> MazuNAT, f = 1, workers = {workers}, \
-         {seconds} s closed loop ({} mode)",
+         engine = {engine}, {seconds} s closed loop ({} mode)",
         if quick { "quick" } else { "full" }
     );
     let chain = FtcChain::deploy(
@@ -54,7 +66,8 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
             },
         ])
         .with_f(1)
-        .with_workers(workers),
+        .with_workers(workers)
+        .with_engine(engine),
     );
     let runner = TrafficRunner::new(WorkloadConfig {
         flows: 64,
@@ -93,6 +106,7 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
     } else {
         String::new()
     };
+    let engines_json = bench_engine_sweep(quick, inflight);
 
     let stages_json: Vec<String> = stages
         .iter()
@@ -101,8 +115,9 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
     let json = format!(
         "{{\"bench\":\"table2\",\"chain\":\"mazu_nat -> mazu_nat\",\"quick\":{quick},\
          \"seconds\":{seconds},\"workers\":{workers},\"inflight\":{inflight},\
+         \"engine\":\"{engine}\",\
          \"received\":{},\"pps\":{:.1},\"mean_piggyback_bytes\":{:.1},\
-         \"stages\":{{{}}}{reconfig_json}}}\n",
+         \"stages\":{{{}}},\"engines\":{engines_json}{reconfig_json}}}\n",
         report.received,
         report.pps,
         snap.mean_piggyback_bytes,
@@ -111,6 +126,53 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Sharing levels the engine sweep measures (paper Figure 6's x-axis).
+const SWEEP_SHARING: [usize; 4] = [1, 2, 4, 8];
+/// Worker count of the sweep chain: enough threads that sharing level 8
+/// means full contention on one counter.
+const SWEEP_WORKERS: usize = 8;
+
+/// The Figure-6-style engine sweep: a single Monitor middlebox (`f = 1`,
+/// [`SWEEP_WORKERS`] workers) at each sharing level, once per state
+/// engine. Low sharing favours the optimistic batched engine (validation
+/// almost never fails); at full sharing every transaction conflicts and
+/// 2PL's wound-wait usually wins — the sweep records where the crossover
+/// sits on this machine. Returns the `"engines"` JSON object.
+fn bench_engine_sweep(quick: bool, inflight: usize) -> String {
+    let window = Duration::from_secs_f64(if quick { 0.12 } else { 0.5 });
+    let mut per_engine = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut cells = Vec::new();
+        for sharing in SWEEP_SHARING {
+            let chain = FtcChain::deploy(
+                ChainConfig::ch_n(1, sharing)
+                    .with_f(1)
+                    .with_workers(SWEEP_WORKERS)
+                    .with_engine(kind),
+            );
+            let runner = TrafficRunner::new(WorkloadConfig {
+                flows: 64,
+                frame_len: 256,
+                ..Default::default()
+            });
+            let report = runner.closed_loop(&chain, inflight, window);
+            println!(
+                "engines sweep: {kind:>7}, sharing {sharing}: {:>9.0} pps",
+                report.pps
+            );
+            cells.push(format!(
+                "{{\"sharing\":{sharing},\"pps\":{:.1},\"received\":{}}}",
+                report.pps, report.received
+            ));
+        }
+        per_engine.push(format!("\"{kind}\":[{}]", cells.join(",")));
+    }
+    format!(
+        "{{\"chain\":\"monitor\",\"workers\":{SWEEP_WORKERS},\"sharing_levels\":[1,2,4,8],{}}}",
+        per_engine.join(",")
+    )
 }
 
 /// Closed-loop driving (same shape as `TrafficRunner::closed_loop`) until
@@ -385,12 +447,64 @@ mod tests {
         assert!(body.contains("\"bench\":\"table2\""));
         assert!(body.contains("\"quick\":true"));
         assert!(body.contains("\"pps\":"));
+        assert!(
+            body.contains("\"engine\":\"twopl\""),
+            "default engine recorded"
+        );
         for stage in STAGES {
             assert!(body.contains(&format!("\"{stage}\":")), "missing {stage}");
         }
+        // The engine sweep is always present: both engines, all four
+        // sharing levels.
+        assert!(body.contains("\"engines\":{"), "missing engines sweep");
+        for kind in EngineKind::ALL {
+            assert!(
+                body.contains(&format!("\"{kind}\":[")),
+                "missing {kind} sweep"
+            );
+        }
+        assert!(body.contains("\"sharing_levels\":[1,2,4,8]"));
         assert!(
             !body.contains("\"reconfig\":"),
             "no reconfig section without --reconfig"
+        );
+    }
+
+    #[test]
+    fn bench_engine_flag_selects_the_batched_engine() {
+        let out =
+            std::env::temp_dir().join(format!("ftc_bench_engine_test_{}.json", std::process::id()));
+        let argv: Vec<String> = [
+            "bench",
+            "--quick",
+            "--seconds",
+            "0.2",
+            "--engine",
+            "batched",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_bench(&parse_args(&argv).unwrap()).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(body.contains("\"engine\":\"batched\""));
+        assert!(body.contains("\"pps\":"));
+    }
+
+    #[test]
+    fn bench_rejects_unknown_engine() {
+        let argv: Vec<String> = ["bench", "--quick", "--engine", "optimist"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = cmd_bench(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(err.contains("unknown state engine"), "{err}");
+        assert!(
+            err.contains("twopl"),
+            "error names the known engines: {err}"
         );
     }
 

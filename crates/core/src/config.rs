@@ -2,6 +2,7 @@
 
 use ftc_mbox::MbSpec;
 use ftc_net::Endpoint;
+use ftc_stm::EngineKind;
 use std::time::Duration;
 
 /// Configuration of an FTC chain deployment.
@@ -33,6 +34,11 @@ pub struct ChainConfig {
     /// [`crate::ChainMetrics::oversize_frames`] so deployments can detect
     /// the need for jumbo frames.
     pub mtu: usize,
+    /// State engine every store of this chain runs on (head stores and
+    /// replica copies alike — mixing engines within a chain would change
+    /// commit semantics mid-ring for no benefit). Defaults to the
+    /// `FTC_ENGINE` environment variable, falling back to 2PL.
+    pub engine: EngineKind,
 }
 
 impl ChainConfig {
@@ -70,6 +76,7 @@ impl ChainConfig {
             propagate_timeout: Duration::from_millis(1),
             resend_period: Duration::from_millis(10),
             mtu: 9000, // jumbo frames, per §7.2
+            engine: EngineKind::from_env().unwrap_or_default(),
         }
     }
 
@@ -94,6 +101,12 @@ impl ChainConfig {
     /// Sets the number of state partitions.
     pub fn with_partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions;
+        self
+    }
+
+    /// Selects the state engine for every store of this chain.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -294,7 +307,9 @@ mod tests {
             .with_nic_queue_depth(128)
             .with_propagate_timeout(Duration::from_millis(2))
             .with_resend_period(Duration::from_millis(20))
-            .with_link(Endpoint::in_proc().with_loss(0.01).with_seed(7));
+            .with_link(Endpoint::in_proc().with_loss(0.01).with_seed(7))
+            .with_engine(EngineKind::Batched);
+        assert_eq!(cfg.engine, EngineKind::Batched);
         assert_eq!(cfg.f, 2);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.partitions, 16);

@@ -30,7 +30,7 @@
 //! [`ClaimSample`] traces into the I5 (single serviceable owner) and I6
 //! (transferred = committed prefix) invariants.
 
-use ftc_stm::{PartitionId, StateStore, StoreSnapshot};
+use ftc_stm::{PartitionId, StateBackend, StoreSnapshot};
 
 /// A planned reconfiguration operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,9 +281,14 @@ pub enum TransferInterrupt {
 /// `imported(p)` after it lands at the destination; returning `false`
 /// fail-stops that side mid-transfer (the model checker's crash hooks).
 /// Returns the encoded byte count on completion.
+///
+/// Source and destination are [`StateBackend`]s, not concrete stores: a
+/// migration may land on a replica running a *different* engine (say 2PL
+/// to epoch-batched), and the wire frames are identical either way — the
+/// export codec sees only map plus sequence number.
 pub fn transfer_store(
-    src: &StateStore,
-    dst: &StateStore,
+    src: &dyn StateBackend,
+    dst: &dyn StateBackend,
     mut exported: impl FnMut(PartitionId) -> bool,
     mut imported: impl FnMut(PartitionId) -> bool,
 ) -> Result<usize, TransferInterrupt> {
@@ -314,6 +319,7 @@ pub fn sabotage_skip_release() -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftc_stm::{EngineKind, StateBackendExt, StateStore};
 
     #[test]
     fn transfer_store_moves_everything_through_the_codec() {
@@ -328,6 +334,29 @@ mod tests {
         assert!(bytes > 0);
         assert_eq!(dst.snapshot(), src.snapshot());
         assert_eq!(dst.seq_vector(), src.seq_vector());
+    }
+
+    #[test]
+    fn transfer_store_migrates_across_engines_in_both_directions() {
+        for (from, to) in [
+            (EngineKind::TwoPl, EngineKind::Batched),
+            (EngineKind::Batched, EngineKind::TwoPl),
+        ] {
+            let src = from.build(8);
+            src.transaction(|txn| {
+                txn.write_u64(bytes::Bytes::from_static(b"mon:packets:g0"), 3)?;
+                txn.write(
+                    bytes::Bytes::from_static(b"lb:backend:f1"),
+                    bytes::Bytes::from_static(b"10.0.0.2"),
+                )?;
+                Ok(())
+            });
+            let dst = to.build(8);
+            let bytes = transfer_store(&*src, &*dst, |_| true, |_| true).unwrap();
+            assert!(bytes > 0, "{from} -> {to}");
+            assert_eq!(dst.snapshot(), src.snapshot(), "{from} -> {to}");
+            assert_eq!(dst.seq_vector(), src.seq_vector(), "{from} -> {to}");
+        }
     }
 
     #[test]

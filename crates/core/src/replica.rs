@@ -19,7 +19,7 @@ use ftc_net::server::AliveToken;
 use ftc_packet::ether::MacAddr;
 use ftc_packet::piggyback::{MboxId, PiggybackLog, PiggybackMessage};
 use ftc_packet::{packet, Packet};
-use ftc_stm::{ClaimTable, MaxVector, StateStore};
+use ftc_stm::{ClaimTable, MaxVector, StateBackend, StateBackendExt};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 /// Replicated state this replica maintains for one predecessor middlebox.
 pub struct ReplGroup {
     /// The replica copy of the middlebox's store.
-    pub store: Arc<StateStore>,
+    pub store: Arc<dyn StateBackend>,
     /// Apply bookkeeping (the `MAX` dependency vector).
     pub max: Arc<MaxVector>,
 }
@@ -111,8 +111,9 @@ pub struct ReplicaState {
     pub cfg: Arc<ChainConfig>,
     /// The middlebox co-located with this replica.
     pub mbox: Arc<dyn Middlebox>,
-    /// The middlebox's own (head) store.
-    pub own_store: Arc<StateStore>,
+    /// The middlebox's own (head) store, on the engine the chain
+    /// configuration selects.
+    pub own_store: Arc<dyn StateBackend>,
     /// Replicated stores for the `f` preceding middleboxes, by position.
     pub replicated: HashMap<usize, ReplGroup>,
     /// Outgoing data-plane port (to the successor replica or the buffer).
@@ -150,13 +151,13 @@ impl ReplicaState {
     ) -> Arc<ReplicaState> {
         let ring = cfg.ring();
         let partitions = cfg.partitions;
-        let own_store = Arc::new(StateStore::new(partitions));
+        let own_store = cfg.engine.build(partitions);
         let mut replicated = HashMap::new();
         for m in ring.replicated_by(idx) {
             replicated.insert(
                 m,
                 ReplGroup {
-                    store: Arc::new(StateStore::new(cfg.partitions)),
+                    store: cfg.engine.build(cfg.partitions),
                     max: Arc::new(MaxVector::new(cfg.partitions)),
                 },
             );
@@ -298,7 +299,7 @@ impl ReplicaState {
         let mut lot = self.parked.lock();
         let verdict = group
             .max
-            .try_apply_detailed(&log.deps, &log.writes, &group.store);
+            .try_apply_detailed(&log.deps, &log.writes, &*group.store);
         match &verdict {
             ftc_stm::TryApply::Applied { new_max } => {
                 for &(p, v) in new_max {
@@ -361,7 +362,7 @@ impl ReplicaState {
             let mut lot = self.parked.lock();
             match group
                 .max
-                .try_apply_detailed(&log.deps, &log.writes, &group.store)
+                .try_apply_detailed(&log.deps, &log.writes, &*group.store)
             {
                 ftc_stm::TryApply::Applied { new_max } => {
                     for (p, v) in new_max {

@@ -73,6 +73,7 @@ pub mod prelude {
     pub use ftc_orch::{Orchestrator, OrchestratorConfig};
     pub use ftc_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
     pub use ftc_packet::Packet;
+    pub use ftc_stm::{EngineKind, StateBackend, StateTxn, TxnError};
     pub use ftc_traffic::{TrafficRunner, Workload, WorkloadConfig};
 }
 

@@ -2,7 +2,7 @@
 
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use ftc_packet::Packet;
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 use std::ops::RangeInclusive;
 
@@ -129,7 +129,7 @@ impl Middlebox for Firewall {
     fn process(
         &self,
         pkt: &mut Packet,
-        _txn: &mut Txn<'_>,
+        _txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(key) = pkt.flow_key() else {

@@ -8,7 +8,7 @@
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use bytes::Bytes;
 use ftc_packet::Packet;
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 
 /// Write-heavy synthetic middlebox.
 #[derive(Debug)]
@@ -37,7 +37,7 @@ impl Middlebox for Gen {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         // Derive deterministic state bytes from the packet so replicas can

@@ -16,7 +16,7 @@
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use bytes::Bytes;
 use ftc_packet::{l4, Packet};
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 
 /// Maximum distinct ports remembered per source (bounded state).
@@ -82,7 +82,7 @@ impl Middlebox for Ids {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(key) = pkt.flow_key() else {

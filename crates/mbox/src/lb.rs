@@ -11,7 +11,7 @@ use crate::middlebox::{Action, Middlebox, ProcCtx};
 use crate::nat::rewrite_dst;
 use bytes::Bytes;
 use ftc_packet::{FlowKey, Packet};
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 
 /// Round-robin, connection-persistent load balancer.
@@ -43,7 +43,7 @@ impl Middlebox for LoadBalancer {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(key) = pkt.flow_key() else {

@@ -2,7 +2,7 @@
 
 use crate::firewall::FirewallRule;
 use ftc_packet::Packet;
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -37,7 +37,7 @@ impl ProcCtx {
 
 /// A data-plane function processing packets inside FTC packet transactions.
 ///
-/// All state accesses go through the [`Txn`] — this is the paper's
+/// All state accesses go through the [`StateTxn`] — this is the paper's
 /// requirement that "for an existing middlebox to use FTC, its source code
 /// must be modified to call our API for state reads and writes" (§4.1).
 ///
@@ -53,7 +53,7 @@ pub trait Middlebox: Send + Sync {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         ctx: ProcCtx,
     ) -> Result<Action, TxnError>;
 
@@ -163,7 +163,7 @@ impl Middlebox for Passthrough {
     fn process(
         &self,
         _pkt: &mut Packet,
-        _txn: &mut Txn<'_>,
+        _txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         Ok(Action::Forward)

@@ -9,7 +9,7 @@
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use bytes::Bytes;
 use ftc_packet::Packet;
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 
 /// Packet/byte counting middlebox with configurable state sharing.
 #[derive(Debug)]
@@ -58,7 +58,7 @@ impl Middlebox for Monitor {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         // Shared group counter: one read + one write per packet.

@@ -15,7 +15,7 @@ use crate::middlebox::{Action, Middlebox, ProcCtx};
 use bytes::Bytes;
 use ftc_packet::l4::TcpView;
 use ftc_packet::{ip, FlowKey, Packet};
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 
 const TAG: &str = "mazu";
@@ -48,7 +48,7 @@ impl MazuNat {
     fn translate_outbound(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         key: &FlowKey,
     ) -> Result<Action, TxnError> {
         let fkey = forward_key(TAG, key);
@@ -93,7 +93,7 @@ impl MazuNat {
     fn translate_inbound(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         key: &FlowKey,
     ) -> Result<Action, TxnError> {
         let rkey = reverse_key(TAG, key.protocol, key.dst_port);
@@ -108,7 +108,7 @@ impl MazuNat {
 
     /// The `ICMPPingRewriter` role of mazu-nat.click: echo requests get a
     /// translated (source, identifier); replies are mapped back.
-    fn translate_ping(&self, pkt: &mut Packet, txn: &mut Txn<'_>) -> Result<Action, TxnError> {
+    fn translate_ping(&self, pkt: &mut Packet, txn: &mut dyn StateTxn) -> Result<Action, TxnError> {
         use ftc_packet::icmp;
         let (src, dst, ident, is_request) = {
             let Ok(v) = pkt.ipv4() else {
@@ -200,7 +200,7 @@ impl Middlebox for MazuNat {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(key) = pkt.flow_key() else {

@@ -6,7 +6,7 @@ use super::{
 };
 use crate::middlebox::{Action, Middlebox, ProcCtx};
 use ftc_packet::Packet;
-use ftc_stm::{Txn, TxnError};
+use ftc_stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 
 const TAG: &str = "snat";
@@ -34,7 +34,7 @@ impl SimpleNat {
     fn handle_outbound(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         key: &ftc_packet::FlowKey,
     ) -> Result<Action, TxnError> {
         let fkey = forward_key(TAG, key);
@@ -70,7 +70,7 @@ impl SimpleNat {
     fn handle_inbound(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         key: &ftc_packet::FlowKey,
     ) -> Result<Action, TxnError> {
         let rkey = reverse_key(TAG, key.protocol, key.dst_port);
@@ -98,7 +98,7 @@ impl Middlebox for SimpleNat {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(key) = pkt.flow_key() else {

@@ -1,0 +1,796 @@
+//! Epoch-batched optimistic state engine (the `batched` [`EngineKind`]).
+//!
+//! Where the 2PL [`StateStore`](crate::StateStore) pessimistically locks
+//! every partition a packet touches, this engine runs transaction bodies
+//! **without any partition lock**: accesses record an optimistic
+//! *footprint* — the sequence number first observed in each touched
+//! partition plus the buffered write set — and the finished body submits
+//! that footprint to the [`epoch scheduler`](crate::epoch). Whoever wins
+//! the epoch's commit lock seals the open batch and decides it in one
+//! pass:
+//!
+//! 1. **Freshness.** A transaction whose recorded versions no longer match
+//!    the store (some earlier epoch committed into its footprint) is
+//!    invalidated.
+//! 2. **Dependency graph.** Over the surviving batch, transactions
+//!    conflict when either *writes* a partition the other touched
+//!    (write-write or read-write at partition granularity; read-read
+//!    overlap commutes). In arrival order, each transaction joins the
+//!    epoch's conflict-free set iff no already-admitted transaction
+//!    conflicts with it — conflicting pairs (the dependency cycles of the
+//!    batch) keep the earlier arrival and requeue the later one.
+//! 3. **Commit.** Admitted transactions commit exactly like a 2PL commit:
+//!    every touched partition's sequence number is bumped and the
+//!    piggyback log carries pre-increment values, so dependency vectors,
+//!    sequence vectors, snapshots, and [`PartitionExport`] frames are
+//!    indistinguishable from the 2PL engine's. Requeued transactions are
+//!    transparently re-executed by [`BatchedStore::transaction_dyn`].
+//!
+//! A transaction that keeps losing validation escalates after
+//! [`MAX_OPTIMISTIC_ATTEMPTS`] to a *pessimistic fallback*: it runs its
+//! body while holding the commit lock, where its reads cannot go stale,
+//! and commits unconditionally. Together with FIFO-ish mutex handoff this
+//! gives the same starvation freedom the 2PL engine gets from wound-wait
+//! timestamps.
+//!
+//! The win over 2PL is contention behavior: hot-partition workloads
+//! (Monitor at sharing 8) pay one uncontended mutex pair plus group
+//! validation instead of a wound-wait storm of condvar sleeps and lock
+//! handoffs, and disjoint-flow workloads commit whole batches with zero
+//! lock-manager traffic. The cost is wasted body re-execution when
+//! conflicts are frequent *and* interleaved — `ftc bench --engine` plus
+//! the sharing-level sweep in `BENCH_table2.json` quantify both sides.
+
+use crate::epoch::{EpochScheduler, Footprint, Submission, Verdict, VerdictSlot};
+use crate::migrate::PartitionExport;
+use crate::recorder::{HistorySink, RecorderCell};
+use crate::store::{PartitionId, StoreSnapshot, StoreStats};
+use crate::txn::{TxnError, TxnLog};
+use crate::{partition_of, DepVector, EngineKind, StateBackend, StateTxn, StateWrite};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Optimistic attempts before a transaction escalates to the pessimistic
+/// fallback (body re-executed under the commit lock, where validation
+/// cannot fail). Low on purpose: by the third consecutive invalidation
+/// the footprint is demonstrably hot and serial execution is cheaper than
+/// another wasted body run.
+pub const MAX_OPTIMISTIC_ATTEMPTS: u32 = 3;
+
+/// One partition's map and sequence counter. Aligned to two cache lines
+/// so neighbouring partitions never false-share under the adjacent-line
+/// prefetcher (same layout rationale as the 2PL store's cells).
+#[repr(align(128))]
+struct Cell {
+    state: Mutex<CellState>,
+}
+
+struct CellState {
+    map: HashMap<Bytes, Bytes>,
+    seq: u64,
+}
+
+impl Cell {
+    fn new() -> Cell {
+        Cell {
+            state: Mutex::new(CellState {
+                map: HashMap::new(),
+                seq: 0,
+            }),
+        }
+    }
+}
+
+/// The epoch-batched optimistic state engine.
+///
+/// ```
+/// use ftc_stm::{BatchedStore, StateBackendExt};
+/// use bytes::Bytes;
+///
+/// let store = BatchedStore::new(32);
+/// let out = store.transaction(|txn| {
+///     let hits = txn.read_u64(b"hits")?.unwrap_or(0);
+///     txn.write_u64(Bytes::from_static(b"hits"), hits + 1)?;
+///     Ok(hits + 1)
+/// });
+/// assert_eq!(out.value, 1);
+/// // Same log shape as the 2PL engine: pre-increment dependency vector
+/// // plus the committed write set, ready to piggyback.
+/// let log = out.log.expect("wrote state");
+/// assert_eq!(log.writes.len(), 1);
+/// ```
+pub struct BatchedStore {
+    /// Partition cells in global index order (no lock shards: the engine
+    /// has no lock manager, only per-cell internal mutexes).
+    cells: Vec<Cell>,
+    n_partitions: usize,
+    /// Epoch formation and the commit lock (see [`crate::epoch`]).
+    sched: EpochScheduler,
+    /// Statistics. `wound_aborts` counts failed optimistic validations.
+    pub stats: StoreStats,
+    /// The audit-recorder attachment point (identical tap obligations to
+    /// the 2PL engine; see [`crate::StateBackend`]).
+    tap: RecorderCell,
+}
+
+impl BatchedStore {
+    /// Creates a store with `partitions` state partitions.
+    pub fn new(partitions: usize) -> BatchedStore {
+        assert!(partitions > 0 && partitions <= u16::MAX as usize);
+        BatchedStore {
+            cells: (0..partitions).map(|_| Cell::new()).collect(),
+            n_partitions: partitions,
+            sched: EpochScheduler::default(),
+            stats: StoreStats::default(),
+            tap: RecorderCell::default(),
+        }
+    }
+
+    fn cell(&self, p: PartitionId) -> &Cell {
+        &self.cells[p as usize]
+    }
+
+    /// Number of epochs sealed so far (diagnostics / tests).
+    pub fn sealed_epochs(&self) -> u64 {
+        self.sched.sealed_epochs()
+    }
+
+    /// Validates and commits one sealed batch. Caller holds the commit
+    /// lock.
+    fn commit_epoch(&self, batch: &[Submission]) {
+        // Freshness reference: the sequence number of every partition the
+        // batch touches, at seal time (before any of the batch commits).
+        let mut seal_seqs: HashMap<PartitionId, u64> = HashMap::new();
+        for sub in batch {
+            for &(p, _) in &sub.footprint.versions {
+                seal_seqs
+                    .entry(p)
+                    .or_insert_with(|| self.cell(p).state.lock().seq);
+            }
+        }
+        // Dependency-graph admission, arrival order: a transaction joins
+        // the conflict-free set iff its snapshot is fresh and no admitted
+        // earlier transaction conflicts with it. Admitted transactions
+        // are pairwise conflict-free, so any commit order serializes; the
+        // requeued remainder (stale reads and the losing side of every
+        // conflict edge/cycle) re-executes against the post-epoch state.
+        let mut admitted: Vec<bool> = Vec::with_capacity(batch.len());
+        for (i, sub) in batch.iter().enumerate() {
+            let fp = &sub.footprint;
+            let fresh = fp
+                .versions
+                .iter()
+                .all(|&(p, v)| seal_seqs.get(&p).copied() == Some(v));
+            let clean = batch[..i]
+                .iter()
+                .zip(&admitted)
+                .all(|(other, &ok)| !ok || !other.footprint.conflicts_with(fp));
+            admitted.push(fresh && clean);
+        }
+        for (sub, ok) in batch.iter().zip(&admitted) {
+            if *ok {
+                let log = self.commit_one(&sub.footprint);
+                self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                if let Some(log) = &log {
+                    self.tap.record_commit(log);
+                }
+                sub.slot.fill(Verdict::Committed(log));
+            } else {
+                self.stats.wound_aborts.fetch_add(1, Ordering::Relaxed);
+                sub.slot.fill(Verdict::Requeue);
+            }
+        }
+    }
+
+    /// Applies one validated footprint: bumps every touched partition's
+    /// sequence number (pre-increment values go into the dependency
+    /// vector) and lands the buffered writes — the exact commit shape of
+    /// the 2PL engine's `Txn::commit`. Caller holds the commit lock.
+    fn commit_one(&self, fp: &Footprint) -> Option<TxnLog> {
+        if fp.writes.is_empty() {
+            return None;
+        }
+        // Group writes by partition, preserving key order within each.
+        let mut by_part: BTreeMap<PartitionId, Vec<&(Bytes, Bytes)>> = BTreeMap::new();
+        for kv in &fp.writes {
+            by_part
+                .entry(partition_of(&kv.0, self.n_partitions))
+                .or_default()
+                .push(kv);
+        }
+        let mut deps = Vec::with_capacity(fp.versions.len());
+        let mut writes = Vec::with_capacity(fp.writes.len());
+        for &(p, _) in &fp.versions {
+            let mut st = self.cell(p).state.lock();
+            deps.push((p, st.seq));
+            st.seq += 1;
+            if let Some(kvs) = by_part.get(&p) {
+                for (k, v) in kvs {
+                    if v.is_empty() {
+                        st.map.remove(k);
+                    } else {
+                        st.map.insert(k.clone(), v.clone());
+                    }
+                    writes.push(StateWrite {
+                        key: k.clone(),
+                        value: v.clone(),
+                        partition: p,
+                    });
+                }
+            }
+        }
+        let deps = DepVector::from_entries(deps).expect("footprint partitions are unique");
+        Some(TxnLog { deps, writes })
+    }
+
+    /// The starvation-freedom escalation: run the body while holding the
+    /// commit lock. Reads are then guaranteed fresh (only commit-lock
+    /// holders mutate sequence numbers), so the commit is unconditional.
+    /// The queued batch is committed first so transactions that submitted
+    /// before the escalation keep their place.
+    fn run_pessimistic(
+        &self,
+        body: &mut dyn FnMut(&mut dyn StateTxn) -> Result<(), TxnError>,
+    ) -> Option<TxnLog> {
+        let (_guard, batch) = self.sched.seal();
+        if !batch.is_empty() {
+            self.commit_epoch(&batch);
+        }
+        loop {
+            let mut txn = OptTxn::new(self);
+            match body(&mut txn) {
+                Ok(()) => {
+                    let log = self.commit_one(&txn.into_footprint());
+                    self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(log) = &log {
+                        self.tap.record_commit(log);
+                    }
+                    return log;
+                }
+                Err(TxnError::Wounded) => {
+                    // A body-surfaced abort; nothing to roll back (writes
+                    // were only buffered) — re-execute under the lock.
+                    self.stats.wound_aborts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+impl StateBackend for BatchedStore {
+    fn engine(&self) -> EngineKind {
+        EngineKind::Batched
+    }
+
+    fn partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    fn transaction_dyn(
+        &self,
+        body: &mut dyn FnMut(&mut dyn StateTxn) -> Result<(), TxnError>,
+    ) -> Option<TxnLog> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > MAX_OPTIMISTIC_ATTEMPTS {
+                return self.run_pessimistic(body);
+            }
+            let mut txn = OptTxn::new(self);
+            match body(&mut txn) {
+                Ok(()) => {}
+                Err(TxnError::Wounded) => {
+                    self.stats.wound_aborts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            let slot = Arc::new(VerdictSlot::default());
+            self.sched.enqueue(Submission {
+                footprint: txn.into_footprint(),
+                slot: Arc::clone(&slot),
+            });
+            // Contend for the epoch: the winner commits everything queued
+            // (cooperatively including other threads' submissions); losers
+            // arrive to find their verdict already decided.
+            let (guard, batch) = self.sched.seal();
+            if !batch.is_empty() {
+                self.commit_epoch(&batch);
+            }
+            drop(guard);
+            match slot.take() {
+                Some(Verdict::Committed(log)) => return log,
+                Some(Verdict::Requeue) => continue,
+                // Unreachable by the scheduler contract (every submission
+                // is decided before the deciding epoch releases the
+                // lock); requeue defensively rather than losing the txn.
+                None => continue,
+            }
+        }
+    }
+
+    fn apply_writes(&self, deps: &DepVector, writes: &[StateWrite]) {
+        if deps.entries().is_empty() {
+            // Defensive: a no-op log carries no deps; nothing to bump.
+            debug_assert!(writes.is_empty());
+            return;
+        }
+        // Seq numbers only move under the commit lock, so replica apply
+        // and local epochs serialize against each other.
+        let _guard = self.sched.pause();
+        let mut by_part: BTreeMap<PartitionId, Vec<&StateWrite>> = BTreeMap::new();
+        for w in writes {
+            by_part.entry(w.partition).or_default().push(w);
+        }
+        for &(p, _) in deps.entries() {
+            let mut st = self.cell(p).state.lock();
+            st.seq += 1;
+            if let Some(ws) = by_part.remove(&p) {
+                for w in ws {
+                    if w.value.is_empty() {
+                        st.map.remove(&w.key);
+                    } else {
+                        st.map.insert(w.key.clone(), w.value.clone());
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            by_part.is_empty(),
+            "write partitions must appear in the dependency vector"
+        );
+        self.stats.applied_logs.fetch_add(1, Ordering::Relaxed);
+        self.tap.record_apply(deps, writes);
+    }
+
+    fn peek(&self, key: &[u8]) -> Option<Bytes> {
+        let p = StateBackend::partition_of(self, key);
+        let st = self.cell(p).state.lock();
+        st.map.get(key).cloned()
+    }
+
+    fn seq_vector(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.state.lock().seq).collect()
+    }
+
+    fn snapshot(&self) -> StoreSnapshot {
+        let _guard = self.sched.pause();
+        let mut maps = Vec::with_capacity(self.n_partitions);
+        let mut seqs = Vec::with_capacity(self.n_partitions);
+        for c in &self.cells {
+            let st = c.state.lock();
+            let mut entries: Vec<(Bytes, Bytes)> =
+                st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            entries.sort_unstable_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+            maps.push(entries);
+            seqs.push(st.seq);
+        }
+        StoreSnapshot { maps, seqs }
+    }
+
+    fn restore(&self, snap: &StoreSnapshot) {
+        assert_eq!(
+            snap.maps.len(),
+            self.n_partitions,
+            "partition count mismatch"
+        );
+        let _guard = self.sched.pause();
+        for (i, c) in self.cells.iter().enumerate() {
+            let mut st = c.state.lock();
+            st.map = snap.maps[i].iter().cloned().collect();
+            st.seq = snap.seqs[i];
+        }
+    }
+
+    fn restore_seqs(&self, seqs: &[u64]) {
+        assert_eq!(seqs.len(), self.n_partitions);
+        let _guard = self.sched.pause();
+        for (c, &s) in self.cells.iter().zip(seqs) {
+            c.state.lock().seq = s;
+        }
+    }
+
+    fn export_partition(&self, p: PartitionId) -> PartitionExport {
+        let st = self.cell(p).state.lock();
+        let mut entries: Vec<(Bytes, Bytes)> =
+            st.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_unstable_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        PartitionExport {
+            partition: p,
+            seq: st.seq,
+            entries,
+        }
+    }
+
+    fn import_partition(&self, ex: &PartitionExport) {
+        let _guard = self.sched.pause();
+        let mut st = self.cell(ex.partition).state.lock();
+        st.map = ex.entries.iter().cloned().collect();
+        st.seq = ex.seq;
+    }
+
+    fn clear_partition(&self, p: PartitionId) {
+        let _guard = self.sched.pause();
+        let mut st = self.cell(p).state.lock();
+        st.map.clear();
+        st.seq = 0;
+    }
+
+    fn partition_seq(&self, p: PartitionId) -> u64 {
+        self.cell(p).state.lock().seq
+    }
+
+    fn len(&self) -> usize {
+        self.cells.iter().map(|c| c.state.lock().map.len()).sum()
+    }
+
+    fn set_recorder(&self, sink: Arc<dyn HistorySink>) {
+        self.tap.set(sink);
+    }
+
+    fn clear_recorder(&self) {
+        self.tap.clear();
+    }
+
+    fn stats_snapshot(&self) -> (u64, u64, u64) {
+        self.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for BatchedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedStore")
+            .field("partitions", &self.n_partitions)
+            .field("keys", &StateBackend::len(self))
+            .field("sealed_epochs", &self.sealed_epochs())
+            .finish()
+    }
+}
+
+/// An in-flight optimistic transaction: no locks held, reads record the
+/// partition sequence number first observed, writes are buffered.
+struct OptTxn<'a> {
+    store: &'a BatchedStore,
+    /// First-observed sequence number per touched partition.
+    versions: BTreeMap<PartitionId, u64>,
+    /// Buffered writes (empty value = deletion).
+    writes: BTreeMap<Bytes, Bytes>,
+}
+
+impl<'a> OptTxn<'a> {
+    fn new(store: &'a BatchedStore) -> OptTxn<'a> {
+        OptTxn {
+            store,
+            versions: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Records the partition's current sequence number if this is the
+    /// first access, and returns the cell for the caller to use.
+    fn touch(&mut self, p: PartitionId) {
+        if !self.versions.contains_key(&p) {
+            let seq = self.store.cell(p).state.lock().seq;
+            self.versions.insert(p, seq);
+        }
+    }
+
+    fn into_footprint(self) -> Footprint {
+        Footprint {
+            versions: self.versions.into_iter().collect(),
+            writes: self.writes.into_iter().collect(),
+        }
+    }
+}
+
+impl StateTxn for OptTxn<'_> {
+    fn read(&mut self, key: &[u8]) -> Result<Option<Bytes>, TxnError> {
+        let p = partition_of(key, self.store.n_partitions);
+        self.touch(p);
+        if let Some(v) = self.writes.get(key) {
+            return Ok(if v.is_empty() { None } else { Some(v.clone()) });
+        }
+        let st = self.store.cell(p).state.lock();
+        Ok(st.map.get(key).cloned())
+    }
+
+    fn write(&mut self, key: Bytes, value: Bytes) -> Result<(), TxnError> {
+        assert!(
+            !value.is_empty(),
+            "empty values encode deletions; use delete()"
+        );
+        let p = partition_of(&key, self.store.n_partitions);
+        self.touch(p);
+        self.writes.insert(key, value);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: Bytes) -> Result<(), TxnError> {
+        let p = partition_of(&key, self.store.n_partitions);
+        self.touch(p);
+        self.writes.insert(key, Bytes::new());
+        Ok(())
+    }
+
+    fn is_writing(&self) -> bool {
+        !self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateBackendExt;
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn simple_read_write_txn() {
+        let store = BatchedStore::new(8);
+        let out = store.transaction(|txn| {
+            assert_eq!(txn.read(b"k")?, None);
+            txn.write(Bytes::from_static(b"k"), Bytes::from_static(b"v1"))?;
+            Ok(())
+        });
+        let log = out.log.expect("writing txn must log");
+        assert_eq!(log.writes.len(), 1);
+        assert_eq!(
+            StateBackend::peek(&store, b"k"),
+            Some(Bytes::from_static(b"v1"))
+        );
+        assert_eq!(store.sealed_epochs(), 1);
+    }
+
+    #[test]
+    fn read_only_txn_has_no_log_and_bumps_nothing() {
+        let store = BatchedStore::new(8);
+        store.transaction(|txn| {
+            txn.write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))?;
+            Ok(())
+        });
+        let before = store.seq_vector();
+        let out = store.transaction(|txn| txn.read(b"a"));
+        assert_eq!(out.value, Some(Bytes::from_static(b"1")));
+        assert!(out.log.is_none());
+        assert_eq!(store.seq_vector(), before);
+    }
+
+    #[test]
+    fn log_shape_matches_2pl_engine() {
+        use crate::StateStore;
+        let two = StateStore::new(8);
+        let bat = BatchedStore::new(8);
+        let ka = Bytes::from_static(b"a");
+        let kb = Bytes::from_static(b"b");
+        let body = |txn: &mut dyn StateTxn| {
+            let _ = txn.read(&ka)?;
+            txn.write(ka.clone(), Bytes::from_static(b"1"))?;
+            txn.write(kb.clone(), Bytes::from_static(b"2"))?;
+            Ok(())
+        };
+        let l2 = StateBackendExt::transaction(&two, body).log.unwrap();
+        let lb = bat.transaction(body).log.unwrap();
+        assert_eq!(l2.deps, lb.deps, "identical dependency vectors");
+        assert_eq!(l2.writes, lb.writes, "identical write sets, same order");
+        assert_eq!(StateStore::seq_vector(&two), store_seqs(&bat));
+    }
+
+    fn store_seqs(b: &BatchedStore) -> Vec<u64> {
+        StateBackend::seq_vector(b)
+    }
+
+    #[test]
+    fn delete_via_empty_value() {
+        let store = BatchedStore::new(4);
+        let k = Bytes::from_static(b"gone");
+        store.transaction(|txn| {
+            txn.write(k.clone(), Bytes::from_static(b"v"))?;
+            Ok(())
+        });
+        store.transaction(|txn| {
+            txn.delete(k.clone())?;
+            Ok(())
+        });
+        assert_eq!(StateBackend::peek(&store, &k), None);
+    }
+
+    #[test]
+    fn read_your_own_buffered_writes() {
+        let store = BatchedStore::new(4);
+        let k = Bytes::from_static(b"rw");
+        let out = store.transaction(|txn| {
+            txn.write_u64(k.clone(), 7)?;
+            let v = txn.read_u64(&k)?;
+            txn.delete(k.clone())?;
+            let gone = txn.read(&k)?;
+            Ok((v, gone))
+        });
+        assert_eq!(out.value, (Some(7), None));
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        let store = Arc::new(BatchedStore::new(4));
+        let key = Bytes::from_static(b"shared");
+        let threads = 4;
+        let per_thread = 500;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let key = key.clone();
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..per_thread {
+                        store.transaction(|txn| {
+                            let c = txn.read_u64(&key)?.unwrap_or(0);
+                            txn.write_u64(key.clone(), c + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            StateBackend::peek_u64(&*store, &key),
+            Some((threads * per_thread) as u64)
+        );
+        let (commits, _aborts, _) = store.stats.snapshot();
+        assert_eq!(commits, (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn cross_partition_transfers_conserve_total() {
+        let store = Arc::new(BatchedStore::new(16));
+        let ka = Bytes::from_static(b"account:a");
+        let kb = Bytes::from_static(b"account:b");
+        store.transaction(|txn| {
+            txn.write_u64(ka.clone(), 1000)?;
+            txn.write_u64(kb.clone(), 1000)?;
+            Ok(())
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let (from, to) = if i % 2 == 0 {
+                    (ka.clone(), kb.clone())
+                } else {
+                    (kb.clone(), ka.clone())
+                };
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        store.transaction(|txn| {
+                            let f = txn.read_u64(&from)?.unwrap_or(0);
+                            let t = txn.read_u64(&to)?.unwrap_or(0);
+                            if f > 0 {
+                                txn.write_u64(from.clone(), f - 1)?;
+                                txn.write_u64(to.clone(), t + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = StateBackend::peek_u64(&*store, &ka).unwrap()
+            + StateBackend::peek_u64(&*store, &kb).unwrap();
+        assert_eq!(total, 2000, "validation lost or duplicated value");
+    }
+
+    #[test]
+    fn apply_writes_mirrors_commit_across_engines() {
+        use crate::StateStore;
+        let head = StateStore::new(8);
+        let replica = BatchedStore::new(8);
+        let k = Bytes::from_static(b"mirrored");
+        let out = head.transaction(|txn| {
+            txn.write(k.clone(), Bytes::from_static(b"v"))?;
+            Ok(())
+        });
+        let log = out.log.unwrap();
+        StateBackend::apply_writes(&replica, &log.deps, &log.writes);
+        assert_eq!(
+            StateBackend::peek(&replica, &k),
+            Some(Bytes::from_static(b"v"))
+        );
+        assert_eq!(StateStore::seq_vector(&head), store_seqs(&replica));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let store = BatchedStore::new(8);
+        for i in 0..50 {
+            let key = Bytes::from(format!("k{i}"));
+            store.transaction(|txn| {
+                txn.write(key.clone(), Bytes::from(format!("v{i}")))?;
+                Ok(())
+            });
+        }
+        let snap = StateBackend::snapshot(&store);
+        let other = BatchedStore::new(8);
+        StateBackend::restore(&other, &snap);
+        assert_eq!(StateBackend::len(&other), 50);
+        assert_eq!(store_seqs(&other), store_seqs(&store));
+        assert_eq!(
+            StateBackend::peek(&other, b"k17"),
+            Some(Bytes::from_static(b"v17"))
+        );
+    }
+
+    #[test]
+    fn pessimistic_fallback_commits_under_sustained_conflicts() {
+        // Hammer one partition from many threads; every transaction must
+        // still commit exactly once (the escalation path guarantees
+        // progress even if a thread keeps losing validation).
+        let store = Arc::new(BatchedStore::new(1));
+        let key = Bytes::from_static(b"hot");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let key = key.clone();
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        store.transaction(|txn| {
+                            let c = txn.read_u64(&key)?.unwrap_or(0);
+                            txn.write_u64(key.clone(), c + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(StateBackend::peek_u64(&*store, &key), Some(1600));
+        let (commits, _, _) = store.stats.snapshot();
+        assert_eq!(commits, 1600);
+    }
+
+    #[test]
+    fn recorder_tap_reports_commits_and_applies() {
+        use crate::recorder::CommitRecord;
+        #[derive(Default)]
+        struct Counting {
+            commits: std::sync::atomic::AtomicU64,
+            applies: std::sync::atomic::AtomicU64,
+        }
+        impl HistorySink for Counting {
+            fn on_commit(&self, _rec: CommitRecord) {
+                self.commits.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_apply(&self, _deps: &DepVector, _writes: &[StateWrite]) {
+                self.applies.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let store = BatchedStore::new(8);
+        let sink = Arc::new(Counting::default());
+        StateBackend::set_recorder(&store, Arc::clone(&sink) as Arc<dyn HistorySink>);
+        let k = Bytes::from_static(b"rec");
+        let out = store.transaction(|txn| {
+            txn.write_u64(k.clone(), 1)?;
+            Ok(())
+        });
+        let log = out.log.unwrap();
+        store.transaction(|txn| txn.read(&k)); // read-only: not reported
+        StateBackend::apply_writes(&store, &log.deps, &log.writes);
+        assert_eq!(sink.commits.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.applies.load(Ordering::SeqCst), 1);
+        StateBackend::clear_recorder(&store);
+        store.transaction(|txn| {
+            txn.write_u64(k.clone(), 2)?;
+            Ok(())
+        });
+        assert_eq!(sink.commits.load(Ordering::SeqCst), 1, "detached");
+    }
+}

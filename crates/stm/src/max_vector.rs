@@ -1,8 +1,7 @@
 //! Replica-side apply bookkeeping: the `MAX` dependency vector and the
 //! parking lot for out-of-order piggyback logs (paper §4.3, Fig. 3).
 
-use crate::store::StateStore;
-use crate::{Applicability, DepVector, SeqNo, StateWrite};
+use crate::{Applicability, DepVector, SeqNo, StateBackend, StateWrite};
 use parking_lot::Mutex;
 
 /// A log parked at a replica because one of its dependencies has not been
@@ -99,7 +98,7 @@ impl MaxVector {
         &self,
         deps: &DepVector,
         writes: &[StateWrite],
-        store: &StateStore,
+        store: &dyn StateBackend,
     ) -> Applicability {
         let mut inner = self.inner.lock();
         let verdict = deps.applicable_at(&inner.max);
@@ -116,7 +115,7 @@ impl MaxVector {
         &self,
         deps: &DepVector,
         writes: &[StateWrite],
-        store: &StateStore,
+        store: &dyn StateBackend,
     ) -> TryApply {
         let mut inner = self.inner.lock();
         match deps.applicable_at(&inner.max) {
@@ -153,7 +152,7 @@ impl MaxVector {
         &self,
         deps: &DepVector,
         writes: &[StateWrite],
-        store: &StateStore,
+        store: &dyn StateBackend,
     ) -> ApplyOutcome {
         let mut inner = self.inner.lock();
         match deps.applicable_at(&inner.max) {
@@ -185,7 +184,12 @@ impl MaxVector {
         }
     }
 
-    fn apply(inner: &mut MaxInner, deps: &DepVector, writes: &[StateWrite], store: &StateStore) {
+    fn apply(
+        inner: &mut MaxInner,
+        deps: &DepVector,
+        writes: &[StateWrite],
+        store: &dyn StateBackend,
+    ) {
         store.apply_writes(deps, writes);
         for &(p, _) in deps.entries() {
             let slot = &mut inner.max[p as usize];
@@ -194,7 +198,7 @@ impl MaxVector {
     }
 
     /// Re-scans parked logs until a fixpoint; returns how many were applied.
-    fn drain_parked(inner: &mut MaxInner, store: &StateStore) -> usize {
+    fn drain_parked(inner: &mut MaxInner, store: &dyn StateBackend) -> usize {
         let mut applied = 0;
         loop {
             let mut progressed = false;
@@ -261,9 +265,14 @@ impl std::fmt::Debug for MaxVector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{StateBackendExt, StateStore};
     use bytes::Bytes;
 
-    fn log(store: &StateStore, k: &'static str, v: &'static str) -> (DepVector, Vec<StateWrite>) {
+    fn log(
+        store: &dyn StateBackend,
+        k: &'static str,
+        v: &'static str,
+    ) -> (DepVector, Vec<StateWrite>) {
         let out = store.transaction(|txn| {
             txn.write(
                 Bytes::from_static(k.as_bytes()),

@@ -13,9 +13,12 @@
 //! Recording is strictly opt-in: a store with no sink attached pays one
 //! relaxed atomic load per commit and nothing else.
 
-use crate::{DepVector, StateWrite};
+use crate::{DepVector, StateWrite, TxnLog};
+use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One committed writing transaction, as observed by a [`HistorySink`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,4 +58,69 @@ pub(crate) fn current_thread_id() -> u64 {
     let mut h = DefaultHasher::new();
     std::thread::current().id().hash(&mut h);
     h.finish()
+}
+
+/// The shared recorder attachment point every state engine embeds: the
+/// "is anyone recording?" fast flag, the commit arrival counter, and the
+/// sink slot. Factoring it here keeps the tap obligations of the
+/// [`StateBackend`](crate::StateBackend) contract identical across
+/// engines — one implementation, two (or more) users.
+#[derive(Default)]
+pub(crate) struct RecorderCell {
+    /// Fast path for "is anyone recording?" — one Acquire load per commit
+    /// (flags never use Relaxed; see scripts/forbidden_patterns.py).
+    recording: AtomicBool,
+    /// Commit arrival counter handed to the recorder (see
+    /// [`CommitRecord::commit_index`]).
+    commit_seq: AtomicU64,
+    /// The attached audit sink, if any.
+    recorder: RwLock<Option<Arc<dyn HistorySink>>>,
+}
+
+impl RecorderCell {
+    /// Attaches a sink, replacing any previous one.
+    pub fn set(&self, sink: Arc<dyn HistorySink>) {
+        *self.recorder.write() = Some(sink);
+        self.recording.store(true, Ordering::SeqCst);
+    }
+
+    /// Detaches the sink, if any. In-flight commits may still report to
+    /// the old sink after this returns.
+    pub fn clear(&self) {
+        self.recording.store(false, Ordering::SeqCst);
+        *self.recorder.write() = None;
+    }
+
+    /// Reports a committed log to the attached sink, if recording.
+    pub fn record_commit(&self, log: &TxnLog) {
+        if !self.recording.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(sink) = self.recorder.read().as_ref() {
+            sink.on_commit(CommitRecord {
+                commit_index: self.commit_seq.fetch_add(1, Ordering::Relaxed),
+                thread: current_thread_id(),
+                deps: log.deps.clone(),
+                writes: log.writes.clone(),
+            });
+        }
+    }
+
+    /// Reports an applied log to the attached sink, if recording.
+    pub fn record_apply(&self, deps: &DepVector, writes: &[StateWrite]) {
+        if !self.recording.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(sink) = self.recorder.read().as_ref() {
+            sink.on_apply(deps, writes);
+        }
+    }
+}
+
+impl std::fmt::Debug for RecorderCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderCell")
+            .field("recording", &self.recording.load(Ordering::Acquire))
+            .finish()
+    }
 }

@@ -1,23 +1,25 @@
 //! The partitioned state store.
 
-use crate::recorder::{current_thread_id, CommitRecord, HistorySink};
+use crate::recorder::{HistorySink, RecorderCell};
 use crate::txn::{Txn, TxnError, TxnOutput, TxnRecord};
 use crate::{partition_of, shard_count, shard_of, shard_span, DepVector, StateWrite};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Index of a state partition.
 pub type PartitionId = u16;
 
-/// Aggregate statistics maintained by a store.
+/// Aggregate statistics maintained by a state engine (shared by every
+/// [`crate::StateBackend`] implementation).
 #[derive(Debug, Default)]
 pub struct StoreStats {
     /// Transactions committed.
     pub commits: AtomicU64,
-    /// Transactions aborted by wound-wait and re-executed.
+    /// Transparently re-executed aborts: wound-wait wounds on the 2PL
+    /// engine, failed optimistic validations on the batched engine.
     pub wound_aborts: AtomicU64,
     /// Piggyback logs applied via [`StateStore::apply_writes`].
     pub applied_logs: AtomicU64,
@@ -131,14 +133,9 @@ pub struct StateStore {
     pub(crate) ts_gen: AtomicU64,
     /// Statistics.
     pub stats: StoreStats,
-    /// Fast path for "is anyone recording?" — one Acquire load per commit
-    /// (flags never use Relaxed; see scripts/forbidden_patterns.py).
-    recording: AtomicBool,
-    /// Commit arrival counter handed to the recorder (see
-    /// [`CommitRecord::commit_index`]).
-    commit_seq: AtomicU64,
-    /// The attached audit sink, if any.
-    recorder: RwLock<Option<Arc<dyn HistorySink>>>,
+    /// The audit-recorder attachment point (shared across engines; see
+    /// [`crate::StateBackend`]'s tap obligations).
+    tap: RecorderCell,
 }
 
 impl StateStore {
@@ -160,39 +157,20 @@ impl StateStore {
             n_partitions: partitions,
             ts_gen: AtomicU64::new(1),
             stats: StoreStats::default(),
-            recording: AtomicBool::new(false),
-            commit_seq: AtomicU64::new(0),
-            recorder: RwLock::new(None),
+            tap: RecorderCell::default(),
         }
     }
 
     /// Attaches an audit sink that observes every committed writing
     /// transaction and every applied log. Replaces any previous sink.
     pub fn set_recorder(&self, sink: Arc<dyn HistorySink>) {
-        *self.recorder.write() = Some(sink);
-        self.recording.store(true, Ordering::SeqCst);
+        self.tap.set(sink);
     }
 
     /// Detaches the audit sink, if any. In-flight commits may still report
     /// to the old sink after this returns.
     pub fn clear_recorder(&self) {
-        self.recording.store(false, Ordering::SeqCst);
-        *self.recorder.write() = None;
-    }
-
-    /// Reports a committed log to the attached sink, if recording.
-    fn record_commit(&self, log: &crate::TxnLog) {
-        if !self.recording.load(Ordering::Acquire) {
-            return;
-        }
-        if let Some(sink) = self.recorder.read().as_ref() {
-            sink.on_commit(CommitRecord {
-                commit_index: self.commit_seq.fetch_add(1, Ordering::Relaxed),
-                thread: current_thread_id(),
-                deps: log.deps.clone(),
-                writes: log.writes.clone(),
-            });
-        }
+        self.tap.clear();
     }
 
     /// Number of partitions.
@@ -264,7 +242,7 @@ impl StateStore {
                     let log = txn.commit();
                     self.stats.commits.fetch_add(1, Ordering::Relaxed);
                     if let Some(log) = &log {
-                        self.record_commit(log);
+                        self.tap.record_commit(log);
                     }
                     return TxnOutput { value, log };
                 }
@@ -333,11 +311,7 @@ impl StateStore {
         }
         drop(guards);
         self.stats.applied_logs.fetch_add(1, Ordering::Relaxed);
-        if self.recording.load(Ordering::Acquire) {
-            if let Some(sink) = self.recorder.read().as_ref() {
-                sink.on_apply(deps, writes);
-            }
-        }
+        self.tap.record_apply(deps, writes);
     }
 
     /// Deep-copies the store for recovery state transfer.

@@ -12,7 +12,7 @@
 
 use bytes::Bytes;
 use ftc::prelude::*;
-use ftc::stm::{Txn, TxnError};
+use ftc::stm::{StateTxn, TxnError};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -46,7 +46,7 @@ impl Middlebox for RateLimiter {
     fn process(
         &self,
         pkt: &mut Packet,
-        txn: &mut Txn<'_>,
+        txn: &mut dyn StateTxn,
         _ctx: ProcCtx,
     ) -> Result<Action, TxnError> {
         let Ok(flow) = pkt.flow_key() else {

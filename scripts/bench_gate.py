@@ -12,6 +12,11 @@ short run is noisier than aggregate throughput, so it gets a wider band).
 Artifacts from different modes (quick vs full) are never compared: the gate
 refuses rather than producing a meaningless verdict.
 
+The gate reads only the baseline 2PL keys (`pps` and `stages.*`). The
+`engines` section (the per-engine sharing-level sweep `ftc bench` also
+emits) is trajectory data, deliberately not a gate input: optimistic-engine
+numbers shift with contention and would make the gate flap.
+
 `--self-test` checks the comparator itself: it synthesizes a baseline plus a
 deliberately slowed-down fresh result and asserts the gate rejects it, and an
 unchanged result and asserts the gate accepts it. check.sh --bench-gate runs
